@@ -1,0 +1,34 @@
+//! Workload kernel throughput: instructions simulated per second for
+//! each of the eight data-mining kernels (pure trace generation, no
+//! cache model).
+
+use cmpsim_trace::{CountingSink, TraceSink, Tracer};
+use cmpsim_workloads::{Scale, WorkloadId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_trace");
+    group.sample_size(10);
+    for id in WorkloadId::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, &id| {
+            b.iter(|| {
+                let wl = id.build(Scale::tiny(), 1);
+                let mut threads = wl.make_threads(2);
+                let mut sink = CountingSink::new();
+                let mut running = true;
+                while running {
+                    running = false;
+                    for th in &mut threads {
+                        let mut tr = Tracer::new(&mut sink as &mut dyn TraceSink);
+                        running |= th.step(&mut tr);
+                    }
+                }
+                sink.total()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation E-X4: shared LLC vs per-core private slices of equal total
+//! capacity — quantifying why the paper (and its related work: Liu et
+//! al., Zhang & Asanovic, Nurvitadhi et al.) studies *shared* LLCs for
+//! these workloads.
+
+use cmpsim_bench::Options;
+use cmpsim_core::experiment::LlcOrganizationStudy;
+use cmpsim_core::report::TextTable;
+
+fn main() {
+    let opts = Options::from_args();
+    let study = LlcOrganizationStudy::new(opts.scale, opts.seed);
+    println!(
+        "Ablation: shared vs private LLC organization, 8 cores, equal total \
+         capacity (scale {})\n",
+        opts.scale
+    );
+    let mut t = TextTable::new(["Workload", "Shared MPKI", "Private MPKI", "Private/Shared"]);
+    for &w in &opts.workloads {
+        let r = study.run(w);
+        t.row([
+            w.to_string(),
+            format!("{:.3}", r.shared_mpki),
+            format!("{:.3}", r.private_mpki),
+            format!("{:.2}x", r.private_penalty()),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,37 @@
+//! Ablation E-X2: replacement policy — reruns the Figure 4 sweep under
+//! LRU, tree-PLRU, FIFO, and random replacement to check the paper's
+//! working-set conclusions are not LRU artifacts.
+
+use cmpsim_bench::Options;
+use cmpsim_core::experiment::ReplacementStudy;
+use cmpsim_core::report::{human_bytes, TextTable};
+
+fn main() {
+    let opts = Options::from_args();
+    let study = ReplacementStudy {
+        scale: opts.scale,
+        seed: opts.seed,
+    };
+    println!(
+        "Ablation: replacement policy on the SCMP size sweep (scale {})\n",
+        opts.scale
+    );
+    for &w in &opts.workloads {
+        let curves = study.run(w);
+        println!("{w}:");
+        let mut t = TextTable::new(
+            std::iter::once("LLC size".to_owned()).chain(curves.iter().map(|(p, _)| p.to_string())),
+        );
+        let n = curves[0].1.points.len();
+        for i in 0..n {
+            t.row(
+                std::iter::once(human_bytes(curves[0].1.points[i].llc_bytes)).chain(
+                    curves
+                        .iter()
+                        .map(|(_, c)| format!("{:.3}", c.points[i].mpki)),
+                ),
+            );
+        }
+        println!("{}", t.render());
+    }
+}

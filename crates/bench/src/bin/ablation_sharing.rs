@@ -1,0 +1,18 @@
+//! Ablation E-X1: sharing-category validation — MPKI growth from 1 to 8
+//! threads at a fixed LLC separates §4.3's category (a) (shared primary
+//! structure) from category (b) (per-thread private data).
+
+use cmpsim_bench::Options;
+use cmpsim_core::experiment::SharingStudy;
+use cmpsim_core::report::render_sharing;
+
+fn main() {
+    let opts = Options::from_args();
+    let study = SharingStudy::new(opts.scale, opts.seed);
+    println!(
+        "Ablation: sharing categories via thread-scaling miss growth (scale {})\n",
+        opts.scale
+    );
+    let results: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    println!("{}", render_sharing(&results));
+}

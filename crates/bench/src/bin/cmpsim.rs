@@ -1,0 +1,273 @@
+//! The `cmpsim` command-line front end.
+//!
+//! ```text
+//! cmpsim list
+//! cmpsim run    --workload FIMI --cores 8 --llc 32MB [--line 64] [--scale ci] [--prefetch]
+//! cmpsim record --workload SHOT --cores 8 --out shot.cmpt [--scale tiny]
+//! cmpsim replay --trace shot.cmpt --llc 4MB [--line 256]
+//! ```
+//!
+//! `record`/`replay` capture the FSB transaction stream once and emulate
+//! it against any number of cache configurations afterwards — the same
+//! decoupling the FPGA rig offered (the bus trace does not depend on the
+//! emulated LLC because the emulator is passive).
+
+use cmpsim_bench::parse_scale;
+use cmpsim_core::cosim::{CoSimConfig, CoSimulation};
+use cmpsim_core::report::{human_bytes, TextTable};
+use cmpsim_core::{Scale, WorkloadId};
+use cmpsim_dragonhead::{Dragonhead, DragonheadConfig};
+use cmpsim_trace::file::{TraceReader, TraceWriter};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: cmpsim <list|run|record|replay> [options]\n\
+                 run    --workload NAME --cores N [--llc SIZE] [--line N] [--scale S] [--prefetch]\n\
+                 record --workload NAME --cores N --out FILE [--scale S]\n\
+                 replay --trace FILE [--llc SIZE] [--line N]"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+#[derive(Debug, Default)]
+struct Cli {
+    workload: Option<WorkloadId>,
+    cores: usize,
+    llc: u64,
+    line: u64,
+    scale: Scale,
+    seed: u64,
+    prefetch: bool,
+    out: Option<String>,
+    trace: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        cores: 8,
+        llc: 32 << 20,
+        line: 64,
+        scale: Scale::ci(),
+        seed: 2007,
+        ..Cli::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {a}"))
+        };
+        match a.as_str() {
+            "--workload" => cli.workload = Some(val()?.parse().map_err(|e| format!("{e}"))?),
+            "--cores" => cli.cores = val()?.parse().map_err(|_| "bad --cores")?,
+            "--llc" => cli.llc = parse_size(&val()?)?,
+            "--line" => cli.line = val()?.parse().map_err(|_| "bad --line")?,
+            "--scale" => cli.scale = parse_scale(&val()?).ok_or("bad --scale")?,
+            "--seed" => cli.seed = val()?.parse().map_err(|_| "bad --seed")?,
+            "--prefetch" => cli.prefetch = true,
+            "--out" => cli.out = Some(val()?),
+            "--trace" => cli.trace = Some(val()?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Parses "32MB", "256KB", or plain bytes.
+fn parse_size(s: &str) -> Result<u64, String> {
+    let lower = s.to_ascii_lowercase();
+    let (num, mult) = if let Some(n) = lower.strip_suffix("mb") {
+        (n, 1u64 << 20)
+    } else if let Some(n) = lower.strip_suffix("kb") {
+        (n, 1 << 10)
+    } else if let Some(n) = lower.strip_suffix("b") {
+        (n, 1)
+    } else {
+        (lower.as_str(), 1)
+    };
+    num.trim()
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("bad size `{s}`"))
+}
+
+fn cmd_list(_args: &[String]) -> i32 {
+    let mut t = TextTable::new(["Workload", "Algorithm", "Category"]);
+    for id in WorkloadId::all() {
+        let algo = match id {
+            WorkloadId::Snp => "Bayesian-network hill climbing",
+            WorkloadId::SvmRfe => "SVM recursive feature elimination",
+            WorkloadId::Rsearch => "CYK/SCFG RNA homology search",
+            WorkloadId::Fimi => "FP-growth frequent-itemset mining",
+            WorkloadId::Plsa => "Smith-Waterman linear-space alignment",
+            WorkloadId::Mds => "graph ranking + MMR summarization",
+            WorkloadId::Shot => "shot-boundary detection",
+            WorkloadId::Viewtype => "view-type classification",
+        };
+        t.row([
+            id.to_string(),
+            algo.to_owned(),
+            if id.shares_primary_structure() {
+                "(a) shared".to_owned()
+            } else {
+                "(b) private".to_owned()
+            },
+        ]);
+    }
+    println!("{}", t.render());
+    0
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let cli = match parse(args) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let Some(workload) = cli.workload else {
+        return fail("run requires --workload");
+    };
+    let llc = cmpsim_core::experiment::llc_config(
+        cli.scale.pow2_bytes(cli.llc.next_power_of_two(), 16 << 10),
+        cli.line,
+        16,
+    );
+    let mut cfg = match CoSimConfig::scaled(cli.cores, llc.size_bytes(), cli.scale) {
+        Ok(c) => c.with_llc(llc),
+        Err(e) => return fail(&e.to_string()),
+    };
+    if cli.prefetch {
+        cfg = cfg.with_prefetch(cmpsim_prefetch::StrideConfig::default());
+    }
+    let wl = workload.build(cli.scale, cli.seed);
+    let r = CoSimulation::new(cfg).run(wl.as_ref());
+    println!(
+        "{workload} on {} cores, {} LLC ({}B lines), scale {}:",
+        cli.cores,
+        human_bytes(r.llc_bytes),
+        r.llc_line_bytes,
+        cli.scale
+    );
+    println!("  instructions : {}", r.run.instructions);
+    println!("  LLC accesses : {}", r.llc.accesses);
+    println!("  LLC misses   : {}", r.llc.misses);
+    println!("  LLC MPKI     : {:.3}", r.mpki);
+    if cli.prefetch {
+        println!("  prefetch fills: {}", r.prefetch_fills);
+    }
+    0
+}
+
+fn cmd_record(args: &[String]) -> i32 {
+    let cli = match parse(args) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let (Some(workload), Some(out)) = (cli.workload, cli.out.as_ref()) else {
+        return fail("record requires --workload and --out");
+    };
+    let file = match File::create(out) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("cannot create {out}: {e}")),
+    };
+    let mut writer = match TraceWriter::new(BufWriter::new(file)) {
+        Ok(w) => w,
+        Err(e) => return fail(&e.to_string()),
+    };
+    struct Recorder<'a, W: std::io::Write> {
+        w: &'a mut TraceWriter<W>,
+        err: Option<std::io::Error>,
+    }
+    impl<W: std::io::Write> cmpsim_softsdv::FsbListener for Recorder<'_, W> {
+        fn transaction(&mut self, txn: &cmpsim_trace::FsbTransaction) {
+            if self.err.is_none() {
+                if let Err(e) = self.w.write(txn) {
+                    self.err = Some(e);
+                }
+            }
+        }
+    }
+    let wl = workload.build(cli.scale, cli.seed);
+    let pcfg = {
+        let mut p = cmpsim_softsdv::PlatformConfig::new(cli.cores);
+        p.hierarchy = cmpsim_cache::HierarchyConfig::cmp_core_scaled(cli.scale);
+        p
+    };
+    let mut platform = cmpsim_softsdv::VirtualPlatform::new(pcfg, wl.as_ref());
+    let mut rec = Recorder {
+        w: &mut writer,
+        err: None,
+    };
+    let summary = platform.run(&mut rec);
+    if let Some(e) = rec.err {
+        return fail(&format!("write error: {e}"));
+    }
+    let n = writer.count();
+    if let Err(e) = writer.finish() {
+        return fail(&format!("flush error: {e}"));
+    }
+    println!(
+        "recorded {n} transactions ({} instructions) to {out}",
+        summary.instructions
+    );
+    0
+}
+
+fn cmd_replay(args: &[String]) -> i32 {
+    let cli = match parse(args) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let Some(path) = cli.trace.as_ref() else {
+        return fail("replay requires --trace");
+    };
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("cannot open {path}: {e}")),
+    };
+    let reader = match TraceReader::new(BufReader::new(file)) {
+        Ok(r) => r,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let llc = cmpsim_core::experiment::llc_config(cli.llc.next_power_of_two(), cli.line, 16);
+    let mut board = Dragonhead::new(DragonheadConfig::new(llc));
+    let mut n = 0u64;
+    for txn in reader {
+        match txn {
+            Ok(t) => {
+                board.observe(&t);
+                n += 1;
+            }
+            Err(e) => return fail(&format!("trace error after {n} transactions: {e}")),
+        }
+    }
+    let s = board.stats();
+    println!(
+        "replayed {n} transactions against {} ({}B lines):",
+        human_bytes(llc.size_bytes()),
+        llc.line_bytes()
+    );
+    println!("  LLC accesses : {}", s.accesses);
+    println!("  LLC misses   : {}", s.misses);
+    println!("  miss ratio   : {:.2}%", s.miss_ratio() * 100.0);
+    println!("  excluded     : {}", board.address_filter().excluded());
+    println!("  MPKI         : {:.3}", board.mpki());
+    0
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    1
+}

@@ -1,0 +1,34 @@
+//! Regenerates Figure 4: LLC misses per 1000 instructions vs cache size
+//! on the small-scale CMP (8 cores), 64-byte lines.
+
+use cmpsim_bench::Options;
+use cmpsim_core::experiment::{CacheSizeStudy, CmpClass};
+use cmpsim_core::report::{human_bytes, render_ascii_chart, render_cache_size_figure};
+
+fn main() {
+    let opts = Options::from_args();
+    let study = CacheSizeStudy::new(opts.scale, CmpClass::Small, opts.seed);
+    println!(
+        "Figure 4: LLC MPKI on SCMP (8 cores), 64B lines, scale {}\n",
+        opts.scale
+    );
+    let curves: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    println!("{}", render_cache_size_figure(&curves));
+    let series: Vec<(String, Vec<(u64, f64)>)> = curves
+        .iter()
+        .map(|c| {
+            (
+                c.workload.to_string(),
+                c.points.iter().map(|p| (p.llc_bytes, p.mpki)).collect(),
+            )
+        })
+        .collect();
+    println!("{}", render_ascii_chart(&series, 16));
+    println!("working-set knees (MPKI halves):");
+    for c in &curves {
+        match c.knee(0.5) {
+            Some(k) => println!("  {:9} {}", c.workload.to_string(), human_bytes(k)),
+            None => println!("  {:9} none (streaming)", c.workload.to_string()),
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 5: LLC misses per 1000 instructions vs cache size
+//! on the medium-scale CMP (16 cores), 64-byte lines.
+
+use cmpsim_bench::Options;
+use cmpsim_core::experiment::{CacheSizeStudy, CmpClass};
+use cmpsim_core::report::render_cache_size_figure;
+
+fn main() {
+    let opts = Options::from_args();
+    let study = CacheSizeStudy::new(opts.scale, CmpClass::Medium, opts.seed);
+    println!(
+        "Figure 5: LLC MPKI on MCMP (16 cores), 64B lines, scale {}\n",
+        opts.scale
+    );
+    let curves: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    println!("{}", render_cache_size_figure(&curves));
+}

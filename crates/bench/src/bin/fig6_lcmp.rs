@@ -1,0 +1,17 @@
+//! Regenerates Figure 6: LLC misses per 1000 instructions vs cache size
+//! on the large-scale CMP (32 cores), 64-byte lines.
+
+use cmpsim_bench::Options;
+use cmpsim_core::experiment::{CacheSizeStudy, CmpClass};
+use cmpsim_core::report::render_cache_size_figure;
+
+fn main() {
+    let opts = Options::from_args();
+    let study = CacheSizeStudy::new(opts.scale, CmpClass::Large, opts.seed);
+    println!(
+        "Figure 6: LLC MPKI on LCMP (32 cores), 64B lines, scale {}\n",
+        opts.scale
+    );
+    let curves: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    println!("{}", render_cache_size_figure(&curves));
+}

@@ -1,0 +1,26 @@
+//! Regenerates Figure 7: line-size sensitivity on the LCMP with a 32 MB
+//! LLC (scaled), lines from 64 B to 4096 B.
+
+use cmpsim_bench::Options;
+use cmpsim_core::experiment::LineSizeStudy;
+use cmpsim_core::report::render_line_size_figure;
+
+fn main() {
+    let opts = Options::from_args();
+    let study = LineSizeStudy::new(opts.scale, opts.seed);
+    println!(
+        "Figure 7: line-size sensitivity on LCMP (32 cores), 32MB-class LLC, scale {}\n",
+        opts.scale
+    );
+    let curves: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    println!("{}", render_line_size_figure(&curves));
+    println!("improvement factor 64B -> 256B (paper: ~3-4x for SHOT, MDS, SNP, SVM-RFE):");
+    for c in &curves {
+        println!(
+            "  {:9} {:.2}x (64->256B), {:.2}x (64->1024B)",
+            c.workload.to_string(),
+            c.improvement_at(256),
+            c.improvement_at(1024)
+        );
+    }
+}

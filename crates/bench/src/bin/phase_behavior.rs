@@ -1,0 +1,40 @@
+//! Extension study: MPKI over time from Dragonhead's 500 µs samples —
+//! the phase behavior §1 of the paper gives as the reason run-to-
+//! completion co-simulation matters.
+
+use cmpsim_bench::Options;
+use cmpsim_core::experiment::PhaseStudy;
+use cmpsim_core::report::TextTable;
+
+fn main() {
+    let opts = Options::from_args();
+    let study = PhaseStudy::new(opts.scale, opts.seed);
+    println!(
+        "Phase behavior: interval MPKI over time, 8 cores, 32MB-class LLC (scale {})\n",
+        opts.scale
+    );
+    let mut t = TextTable::new(["Workload", "Samples", "Mean MPKI", "CoV", "Phases?"]);
+    for &w in &opts.workloads {
+        let series = study.run(w);
+        let mean = if series.is_empty() {
+            0.0
+        } else {
+            series.iter().map(|p| p.interval_mpki).sum::<f64>() / series.len() as f64
+        };
+        let cv = PhaseStudy::phase_variability(&series);
+        t.row([
+            w.to_string(),
+            series.len().to_string(),
+            format!("{mean:.3}"),
+            format!("{cv:.2}"),
+            if cv > 0.5 {
+                "strong".to_owned()
+            } else if cv > 0.15 {
+                "moderate".to_owned()
+            } else {
+                "steady".to_owned()
+            },
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,28 @@
+//! Ablation E-X3: thread-scaling projection to 64 and 128 cores — §4.3
+//! speculates that FIMI and RSEARCH working sets keep growing with core
+//! count while MDS/SVM-RFE/SNP/PLSA stay flat "even on 128 cores".
+
+use cmpsim_bench::Options;
+use cmpsim_core::experiment::ProjectionStudy;
+use cmpsim_core::report::TextTable;
+
+fn main() {
+    let opts = Options::from_args();
+    let study = ProjectionStudy::new(opts.scale, opts.seed);
+    let cores = [8usize, 16, 32, 64, 128];
+    println!(
+        "Projection: LLC MPKI at a fixed 32MB-class LLC, 8 to 128 cores (scale {})\n",
+        opts.scale
+    );
+    let mut t = TextTable::new(
+        std::iter::once("Workload".to_owned()).chain(cores.iter().map(|c| format!("{c} cores"))),
+    );
+    for &w in &opts.workloads {
+        let series = study.run(w, &cores);
+        t.row(
+            std::iter::once(w.to_string())
+                .chain(series.iter().map(|(_, mpki)| format!("{mpki:.3}"))),
+        );
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,25 @@
+//! Regenerates Table 1: input parameters and dataset sizes for every
+//! workload, as instantiated at the chosen scale.
+
+use cmpsim_bench::Options;
+use cmpsim_core::report::{human_bytes, TextTable};
+
+fn main() {
+    let opts = Options::from_args();
+    println!(
+        "Table 1: input parameters and datasets (scale {})\n",
+        opts.scale
+    );
+    let mut t = TextTable::new(["Workload", "Parameters", "Size of Data Input", "Provenance"]);
+    for &id in &opts.workloads {
+        let wl = id.build(opts.scale, opts.seed);
+        let d = wl.dataset();
+        t.row([
+            id.to_string(),
+            d.parameters.clone(),
+            human_bytes(d.input_bytes),
+            d.provenance.clone(),
+        ]);
+    }
+    println!("{}", t.render());
+}

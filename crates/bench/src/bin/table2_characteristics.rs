@@ -1,0 +1,21 @@
+//! Regenerates Table 2: single-threaded workload characteristics on a
+//! Pentium 4-class machine (8 KB DL1 + 512 KB L2, scaled).
+
+use cmpsim_bench::Options;
+use cmpsim_core::experiment::Table2Study;
+use cmpsim_core::report::render_table2;
+
+fn main() {
+    let opts = Options::from_args();
+    println!(
+        "Table 2: workload characteristics (single-threaded, P4-class, scale {})\n",
+        opts.scale
+    );
+    let study = Table2Study::new(opts.scale, opts.seed);
+    let rows: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    println!("{}", render_table2(&rows));
+    println!(
+        "paper reference (measured on real hardware): IPC 0.06 (MDS) to 1.08 (PLSA);\n\
+         %mem 42.3% (RSEARCH) to 83.1% (PLSA); DL2 MPKI 0.18 (PLSA) to 18.95 (MDS)."
+    );
+}

@@ -1,0 +1,121 @@
+#![warn(missing_docs)]
+
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary in this crate regenerates one table or figure of the
+//! paper (see `DESIGN.md`'s per-experiment index). They share a tiny
+//! command-line convention:
+//!
+//! * `--scale tiny|ci|paper|1/N` — the global scale knob
+//!   (default `ci`; `tiny` for smoke runs, `paper` for the full-size
+//!   reproduction),
+//! * `--seed N` — dataset seed (default 2007),
+//! * `--workloads A,B,C` — restrict to a subset (default: all eight).
+
+use cmpsim_workloads::{Scale, WorkloadId};
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Global scale knob.
+    pub scale: Scale,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Workloads to run.
+    pub workloads: Vec<WorkloadId>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: Scale::ci(),
+            seed: 2007,
+            workloads: WorkloadId::all().to_vec(),
+        }
+    }
+}
+
+impl Options {
+    /// Parses `std::env::args`, exiting with a usage message on errors.
+    pub fn from_args() -> Self {
+        let mut opts = Options::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("missing --scale value"));
+                    opts.scale = parse_scale(&v).unwrap_or_else(|| usage("bad --scale value"));
+                }
+                "--seed" => {
+                    let v = args.next().unwrap_or_else(|| usage("missing --seed value"));
+                    opts.seed = v.parse().unwrap_or_else(|_| usage("bad --seed value"));
+                }
+                "--workloads" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("missing --workloads value"));
+                    opts.workloads = v
+                        .split(',')
+                        .map(|s| s.parse().unwrap_or_else(|_| usage("unknown workload")))
+                        .collect();
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument `{other}`")),
+            }
+        }
+        opts
+    }
+}
+
+/// Parses a scale spec: `tiny`, `ci`, `paper`, or `1/N` with N a power
+/// of two.
+pub fn parse_scale(s: &str) -> Option<Scale> {
+    match s {
+        "tiny" => Some(Scale::tiny()),
+        "ci" => Some(Scale::ci()),
+        "paper" | "full" => Some(Scale::paper()),
+        other => {
+            let n: u64 = other.strip_prefix("1/")?.parse().ok()?;
+            if n.is_power_of_two() {
+                Some(Scale::with_shift(n.trailing_zeros()))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: <bin> [--scale tiny|ci|paper|1/N] [--seed N] [--workloads A,B,C]\n\
+         workloads: SNP, SVM-RFE, MDS, SHOT, FIMI, VIEWTYPE, PLSA, RSEARCH"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_specs() {
+        assert_eq!(parse_scale("tiny"), Some(Scale::tiny()));
+        assert_eq!(parse_scale("ci"), Some(Scale::ci()));
+        assert_eq!(parse_scale("paper"), Some(Scale::paper()));
+        assert_eq!(parse_scale("1/64"), Some(Scale::with_shift(6)));
+        assert_eq!(parse_scale("1/3"), None);
+        assert_eq!(parse_scale("bogus"), None);
+    }
+
+    #[test]
+    fn default_options_cover_all_workloads() {
+        let o = Options::default();
+        assert_eq!(o.workloads.len(), 8);
+        assert_eq!(o.seed, 2007);
+    }
+}

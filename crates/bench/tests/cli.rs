@@ -1,0 +1,30 @@
+//! Tests for the CLI plumbing shared by the harness binaries.
+
+use cmpsim_bench::{parse_scale, Options};
+use cmpsim_workloads::Scale;
+
+#[test]
+fn scale_round_numbers() {
+    assert_eq!(parse_scale("1/1"), Some(Scale::paper()));
+    assert_eq!(parse_scale("1/2"), Some(Scale::with_shift(1)));
+    assert_eq!(parse_scale("1/256"), Some(Scale::tiny()));
+}
+
+#[test]
+fn scale_rejects_garbage() {
+    for bad in ["", "1/", "1/0", "2/4", "one sixteenth"] {
+        assert_eq!(parse_scale(bad), None, "{bad:?} should not parse");
+    }
+}
+
+#[test]
+fn default_options_are_paper_complete() {
+    let o = Options::default();
+    assert_eq!(o.scale, Scale::ci());
+    // Every Table 2 workload present, in paper order.
+    let names: Vec<String> = o.workloads.iter().map(ToString::to_string).collect();
+    assert_eq!(
+        names,
+        ["SNP", "SVM-RFE", "MDS", "SHOT", "FIMI", "VIEWTYPE", "PLSA", "RSEARCH"]
+    );
+}

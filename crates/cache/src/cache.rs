@@ -1,0 +1,547 @@
+//! A single set-associative cache.
+
+use crate::config::{CacheConfig, WritePolicy};
+use crate::replacement::ReplacementState;
+use crate::stats::CacheStats;
+
+/// Sentinel tag meaning "way is empty".
+const EMPTY: u64 = u64::MAX;
+
+const FLAG_DIRTY: u8 = 1 << 0;
+/// The owning core may write this line silently (MESI E or M).
+const FLAG_WRITABLE: u8 = 1 << 1;
+/// The line was brought in by a prefetch and has not been used yet.
+const FLAG_PREFETCHED: u8 = 1 << 2;
+
+/// A line evicted to make room for a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EvictedLine {
+    /// The evicted line number.
+    pub line: u64,
+    /// Whether the line was dirty (requires a writeback transaction).
+    pub dirty: bool,
+}
+
+/// Result of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit {
+        /// True when a *write* hit a line the core did not have write
+        /// permission for (MESI S state). The caller must broadcast an
+        /// upgrade (read-for-ownership) on the bus. Always false for reads.
+        upgrade: bool,
+    },
+    /// The line was absent.
+    Miss {
+        /// The victim evicted to make room, if the set was full and the
+        /// write policy allocates. `None` for cold fills into empty ways
+        /// and for non-allocating write misses.
+        evicted: Option<EvictedLine>,
+        /// Whether the line was brought into the cache.
+        allocated: bool,
+    },
+}
+
+impl AccessOutcome {
+    /// Whether the access hit.
+    pub const fn is_hit(&self) -> bool {
+        matches!(self, AccessOutcome::Hit { .. })
+    }
+}
+
+/// One set-associative cache with configurable geometry and policies.
+///
+/// The cache operates on *line numbers* (`address / line_size`); address
+/// to line conversion happens at the hierarchy layer so that a single
+/// cache is agnostic to the line size it is indexed with.
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_cache::{CacheConfig, SetAssocCache, AccessOutcome};
+/// let mut c = SetAssocCache::new(CacheConfig::lru(4096, 64, 2)?);
+/// assert!(!c.access(7, false).is_hit());
+/// assert!(c.access(7, false).is_hit());
+/// # Ok::<(), cmpsim_cache::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    ways: usize,
+    tags: Vec<u64>,
+    flags: Vec<u8>,
+    repl: ReplacementState,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache for `cfg`. Allocates tag and metadata arrays
+    /// eagerly: a 256 MB, 64 B-line cache allocates ~36 MB of host memory.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.num_sets() as usize;
+        let ways = cfg.associativity() as usize;
+        SetAssocCache {
+            cfg,
+            ways,
+            tags: vec![EMPTY; sets * ways],
+            flags: vec![0; sets * ways],
+            repl: ReplacementState::new(cfg.replacement(), sets, ways, 0xD5A6_0000 ^ sets as u64),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub const fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub const fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets all counters (contents are preserved). Used to discard
+    /// cache-warmup transients before a measurement interval.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    #[inline]
+    fn find(&self, set: usize, line: u64) -> Option<usize> {
+        let base = set * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == line)
+    }
+
+    /// Performs a demand access (read if `write` is false, write
+    /// otherwise), allocating on miss according to the write policy.
+    pub fn access(&mut self, line: u64, write: bool) -> AccessOutcome {
+        let set = self.cfg.set_of(line) as usize;
+        self.stats.accesses += 1;
+        if write {
+            self.stats.write_accesses += 1;
+        }
+        if let Some(way) = self.find(set, line) {
+            self.stats.hits += 1;
+            let slot = self.slot(set, way);
+            if self.flags[slot] & FLAG_PREFETCHED != 0 {
+                self.flags[slot] &= !FLAG_PREFETCHED;
+                self.stats.prefetch_used += 1;
+            }
+            self.repl.touch(set, self.ways, way);
+            let mut upgrade = false;
+            if write {
+                match self.cfg.write_policy() {
+                    WritePolicy::WritebackAllocate => {
+                        if self.flags[slot] & FLAG_WRITABLE == 0 {
+                            upgrade = true;
+                            self.flags[slot] |= FLAG_WRITABLE;
+                            self.stats.upgrades += 1;
+                        }
+                        self.flags[slot] |= FLAG_DIRTY;
+                    }
+                    WritePolicy::WritethroughNoAllocate => {
+                        // Write-through: the store propagates; line stays
+                        // clean.
+                    }
+                }
+            }
+            return AccessOutcome::Hit { upgrade };
+        }
+
+        // Miss path.
+        self.stats.misses += 1;
+        if write {
+            self.stats.write_misses += 1;
+        } else {
+            self.stats.read_misses += 1;
+        }
+        let allocate = match self.cfg.write_policy() {
+            WritePolicy::WritebackAllocate => true,
+            WritePolicy::WritethroughNoAllocate => !write,
+        };
+        if !allocate {
+            return AccessOutcome::Miss {
+                evicted: None,
+                allocated: false,
+            };
+        }
+        let evicted = self.fill_line(set, line, write);
+        AccessOutcome::Miss {
+            evicted,
+            allocated: true,
+        }
+    }
+
+    /// Inserts `line` (choosing a victim if the set is full) and marks it
+    /// MRU. Returns the evicted line, if any.
+    fn fill_line(&mut self, set: usize, line: u64, write: bool) -> Option<EvictedLine> {
+        let base = set * self.ways;
+        let (way, evicted) = match self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == EMPTY)
+        {
+            Some(w) => (w, None),
+            None => {
+                let w = self.repl.victim(set, self.ways);
+                let slot = self.slot(set, w);
+                let dirty = self.flags[slot] & FLAG_DIRTY != 0;
+                let victim = EvictedLine {
+                    line: self.tags[slot],
+                    dirty,
+                };
+                self.stats.evictions += 1;
+                if dirty {
+                    self.stats.writebacks += 1;
+                }
+                (w, Some(victim))
+            }
+        };
+        let slot = self.slot(set, way);
+        self.tags[slot] = line;
+        self.flags[slot] = if write {
+            // A write fill arrives via read-for-ownership: M state.
+            FLAG_DIRTY | FLAG_WRITABLE
+        } else {
+            0
+        };
+        self.repl.fill(set, self.ways, way);
+        evicted
+    }
+
+    /// Fills `line` on behalf of a hardware prefetcher. Does nothing if
+    /// the line is already present. Not counted as a demand access.
+    pub fn prefetch_fill(&mut self, line: u64) -> Option<EvictedLine> {
+        let set = self.cfg.set_of(line) as usize;
+        if let Some(way) = self.find(set, line) {
+            let _ = way;
+            return None;
+        }
+        self.stats.prefetch_fills += 1;
+        let evicted = self.fill_line(set, line, false);
+        // fill_line left flags at 0; mark as prefetched.
+        let way = self.find(set, line).expect("line was just filled");
+        let slot = self.slot(set, way);
+        self.flags[slot] |= FLAG_PREFETCHED;
+        evicted
+    }
+
+    /// Absorbs a dirty victim evicted from an upper cache level: if the
+    /// line is present it is marked dirty (and becomes MRU) and `true` is
+    /// returned; otherwise `false`, and the caller must send the writeback
+    /// further down (ultimately to the bus).
+    pub fn receive_writeback(&mut self, line: u64) -> bool {
+        let set = self.cfg.set_of(line) as usize;
+        match self.find(set, line) {
+            Some(way) => {
+                let slot = self.slot(set, way);
+                self.flags[slot] |= FLAG_DIRTY | FLAG_WRITABLE;
+                self.repl.touch(set, self.ways, way);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `line` is present, without disturbing replacement state.
+    pub fn contains(&self, line: u64) -> bool {
+        let set = self.cfg.set_of(line) as usize;
+        self.find(set, line).is_some()
+    }
+
+    /// Removes `line` if present (snoop invalidation), returning it.
+    pub fn invalidate(&mut self, line: u64) -> Option<EvictedLine> {
+        let set = self.cfg.set_of(line) as usize;
+        let way = self.find(set, line)?;
+        let slot = self.slot(set, way);
+        let dirty = self.flags[slot] & FLAG_DIRTY != 0;
+        self.tags[slot] = EMPTY;
+        self.flags[slot] = 0;
+        self.stats.invalidations += 1;
+        Some(EvictedLine { line, dirty })
+    }
+
+    /// Downgrades `line` to the shared (non-writable) state if present.
+    /// A subsequent write hit will report `upgrade: true`.
+    pub fn downgrade(&mut self, line: u64) {
+        let set = self.cfg.set_of(line) as usize;
+        if let Some(way) = self.find(set, line) {
+            let slot = self.slot(set, way);
+            self.flags[slot] &= !(FLAG_WRITABLE | FLAG_DIRTY);
+        }
+    }
+
+    /// Grants `line` write permission without a bus transaction (MESI E
+    /// state, given by the directory when no other core holds the line).
+    pub fn grant_writable(&mut self, line: u64) {
+        let set = self.cfg.set_of(line) as usize;
+        if let Some(way) = self.find(set, line) {
+            let slot = self.slot(set, way);
+            self.flags[slot] |= FLAG_WRITABLE;
+        }
+    }
+
+    /// Whether the core may write `line` without a bus transaction.
+    pub fn is_writable(&self, line: u64) -> bool {
+        let set = self.cfg.set_of(line) as usize;
+        self.find(set, line)
+            .is_some_and(|way| self.flags[self.slot(set, way)] & FLAG_WRITABLE != 0)
+    }
+
+    /// Whether `line` is present and dirty.
+    pub fn is_dirty(&self, line: u64) -> bool {
+        let set = self.cfg.set_of(line) as usize;
+        self.find(set, line)
+            .is_some_and(|way| self.flags[self.slot(set, way)] & FLAG_DIRTY != 0)
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> u64 {
+        self.tags.iter().filter(|&&t| t != EMPTY).count() as u64
+    }
+
+    /// Iterates over all resident line numbers.
+    pub fn iter_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.tags.iter().copied().filter(|&t| t != EMPTY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::replacement::ReplacementPolicy;
+
+    fn tiny(ways: u32) -> SetAssocCache {
+        // 4 sets x `ways` ways x 64B lines.
+        SetAssocCache::new(CacheConfig::lru(4 * u64::from(ways) * 64, 64, ways).unwrap())
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny(2);
+        assert!(!c.access(5, false).is_hit());
+        assert!(c.access(5, false).is_hit());
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn conflict_eviction_lru_order() {
+        let mut c = tiny(2); // 4 sets; lines 0,4,8 map to set 0
+        c.access(0, false);
+        c.access(4, false);
+        c.access(0, false); // 0 is now MRU, 4 is LRU
+        let out = c.access(8, false); // evicts 4
+        match out {
+            AccessOutcome::Miss {
+                evicted: Some(e), ..
+            } => {
+                assert_eq!(e.line, 4);
+                assert!(!e.dirty);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.contains(0));
+        assert!(c.contains(8));
+        assert!(!c.contains(4));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny(1); // direct mapped, 4 sets
+        c.access(0, true);
+        let out = c.access(4, false);
+        match out {
+            AccessOutcome::Miss {
+                evicted: Some(e), ..
+            } => {
+                assert_eq!(e.line, 0);
+                assert!(e.dirty);
+            }
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_fill_is_writable_and_dirty() {
+        let mut c = tiny(2);
+        c.access(3, true);
+        assert!(c.is_writable(3));
+        assert!(c.is_dirty(3));
+    }
+
+    #[test]
+    fn read_fill_needs_upgrade_to_write() {
+        let mut c = tiny(2);
+        c.access(3, false);
+        assert!(!c.is_writable(3));
+        match c.access(3, true) {
+            AccessOutcome::Hit { upgrade } => assert!(upgrade),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(c.is_writable(3));
+        assert!(c.is_dirty(3));
+        // Second write: silent.
+        match c.access(3, true) {
+            AccessOutcome::Hit { upgrade } => assert!(!upgrade),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(c.stats().upgrades, 1);
+    }
+
+    #[test]
+    fn grant_writable_suppresses_upgrade() {
+        let mut c = tiny(2);
+        c.access(3, false);
+        c.grant_writable(3); // directory said: exclusive
+        match c.access(3, true) {
+            AccessOutcome::Hit { upgrade } => assert!(!upgrade),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn downgrade_clears_write_permission() {
+        let mut c = tiny(2);
+        c.access(3, true);
+        c.downgrade(3);
+        assert!(!c.is_writable(3));
+        assert!(!c.is_dirty(3));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny(2);
+        c.access(9, true);
+        let ev = c.invalidate(9).unwrap();
+        assert_eq!(ev.line, 9);
+        assert!(ev.dirty);
+        assert!(!c.contains(9));
+        assert_eq!(c.invalidate(9), None);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = tiny(2); // 8 lines capacity
+        for line in 0..100 {
+            c.access(line, line % 3 == 0);
+            assert!(c.resident_lines() <= 8);
+        }
+        assert_eq!(c.resident_lines(), 8);
+    }
+
+    #[test]
+    fn writethrough_no_allocate_write_miss() {
+        let cfg = CacheConfig::builder()
+            .size_bytes(512)
+            .line_bytes(64)
+            .associativity(2)
+            .write_policy(WritePolicy::WritethroughNoAllocate)
+            .build()
+            .unwrap();
+        let mut c = SetAssocCache::new(cfg);
+        match c.access(5, true) {
+            AccessOutcome::Miss { allocated, .. } => assert!(!allocated),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert!(!c.contains(5));
+        // Read miss still allocates.
+        c.access(5, false);
+        assert!(c.contains(5));
+        // Write hit leaves the line clean.
+        c.access(5, true);
+        assert!(!c.is_dirty(5));
+    }
+
+    #[test]
+    fn prefetch_fill_and_use_accounting() {
+        let mut c = tiny(2);
+        assert!(c.prefetch_fill(7).is_none());
+        assert!(c.contains(7));
+        assert_eq!(c.stats().prefetch_fills, 1);
+        assert_eq!(c.stats().prefetch_used, 0);
+        assert!(c.access(7, false).is_hit());
+        assert_eq!(c.stats().prefetch_used, 1);
+        // Second hit does not double count.
+        c.access(7, false);
+        assert_eq!(c.stats().prefetch_used, 1);
+    }
+
+    #[test]
+    fn prefetch_existing_line_is_noop() {
+        let mut c = tiny(2);
+        c.access(7, false);
+        assert!(c.prefetch_fill(7).is_none());
+        assert_eq!(c.stats().prefetch_fills, 0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = tiny(2);
+        c.access(1, false);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn stats_identity_hits_plus_misses() {
+        let mut c = tiny(4);
+        let mut rng = cmpsim_trace::Pcg32::seed(11);
+        for _ in 0..10_000 {
+            c.access(rng.below(64), rng.chance(0.3));
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.read_misses + s.write_misses, s.misses);
+    }
+
+    #[test]
+    fn random_policy_runs() {
+        let cfg = CacheConfig::builder()
+            .size_bytes(1024)
+            .line_bytes(64)
+            .associativity(4)
+            .replacement(ReplacementPolicy::Random)
+            .build()
+            .unwrap();
+        let mut c = SetAssocCache::new(cfg);
+        for line in 0..1000 {
+            c.access(line % 37, false);
+        }
+        assert!(c.resident_lines() <= 16);
+        assert!(c.stats().hits > 0);
+    }
+
+    #[test]
+    fn lru_stack_property_small() {
+        // With 4-way LRU and cyclic access to 4 lines in one set, all hits
+        // after warmup; with 5 lines, all misses (classic LRU thrash).
+        let cfg = CacheConfig::lru(4 * 64, 64, 4).unwrap(); // 1 set
+        let mut c = SetAssocCache::new(cfg);
+        for _ in 0..3 {
+            for l in 0..4 {
+                c.access(l, false);
+            }
+        }
+        assert_eq!(c.stats().misses, 4); // only cold misses
+        let mut c2 = SetAssocCache::new(CacheConfig::lru(4 * 64, 64, 4).unwrap());
+        for _ in 0..3 {
+            for l in 0..5 {
+                c2.access(l, false);
+            }
+        }
+        assert_eq!(c2.stats().hits, 0); // every access misses
+    }
+}

@@ -1,0 +1,353 @@
+//! Validated cache geometry and policy configuration.
+
+use crate::replacement::ReplacementPolicy;
+use std::fmt;
+
+/// Write-hit / write-miss handling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Write-back with write-allocate: stores dirty the line; dirty
+    /// victims produce writebacks. This is what Dragonhead emulates and
+    /// the default everywhere.
+    #[default]
+    WritebackAllocate,
+    /// Write-through without write-allocate: stores propagate immediately
+    /// and do not fill the cache on a miss. Kept for ablation studies.
+    WritethroughNoAllocate,
+}
+
+/// Errors returned by [`CacheConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Size, line size, or associativity was zero.
+    Zero(&'static str),
+    /// A geometry parameter that must be a power of two was not.
+    NotPowerOfTwo(&'static str, u64),
+    /// `size / (line * associativity)` is not a whole power-of-two number
+    /// of sets.
+    Indivisible {
+        /// Total cache capacity in bytes.
+        size: u64,
+        /// Line size in bytes.
+        line: u64,
+        /// Number of ways.
+        ways: u32,
+    },
+    /// Associativity above the supported maximum of 64 ways.
+    TooManyWays(u32),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Zero(what) => write!(f, "{what} must be nonzero"),
+            ConfigError::NotPowerOfTwo(what, v) => {
+                write!(f, "{what} must be a power of two, got {v}")
+            }
+            ConfigError::Indivisible { size, line, ways } => write!(
+                f,
+                "size {size} does not divide into a power-of-two number of \
+                 sets with {line}-byte lines and {ways} ways"
+            ),
+            ConfigError::TooManyWays(w) => {
+                write!(f, "associativity {w} exceeds the supported maximum of 64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Geometry and policies of one cache.
+///
+/// Construct with [`CacheConfig::builder`]; the builder validates that all
+/// parameters are powers of two and mutually consistent, so a constructed
+/// `CacheConfig` is always internally valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    line_bytes: u64,
+    associativity: u32,
+    replacement: ReplacementPolicy,
+    write_policy: WritePolicy,
+}
+
+impl CacheConfig {
+    /// Starts building a configuration. Defaults: 32 KiB, 64-byte lines,
+    /// 8-way, LRU, write-back allocate.
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder::default()
+    }
+
+    /// Convenience constructor for the common (size, line, ways) LRU case.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CacheConfigBuilder::build`].
+    pub fn lru(size_bytes: u64, line_bytes: u64, associativity: u32) -> Result<Self, ConfigError> {
+        Self::builder()
+            .size_bytes(size_bytes)
+            .line_bytes(line_bytes)
+            .associativity(associativity)
+            .build()
+    }
+
+    /// Total capacity in bytes.
+    pub const fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Line size in bytes.
+    pub const fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Number of ways per set.
+    pub const fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Replacement policy.
+    pub const fn replacement(&self) -> ReplacementPolicy {
+        self.replacement
+    }
+
+    /// Write policy.
+    pub const fn write_policy(&self) -> WritePolicy {
+        self.write_policy
+    }
+
+    /// Number of sets (`size / line / ways`), always a power of two.
+    pub const fn num_sets(&self) -> u64 {
+        self.size_bytes / self.line_bytes / self.associativity as u64
+    }
+
+    /// Total number of lines the cache can hold.
+    pub const fn num_lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Maps a line number to its set index.
+    #[inline]
+    pub const fn set_of(&self, line: u64) -> u64 {
+        line & (self.num_sets() - 1)
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (size, unit) = if self.size_bytes >= 1 << 20 {
+            (self.size_bytes >> 20, "MB")
+        } else {
+            (self.size_bytes >> 10, "KB")
+        };
+        write!(
+            f,
+            "{size}{unit}/{}B/{}-way/{}",
+            self.line_bytes, self.associativity, self.replacement
+        )
+    }
+}
+
+/// Builder for [`CacheConfig`] ([C-BUILDER]).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfigBuilder {
+    size_bytes: u64,
+    line_bytes: u64,
+    associativity: u32,
+    replacement: ReplacementPolicy,
+    write_policy: WritePolicy,
+}
+
+impl Default for CacheConfigBuilder {
+    fn default() -> Self {
+        CacheConfigBuilder {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            associativity: 8,
+            replacement: ReplacementPolicy::Lru,
+            write_policy: WritePolicy::default(),
+        }
+    }
+}
+
+impl CacheConfigBuilder {
+    /// Sets total capacity in bytes.
+    pub fn size_bytes(&mut self, v: u64) -> &mut Self {
+        self.size_bytes = v;
+        self
+    }
+
+    /// Sets line size in bytes.
+    pub fn line_bytes(&mut self, v: u64) -> &mut Self {
+        self.line_bytes = v;
+        self
+    }
+
+    /// Sets the number of ways per set.
+    pub fn associativity(&mut self, v: u32) -> &mut Self {
+        self.associativity = v;
+        self
+    }
+
+    /// Sets the replacement policy.
+    pub fn replacement(&mut self, v: ReplacementPolicy) -> &mut Self {
+        self.replacement = v;
+        self
+    }
+
+    /// Sets the write policy.
+    pub fn write_policy(&mut self, v: WritePolicy) -> &mut Self {
+        self.write_policy = v;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any parameter is zero, a required
+    /// power of two is not one, the geometry does not divide evenly, or
+    /// associativity exceeds 64.
+    pub fn build(&self) -> Result<CacheConfig, ConfigError> {
+        if self.size_bytes == 0 {
+            return Err(ConfigError::Zero("cache size"));
+        }
+        if self.line_bytes == 0 {
+            return Err(ConfigError::Zero("line size"));
+        }
+        if self.associativity == 0 {
+            return Err(ConfigError::Zero("associativity"));
+        }
+        if self.associativity > 64 {
+            return Err(ConfigError::TooManyWays(self.associativity));
+        }
+        if !self.size_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo("cache size", self.size_bytes));
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo("line size", self.line_bytes));
+        }
+        if !self.associativity.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo(
+                "associativity",
+                u64::from(self.associativity),
+            ));
+        }
+        let ways_bytes = self.line_bytes * u64::from(self.associativity);
+        if self.size_bytes < ways_bytes || !self.size_bytes.is_multiple_of(ways_bytes) {
+            return Err(ConfigError::Indivisible {
+                size: self.size_bytes,
+                line: self.line_bytes,
+                ways: self.associativity,
+            });
+        }
+        Ok(CacheConfig {
+            size_bytes: self.size_bytes,
+            line_bytes: self.line_bytes,
+            associativity: self.associativity,
+            replacement: self.replacement,
+            write_policy: self.write_policy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let cfg = CacheConfig::builder().build().unwrap();
+        assert_eq!(cfg.size_bytes(), 32 * 1024);
+        assert_eq!(cfg.line_bytes(), 64);
+        assert_eq!(cfg.associativity(), 8);
+        assert_eq!(cfg.num_sets(), 64);
+    }
+
+    #[test]
+    fn dragonhead_range_is_constructible() {
+        // §3.1: 1 MB to 256 MB, 64 B to 4096 B lines.
+        for size_mb in [1u64, 2, 4, 8, 16, 32, 64, 128, 256] {
+            for line in [64u64, 128, 256, 512, 1024, 2048, 4096] {
+                let cfg = CacheConfig::lru(size_mb << 20, line, 16).unwrap();
+                assert_eq!(cfg.num_lines(), (size_mb << 20) / line);
+                assert!(cfg.num_sets().is_power_of_two());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_params_rejected() {
+        assert_eq!(
+            CacheConfig::lru(0, 64, 8),
+            Err(ConfigError::Zero("cache size"))
+        );
+        assert_eq!(
+            CacheConfig::lru(1024, 0, 8),
+            Err(ConfigError::Zero("line size"))
+        );
+        assert_eq!(
+            CacheConfig::lru(1024, 64, 0),
+            Err(ConfigError::Zero("associativity"))
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        assert!(matches!(
+            CacheConfig::lru(3000, 64, 8),
+            Err(ConfigError::NotPowerOfTwo("cache size", 3000))
+        ));
+        assert!(matches!(
+            CacheConfig::lru(4096, 48, 8),
+            Err(ConfigError::NotPowerOfTwo("line size", 48))
+        ));
+        assert!(matches!(
+            CacheConfig::lru(4096, 64, 3),
+            Err(ConfigError::NotPowerOfTwo("associativity", 3))
+        ));
+    }
+
+    #[test]
+    fn too_small_for_one_set_rejected() {
+        assert!(matches!(
+            CacheConfig::lru(512, 64, 16),
+            Err(ConfigError::Indivisible { .. })
+        ));
+    }
+
+    #[test]
+    fn too_many_ways_rejected() {
+        assert!(matches!(
+            CacheConfig::builder().associativity(128).build(),
+            Err(ConfigError::TooManyWays(128))
+        ));
+    }
+
+    #[test]
+    fn set_mapping_wraps() {
+        let cfg = CacheConfig::lru(4096, 64, 1).unwrap(); // 64 sets
+        assert_eq!(cfg.set_of(0), 0);
+        assert_eq!(cfg.set_of(63), 63);
+        assert_eq!(cfg.set_of(64), 0);
+        assert_eq!(cfg.set_of(130), 2);
+    }
+
+    #[test]
+    fn display_human_readable() {
+        let cfg = CacheConfig::lru(32 << 20, 64, 16).unwrap();
+        assert_eq!(cfg.to_string(), "32MB/64B/16-way/LRU");
+        let small = CacheConfig::lru(8 << 10, 64, 4).unwrap();
+        assert_eq!(small.to_string(), "8KB/64B/4-way/LRU");
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert_eq!(
+            ConfigError::Zero("line size").to_string(),
+            "line size must be nonzero"
+        );
+        assert!(ConfigError::TooManyWays(128).to_string().contains("128"));
+    }
+}

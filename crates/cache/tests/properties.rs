@@ -1,0 +1,141 @@
+//! Property-based tests for the cache simulator's core invariants.
+
+use cmpsim_cache::{CacheConfig, ReplacementPolicy, SetAssocCache};
+use proptest::prelude::*;
+
+/// An arbitrary short access trace over a bounded line space.
+fn trace_strategy(max_line: u64) -> impl Strategy<Value = Vec<(u64, bool)>> {
+    prop::collection::vec((0..max_line, any::<bool>()), 1..800)
+}
+
+fn run_trace(cache: &mut SetAssocCache, trace: &[(u64, bool)]) -> u64 {
+    for &(line, write) in trace {
+        cache.access(line, write);
+    }
+    cache.stats().misses
+}
+
+proptest! {
+    /// hits + misses == accesses, read_misses + write_misses == misses,
+    /// and occupancy never exceeds capacity.
+    #[test]
+    fn stats_identities(trace in trace_strategy(256)) {
+        let cfg = CacheConfig::lru(8 * 1024, 64, 4).unwrap();
+        let mut c = SetAssocCache::new(cfg);
+        run_trace(&mut c, &trace);
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert_eq!(s.read_misses + s.write_misses, s.misses);
+        prop_assert!(s.writebacks <= s.evictions);
+        prop_assert!(c.resident_lines() <= cfg.num_lines());
+    }
+
+    /// LRU inclusion: with the same number of sets, a higher-associativity
+    /// cache never misses more (per-set LRU stack property).
+    #[test]
+    fn lru_inclusion_in_associativity(trace in trace_strategy(512)) {
+        // 64 sets each: 2-way vs 8-way.
+        let small = CacheConfig::lru(64 * 2 * 64, 64, 2).unwrap();
+        let large = CacheConfig::lru(64 * 8 * 64, 64, 8).unwrap();
+        let mut c_small = SetAssocCache::new(small);
+        let mut c_large = SetAssocCache::new(large);
+        let m_small = run_trace(&mut c_small, &trace);
+        let m_large = run_trace(&mut c_large, &trace);
+        prop_assert!(m_large <= m_small, "{m_large} > {m_small}");
+    }
+
+    /// A second pass over any trace that fits in the cache is all hits.
+    #[test]
+    fn second_pass_hits_when_fitting(lines in prop::collection::vec(0u64..64, 1..64)) {
+        // 64 lines capacity, fully covering the line space.
+        let cfg = CacheConfig::lru(64 * 64, 64, 8).unwrap();
+        let mut c = SetAssocCache::new(cfg);
+        for &l in &lines {
+            c.access(l, false);
+        }
+        c.reset_stats();
+        for &l in &lines {
+            c.access(l, false);
+        }
+        prop_assert_eq!(c.stats().misses, 0);
+    }
+
+    /// Probe (contains) never changes behaviour: interleaving probes
+    /// into a trace leaves hit/miss outcomes identical.
+    #[test]
+    fn probes_are_pure(trace in trace_strategy(128)) {
+        let cfg = CacheConfig::lru(4096, 64, 4).unwrap();
+        let mut plain = SetAssocCache::new(cfg);
+        let mut probed = SetAssocCache::new(cfg);
+        for &(line, write) in &trace {
+            let a = plain.access(line, write).is_hit();
+            let _ = probed.contains(line ^ 1);
+            let _ = probed.contains(line);
+            let b = probed.access(line, write).is_hit();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Invalidation really removes the line and is idempotent.
+    #[test]
+    fn invalidate_removes(line in 0u64..1024) {
+        let cfg = CacheConfig::lru(64 * 1024, 64, 16).unwrap();
+        let mut c = SetAssocCache::new(cfg);
+        c.access(line, true);
+        prop_assert!(c.contains(line));
+        let ev = c.invalidate(line);
+        prop_assert!(ev.is_some());
+        prop_assert!(ev.unwrap().dirty);
+        prop_assert!(!c.contains(line));
+        prop_assert!(c.invalidate(line).is_none());
+    }
+
+    /// Every policy keeps occupancy within capacity and stats consistent.
+    #[test]
+    fn all_policies_safe(
+        trace in trace_strategy(300),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ][policy_idx];
+        let cfg = CacheConfig::builder()
+            .size_bytes(8 * 1024)
+            .line_bytes(64)
+            .associativity(4)
+            .replacement(policy)
+            .build()
+            .unwrap();
+        let mut c = SetAssocCache::new(cfg);
+        run_trace(&mut c, &trace);
+        prop_assert!(c.resident_lines() <= cfg.num_lines());
+        prop_assert_eq!(c.stats().hits + c.stats().misses, c.stats().accesses);
+    }
+
+    /// Deterministic replay: the same trace always produces the same
+    /// counters, for every policy (Random uses a fixed PCG stream).
+    #[test]
+    fn deterministic_replay(trace in trace_strategy(256), policy_idx in 0usize..4) {
+        let policy = [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ][policy_idx];
+        let cfg = CacheConfig::builder()
+            .size_bytes(4096)
+            .line_bytes(64)
+            .associativity(2)
+            .replacement(policy)
+            .build()
+            .unwrap();
+        let mut a = SetAssocCache::new(cfg);
+        let mut b = SetAssocCache::new(cfg);
+        run_trace(&mut a, &trace);
+        run_trace(&mut b, &trace);
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}

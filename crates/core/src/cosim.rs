@@ -1,0 +1,290 @@
+//! The SoftSDV ↔ Dragonhead binding.
+
+use cmpsim_cache::{CacheConfig, CacheStats, ConfigError, HierarchyConfig};
+use cmpsim_dragonhead::{Dragonhead, DragonheadConfig, Sample};
+use cmpsim_memsys::RunCounts;
+use cmpsim_prefetch::StrideConfig;
+use cmpsim_softsdv::{FsbListener, HostNoiseConfig, PlatformConfig, RunSummary, VirtualPlatform};
+use cmpsim_trace::FsbTransaction;
+use cmpsim_workloads::Workload;
+
+/// Full co-simulation configuration: the virtual platform plus the
+/// emulated LLC.
+#[derive(Debug, Clone, Copy)]
+pub struct CoSimConfig {
+    /// Virtual cores exposed by the platform (= workload threads).
+    pub cores: usize,
+    /// Per-core private stack in front of the bus.
+    pub hierarchy: HierarchyConfig,
+    /// The LLC Dragonhead emulates.
+    pub llc: CacheConfig,
+    /// Cache-controller banks.
+    pub banks: u32,
+    /// Host sampling period (bus cycles).
+    pub sample_period: u64,
+    /// Optional stride prefetcher in front of the LLC.
+    pub prefetch: Option<StrideConfig>,
+    /// Optional host/OS interference traffic (excluded by the AF).
+    pub host_noise: Option<HostNoiseConfig>,
+}
+
+impl CoSimConfig {
+    /// A default setup: `cores` virtual cores with the standard CMP
+    /// private stack and an LRU 16-way LLC of `llc_bytes` with 64-byte
+    /// lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `llc_bytes` is not a valid cache
+    /// geometry.
+    pub fn new(cores: usize, llc_bytes: u64) -> Result<Self, ConfigError> {
+        Ok(CoSimConfig {
+            cores,
+            hierarchy: HierarchyConfig::cmp_core(),
+            llc: CacheConfig::lru(llc_bytes, 64, 16)?,
+            banks: 4,
+            sample_period: cmpsim_dragonhead::sampler::DEFAULT_PERIOD_CYCLES,
+            prefetch: None,
+            host_noise: None,
+        })
+    }
+
+    /// Like [`CoSimConfig::new`], but with the private hierarchy scaled
+    /// by the same [`Scale`](cmpsim_workloads::Scale) knob as the
+    /// workloads and the LLC sweep — the configuration every experiment
+    /// uses, so that all three layers shrink together and the paper's
+    /// shapes survive scaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `llc_bytes` is not a valid geometry.
+    pub fn scaled(
+        cores: usize,
+        llc_bytes: u64,
+        scale: cmpsim_workloads::Scale,
+    ) -> Result<Self, ConfigError> {
+        let mut cfg = Self::new(cores, llc_bytes)?;
+        cfg.hierarchy = HierarchyConfig::cmp_core_scaled(scale);
+        Ok(cfg)
+    }
+
+    /// Replaces the emulated LLC configuration.
+    pub fn with_llc(mut self, llc: CacheConfig) -> Self {
+        self.llc = llc;
+        self
+    }
+
+    /// Attaches a stride prefetcher.
+    pub fn with_prefetch(mut self, pf: StrideConfig) -> Self {
+        self.prefetch = Some(pf);
+        self
+    }
+
+    fn platform_config(&self) -> PlatformConfig {
+        let mut p = PlatformConfig::new(self.cores).with_hierarchy(self.hierarchy);
+        if let Some(noise) = self.host_noise {
+            p = p.with_host_noise(noise);
+        }
+        p
+    }
+
+    fn dragonhead_config(&self) -> DragonheadConfig {
+        let mut d = DragonheadConfig::new(self.llc);
+        d.banks = self.banks;
+        d.sample_period = self.sample_period;
+        d.prefetch = self.prefetch;
+        d
+    }
+}
+
+/// Everything one co-simulated run produced.
+#[derive(Debug, Clone)]
+pub struct CoSimReport {
+    /// Platform-side summary (instructions, private-cache stats).
+    pub run: RunSummary,
+    /// Emulated-LLC demand counters.
+    pub llc: CacheStats,
+    /// LLC misses per 1000 instructions — the paper's Figures 4–6 metric.
+    pub mpki: f64,
+    /// Per-core LLC counters (from core-id attribution).
+    pub per_core_llc: Vec<cmpsim_dragonhead::emulator::CoreCounters>,
+    /// 500 µs counter samples.
+    pub samples: Vec<Sample>,
+    /// Prefetch fills that reached memory.
+    pub prefetch_fills: u64,
+    /// Writebacks that missed the LLC and went to memory.
+    pub writebacks_to_memory: u64,
+    /// The LLC size this report is for.
+    pub llc_bytes: u64,
+    /// The LLC line size this report is for.
+    pub llc_line_bytes: u64,
+}
+
+impl CoSimReport {
+    /// Converts the report into timing-model inputs.
+    ///
+    /// Memory traffic = LLC demand misses (fills) plus dirty-eviction
+    /// writebacks plus prefetch fills.
+    pub fn run_counts(&self) -> RunCounts {
+        RunCounts {
+            instructions: self.run.instructions,
+            l2_hits: self.run.l2.hits,
+            llc_hits: self.llc.hits,
+            mem_fills: self.llc.misses,
+            prefetch_fills: self.prefetch_fills,
+            mem_writebacks: self.llc.writebacks + self.writebacks_to_memory,
+            threads: self.run.per_core.len() as u32,
+        }
+    }
+}
+
+/// A configured co-simulation, ready to run workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct CoSimulation {
+    cfg: CoSimConfig,
+}
+
+/// Adapter: a Dragonhead board listening on the platform's FSB.
+struct Snoop<'a>(&'a mut Dragonhead);
+
+impl FsbListener for Snoop<'_> {
+    #[inline]
+    fn transaction(&mut self, txn: &FsbTransaction) {
+        self.0.observe(txn);
+    }
+}
+
+/// Several boards on the same bus — the fast path for cache-size sweeps:
+/// one platform run feeds every LLC configuration under study, which is
+/// sound because the emulator is *passive* (it never affects the
+/// workload or the private caches).
+struct MultiSnoop<'a>(&'a mut [Dragonhead]);
+
+impl FsbListener for MultiSnoop<'_> {
+    #[inline]
+    fn transaction(&mut self, txn: &FsbTransaction) {
+        for dh in self.0.iter_mut() {
+            dh.observe(txn);
+        }
+    }
+}
+
+impl CoSimulation {
+    /// Creates a co-simulation from a config.
+    pub fn new(cfg: CoSimConfig) -> Self {
+        CoSimulation { cfg }
+    }
+
+    /// Runs `workload` to completion under this configuration.
+    pub fn run(&self, workload: &dyn Workload) -> CoSimReport {
+        let mut platform = VirtualPlatform::new(self.cfg.platform_config(), workload);
+        let mut dh = Dragonhead::new(self.cfg.dragonhead_config());
+        let run = platform.run(&mut Snoop(&mut dh));
+        Self::report(run, &dh)
+    }
+
+    /// Runs `workload` once while emulating every LLC in `llcs`
+    /// simultaneously (passive boards on one bus). Returns one report per
+    /// LLC, in order.
+    pub fn run_sweep(&self, workload: &dyn Workload, llcs: &[CacheConfig]) -> Vec<CoSimReport> {
+        let mut platform = VirtualPlatform::new(self.cfg.platform_config(), workload);
+        let mut boards: Vec<Dragonhead> = llcs
+            .iter()
+            .map(|&llc| {
+                let mut d = DragonheadConfig::new(llc);
+                d.banks = self.cfg.banks;
+                d.sample_period = self.cfg.sample_period;
+                d.prefetch = self.cfg.prefetch;
+                Dragonhead::new(d)
+            })
+            .collect();
+        let run = platform.run(&mut MultiSnoop(&mut boards));
+        boards
+            .iter()
+            .map(|dh| Self::report(run.clone(), dh))
+            .collect()
+    }
+
+    fn report(run: RunSummary, dh: &Dragonhead) -> CoSimReport {
+        let llc = dh.stats();
+        let mpki = llc.mpki(run.instructions);
+        CoSimReport {
+            mpki,
+            llc,
+            per_core_llc: dh.per_core().to_vec(),
+            samples: dh.samples().to_vec(),
+            prefetch_fills: dh.prefetch_fills(),
+            writebacks_to_memory: dh.writebacks_to_memory(),
+            llc_bytes: dh.config().cache.size_bytes(),
+            llc_line_bytes: dh.config().cache.line_bytes(),
+            run,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_workloads::{Scale, WorkloadId};
+
+    #[test]
+    fn single_run_produces_consistent_report() {
+        let wl = WorkloadId::Plsa.build(Scale::tiny(), 1);
+        let cfg = CoSimConfig::new(2, 1 << 20).unwrap();
+        let r = CoSimulation::new(cfg).run(wl.as_ref());
+        assert!(r.run.instructions > 0);
+        assert_eq!(r.llc.hits + r.llc.misses, r.llc.accesses);
+        // Per-core LLC accesses sum to the total.
+        let per_core_sum: u64 = r.per_core_llc.iter().map(|c| c.accesses).sum();
+        assert_eq!(per_core_sum, r.llc.accesses);
+        assert!(r.mpki >= 0.0);
+    }
+
+    #[test]
+    fn sweep_matches_individual_runs() {
+        let cfg = CoSimConfig::new(2, 1 << 20).unwrap();
+        let sizes: Vec<CacheConfig> = [1u64 << 18, 1 << 20]
+            .iter()
+            .map(|&s| CacheConfig::lru(s, 64, 16).unwrap())
+            .collect();
+        let wl = WorkloadId::Viewtype.build(Scale::tiny(), 2);
+        let sweep = CoSimulation::new(cfg).run_sweep(wl.as_ref(), &sizes);
+        let wl2 = WorkloadId::Viewtype.build(Scale::tiny(), 2);
+        let single = CoSimulation::new(cfg.with_llc(sizes[1])).run(wl2.as_ref());
+        assert_eq!(sweep[1].llc.misses, single.llc.misses);
+        assert_eq!(sweep[1].llc.hits, single.llc.hits);
+    }
+
+    #[test]
+    fn bigger_cache_never_increases_misses_much() {
+        // LRU is a stack algorithm: with identical line size and
+        // associativity scaling, larger caches should not miss more
+        // (allowing a tiny tolerance for set-mapping effects).
+        let cfg = CoSimConfig::new(2, 1 << 20).unwrap();
+        let sizes: Vec<CacheConfig> = [1u64 << 18, 1 << 19, 1 << 20, 1 << 21]
+            .iter()
+            .map(|&s| CacheConfig::lru(s, 64, 16).unwrap())
+            .collect();
+        let wl = WorkloadId::SvmRfe.build(Scale::tiny(), 3);
+        let sweep = CoSimulation::new(cfg).run_sweep(wl.as_ref(), &sizes);
+        for w in sweep.windows(2) {
+            assert!(
+                w[1].llc.misses as f64 <= w[0].llc.misses as f64 * 1.05,
+                "misses grew with size: {} -> {}",
+                w[0].llc.misses,
+                w[1].llc.misses
+            );
+        }
+    }
+
+    #[test]
+    fn run_counts_wiring() {
+        let wl = WorkloadId::Plsa.build(Scale::tiny(), 4);
+        let cfg = CoSimConfig::new(1, 1 << 20).unwrap();
+        let r = CoSimulation::new(cfg).run(wl.as_ref());
+        let c = r.run_counts();
+        assert_eq!(c.instructions, r.run.instructions);
+        assert_eq!(c.mem_fills, r.llc.misses);
+        assert_eq!(c.threads, 1);
+    }
+}

@@ -1,0 +1,316 @@
+//! Text rendering of tables and figures, in the layout the paper uses.
+
+use crate::experiment::{CacheSizeCurve, LineSizeCurve, PrefetchResult, SharingResult, Table2Row};
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a byte count the way the paper labels its x-axes (4MB, 64KB).
+pub fn human_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}MB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}KB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Renders Table 2 in the paper's column order.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut t = TextTable::new([
+        "Workload",
+        "IPC",
+        "Instr (M)",
+        "%Mem",
+        "%MemRead",
+        "DL1 APKI",
+        "DL1 MPKI",
+        "DL2 MPKI",
+    ]);
+    for r in rows {
+        t.row([
+            r.workload.to_string(),
+            format!("{:.2}", r.ipc),
+            format!("{:.1}", r.instructions as f64 / 1e6),
+            format!("{:.2}%", r.memory_fraction * 100.0),
+            format!("{:.2}%", r.read_fraction * 100.0),
+            format!("{:.0}", r.dl1_apki),
+            format!("{:.2}", r.dl1_mpki),
+            format!("{:.2}", r.dl2_mpki),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders a Figure 4/5/6 panel: one row per cache size, one column per
+/// workload, cells in misses-per-1000-instructions.
+pub fn render_cache_size_figure(curves: &[CacheSizeCurve]) -> String {
+    let Some(first) = curves.first() else {
+        return String::new();
+    };
+    let mut headers = vec!["LLC size".to_owned()];
+    headers.extend(curves.iter().map(|c| c.workload.to_string()));
+    let mut t = TextTable::new(headers);
+    for (i, p) in first.points.iter().enumerate() {
+        let mut row = vec![human_bytes(p.llc_bytes)];
+        for c in curves {
+            row.push(format!("{:.3}", c.points[i].mpki));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Renders the Figure 7 panel: one row per line size.
+pub fn render_line_size_figure(curves: &[LineSizeCurve]) -> String {
+    let Some(first) = curves.first() else {
+        return String::new();
+    };
+    let mut headers = vec!["Line size".to_owned()];
+    headers.extend(curves.iter().map(|c| c.workload.to_string()));
+    let mut t = TextTable::new(headers);
+    for (i, p) in first.points.iter().enumerate() {
+        let mut row = vec![human_bytes(p.line_bytes)];
+        for c in curves {
+            row.push(format!("{:.3}", c.points[i].mpki));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Renders the Figure 8 panel: serial and parallel prefetch speedups as
+/// percentage gains.
+pub fn render_prefetch_figure(results: &[PrefetchResult]) -> String {
+    let mut t = TextTable::new(["Workload", "Serial gain", "16-thread gain", "Bus util"]);
+    for r in results {
+        t.row([
+            r.workload.to_string(),
+            format!("{:+.1}%", (r.serial_speedup - 1.0) * 100.0),
+            format!("{:+.1}%", (r.parallel_speedup - 1.0) * 100.0),
+            format!("{:.0}%", r.parallel_utilization * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders a set of labeled series as an ASCII line chart, log-x —
+/// the shape-at-a-glance view of the MPKI figures.
+///
+/// Each series is `(label, points)` with points as `(x, y)`; all series
+/// must share the same x values.
+pub fn render_ascii_chart(series: &[(String, Vec<(u64, f64)>)], height: usize) -> String {
+    let Some((_, first)) = series.first() else {
+        return String::new();
+    };
+    if first.is_empty() {
+        return String::new();
+    }
+    let y_max = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let width = first.len();
+    let marks: &[u8] = b"*o+x#@%&";
+    let mut grid = vec![vec![b' '; width * 8]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        for (xi, &(_, y)) in pts.iter().enumerate() {
+            let row = ((1.0 - y / y_max) * (height - 1) as f64).round() as usize;
+            let col = xi * 8 + 4;
+            let cell = &mut grid[row.min(height - 1)][col];
+            *cell = if *cell == b' ' {
+                marks[si % marks.len()]
+            } else {
+                b'!'
+            }; // collision marker
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "MPKI (max {y_max:.2})");
+    for row in &grid {
+        out.push('|');
+        out.push_str(std::str::from_utf8(row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width * 8));
+    out.push('\n');
+    out.push(' ');
+    for &(x, _) in first {
+        let _ = write!(out, "{:^8}", human_bytes(x));
+    }
+    out.push('\n');
+    for (si, (label, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} = {}", marks[si % marks.len()] as char, label);
+    }
+    out
+}
+
+/// Renders the sharing-category ablation.
+pub fn render_sharing(results: &[SharingResult]) -> String {
+    let mut t = TextTable::new(["Workload", "MPKI x8 threads / x1", "Paper category"]);
+    for r in results {
+        t.row([
+            r.workload.to_string(),
+            format!("{:.2}x", r.miss_growth_8x),
+            if r.paper_category_shared {
+                "(a) shared".to_owned()
+            } else {
+                "(b) private".to_owned()
+            },
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{CachePoint, CmpClass};
+    use cmpsim_workloads::WorkloadId;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["A", "Thing"]);
+        t.row(["1", "x"]);
+        t.row(["22", "yyyy"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("A"));
+        assert!(lines[1].starts_with('-'));
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["A", "B", "C"]);
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let _ = t.render();
+    }
+
+    #[test]
+    fn human_bytes_forms() {
+        assert_eq!(human_bytes(4 << 20), "4MB");
+        assert_eq!(human_bytes(256 << 10), "256KB");
+        assert_eq!(human_bytes(64), "64B");
+    }
+
+    #[test]
+    fn figure_rendering_includes_all_workloads() {
+        let curve = |w| CacheSizeCurve {
+            workload: w,
+            cmp: CmpClass::Small,
+            points: vec![CachePoint {
+                llc_bytes: 4 << 20,
+                mpki: 1.5,
+                misses: 10,
+                instructions: 1000,
+            }],
+        };
+        let s = render_cache_size_figure(&[curve(WorkloadId::Snp), curve(WorkloadId::Mds)]);
+        assert!(s.contains("SNP"));
+        assert!(s.contains("MDS"));
+        assert!(s.contains("4MB"));
+        assert!(s.contains("1.500"));
+    }
+
+    #[test]
+    fn empty_figure_is_empty_string() {
+        assert_eq!(render_cache_size_figure(&[]), "");
+        assert_eq!(render_line_size_figure(&[]), "");
+        assert_eq!(render_ascii_chart(&[], 8), "");
+    }
+
+    #[test]
+    fn ascii_chart_places_extremes() {
+        let series = vec![(
+            "W".to_owned(),
+            vec![(1u64 << 20, 10.0), (2 << 20, 5.0), (4 << 20, 0.0)],
+        )];
+        let s = render_ascii_chart(&series, 5);
+        let lines: Vec<&str> = s.lines().collect();
+        // First data row (top) holds the max point's mark.
+        assert!(lines[1].contains('*'), "{s}");
+        // Legend present.
+        assert!(s.contains("* = W"));
+        assert!(s.contains("1MB"));
+    }
+
+    #[test]
+    fn ascii_chart_marks_collisions() {
+        let series = vec![
+            ("A".to_owned(), vec![(64u64, 1.0), (128, 1.0)]),
+            ("B".to_owned(), vec![(64u64, 1.0), (128, 0.5)]),
+        ];
+        let s = render_ascii_chart(&series, 4);
+        assert!(s.contains('!'), "coincident points must be flagged: {s}");
+    }
+}

@@ -1,0 +1,172 @@
+//! The AF (address filter) FPGA: message decoding, window tracking, and
+//! core attribution.
+
+use cmpsim_trace::{FsbTransaction, Message, MessageCodec, MessageDecodeError};
+
+/// What the address filter decided about one bus transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterOutcome {
+    /// A data transaction inside the emulation window, attributed to the
+    /// given virtual core: forward to the cache controllers.
+    Emulate {
+        /// The virtual core that owns the current time slice.
+        core: u32,
+    },
+    /// A data transaction outside the start/stop window (host OS or
+    /// simulator traffic): dropped.
+    Excluded,
+    /// A decoded control message (already applied to filter state).
+    Control(Message),
+    /// A malformed message-window transaction.
+    Malformed(MessageDecodeError),
+}
+
+/// Address-filter state machine.
+///
+/// Tracks the emulation window (§3.3: "Start and stop emulation allows
+/// the emulator to avoid memory accesses outside of the simulated
+/// workload") and the current core id, and keeps the instruction/cycle
+/// counters last reported by SoftSDV for synchronized statistics.
+#[derive(Debug, Clone, Default)]
+pub struct AddressFilter {
+    codec: MessageCodec,
+    window_open: bool,
+    core: u32,
+    instructions: u64,
+    cycles: u64,
+    excluded: u64,
+    decode_errors: u64,
+}
+
+impl AddressFilter {
+    /// Creates a filter with the window closed and core 0 active.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the emulation window is currently open.
+    pub fn window_open(&self) -> bool {
+        self.window_open
+    }
+
+    /// The active virtual core id.
+    pub fn core(&self) -> u32 {
+        self.core
+    }
+
+    /// Instructions retired, as last reported by SoftSDV.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Cycles completed, as last reported by SoftSDV.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Data transactions dropped for being outside the window.
+    pub fn excluded(&self) -> u64 {
+        self.excluded
+    }
+
+    /// Message transactions that failed to decode.
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// Processes one bus transaction.
+    pub fn filter(&mut self, txn: &FsbTransaction) -> FilterOutcome {
+        if txn.is_message() {
+            return match self.codec.decode(txn) {
+                Ok(Some(msg)) => {
+                    match msg {
+                        Message::Start => self.window_open = true,
+                        Message::Stop => self.window_open = false,
+                        Message::CoreId(c) => self.core = c,
+                        Message::InstructionsRetired(v) => self.instructions = v,
+                        Message::CyclesCompleted(v) => self.cycles = v,
+                    }
+                    FilterOutcome::Control(msg)
+                }
+                Ok(None) => FilterOutcome::Control(Message::CyclesCompleted(self.cycles)),
+                Err(e) => {
+                    self.decode_errors += 1;
+                    FilterOutcome::Malformed(e)
+                }
+            };
+        }
+        if self.window_open {
+            FilterOutcome::Emulate { core: self.core }
+        } else {
+            self.excluded += 1;
+            FilterOutcome::Excluded
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_trace::{Addr, FsbKind};
+
+    fn data(addr: u64) -> FsbTransaction {
+        FsbTransaction::new(0, FsbKind::ReadLine, Addr::new(addr))
+    }
+
+    fn send(af: &mut AddressFilter, msg: Message) {
+        for t in MessageCodec::encode(msg, 0) {
+            af.filter(&t);
+        }
+    }
+
+    #[test]
+    fn window_closed_by_default() {
+        let mut af = AddressFilter::new();
+        assert_eq!(af.filter(&data(0x1000)), FilterOutcome::Excluded);
+        assert_eq!(af.excluded(), 1);
+    }
+
+    #[test]
+    fn start_opens_stop_closes() {
+        let mut af = AddressFilter::new();
+        send(&mut af, Message::Start);
+        assert!(matches!(
+            af.filter(&data(0x1000)),
+            FilterOutcome::Emulate { core: 0 }
+        ));
+        send(&mut af, Message::Stop);
+        assert_eq!(af.filter(&data(0x1000)), FilterOutcome::Excluded);
+    }
+
+    #[test]
+    fn core_id_attributes_traffic() {
+        let mut af = AddressFilter::new();
+        send(&mut af, Message::Start);
+        send(&mut af, Message::CoreId(7));
+        assert!(matches!(
+            af.filter(&data(0x40)),
+            FilterOutcome::Emulate { core: 7 }
+        ));
+    }
+
+    #[test]
+    fn counters_are_tracked() {
+        let mut af = AddressFilter::new();
+        send(&mut af, Message::InstructionsRetired(123_456_789_000));
+        send(&mut af, Message::CyclesCompleted(42));
+        assert_eq!(af.instructions(), 123_456_789_000);
+        assert_eq!(af.cycles(), 42);
+    }
+
+    #[test]
+    fn malformed_messages_counted() {
+        let mut af = AddressFilter::new();
+        let bad = FsbTransaction::new(
+            0,
+            FsbKind::Message,
+            Addr::new(cmpsim_trace::MSG_WINDOW_BASE | (15 << 38)),
+        );
+        assert!(matches!(af.filter(&bad), FilterOutcome::Malformed(_)));
+        assert_eq!(af.decode_errors(), 1);
+    }
+}

@@ -1,0 +1,329 @@
+//! The assembled Dragonhead board.
+
+use crate::af::{AddressFilter, FilterOutcome};
+use crate::cc::BankedCache;
+use crate::sampler::Sampler;
+use cmpsim_cache::{CacheConfig, CacheStats};
+use cmpsim_prefetch::{Prefetcher, StrideConfig, StridePrefetcher};
+use cmpsim_trace::{FsbKind, FsbTransaction};
+
+/// Dragonhead configuration: the emulated cache plus board parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DragonheadConfig {
+    /// Geometry and policies of the emulated shared LLC. The hardware
+    /// supports 1 MB–256 MB, 64 B–4096 B lines, LRU.
+    pub cache: CacheConfig,
+    /// Cache-controller FPGAs the LLC is interleaved across (CC0–CC3).
+    pub banks: u32,
+    /// Host sampling period in bus cycles (500 µs at 100 MHz = 50 000).
+    pub sample_period: u64,
+    /// Attach a stride prefetcher in front of the emulated LLC.
+    pub prefetch: Option<StrideConfig>,
+}
+
+impl DragonheadConfig {
+    /// Default board setup for a given emulated cache: 4 banks, 500 µs
+    /// sampling, no prefetcher.
+    pub fn new(cache: CacheConfig) -> Self {
+        DragonheadConfig {
+            cache,
+            banks: 4,
+            sample_period: crate::sampler::DEFAULT_PERIOD_CYCLES,
+            prefetch: None,
+        }
+    }
+
+    /// Enables the stride prefetcher.
+    pub fn with_prefetch(mut self, cfg: StrideConfig) -> Self {
+        self.prefetch = Some(cfg);
+        self
+    }
+}
+
+/// Per-core demand counters, as the CB reports them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreCounters {
+    /// Demand LLC accesses attributed to this core.
+    pub accesses: u64,
+    /// Demand LLC misses attributed to this core.
+    pub misses: u64,
+}
+
+/// The whole emulator: AF → CC0..CC3 → CB, with host sampling.
+///
+/// Feed it every bus transaction via [`observe`](Dragonhead::observe);
+/// read totals via [`stats`](Dragonhead::stats), per-core counters via
+/// [`per_core`](Dragonhead::per_core), and the 500 µs time series via
+/// [`samples`](Dragonhead::samples).
+#[derive(Debug)]
+pub struct Dragonhead {
+    cfg: DragonheadConfig,
+    af: AddressFilter,
+    cc: BankedCache,
+    sampler: Sampler,
+    per_core: Vec<CoreCounters>,
+    prefetcher: Option<StridePrefetcher>,
+    prefetch_buf: Vec<u64>,
+    prefetch_issued_to_memory: u64,
+    wb_absorbed: u64,
+    wb_to_memory: u64,
+}
+
+impl Dragonhead {
+    /// Builds the emulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-bank cache geometry is invalid (the public
+    /// constructors of [`CacheConfig`] make this unlikely; an indivisible
+    /// size/bank combination is the one remaining hazard).
+    pub fn new(cfg: DragonheadConfig) -> Self {
+        Dragonhead {
+            af: AddressFilter::new(),
+            cc: BankedCache::new(cfg.cache, cfg.banks).expect("bank geometry must divide"),
+            sampler: Sampler::new(cfg.sample_period),
+            per_core: Vec::new(),
+            prefetcher: cfg.prefetch.map(StridePrefetcher::new),
+            prefetch_buf: Vec::new(),
+            prefetch_issued_to_memory: 0,
+            wb_absorbed: 0,
+            wb_to_memory: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration the board was built with.
+    pub const fn config(&self) -> &DragonheadConfig {
+        &self.cfg
+    }
+
+    /// Observes one FSB transaction (the snoop port).
+    pub fn observe(&mut self, txn: &FsbTransaction) {
+        match self.af.filter(txn) {
+            FilterOutcome::Control(_) | FilterOutcome::Malformed(_) => {}
+            FilterOutcome::Excluded => {}
+            FilterOutcome::Emulate { core } => self.emulate(core, txn),
+        }
+    }
+
+    fn emulate(&mut self, core: u32, txn: &FsbTransaction) {
+        let line = txn.addr.line(self.cfg.cache.line_bytes());
+        match txn.kind {
+            FsbKind::ReadLine | FsbKind::ReadInvalidateLine => {
+                let write = txn.kind == FsbKind::ReadInvalidateLine;
+                let hit = self.cc.access_line(line, write);
+                let c = self.core_mut(core);
+                c.accesses += 1;
+                c.misses += u64::from(!hit);
+                if let Some(pf) = &mut self.prefetcher {
+                    self.prefetch_buf.clear();
+                    pf.observe(line, hit, &mut self.prefetch_buf);
+                    for i in 0..self.prefetch_buf.len() {
+                        let target = self.prefetch_buf[i];
+                        if self.cc.prefetch_line(target) {
+                            self.prefetch_issued_to_memory += 1;
+                        }
+                    }
+                }
+            }
+            FsbKind::WriteLine => {
+                if self.cc.receive_writeback(line) {
+                    self.wb_absorbed += 1;
+                } else {
+                    self.wb_to_memory += 1;
+                }
+            }
+            FsbKind::Message => unreachable!("AF filters messages"),
+        }
+        self.sampler.tick(
+            txn.cycle,
+            self.af.instructions(),
+            self.stats().accesses,
+            self.stats().misses,
+        );
+    }
+
+    fn core_mut(&mut self, core: u32) -> &mut CoreCounters {
+        let idx = core as usize;
+        if idx >= self.per_core.len() {
+            self.per_core.resize(idx + 1, CoreCounters::default());
+        }
+        &mut self.per_core[idx]
+    }
+
+    /// Demand counters merged across banks.
+    pub fn stats(&self) -> CacheStats {
+        self.cc.stats()
+    }
+
+    /// LLC misses per 1000 instructions, using the instruction count
+    /// SoftSDV last reported — the y-axis of Figures 4–6.
+    pub fn mpki(&self) -> f64 {
+        self.stats().mpki(self.af.instructions())
+    }
+
+    /// Per-core demand counters.
+    pub fn per_core(&self) -> &[CoreCounters] {
+        &self.per_core
+    }
+
+    /// The 500 µs counter time series.
+    pub fn samples(&self) -> &[crate::sampler::Sample] {
+        self.sampler.samples()
+    }
+
+    /// The address filter (window state, exclusion counters).
+    pub fn address_filter(&self) -> &AddressFilter {
+        &self.af
+    }
+
+    /// Writebacks absorbed by the emulated LLC.
+    pub fn writebacks_absorbed(&self) -> u64 {
+        self.wb_absorbed
+    }
+
+    /// Writebacks that missed the LLC and went to memory.
+    pub fn writebacks_to_memory(&self) -> u64 {
+        self.wb_to_memory
+    }
+
+    /// Prefetch fills that caused memory traffic.
+    pub fn prefetch_fills(&self) -> u64 {
+        self.prefetch_issued_to_memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_trace::{Addr, Message, MessageCodec};
+
+    fn board(size: u64, line: u64) -> Dragonhead {
+        Dragonhead::new(DragonheadConfig::new(
+            CacheConfig::lru(size, line, 16).unwrap(),
+        ))
+    }
+
+    fn open(dh: &mut Dragonhead) {
+        for t in MessageCodec::encode(Message::Start, 0) {
+            dh.observe(&t);
+        }
+    }
+
+    fn read(dh: &mut Dragonhead, cycle: u64, addr: u64) {
+        dh.observe(&FsbTransaction::new(
+            cycle,
+            FsbKind::ReadLine,
+            Addr::new(addr),
+        ));
+    }
+
+    #[test]
+    fn closed_window_emulates_nothing() {
+        let mut dh = board(1 << 20, 64);
+        read(&mut dh, 0, 0x1000);
+        assert_eq!(dh.stats().accesses, 0);
+        assert_eq!(dh.address_filter().excluded(), 1);
+    }
+
+    #[test]
+    fn large_lines_turn_neighbor_misses_into_hits() {
+        let mut small = board(1 << 20, 64);
+        let mut large = board(1 << 20, 1024);
+        open(&mut small);
+        open(&mut large);
+        // 16 sequential 64-byte transactions = 16 small lines, 1 large.
+        for i in 0..16u64 {
+            read(&mut small, i, i * 64);
+            read(&mut large, i, i * 64);
+        }
+        assert_eq!(small.stats().misses, 16);
+        assert_eq!(large.stats().misses, 1);
+        assert_eq!(large.stats().hits, 15);
+    }
+
+    #[test]
+    fn per_core_attribution_follows_core_id() {
+        let mut dh = board(1 << 20, 64);
+        open(&mut dh);
+        for t in MessageCodec::encode(Message::CoreId(2), 0) {
+            dh.observe(&t);
+        }
+        read(&mut dh, 1, 0x8000);
+        for t in MessageCodec::encode(Message::CoreId(5), 0) {
+            dh.observe(&t);
+        }
+        read(&mut dh, 2, 0x8000);
+        let pc = dh.per_core();
+        assert_eq!(pc[2].accesses, 1);
+        assert_eq!(pc[2].misses, 1);
+        assert_eq!(pc[5].accesses, 1);
+        assert_eq!(pc[5].misses, 0, "second read hits");
+    }
+
+    #[test]
+    fn mpki_uses_reported_instructions() {
+        let mut dh = board(1 << 20, 64);
+        open(&mut dh);
+        for i in 0..10u64 {
+            read(&mut dh, i, i * 4096 * 64); // all misses (distinct sets)
+        }
+        for t in MessageCodec::encode(Message::InstructionsRetired(10_000), 10) {
+            dh.observe(&t);
+        }
+        assert!((dh.mpki() - 1.0).abs() < 1e-9, "mpki {}", dh.mpki());
+    }
+
+    #[test]
+    fn sampler_produces_series() {
+        let mut dh = Dragonhead::new(DragonheadConfig {
+            sample_period: 10,
+            ..DragonheadConfig::new(CacheConfig::lru(1 << 20, 64, 16).unwrap())
+        });
+        open(&mut dh);
+        for i in 0..100u64 {
+            read(&mut dh, i, i * 64);
+        }
+        assert!(dh.samples().len() >= 9, "samples {}", dh.samples().len());
+    }
+
+    #[test]
+    fn prefetcher_reduces_streaming_misses() {
+        let base_cfg = CacheConfig::lru(1 << 20, 64, 16).unwrap();
+        let mut off = Dragonhead::new(DragonheadConfig::new(base_cfg));
+        let mut on =
+            Dragonhead::new(DragonheadConfig::new(base_cfg).with_prefetch(StrideConfig::default()));
+        open(&mut off);
+        open(&mut on);
+        for i in 0..2000u64 {
+            read(&mut off, i, i * 64);
+            read(&mut on, i, i * 64);
+        }
+        assert!(
+            on.stats().misses * 2 < off.stats().misses,
+            "prefetch on {} vs off {}",
+            on.stats().misses,
+            off.stats().misses
+        );
+        assert!(on.prefetch_fills() > 0);
+    }
+
+    #[test]
+    fn writeback_paths_accounted() {
+        let mut dh = board(1 << 20, 64);
+        open(&mut dh);
+        read(&mut dh, 0, 0x4000);
+        dh.observe(&FsbTransaction::new(
+            1,
+            FsbKind::WriteLine,
+            Addr::new(0x4000),
+        ));
+        dh.observe(&FsbTransaction::new(
+            2,
+            FsbKind::WriteLine,
+            Addr::new(0xF000_0000),
+        ));
+        assert_eq!(dh.writebacks_absorbed(), 1);
+        assert_eq!(dh.writebacks_to_memory(), 1);
+    }
+}

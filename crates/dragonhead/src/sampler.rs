@@ -1,0 +1,134 @@
+//! The CB-to-host sampling channel: periodic counter snapshots.
+
+/// One counter snapshot, as read by the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sample {
+    /// Bus cycle at which the sample was taken.
+    pub cycle: u64,
+    /// Instructions retired (from the last SoftSDV counter message).
+    pub instructions: u64,
+    /// Cumulative LLC accesses.
+    pub accesses: u64,
+    /// Cumulative LLC misses.
+    pub misses: u64,
+}
+
+impl Sample {
+    /// Misses per 1000 instructions *in the interval* ending at `self`,
+    /// given the previous sample.
+    pub fn interval_mpki(&self, prev: &Sample) -> f64 {
+        let di = self.instructions.saturating_sub(prev.instructions);
+        let dm = self.misses.saturating_sub(prev.misses);
+        if di == 0 {
+            0.0
+        } else {
+            dm as f64 * 1000.0 / di as f64
+        }
+    }
+}
+
+/// Periodic sampler: the paper's host "reads performance data from CB
+/// every 500 microseconds"; at the emulator's 100 MHz that is one sample
+/// per 50 000 bus cycles (the default period here).
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    period: u64,
+    next_at: u64,
+    samples: Vec<Sample>,
+}
+
+/// 500 µs at the 100 MHz Dragonhead clock.
+pub const DEFAULT_PERIOD_CYCLES: u64 = 50_000;
+
+impl Sampler {
+    /// Creates a sampler with the given period in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(period: u64) -> Self {
+        assert!(period > 0, "sampling period must be nonzero");
+        Sampler {
+            period,
+            next_at: period,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Offers the current counters at `cycle`; records samples for every
+    /// period boundary passed since the last call.
+    pub fn tick(&mut self, cycle: u64, instructions: u64, accesses: u64, misses: u64) {
+        while cycle >= self.next_at {
+            self.samples.push(Sample {
+                cycle: self.next_at,
+                instructions,
+                accesses,
+                misses,
+            });
+            self.next_at += self.period;
+        }
+    }
+
+    /// All samples recorded so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The sampling period in cycles.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+}
+
+impl Default for Sampler {
+    fn default() -> Self {
+        Self::new(DEFAULT_PERIOD_CYCLES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_on_period_boundaries() {
+        let mut s = Sampler::new(100);
+        s.tick(50, 1, 1, 0);
+        assert!(s.samples().is_empty());
+        s.tick(100, 2, 2, 1);
+        assert_eq!(s.samples().len(), 1);
+        assert_eq!(s.samples()[0].cycle, 100);
+    }
+
+    #[test]
+    fn catch_up_over_long_gaps() {
+        let mut s = Sampler::new(100);
+        s.tick(350, 10, 20, 5);
+        let cycles: Vec<u64> = s.samples().iter().map(|x| x.cycle).collect();
+        assert_eq!(cycles, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn interval_mpki() {
+        let a = Sample {
+            cycle: 100,
+            instructions: 1000,
+            accesses: 10,
+            misses: 2,
+        };
+        let b = Sample {
+            cycle: 200,
+            instructions: 3000,
+            accesses: 30,
+            misses: 8,
+        };
+        assert!((b.interval_mpki(&a) - 3.0).abs() < 1e-12);
+        assert_eq!(a.interval_mpki(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_period_panics() {
+        let _ = Sampler::new(0);
+    }
+}

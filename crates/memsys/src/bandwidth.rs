@@ -1,0 +1,113 @@
+//! Sliding-window bus-bandwidth measurement.
+
+use std::collections::VecDeque;
+
+/// Measures bytes transferred per cycle over a sliding window of bus
+/// activity. Dragonhead's host samples cache counters every 500 µs; this
+/// meter provides the matching bandwidth series for a sampling interval.
+#[derive(Debug, Clone)]
+pub struct BandwidthMeter {
+    window_cycles: u64,
+    events: VecDeque<(u64, u64)>, // (cycle, bytes)
+    bytes_in_window: u64,
+    total_bytes: u64,
+    last_cycle: u64,
+}
+
+impl BandwidthMeter {
+    /// Creates a meter with the given window length in bus cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_cycles` is zero.
+    pub fn new(window_cycles: u64) -> Self {
+        assert!(window_cycles > 0, "window must be nonzero");
+        BandwidthMeter {
+            window_cycles,
+            events: VecDeque::new(),
+            bytes_in_window: 0,
+            total_bytes: 0,
+            last_cycle: 0,
+        }
+    }
+
+    /// Records a transfer of `bytes` at `cycle`. Cycles must be
+    /// non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `cycle` goes backwards.
+    pub fn record(&mut self, cycle: u64, bytes: u64) {
+        debug_assert!(cycle >= self.last_cycle, "cycles must be monotonic");
+        self.last_cycle = cycle;
+        self.events.push_back((cycle, bytes));
+        self.bytes_in_window += bytes;
+        self.total_bytes += bytes;
+        let horizon = cycle.saturating_sub(self.window_cycles);
+        while let Some(&(c, b)) = self.events.front() {
+            if c < horizon {
+                self.events.pop_front();
+                self.bytes_in_window -= b;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Bytes per cycle over the current window.
+    pub fn window_rate(&self) -> f64 {
+        self.bytes_in_window as f64 / self.window_cycles as f64
+    }
+
+    /// Bytes per cycle averaged over the whole run.
+    pub fn lifetime_rate(&self) -> f64 {
+        if self.last_cycle == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.last_cycle as f64
+        }
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_stream_rate() {
+        let mut m = BandwidthMeter::new(100);
+        for c in 1..=100 {
+            m.record(c, 64);
+        }
+        assert!((m.window_rate() - 64.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn old_events_age_out() {
+        let mut m = BandwidthMeter::new(10);
+        m.record(1, 1000);
+        m.record(100, 64);
+        assert!(m.window_rate() < 10.0, "burst must have aged out");
+        assert_eq!(m.total_bytes(), 1064);
+    }
+
+    #[test]
+    fn lifetime_rate_covers_all() {
+        let mut m = BandwidthMeter::new(10);
+        m.record(50, 100);
+        m.record(100, 100);
+        assert!((m.lifetime_rate() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_meter_rates_are_zero() {
+        let m = BandwidthMeter::new(10);
+        assert_eq!(m.window_rate(), 0.0);
+        assert_eq!(m.lifetime_rate(), 0.0);
+    }
+}

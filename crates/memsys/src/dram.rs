@@ -1,0 +1,102 @@
+//! Average-latency DRAM model.
+
+/// Timing parameters of a DDR-era SDRAM part, in memory-bus cycles.
+///
+/// The model computes the average access latency from the row-buffer hit
+/// rate: a row hit pays CAS only; a row miss pays precharge + activate +
+/// CAS. This is deliberately an *average* model — the co-simulation is
+/// count-driven, matching the paper's methodology where Dragonhead counts
+/// events and latency enters analytically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Column access latency (tCAS/tCL), cycles.
+    pub t_cas: f64,
+    /// Row-to-column delay (tRCD), cycles.
+    pub t_rcd: f64,
+    /// Row precharge (tRP), cycles.
+    pub t_rp: f64,
+    /// Data burst transfer time for one cache line, cycles.
+    pub t_burst: f64,
+    /// Fraction of accesses hitting an open row, in [0, 1].
+    pub row_hit_rate: f64,
+    /// Fixed controller + interconnect overhead, cycles.
+    pub overhead: f64,
+}
+
+impl DramConfig {
+    /// DDR2-533-era part behind a 2007 front-side bus, with a typical
+    /// streaming row-hit rate.
+    pub fn ddr2_533() -> Self {
+        DramConfig {
+            t_cas: 4.0,
+            t_rcd: 4.0,
+            t_rp: 4.0,
+            t_burst: 4.0,
+            row_hit_rate: 0.6,
+            overhead: 20.0,
+        }
+    }
+
+    /// Average latency of one line fill, in memory-bus cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `row_hit_rate` is outside [0, 1].
+    pub fn avg_latency(&self) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&self.row_hit_rate));
+        let hit = self.t_cas + self.t_burst;
+        let miss = self.t_rp + self.t_rcd + self.t_cas + self.t_burst;
+        self.overhead + self.row_hit_rate * hit + (1.0 - self.row_hit_rate) * miss
+    }
+
+    /// Average latency converted to CPU cycles given the CPU:memory clock
+    /// ratio (e.g. 3 GHz CPU over 533 MHz bus ≈ 5.6).
+    pub fn avg_latency_cpu_cycles(&self, clock_ratio: f64) -> f64 {
+        self.avg_latency() * clock_ratio
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::ddr2_533()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_hit_is_cheaper_than_conflict() {
+        let mut all_hit = DramConfig::ddr2_533();
+        all_hit.row_hit_rate = 1.0;
+        let mut all_miss = DramConfig::ddr2_533();
+        all_miss.row_hit_rate = 0.0;
+        assert!(all_hit.avg_latency() < all_miss.avg_latency());
+    }
+
+    #[test]
+    fn latency_interpolates_with_hit_rate() {
+        let mut lo = DramConfig::ddr2_533();
+        lo.row_hit_rate = 0.0;
+        let mut mid = DramConfig::ddr2_533();
+        mid.row_hit_rate = 0.5;
+        let mut hi = DramConfig::ddr2_533();
+        hi.row_hit_rate = 1.0;
+        let expect = (lo.avg_latency() + hi.avg_latency()) / 2.0;
+        assert!((mid.avg_latency() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_cycle_conversion_scales() {
+        let d = DramConfig::ddr2_533();
+        assert!((d.avg_latency_cpu_cycles(5.0) - 5.0 * d.avg_latency()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_latency_is_plausible() {
+        // A 2007 memory access is roughly 50-400 CPU cycles at 3 GHz.
+        let lat = DramConfig::default().avg_latency_cpu_cycles(5.6);
+        assert!((50.0..400.0).contains(&lat), "latency {lat}");
+    }
+}

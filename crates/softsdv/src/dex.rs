@@ -1,0 +1,140 @@
+//! The DEX time-slice scheduler.
+
+/// What the scheduler decided for the next slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceDecision {
+    /// Run this virtual core for the next quantum.
+    Run(u32),
+    /// Every virtual core has retired (the workload completed).
+    AllDone,
+}
+
+/// Round-robin scheduler multiplexing N virtual cores onto one execution
+/// stream, the way SoftSDV's DEX driver time-slices a physical processor
+/// among the logical cores it exposes to the guest.
+///
+/// The scheduler only tracks liveness; the quantum (how much work one
+/// slice performs) is enforced by the platform, matching the paper's
+/// description where the DEX driver grants a duration and regains
+/// control afterwards.
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_softsdv::{DexScheduler, SliceDecision};
+/// let mut s = DexScheduler::new(3);
+/// assert_eq!(s.next_slice(), SliceDecision::Run(0));
+/// assert_eq!(s.next_slice(), SliceDecision::Run(1));
+/// s.retire(2);
+/// assert_eq!(s.next_slice(), SliceDecision::Run(0)); // 2 skipped
+/// ```
+#[derive(Debug, Clone)]
+pub struct DexScheduler {
+    alive: Vec<bool>,
+    cursor: usize,
+    slices: u64,
+}
+
+impl DexScheduler {
+    /// Creates a scheduler over `cores` virtual cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "at least one virtual core");
+        DexScheduler {
+            alive: vec![true; cores],
+            cursor: 0,
+            slices: 0,
+        }
+    }
+
+    /// Number of virtual cores (alive or retired).
+    pub fn cores(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of slices granted so far.
+    pub fn slices_granted(&self) -> u64 {
+        self.slices
+    }
+
+    /// Marks a virtual core as finished; it will not be scheduled again.
+    pub fn retire(&mut self, core: u32) {
+        self.alive[core as usize] = false;
+    }
+
+    /// Whether any virtual core still has work.
+    pub fn any_alive(&self) -> bool {
+        self.alive.iter().any(|&a| a)
+    }
+
+    /// Picks the next virtual core to run, round-robin over live cores.
+    pub fn next_slice(&mut self) -> SliceDecision {
+        let n = self.alive.len();
+        for _ in 0..n {
+            let c = self.cursor;
+            self.cursor = (self.cursor + 1) % n;
+            if self.alive[c] {
+                self.slices += 1;
+                return SliceDecision::Run(c as u32);
+            }
+        }
+        SliceDecision::AllDone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_order() {
+        let mut s = DexScheduler::new(3);
+        let picks: Vec<_> = (0..6).map(|_| s.next_slice()).collect();
+        assert_eq!(
+            picks,
+            vec![
+                SliceDecision::Run(0),
+                SliceDecision::Run(1),
+                SliceDecision::Run(2),
+                SliceDecision::Run(0),
+                SliceDecision::Run(1),
+                SliceDecision::Run(2),
+            ]
+        );
+        assert_eq!(s.slices_granted(), 6);
+    }
+
+    #[test]
+    fn retired_cores_are_skipped() {
+        let mut s = DexScheduler::new(3);
+        s.retire(1);
+        let picks: Vec<_> = (0..4).map(|_| s.next_slice()).collect();
+        assert!(picks.iter().all(|p| !matches!(p, SliceDecision::Run(1))));
+    }
+
+    #[test]
+    fn all_done_when_everyone_retired() {
+        let mut s = DexScheduler::new(2);
+        s.retire(0);
+        s.retire(1);
+        assert_eq!(s.next_slice(), SliceDecision::AllDone);
+        assert!(!s.any_alive());
+    }
+
+    #[test]
+    fn single_core_keeps_running() {
+        let mut s = DexScheduler::new(1);
+        for _ in 0..10 {
+            assert_eq!(s.next_slice(), SliceDecision::Run(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_cores_panics() {
+        let _ = DexScheduler::new(0);
+    }
+}

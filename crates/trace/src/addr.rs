@@ -1,0 +1,366 @@
+//! Simulated physical addresses and a region-based address space.
+//!
+//! Workload kernels do not use host pointers; they lay out their data
+//! structures in a simulated physical address space so that the cache
+//! simulator sees addresses with the same structure (bases, strides,
+//! alignment) as the paper's native x86 binaries produced on the FSB.
+
+use std::fmt;
+
+/// A simulated physical address.
+///
+/// `Addr` is a transparent newtype over `u64` ([C-NEWTYPE]): keeping
+/// simulated addresses a distinct type prevents them from being confused
+/// with counters, sizes, or host pointers anywhere in the stack.
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_trace::Addr;
+/// let a = Addr::new(0x1040);
+/// assert_eq!(a.line(64), 0x41);
+/// assert_eq!(a.line_base(64), Addr::new(0x1040));
+/// assert_eq!(Addr::new(0x105f).line_base(64), Addr::new(0x1040));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The raw 64-bit value of this address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache-line number this address falls in for the given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `line_size` is not a power of two.
+    pub const fn line(self, line_size: u64) -> u64 {
+        debug_assert!(line_size.is_power_of_two());
+        self.0 / line_size
+    }
+
+    /// The first address of the cache line containing `self`.
+    pub const fn line_base(self, line_size: u64) -> Addr {
+        Addr(self.0 & !(line_size - 1))
+    }
+
+    /// The byte offset of this address within its cache line.
+    pub const fn line_offset(self, line_size: u64) -> u64 {
+        self.0 & (line_size - 1)
+    }
+
+    /// Returns this address displaced by `delta` bytes.
+    pub const fn offset(self, delta: u64) -> Addr {
+        Addr(self.0 + delta)
+    }
+
+    /// Checked subtraction of two addresses, as a byte distance.
+    pub fn distance_from(self, base: Addr) -> Option<u64> {
+        self.0.checked_sub(base.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+/// A named, contiguous allocation inside an [`AddressSpace`].
+///
+/// Regions model a single data structure of a workload (a data table, an
+/// FP-tree arena, a frame buffer, ...). Kernels compute addresses relative
+/// to a region with [`Region::addr_at`], which bounds-checks in debug
+/// builds so layout bugs surface as panics instead of silently aliasing
+/// other structures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    name: String,
+    base: Addr,
+    size: u64,
+}
+
+impl Region {
+    /// The human-readable name the region was allocated under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// First address of the region.
+    pub const fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Size of the region in bytes.
+    pub const fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// One past the last address of the region.
+    pub const fn end(&self) -> Addr {
+        Addr::new(self.base.raw() + self.size)
+    }
+
+    /// The address `offset` bytes into the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `offset >= self.size()`.
+    #[inline]
+    pub fn addr_at(&self, offset: u64) -> Addr {
+        debug_assert!(
+            offset < self.size,
+            "offset {offset:#x} out of bounds for region `{}` of size {:#x}",
+            self.name,
+            self.size
+        );
+        self.base.offset(offset)
+    }
+
+    /// The address of element `index` in an array of `elem_size`-byte
+    /// elements starting at the region base.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the element ends outside the region.
+    #[inline]
+    pub fn elem(&self, index: u64, elem_size: u64) -> Addr {
+        debug_assert!(
+            (index + 1) * elem_size <= self.size,
+            "element {index} (size {elem_size}) out of bounds for region `{}`",
+            self.name
+        );
+        self.base.offset(index * elem_size)
+    }
+
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// Default base of the first allocation: leaves the low 256 MiB free, the
+/// way a real machine reserves low physical memory for firmware and MMIO.
+pub const DEFAULT_BASE: u64 = 0x1000_0000;
+
+/// A bump allocator over the simulated physical address space.
+///
+/// Each workload instance owns one `AddressSpace`; per-thread private
+/// structures are separate regions, so different threads' private data never
+/// share cache lines (matching the paper's workloads, which allocate
+/// per-thread buffers with malloc).
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_trace::AddressSpace;
+/// let mut space = AddressSpace::new();
+/// let a = space.alloc("a", 100, 64);
+/// let b = space.alloc("b", 100, 64);
+/// assert!(a.end() <= b.base());
+/// assert_eq!(b.base().raw() % 64, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    cursor: u64,
+    regions: Vec<Region>,
+}
+
+impl AddressSpace {
+    /// Creates an address space with the default base address.
+    pub fn new() -> Self {
+        Self::with_base(Addr::new(DEFAULT_BASE))
+    }
+
+    /// Creates an address space whose first allocation starts at `base`.
+    pub fn with_base(base: Addr) -> Self {
+        AddressSpace {
+            cursor: base.raw(),
+            regions: Vec::new(),
+        }
+    }
+
+    /// Allocates a region of `size` bytes aligned to `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or `size` is zero.
+    pub fn alloc(&mut self, name: &str, size: u64, align: u64) -> Region {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(size > 0, "cannot allocate an empty region");
+        let base = (self.cursor + align - 1) & !(align - 1);
+        self.cursor = base + size;
+        let region = Region {
+            name: name.to_owned(),
+            base: Addr::new(base),
+            size,
+        };
+        self.regions.push(region.clone());
+        region
+    }
+
+    /// Allocates a region page-aligned (4 KiB), the way large malloc/mmap
+    /// allocations land in practice.
+    pub fn alloc_pages(&mut self, name: &str, size: u64) -> Region {
+        self.alloc(name, size, 4096)
+    }
+
+    /// Total bytes allocated so far (the data footprint of the workload).
+    pub fn footprint(&self) -> u64 {
+        self.regions.iter().map(Region::size).sum()
+    }
+
+    /// All regions allocated so far, in allocation order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Looks a region up by name.
+    pub fn region(&self, name: &str) -> Option<&Region> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_math() {
+        let a = Addr::new(0x1234);
+        assert_eq!(a.line(64), 0x48);
+        assert_eq!(a.line_base(64).raw(), 0x1200);
+        assert_eq!(a.line_offset(64), 0x34);
+        assert_eq!(a.line_base(4096).raw(), 0x1000);
+    }
+
+    #[test]
+    fn line_base_identity_for_aligned() {
+        for ls in [64u64, 128, 256, 512, 1024, 2048, 4096] {
+            let a = Addr::new(7 * ls);
+            assert_eq!(a.line_base(ls), a);
+            assert_eq!(a.line_offset(ls), 0);
+        }
+    }
+
+    #[test]
+    fn offset_and_distance() {
+        let a = Addr::new(0x1000);
+        let b = a.offset(0x40);
+        assert_eq!(b.distance_from(a), Some(0x40));
+        assert_eq!(a.distance_from(b), None);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Addr::new(0xdead).to_string(), "0x000000dead");
+        assert_eq!(format!("{:x}", Addr::new(0xdead)), "dead");
+        assert_eq!(format!("{:X}", Addr::new(0xdead)), "DEAD");
+    }
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 3, 64);
+        let b = s.alloc("b", 10, 4096);
+        assert_eq!(a.base().raw() % 64, 0);
+        assert_eq!(b.base().raw() % 4096, 0);
+        assert!(b.base() >= a.end());
+    }
+
+    #[test]
+    fn alloc_regions_disjoint() {
+        let mut s = AddressSpace::new();
+        let regions: Vec<_> = (0..32)
+            .map(|i| s.alloc(&format!("r{i}"), 100 + i * 37, 1 << (i % 7)))
+            .collect();
+        for w in regions.windows(2) {
+            assert!(w[0].end() <= w[1].base());
+        }
+    }
+
+    #[test]
+    fn footprint_sums_sizes() {
+        let mut s = AddressSpace::new();
+        s.alloc("a", 100, 64);
+        s.alloc("b", 200, 64);
+        assert_eq!(s.footprint(), 300);
+    }
+
+    #[test]
+    fn region_lookup_by_name() {
+        let mut s = AddressSpace::new();
+        s.alloc("matrix", 1024, 64);
+        assert!(s.region("matrix").is_some());
+        assert!(s.region("nope").is_none());
+    }
+
+    #[test]
+    fn region_contains() {
+        let mut s = AddressSpace::new();
+        let r = s.alloc("r", 128, 64);
+        assert!(r.contains(r.base()));
+        assert!(r.contains(r.addr_at(127)));
+        assert!(!r.contains(r.end()));
+    }
+
+    #[test]
+    fn elem_addressing() {
+        let mut s = AddressSpace::new();
+        let r = s.alloc("arr", 64 * 10, 64);
+        assert_eq!(r.elem(3, 64), r.base().offset(192));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    #[cfg(debug_assertions)]
+    fn addr_at_bounds_checked() {
+        let mut s = AddressSpace::new();
+        let r = s.alloc("r", 64, 64);
+        let _ = r.addr_at(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn alloc_rejects_bad_alignment() {
+        let mut s = AddressSpace::new();
+        let _ = s.alloc("r", 64, 3);
+    }
+}

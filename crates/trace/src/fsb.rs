@@ -1,0 +1,126 @@
+//! Front-side-bus transactions as seen by a passive snooper.
+//!
+//! Dragonhead sits on the FSB behind the host processor's private caches
+//! (§3.1 of the paper), so what it observes is not individual loads and
+//! stores but *bus transactions*: line fills, read-for-ownership requests,
+//! and writebacks, plus the reserved-window transactions the co-simulation
+//! uses as control messages.
+
+use crate::addr::Addr;
+use crate::message::MSG_WINDOW_BASE;
+use std::fmt;
+
+/// The transaction types a P4-era front-side bus carries for the memory
+/// subsystem. Names follow Intel bus conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsbKind {
+    /// Bus Read Line — a clean line fill caused by a load miss (or an
+    /// instruction fetch miss).
+    ReadLine,
+    /// Bus Read Invalidate Line — read-for-ownership caused by a store
+    /// miss; fetches the line and invalidates other copies.
+    ReadInvalidateLine,
+    /// Bus Write Line — an explicit writeback of a dirty line.
+    WriteLine,
+    /// A transaction inside the reserved co-simulation message window.
+    Message,
+}
+
+impl FsbKind {
+    /// Whether this transaction transfers a full cache line of data.
+    pub const fn is_data(self) -> bool {
+        !matches!(self, FsbKind::Message)
+    }
+
+    /// Whether this transaction asks for ownership (will dirty the line).
+    pub const fn is_ownership(self) -> bool {
+        matches!(self, FsbKind::ReadInvalidateLine | FsbKind::WriteLine)
+    }
+}
+
+impl fmt::Display for FsbKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FsbKind::ReadLine => "BRL",
+            FsbKind::ReadInvalidateLine => "BRIL",
+            FsbKind::WriteLine => "BWL",
+            FsbKind::Message => "MSG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One transaction observed on the front-side bus.
+///
+/// `cycle` is the bus-clock timestamp at which the transaction's address
+/// phase was observed; the paper's Dragonhead uses it (together with the
+/// cycles-completed messages) to produce time-synchronized statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FsbTransaction {
+    /// Bus-clock cycle of the address phase.
+    pub cycle: u64,
+    /// Transaction type.
+    pub kind: FsbKind,
+    /// Line-aligned physical address (or message-window address).
+    pub addr: Addr,
+}
+
+impl FsbTransaction {
+    /// Creates a transaction, classifying reserved-window addresses as
+    /// [`FsbKind::Message`] regardless of the requested kind — a passive
+    /// snooper classifies by address decode, not by intent.
+    pub fn new(cycle: u64, kind: FsbKind, addr: Addr) -> Self {
+        let kind = if addr.raw() >= MSG_WINDOW_BASE {
+            FsbKind::Message
+        } else {
+            kind
+        };
+        FsbTransaction { cycle, kind, addr }
+    }
+
+    /// Whether the transaction falls in the co-simulation message window.
+    pub fn is_message(&self) -> bool {
+        matches!(self.kind, FsbKind::Message)
+    }
+}
+
+impl fmt::Display for FsbTransaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {} {}", self.cycle, self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_and_ownership_predicates() {
+        assert!(FsbKind::ReadLine.is_data());
+        assert!(!FsbKind::Message.is_data());
+        assert!(FsbKind::ReadInvalidateLine.is_ownership());
+        assert!(FsbKind::WriteLine.is_ownership());
+        assert!(!FsbKind::ReadLine.is_ownership());
+    }
+
+    #[test]
+    fn reserved_window_is_always_message() {
+        let t = FsbTransaction::new(0, FsbKind::ReadLine, Addr::new(MSG_WINDOW_BASE + 0x40));
+        assert_eq!(t.kind, FsbKind::Message);
+        assert!(t.is_message());
+    }
+
+    #[test]
+    fn normal_address_keeps_kind() {
+        let t = FsbTransaction::new(7, FsbKind::WriteLine, Addr::new(0x1000));
+        assert_eq!(t.kind, FsbKind::WriteLine);
+        assert!(!t.is_message());
+        assert_eq!(t.cycle, 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = FsbTransaction::new(3, FsbKind::ReadLine, Addr::new(0x40));
+        assert_eq!(t.to_string(), "@3 BRL 0x0000000040");
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! Memory-reference and front-side-bus (FSB) transaction substrate for
+//! `cmpsim`.
+//!
+//! This crate provides the vocabulary types shared by every other layer of
+//! the co-simulation stack:
+//!
+//! * [`Addr`] and [`AddressSpace`] — a simulated physical address space in
+//!   which workload kernels lay out their data structures,
+//! * [`MemRef`] — a single memory reference emitted by an instrumented
+//!   workload kernel,
+//! * [`FsbTransaction`] — a bus-level transaction as observed by a passive
+//!   snooper sitting on the front-side bus,
+//! * [`Message`] and [`MessageCodec`] — the SoftSDV → Dragonhead
+//!   co-simulation control protocol, encoded as memory transactions to a
+//!   reserved address window exactly as described in §3.3 of the paper,
+//! * [`TraceSink`] / [`Tracer`] — the instrumentation channel between
+//!   workload kernels and the platform model,
+//! * [`Pcg32`] — a small deterministic RNG so that every simulation is
+//!   bit-reproducible across runs and platforms.
+//!
+//! # Example
+//!
+//! ```
+//! use cmpsim_trace::{AddressSpace, Tracer, VecSink, AccessKind};
+//!
+//! let mut space = AddressSpace::new();
+//! let table = space.alloc("table", 4096, 64);
+//! let mut tracer = Tracer::new(VecSink::new());
+//! tracer.read(table.addr_at(128), 8);
+//! tracer.ops(3); // three non-memory instructions
+//! assert_eq!(tracer.instructions(), 4);
+//! let sink = tracer.into_sink();
+//! assert_eq!(sink.records().len(), 1);
+//! assert_eq!(sink.records()[0].kind, AccessKind::Read);
+//! ```
+
+pub mod addr;
+pub mod file;
+pub mod fsb;
+pub mod message;
+pub mod record;
+pub mod rng;
+pub mod scale;
+pub mod stream;
+
+pub use addr::{Addr, AddressSpace, Region};
+pub use fsb::{FsbKind, FsbTransaction};
+pub use message::{Message, MessageCodec, MessageDecodeError, MSG_WINDOW_BASE, MSG_WINDOW_SIZE};
+pub use record::{AccessKind, MemRef};
+pub use rng::{Pcg32, ZipfTable};
+pub use scale::Scale;
+pub use stream::{CountingSink, FnSink, NullSink, TeeSink, TraceSink, Tracer, VecSink};

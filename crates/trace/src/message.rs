@@ -1,0 +1,318 @@
+//! The SoftSDV → Dragonhead co-simulation control protocol.
+//!
+//! §3.3 of the paper: *"Some memory transactions are predefined as messages
+//! from SoftSDV to Dragonhead"*. The simulator communicates with the passive
+//! cache emulator over the only channel a bus snooper can observe — memory
+//! transactions — by reserving a high address window and encoding the
+//! message kind and payload in the transaction address bits.
+//!
+//! Five messages exist, exactly the paper's list:
+//!
+//! 1. start emulation,
+//! 2. stop emulation,
+//! 3. core id,
+//! 4. instructions retired,
+//! 5. cycles completed.
+//!
+//! 64-bit payloads do not fit in the address bits of one transaction, so
+//! they are carried by a *high-half* transaction followed by a *low-half*
+//! transaction. The encoder omits the high half when it is zero; the decoder
+//! treats a missing high half as zero.
+
+use crate::addr::Addr;
+use crate::fsb::{FsbKind, FsbTransaction};
+use std::fmt;
+
+/// Base of the reserved message window (64 TiB), far above any simulated
+/// DRAM address.
+pub const MSG_WINDOW_BASE: u64 = 1 << 46;
+
+/// Size of the reserved message window.
+pub const MSG_WINDOW_SIZE: u64 = 1 << 43;
+
+const KIND_SHIFT: u32 = 38;
+const PAYLOAD_SHIFT: u32 = 6; // keep message addresses line-aligned
+const PAYLOAD_MASK: u64 = 0xFFFF_FFFF;
+
+const KIND_START: u64 = 1;
+const KIND_STOP: u64 = 2;
+const KIND_CORE_ID: u64 = 3;
+const KIND_INSTRET_LO: u64 = 4;
+const KIND_INSTRET_HI: u64 = 5;
+const KIND_CYCLES_LO: u64 = 6;
+const KIND_CYCLES_HI: u64 = 7;
+
+/// A co-simulation control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Message {
+    /// Begin attributing bus traffic to the simulated workload.
+    Start,
+    /// Stop attributing bus traffic (e.g. the host OS is about to run).
+    Stop,
+    /// The virtual core that owns the current DEX time slice.
+    CoreId(u32),
+    /// Cumulative instructions retired by the current core, for
+    /// instruction-synchronized statistics (MPKI).
+    InstructionsRetired(u64),
+    /// Cumulative simulated cycles completed, for time-synchronized
+    /// statistics (miss rate over time).
+    CyclesCompleted(u64),
+}
+
+/// Errors produced when decoding a message transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageDecodeError {
+    /// The transaction address is not in the reserved window.
+    NotAMessage(Addr),
+    /// The kind field holds a value the protocol does not define.
+    UnknownKind(u64),
+}
+
+impl fmt::Display for MessageDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MessageDecodeError::NotAMessage(a) => {
+                write!(f, "address {a} is outside the message window")
+            }
+            MessageDecodeError::UnknownKind(k) => write!(f, "unknown message kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for MessageDecodeError {}
+
+/// Encoder/decoder for the message protocol.
+///
+/// The decoder is stateful because 64-bit payloads span two transactions;
+/// one codec instance must see the transaction stream in order (which is
+/// how a bus snooper sees it).
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_trace::{Message, MessageCodec};
+///
+/// let mut codec = MessageCodec::new();
+/// let txns = MessageCodec::encode(Message::InstructionsRetired(5_000_000_000), 0);
+/// let mut decoded = None;
+/// for t in &txns {
+///     decoded = codec.decode(t).unwrap();
+/// }
+/// assert_eq!(decoded, Some(Message::InstructionsRetired(5_000_000_000)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MessageCodec {
+    pending_instret_hi: u64,
+    pending_cycles_hi: u64,
+}
+
+impl MessageCodec {
+    /// Creates a codec with no pending high halves.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pack(kind: u64, payload: u64) -> Addr {
+        debug_assert!(payload <= PAYLOAD_MASK);
+        Addr::new(MSG_WINDOW_BASE | (kind << KIND_SHIFT) | (payload << PAYLOAD_SHIFT))
+    }
+
+    fn unpack(addr: Addr) -> Option<(u64, u64)> {
+        let raw = addr.raw();
+        if !(MSG_WINDOW_BASE..MSG_WINDOW_BASE + MSG_WINDOW_SIZE).contains(&raw) {
+            return None;
+        }
+        let rel = raw - MSG_WINDOW_BASE;
+        let kind = rel >> KIND_SHIFT;
+        let payload = (rel >> PAYLOAD_SHIFT) & PAYLOAD_MASK;
+        Some((kind, payload))
+    }
+
+    /// Encodes a message as one or two bus transactions stamped with
+    /// `cycle`. Two transactions are produced only for 64-bit payloads
+    /// whose high half is nonzero.
+    pub fn encode(msg: Message, cycle: u64) -> Vec<FsbTransaction> {
+        let mk =
+            |kind, payload| FsbTransaction::new(cycle, FsbKind::Message, Self::pack(kind, payload));
+        match msg {
+            Message::Start => vec![mk(KIND_START, 0)],
+            Message::Stop => vec![mk(KIND_STOP, 0)],
+            Message::CoreId(id) => vec![mk(KIND_CORE_ID, u64::from(id))],
+            Message::InstructionsRetired(v) => {
+                let (hi, lo) = (v >> 32, v & PAYLOAD_MASK);
+                if hi == 0 {
+                    vec![mk(KIND_INSTRET_LO, lo)]
+                } else {
+                    vec![mk(KIND_INSTRET_HI, hi), mk(KIND_INSTRET_LO, lo)]
+                }
+            }
+            Message::CyclesCompleted(v) => {
+                let (hi, lo) = (v >> 32, v & PAYLOAD_MASK);
+                if hi == 0 {
+                    vec![mk(KIND_CYCLES_LO, lo)]
+                } else {
+                    vec![mk(KIND_CYCLES_HI, hi), mk(KIND_CYCLES_LO, lo)]
+                }
+            }
+        }
+    }
+
+    /// Decodes one transaction.
+    ///
+    /// Returns `Ok(Some(msg))` when the transaction completes a message,
+    /// `Ok(None)` when it is the high half of a payload still awaiting its
+    /// low half.
+    ///
+    /// # Errors
+    ///
+    /// [`MessageDecodeError::NotAMessage`] if the address is outside the
+    /// reserved window; [`MessageDecodeError::UnknownKind`] for undefined
+    /// kind fields.
+    pub fn decode(&mut self, txn: &FsbTransaction) -> Result<Option<Message>, MessageDecodeError> {
+        let (kind, payload) =
+            Self::unpack(txn.addr).ok_or(MessageDecodeError::NotAMessage(txn.addr))?;
+        match kind {
+            KIND_START => Ok(Some(Message::Start)),
+            KIND_STOP => Ok(Some(Message::Stop)),
+            KIND_CORE_ID => Ok(Some(Message::CoreId(payload as u32))),
+            KIND_INSTRET_HI => {
+                self.pending_instret_hi = payload;
+                Ok(None)
+            }
+            KIND_INSTRET_LO => {
+                let v = (self.pending_instret_hi << 32) | payload;
+                self.pending_instret_hi = 0;
+                Ok(Some(Message::InstructionsRetired(v)))
+            }
+            KIND_CYCLES_HI => {
+                self.pending_cycles_hi = payload;
+                Ok(None)
+            }
+            KIND_CYCLES_LO => {
+                let v = (self.pending_cycles_hi << 32) | payload;
+                self.pending_cycles_hi = 0;
+                Ok(Some(Message::CyclesCompleted(v)))
+            }
+            k => Err(MessageDecodeError::UnknownKind(k)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) -> Message {
+        let mut codec = MessageCodec::new();
+        let txns = MessageCodec::encode(msg, 0);
+        let mut out = None;
+        for t in &txns {
+            out = codec.decode(t).unwrap();
+        }
+        out.expect("message should complete")
+    }
+
+    #[test]
+    fn roundtrip_simple_messages() {
+        assert_eq!(roundtrip(Message::Start), Message::Start);
+        assert_eq!(roundtrip(Message::Stop), Message::Stop);
+        assert_eq!(roundtrip(Message::CoreId(31)), Message::CoreId(31));
+    }
+
+    #[test]
+    fn roundtrip_small_counter_uses_one_txn() {
+        let txns = MessageCodec::encode(Message::InstructionsRetired(123), 0);
+        assert_eq!(txns.len(), 1);
+        assert_eq!(
+            roundtrip(Message::InstructionsRetired(123)),
+            Message::InstructionsRetired(123)
+        );
+    }
+
+    #[test]
+    fn roundtrip_large_counter_uses_two_txns() {
+        let v = 217_800_000_000; // MDS instruction count from Table 2
+        let txns = MessageCodec::encode(Message::InstructionsRetired(v), 0);
+        assert_eq!(txns.len(), 2);
+        assert_eq!(
+            roundtrip(Message::InstructionsRetired(v)),
+            Message::InstructionsRetired(v)
+        );
+    }
+
+    #[test]
+    fn roundtrip_cycles() {
+        let v = u64::MAX - 17;
+        assert_eq!(
+            roundtrip(Message::CyclesCompleted(v)),
+            Message::CyclesCompleted(v)
+        );
+    }
+
+    #[test]
+    fn hi_half_returns_none() {
+        let mut codec = MessageCodec::new();
+        let txns = MessageCodec::encode(Message::CyclesCompleted(1 << 40), 0);
+        assert_eq!(codec.decode(&txns[0]).unwrap(), None);
+        assert!(codec.decode(&txns[1]).unwrap().is_some());
+    }
+
+    #[test]
+    fn hi_half_cleared_after_use() {
+        let mut codec = MessageCodec::new();
+        for t in &MessageCodec::encode(Message::CyclesCompleted(1 << 40), 0) {
+            let _ = codec.decode(t).unwrap();
+        }
+        // A subsequent small value must not inherit the old high half.
+        let txns = MessageCodec::encode(Message::CyclesCompleted(5), 0);
+        assert_eq!(
+            codec.decode(&txns[0]).unwrap(),
+            Some(Message::CyclesCompleted(5))
+        );
+    }
+
+    #[test]
+    fn non_window_address_is_error() {
+        let mut codec = MessageCodec::new();
+        let t = FsbTransaction::new(0, FsbKind::ReadLine, Addr::new(0x1000));
+        assert!(matches!(
+            codec.decode(&t),
+            Err(MessageDecodeError::NotAMessage(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_error() {
+        let mut codec = MessageCodec::new();
+        let t = FsbTransaction::new(
+            0,
+            FsbKind::Message,
+            Addr::new(MSG_WINDOW_BASE | (9 << KIND_SHIFT)),
+        );
+        assert!(matches!(
+            codec.decode(&t),
+            Err(MessageDecodeError::UnknownKind(9))
+        ));
+    }
+
+    #[test]
+    fn message_addresses_are_line_aligned() {
+        for msg in [
+            Message::Start,
+            Message::CoreId(7),
+            Message::InstructionsRetired(0xDEAD_BEEF_CAFE),
+        ] {
+            for t in MessageCodec::encode(msg, 0) {
+                assert_eq!(t.addr.raw() % 64, 0, "{msg:?} produced unaligned address");
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_transactions_classified_as_messages() {
+        for t in MessageCodec::encode(Message::Start, 9) {
+            assert!(t.is_message());
+            assert_eq!(t.cycle, 9);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Individual memory references emitted by instrumented workload kernels.
+
+use crate::addr::Addr;
+use std::fmt;
+
+/// The kind of a memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+    /// An instruction fetch. The co-simulation excludes these from LLC
+    /// emulation by default (the paper's Dragonhead emulates a data-side
+    /// LLC fed by FSB data transactions), but the kernels still emit them
+    /// so instruction-mix statistics are complete.
+    IFetch,
+}
+
+impl AccessKind {
+    /// Whether the access reads memory (loads and instruction fetches).
+    pub const fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read | AccessKind::IFetch)
+    }
+
+    /// Whether the access writes memory.
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+
+    /// Whether the access is a data access (not an instruction fetch).
+    pub const fn is_data(self) -> bool {
+        !matches!(self, AccessKind::IFetch)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Read => "R",
+            AccessKind::Write => "W",
+            AccessKind::IFetch => "I",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single memory reference.
+///
+/// This is the unit of communication between an executing workload kernel
+/// and the platform model. Core attribution happens later: the [DEX
+/// scheduler] knows which virtual core is executing in the current time
+/// slice, exactly as in the paper where Dragonhead learns the core id from
+/// a message rather than from the transaction itself.
+///
+/// [DEX scheduler]: https://docs.rs/cmpsim-softsdv
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// The accessed (simulated physical) address.
+    pub addr: Addr,
+    /// Access size in bytes (1–4096).
+    pub size: u32,
+    /// Load, store, or instruction fetch.
+    pub kind: AccessKind,
+}
+
+impl MemRef {
+    /// Creates a data-load reference.
+    pub const fn read(addr: Addr, size: u32) -> Self {
+        MemRef {
+            addr,
+            size,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Creates a data-store reference.
+    pub const fn write(addr: Addr, size: u32) -> Self {
+        MemRef {
+            addr,
+            size,
+            kind: AccessKind::Write,
+        }
+    }
+
+    /// Creates an instruction-fetch reference.
+    pub const fn ifetch(addr: Addr, size: u32) -> Self {
+        MemRef {
+            addr,
+            size,
+            kind: AccessKind::IFetch,
+        }
+    }
+
+    /// Iterates over the cache-line numbers this reference touches for the
+    /// given line size. A reference that straddles a line boundary touches
+    /// two (or more) lines, and the cache model must look each up.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cmpsim_trace::{Addr, MemRef};
+    /// let r = MemRef::read(Addr::new(60), 8); // straddles lines 0 and 1
+    /// let lines: Vec<u64> = r.lines(64).collect();
+    /// assert_eq!(lines, vec![0, 1]);
+    /// ```
+    pub fn lines(&self, line_size: u64) -> impl Iterator<Item = u64> {
+        let first = self.addr.line(line_size);
+        let last = self
+            .addr
+            .offset(u64::from(self.size.max(1)) - 1)
+            .line(line_size);
+        first..=last
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{}B]", self.kind, self.addr, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert!(AccessKind::IFetch.is_read());
+        assert!(!AccessKind::IFetch.is_data());
+        assert!(AccessKind::Read.is_data());
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        let a = Addr::new(0x40);
+        assert_eq!(MemRef::read(a, 4).kind, AccessKind::Read);
+        assert_eq!(MemRef::write(a, 4).kind, AccessKind::Write);
+        assert_eq!(MemRef::ifetch(a, 4).kind, AccessKind::IFetch);
+    }
+
+    #[test]
+    fn single_line_access() {
+        let r = MemRef::read(Addr::new(0x100), 8);
+        assert_eq!(r.lines(64).collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let r = MemRef::write(Addr::new(0x13c), 8);
+        assert_eq!(r.lines(64).collect::<Vec<_>>(), vec![4, 5]);
+    }
+
+    #[test]
+    fn large_access_touches_many_lines() {
+        let r = MemRef::read(Addr::new(0), 256);
+        assert_eq!(r.lines(64).count(), 4);
+        assert_eq!(r.lines(256).count(), 1);
+    }
+
+    #[test]
+    fn zero_size_access_touches_one_line() {
+        let r = MemRef::read(Addr::new(0x40), 0);
+        assert_eq!(r.lines(64).count(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = MemRef::read(Addr::new(0x40), 8);
+        assert_eq!(r.to_string(), "R 0x0000000040 [8B]");
+    }
+}

@@ -1,0 +1,316 @@
+//! A small deterministic random-number generator.
+//!
+//! Simulations must be bit-reproducible: the same seed must produce the
+//! same synthetic dataset, the same trace, and the same miss counts on
+//! every platform and in every release. We therefore implement PCG32
+//! (O'Neill 2014, `PCG-XSH-RR 64/32`) directly instead of depending on an
+//! external RNG whose stream could change between versions.
+
+/// PCG32 generator (64-bit state, 32-bit output).
+///
+/// # Example
+///
+/// ```
+/// use cmpsim_trace::Pcg32;
+/// let mut a = Pcg32::seed(42);
+/// let mut b = Pcg32::seed(42);
+/// assert_eq!(a.next_u32(), b.next_u32()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+const PCG_DEFAULT_STREAM: u64 = 1_442_695_040_888_963_407;
+
+impl Pcg32 {
+    /// Creates a generator from a seed, using the reference stream.
+    pub fn seed(seed: u64) -> Self {
+        Self::seed_stream(seed, PCG_DEFAULT_STREAM >> 1)
+    }
+
+    /// Creates a generator from a seed and stream id; different streams
+    /// with the same seed are statistically independent. Used to give each
+    /// workload thread its own stream.
+    pub fn seed_stream(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        let _ = rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        let _ = rng.next_u32();
+        rng
+    }
+
+    /// Next 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        if bound <= u64::from(u32::MAX) {
+            u64::from(self.below_u32(bound as u32))
+        } else {
+            // Simple modulo for the (rare) huge-bound case; bias is
+            // negligible for bounds far below 2^64.
+            self.next_u64() % bound
+        }
+    }
+
+    #[inline]
+    fn below_u32(&mut self, bound: u32) -> u32 {
+        // Lemire's unbiased multiply-shift method.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u32();
+            let m = u64::from(x) * u64::from(bound);
+            if (m as u32) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to [0, 1]).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A draw from Zipf(`n`, `s`) in `[0, n)`, by inverse-CDF over
+    /// precomputed weights. For repeated draws prefer [`ZipfTable`].
+    pub fn zipf_once(&mut self, n: u64, s: f64) -> u64 {
+        ZipfTable::new(n as usize, s).sample(self) as u64
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Precomputed inverse-CDF sampler for a Zipf distribution.
+///
+/// Transactional datasets like Kosarak (the FIMI input) have heavily skewed
+/// item frequencies; Zipf sampling reproduces that skew in the synthetic
+/// dataset generators.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds a sampler over ranks `0..n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Number of ranks in the support.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most frequent.
+    pub fn sample(&self, rng: &mut Pcg32) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Pcg32::seed(7);
+        let mut b = Pcg32::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ() {
+        let mut a = Pcg32::seed_stream(7, 1);
+        let mut b = Pcg32::seed_stream(7, 2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "independent streams should rarely collide");
+    }
+
+    #[test]
+    fn reference_vector() {
+        // First outputs of the PCG32 reference implementation with
+        // seed=42, stream=54 (from the pcg-random.org demo program).
+        let mut rng = Pcg32::seed_stream(42, 54);
+        let expected: [u32; 6] = [
+            0xa15c_02b7,
+            0x7b47_f409,
+            0xba1d_3330,
+            0x83d2_f293,
+            0xbfa4_784b,
+            0xcbed_606e,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u32(), e);
+        }
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = Pcg32::seed(1);
+        for bound in [1u64, 2, 3, 10, 1000, 1 << 33] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_covers_small_range() {
+        let mut rng = Pcg32::seed(2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.below(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut rng = Pcg32::seed(3);
+        for _ in 0..200 {
+            let v = rng.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = Pcg32::seed(4);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut rng = Pcg32::seed(5);
+        let mean: f64 = (0..10_000).map(|_| rng.f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Pcg32::seed(6);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let table = ZipfTable::new(1000, 1.0);
+        let mut rng = Pcg32::seed(7);
+        let mut rank0 = 0;
+        let mut tail = 0;
+        for _ in 0..10_000 {
+            let r = table.sample(&mut rng);
+            if r == 0 {
+                rank0 += 1;
+            }
+            if r >= 500 {
+                tail += 1;
+            }
+        }
+        assert!(rank0 > 800, "rank 0 drawn {rank0} times");
+        assert!(tail < 2000, "tail drawn {tail} times");
+    }
+
+    #[test]
+    fn zipf_sample_in_support() {
+        let table = ZipfTable::new(17, 1.2);
+        let mut rng = Pcg32::seed(8);
+        for _ in 0..500 {
+            assert!(table.sample(&mut rng) < 17);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg32::seed(9);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle changed order");
+    }
+}

@@ -1,0 +1,149 @@
+//! Global scale knob.
+//!
+//! The paper runs every workload to completion — 15 to 357 *billion*
+//! instructions — on FPGA-accelerated infrastructure. A software
+//! reproduction sweeping 8 workloads × 3 CMP sizes × 7 cache sizes cannot
+//! afford that, so all footprints and iteration counts are divided by a
+//! power of two. Crucially, the *experiment harness applies the same
+//! divisor to the cache sizes*, so every shape the paper reports (the
+//! position of working-set knees relative to cache size, sharing
+//! categories, line-size crossovers) is preserved exactly; only absolute
+//! bytes change. `EXPERIMENTS.md` records the scale used for each run.
+
+use std::fmt;
+
+/// A power-of-two divisor applied to all byte sizes and work counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scale {
+    shift: u32,
+}
+
+impl Scale {
+    /// Full paper scale (divisor 1): 4 MB–256 MB caches, up to 300 MB
+    /// footprints. Hours of simulation for the full sweep.
+    pub const fn paper() -> Self {
+        Scale { shift: 0 }
+    }
+
+    /// Continuous-integration scale (divisor 16): 256 KB–16 MB caches,
+    /// ≤ 19 MB footprints. The default for benches.
+    pub const fn ci() -> Self {
+        Scale { shift: 4 }
+    }
+
+    /// Unit-test scale (divisor 256): everything fits in a few hundred
+    /// kilobytes and single workload runs take milliseconds.
+    pub const fn tiny() -> Self {
+        Scale { shift: 8 }
+    }
+
+    /// A custom power-of-two divisor `2^shift`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift > 16`.
+    pub fn with_shift(shift: u32) -> Self {
+        assert!(shift <= 16, "scale shift {shift} too large");
+        Scale { shift }
+    }
+
+    /// The shift (log2 of the divisor).
+    pub const fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// The divisor.
+    pub const fn divisor(&self) -> u64 {
+        1 << self.shift
+    }
+
+    /// Scales a byte size down, keeping at least `floor` bytes.
+    pub const fn bytes_floor(&self, paper_bytes: u64, floor: u64) -> u64 {
+        let scaled = paper_bytes >> self.shift;
+        if scaled < floor {
+            floor
+        } else {
+            scaled
+        }
+    }
+
+    /// Scales a byte size down (floor of 64 bytes — one cache line).
+    pub const fn bytes(&self, paper_bytes: u64) -> u64 {
+        self.bytes_floor(paper_bytes, 64)
+    }
+
+    /// Scales an element/iteration count down (floor of 1).
+    pub const fn count(&self, paper_count: u64) -> u64 {
+        self.bytes_floor(paper_count, 1)
+    }
+
+    /// Scales a power-of-two byte size (cache capacities), keeping the
+    /// result a power of two and at least `floor`.
+    pub fn pow2_bytes(&self, paper_bytes: u64, floor: u64) -> u64 {
+        debug_assert!(paper_bytes.is_power_of_two());
+        self.bytes_floor(paper_bytes, floor).next_power_of_two()
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::ci()
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.shift {
+            0 => f.write_str("paper (1:1)"),
+            s => write!(f, "1:{}", 1u64 << s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_identity() {
+        let s = Scale::paper();
+        assert_eq!(s.bytes(300 << 20), 300 << 20);
+        assert_eq!(s.count(990_000), 990_000);
+        assert_eq!(s.divisor(), 1);
+    }
+
+    #[test]
+    fn ci_scale_divides_by_16() {
+        let s = Scale::ci();
+        assert_eq!(s.bytes(256 << 20), 16 << 20);
+        assert_eq!(s.count(16_000), 1_000);
+    }
+
+    #[test]
+    fn floors_are_respected() {
+        let s = Scale::tiny();
+        assert_eq!(s.bytes(64), 64);
+        assert_eq!(s.count(10), 1);
+        assert_eq!(s.bytes_floor(1 << 20, 8192), 8192);
+    }
+
+    #[test]
+    fn pow2_stays_pow2() {
+        let s = Scale::with_shift(3);
+        for size in [1u64 << 20, 4 << 20, 256 << 20] {
+            assert!(s.pow2_bytes(size, 4096).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Scale::paper().to_string(), "paper (1:1)");
+        assert_eq!(Scale::ci().to_string(), "1:16");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn excessive_shift_panics() {
+        let _ = Scale::with_shift(30);
+    }
+}

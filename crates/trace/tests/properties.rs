@@ -1,0 +1,130 @@
+//! Property-based tests for the trace substrate.
+
+use cmpsim_trace::{
+    Addr, AddressSpace, MemRef, Message, MessageCodec, Pcg32, TraceSink, Tracer, VecSink,
+};
+use proptest::prelude::*;
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        Just(Message::Start),
+        Just(Message::Stop),
+        any::<u32>().prop_map(Message::CoreId),
+        any::<u64>().prop_map(Message::InstructionsRetired),
+        any::<u64>().prop_map(Message::CyclesCompleted),
+    ]
+}
+
+proptest! {
+    /// Any message round-trips through the address encoding.
+    #[test]
+    fn message_roundtrip(msg in message_strategy()) {
+        let mut codec = MessageCodec::new();
+        let mut decoded = None;
+        for t in MessageCodec::encode(msg, 0) {
+            decoded = codec.decode(&t).unwrap();
+        }
+        prop_assert_eq!(decoded, Some(msg));
+    }
+
+    /// Interleaving unrelated completed messages between the halves of a
+    /// two-part counter does not corrupt it (the decoder keeps per-kind
+    /// high halves).
+    #[test]
+    fn message_interleaving(v in (1u64 << 32).., core in any::<u32>()) {
+        let mut codec = MessageCodec::new();
+        let txns = MessageCodec::encode(Message::InstructionsRetired(v), 0);
+        prop_assert_eq!(txns.len(), 2);
+        prop_assert_eq!(codec.decode(&txns[0]).unwrap(), None);
+        // A core-id message lands between the halves.
+        for t in MessageCodec::encode(Message::CoreId(core), 0) {
+            prop_assert_eq!(codec.decode(&t).unwrap(), Some(Message::CoreId(core)));
+        }
+        prop_assert_eq!(
+            codec.decode(&txns[1]).unwrap(),
+            Some(Message::InstructionsRetired(v))
+        );
+    }
+
+    /// Allocations never overlap and respect alignment.
+    #[test]
+    fn regions_disjoint(sizes in prop::collection::vec((1u64..10_000, 0u32..8), 1..40)) {
+        let mut space = AddressSpace::new();
+        let regions: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &(size, align_log))| {
+                space.alloc(&format!("r{i}"), size, 1 << align_log)
+            })
+            .collect();
+        for (i, r) in regions.iter().enumerate() {
+            prop_assert_eq!(r.base().raw() % (1 << sizes[i].1), 0);
+            for other in &regions[i + 1..] {
+                prop_assert!(r.end() <= other.base() || other.end() <= r.base());
+            }
+        }
+        prop_assert_eq!(space.footprint(), sizes.iter().map(|s| s.0).sum::<u64>());
+    }
+
+    /// `MemRef::lines` covers exactly the bytes the access touches.
+    #[test]
+    fn lines_cover_access(addr in 0u64..100_000, size in 1u32..5_000) {
+        let r = MemRef::read(Addr::new(addr), size);
+        let lines: Vec<u64> = r.lines(64).collect();
+        prop_assert_eq!(*lines.first().unwrap(), addr / 64);
+        prop_assert_eq!(*lines.last().unwrap(), (addr + u64::from(size) - 1) / 64);
+        prop_assert!(lines.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    /// The PCG stays in range and is reproducible.
+    #[test]
+    fn pcg_bounded_and_deterministic(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = Pcg32::seed(seed);
+        let mut b = Pcg32::seed(seed);
+        for _ in 0..50 {
+            let x = a.below(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.below(bound));
+        }
+    }
+
+    /// Tracer accounting matches the sink's view for any access mix.
+    #[test]
+    fn tracer_matches_sink(ops in prop::collection::vec((0u8..3, 0u64..1 << 20), 1..200)) {
+        let mut tracer = Tracer::new(VecSink::new());
+        let (mut loads, mut stores) = (0u64, 0u64);
+        for &(kind, addr) in &ops {
+            match kind {
+                0 => {
+                    tracer.read(Addr::new(addr), 8);
+                    loads += 1;
+                }
+                1 => {
+                    tracer.write(Addr::new(addr), 8);
+                    stores += 1;
+                }
+                _ => tracer.ops(3),
+            }
+        }
+        prop_assert_eq!(tracer.loads(), loads);
+        prop_assert_eq!(tracer.stores(), stores);
+        prop_assert_eq!(tracer.sink().records().len() as u64, loads + stores);
+    }
+
+    /// Fractional op charging converges to the exact expected total.
+    #[test]
+    fn ops_f_is_exact_in_the_limit(per in 0.01f64..4.0, n in 100u32..2000) {
+        struct Null;
+        impl TraceSink for Null {
+            fn record(&mut self, _r: MemRef) {}
+        }
+        let mut t = Tracer::new(Null);
+        for _ in 0..n {
+            t.read(Addr::new(0), 4);
+            t.ops_f(per);
+        }
+        let expect = f64::from(n) * per;
+        let got = (t.instructions() - t.memory_instructions()) as f64;
+        prop_assert!((got - expect).abs() <= 1.0, "{got} vs {expect}");
+    }
+}

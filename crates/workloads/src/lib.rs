@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! The eight parallel data-mining workloads of the ISPASS 2007 study,
+//! reimplemented as *instrumented kernels*.
+//!
+//! Each workload (§2, Table 1 of the paper):
+//!
+//! | Id | Algorithm | Input shape |
+//! |----|-----------|-------------|
+//! | [`WorkloadId::Snp`] | Bayesian-network structure learning by hill climbing | 600 k sequences × 50 sites |
+//! | [`WorkloadId::SvmRfe`] | SVM recursive feature elimination | 253 samples × 15 k genes |
+//! | [`WorkloadId::Rsearch`] | CYK/SCFG RNA homology search | 100 MB database, window 100 |
+//! | [`WorkloadId::Fimi`] | FP-growth frequent-itemset mining | 990 k transactions |
+//! | [`WorkloadId::Plsa`] | Smith–Waterman linear-space alignment | two 30 k sequences |
+//! | [`WorkloadId::Mds`] | graph-ranking + MMR multi-document summarization | 300 MB sparse matrix |
+//! | [`WorkloadId::Shot`] | color-histogram shot-boundary detection | 10-min 720×576 video |
+//! | [`WorkloadId::Viewtype`] | HSV dominant-color view classification | 10-min 720×576 video |
+//!
+//! A workload owns a synthetic dataset generated to the paper's Table 1
+//! shape and lays its data structures out in a simulated
+//! [`AddressSpace`](cmpsim_trace::AddressSpace). [`Workload::make_threads`]
+//! produces one [`ThreadKernel`] per virtual core; the SoftSDV-style
+//! platform repeatedly calls [`ThreadKernel::step`], each call executing a
+//! bounded unit of *real* algorithm work while reporting every memory
+//! reference through the supplied [`Tracer`](cmpsim_trace::Tracer).
+//!
+//! Datasets the paper takes from proprietary or external sources (HGBASE,
+//! cancer micro-arrays, GenBank, Kosarak, MPEG-2 footage) are replaced by
+//! deterministic synthetic generators with matching statistics — see
+//! `DESIGN.md` for the substitution argument, and [`Scale`] for how
+//! footprints shrink in CI runs.
+//!
+//! # Example
+//!
+//! ```
+//! use cmpsim_trace::{CountingSink, Tracer, TraceSink};
+//! use cmpsim_workloads::{Scale, WorkloadId};
+//!
+//! let wl = WorkloadId::Plsa.build(Scale::tiny(), 42);
+//! let mut threads = wl.make_threads(2);
+//! let mut sink = CountingSink::new();
+//! let mut running = true;
+//! while running {
+//!     running = false;
+//!     for th in &mut threads {
+//!         let mut tracer = Tracer::new(&mut sink as &mut dyn TraceSink);
+//!         running |= th.step(&mut tracer);
+//!     }
+//! }
+//! assert!(sink.total() > 0);
+//! ```
+
+pub mod datagen;
+pub mod fimi;
+pub mod mds;
+pub mod mix;
+pub mod plsa;
+pub mod rsearch;
+pub mod scale;
+pub mod shot;
+pub mod snp;
+pub mod spec;
+pub mod svmrfe;
+pub mod viewtype;
+
+pub use mix::OpMix;
+pub use scale::Scale;
+pub use spec::{DatasetSpec, KernelTracer, ThreadKernel, Workload, WorkloadId};

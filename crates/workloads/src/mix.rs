@@ -1,0 +1,123 @@
+//! Instruction-mix calibration.
+//!
+//! Table 2 of the paper reports, per workload, the fraction of
+//! instructions that reference memory (45–83 %). Our kernels emit real
+//! memory references from real traversals; the *non-memory* instructions
+//! (address arithmetic, compares, branches, FP ops) are charged in bulk at
+//! a per-workload ops-per-memory-access ratio derived from Table 2:
+//!
+//! `ops_per_mem = (1 - mem_fraction) / mem_fraction`.
+
+use crate::spec::KernelTracer;
+use cmpsim_trace::Addr;
+
+/// Per-workload instruction-mix constants.
+///
+/// Use the [`read`](OpMix::read)/[`write`](OpMix::write) helpers instead
+/// of raw tracer calls so every memory access automatically charges the
+/// workload's share of non-memory work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    /// Non-memory instructions charged per memory access.
+    pub ops_per_mem: f64,
+}
+
+impl OpMix {
+    /// Builds a mix from the paper's "% Memory Instructions" column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_fraction` is not in (0, 1].
+    pub fn from_memory_fraction(mem_fraction: f64) -> Self {
+        assert!(
+            mem_fraction > 0.0 && mem_fraction <= 1.0,
+            "memory fraction must be in (0, 1], got {mem_fraction}"
+        );
+        OpMix {
+            ops_per_mem: (1.0 - mem_fraction) / mem_fraction,
+        }
+    }
+
+    /// Table 2 calibration for each workload.
+    pub fn for_workload(id: crate::WorkloadId) -> Self {
+        use crate::WorkloadId::*;
+        let mem_pct = match id {
+            Snp => 0.5075,
+            SvmRfe => 0.4514,
+            Mds => 0.4934,
+            Shot => 0.5385,
+            Fimi => 0.4710,
+            Viewtype => 0.4902,
+            Plsa => 0.8310,
+            Rsearch => 0.4230,
+        };
+        Self::from_memory_fraction(mem_pct)
+    }
+
+    /// Records a load plus this workload's share of non-memory work.
+    #[inline]
+    pub fn read(&self, t: &mut KernelTracer<'_>, addr: Addr, size: u32) {
+        t.read(addr, size);
+        t.ops_f(self.ops_per_mem);
+    }
+
+    /// Records a store plus this workload's share of non-memory work.
+    #[inline]
+    pub fn write(&self, t: &mut KernelTracer<'_>, addr: Addr, size: u32) {
+        t.write(addr, size);
+        t.ops_f(self.ops_per_mem);
+    }
+
+    /// Records a read-modify-write (two memory instructions).
+    #[inline]
+    pub fn update(&self, t: &mut KernelTracer<'_>, addr: Addr, size: u32) {
+        self.read(t, addr, size);
+        self.write(t, addr, size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadId;
+    use cmpsim_trace::{NullSink, TraceSink, Tracer};
+
+    #[test]
+    fn plsa_mix_reaches_83_percent_memory() {
+        let mix = OpMix::for_workload(WorkloadId::Plsa);
+        let mut sink = NullSink;
+        let mut t = Tracer::new(&mut sink as &mut dyn TraceSink);
+        for i in 0..100_000u64 {
+            mix.read(&mut t, Addr::new(i * 4), 4);
+        }
+        let frac = t.memory_fraction();
+        assert!((frac - 0.831).abs() < 0.005, "memory fraction {frac}");
+    }
+
+    #[test]
+    fn rsearch_mix_reaches_42_percent_memory() {
+        let mix = OpMix::for_workload(WorkloadId::Rsearch);
+        let mut sink = NullSink;
+        let mut t = Tracer::new(&mut sink as &mut dyn TraceSink);
+        for i in 0..100_000u64 {
+            mix.write(&mut t, Addr::new(i * 4), 4);
+        }
+        let frac = t.memory_fraction();
+        assert!((frac - 0.423).abs() < 0.005, "memory fraction {frac}");
+    }
+
+    #[test]
+    fn update_counts_two_memory_instructions() {
+        let mix = OpMix::from_memory_fraction(0.5);
+        let mut sink = NullSink;
+        let mut t = Tracer::new(&mut sink as &mut dyn TraceSink);
+        mix.update(&mut t, Addr::new(0), 8);
+        assert_eq!(t.memory_instructions(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory fraction")]
+    fn zero_fraction_rejected() {
+        let _ = OpMix::from_memory_fraction(0.0);
+    }
+}

@@ -1,0 +1,414 @@
+//! RSEARCH — RNA secondary-structure homology search (§2.2).
+//!
+//! RSEARCH scans a sequence database with the CYK algorithm, decoding a
+//! stochastic context-free grammar (SCFG) to score how well each database
+//! window could fold like the query RNA. Full CYK is cubic; like the real
+//! tool, we bound the inner loop — spans are limited to a band of
+//! `MAX_SPAN`, and split points are subsampled — keeping the recurrence
+//! (and its memory behaviour) intact while making a software-simulated
+//! full run tractable.
+//!
+//! Memory behaviour this reproduces (§4.3): the database is shared and
+//! streamed, while each thread fills its own private DP matrix (~0.5 MB),
+//! so the working set grows linearly with the thread count: 4 MB on the
+//! 8-core SCMP, 8 MB on MCMP, 16 MB on LCMP — exactly the paper's
+//! progression.
+
+use crate::datagen;
+use crate::mix::OpMix;
+use crate::scale::Scale;
+use crate::spec::{DatasetSpec, KernelTracer, ThreadKernel, Workload, WorkloadId};
+use cmpsim_trace::{AddressSpace, Region};
+use std::sync::{Arc, Mutex};
+
+/// Window length scanned per work item (residues), at paper scale.
+const WINDOW_PAPER: usize = 512;
+/// Maximum span of the banded CYK fill, at paper scale.
+const MAX_SPAN_PAPER: usize = 64;
+
+/// Scaled window length: the per-thread DP matrix
+/// (window x span x states) must shrink with the global scale knob so
+/// the paper's private-working-set progression (0.5 MB per thread)
+/// scales consistently with the cache sweep.
+fn window_len(scale: Scale) -> usize {
+    (WINDOW_PAPER >> (scale.shift() / 2)).max(64)
+}
+
+/// Scaled span band.
+fn max_span(scale: Scale) -> usize {
+    (MAX_SPAN_PAPER >> (scale.shift() - scale.shift() / 2)).max(8)
+}
+/// Nonterminal states in the reduced SCFG.
+const STATES: usize = 4;
+/// Split points sampled per cell (full CYK would try every split).
+const SPLITS: usize = 4;
+/// Paper-scale database bytes.
+const DB_BYTES_PAPER: u64 = 100 << 20;
+
+#[derive(Debug)]
+struct RsearchShared {
+    db: Vec<u8>,
+    db_region: Region,
+    window: usize,
+    span: usize,
+    /// Emission log-odds per (state, nucleotide) — the SCFG parameters.
+    emit: [[f32; 4]; STATES],
+    /// Transition log-odds per (state, state).
+    trans: [[f32; STATES]; STATES],
+    /// Next window index to scan.
+    queue: Mutex<usize>,
+    windows: usize,
+}
+
+/// The RSEARCH workload: see the module docs.
+#[derive(Debug)]
+pub struct Rsearch {
+    scale: Scale,
+    space: AddressSpace,
+    db: Vec<u8>,
+    db_region: Region,
+    windows: usize,
+    result: Arc<Mutex<(f32, usize)>>,
+}
+
+impl Rsearch {
+    /// Builds the workload: a 100 MB database (scaled) scanned in
+    /// `WINDOW`-residue steps.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let window = window_len(scale);
+        let db_bytes = scale.bytes_floor(DB_BYTES_PAPER, (4 * window) as u64) as usize;
+        let db = datagen::dna_sequence(db_bytes, seed);
+        let mut space = AddressSpace::new();
+        let db_region = space.alloc_pages("rsearch.db", db_bytes as u64);
+        // Windows stride across the whole database. The full scan would
+        // visit every position; like the real tool's filtering stage we
+        // evaluate a bounded number of candidate windows, spread evenly
+        // so the database is still streamed end to end.
+        let windows = (scale.count(16_384) as usize).min(db_bytes / window).max(2);
+        Rsearch {
+            scale,
+            space,
+            db,
+            db_region,
+            windows,
+            result: Arc::new(Mutex::new((f32::NEG_INFINITY, 0))),
+        }
+    }
+
+    /// Best (score, window index) of the last completed run.
+    pub fn best_hit(&self) -> (f32, usize) {
+        *self.result.lock().expect("result lock")
+    }
+
+    /// Number of windows scanned per run.
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+}
+
+impl Workload for Rsearch {
+    fn id(&self) -> WorkloadId {
+        WorkloadId::Rsearch
+    }
+
+    fn make_threads(&self, threads: usize) -> Vec<Box<dyn ThreadKernel>> {
+        assert!(threads > 0, "at least one thread");
+        // Deterministic SCFG parameters.
+        let mut emit = [[0.0f32; 4]; STATES];
+        let mut trans = [[0.0f32; STATES]; STATES];
+        for s in 0..STATES {
+            for (n, e) in emit[s].iter_mut().enumerate() {
+                *e = datagen::mix_f32(0xE417, (s * 4 + n) as u64) * 2.0 - 1.0;
+            }
+            for (q, tr) in trans[s].iter_mut().enumerate() {
+                *tr = datagen::mix_f32(0x7A45, (s * STATES + q) as u64) - 0.7;
+            }
+        }
+        let shared = Arc::new(RsearchShared {
+            db: self.db.clone(),
+            db_region: self.db_region.clone(),
+            window: window_len(self.scale),
+            span: max_span(self.scale),
+            emit,
+            trans,
+            queue: Mutex::new(0),
+            windows: self.windows,
+        });
+        *self.result.lock().expect("result lock") = (f32::NEG_INFINITY, 0);
+        let mut space = self.space.clone();
+        let (window, span) = (window_len(self.scale), max_span(self.scale));
+        (0..threads)
+            .map(|t| {
+                // Private DP matrix: window x span x STATES f32
+                // (0.5 MB per thread at paper scale).
+                let dp_bytes = (window * span * STATES * 4) as u64;
+                let dp_region = space.alloc_pages(&format!("rsearch.dp.t{t}"), dp_bytes);
+                Box::new(RsearchThread {
+                    shared: Arc::clone(&shared),
+                    result: Arc::clone(&self.result),
+                    dp_region,
+                    dp: vec![0.0f32; window * span * STATES],
+                    current: None,
+                    mix: OpMix::for_workload(WorkloadId::Rsearch),
+                }) as Box<dyn ThreadKernel>
+            })
+            .collect()
+    }
+
+    fn footprint(&self) -> u64 {
+        self.space.footprint()
+    }
+
+    fn dataset(&self) -> DatasetSpec {
+        DatasetSpec {
+            workload: WorkloadId::Rsearch,
+            parameters: format!(
+                "{}KB database, search window {}",
+                self.db.len() >> 10,
+                window_len(self.scale)
+            ),
+            input_bytes: self.db.len() as u64,
+            provenance: "synthetic nucleotide database standing in for GenBank".to_owned(),
+        }
+    }
+}
+
+/// Start offset of window `w` given the database length and window count
+/// (windows spread evenly across the database).
+fn window_base(db_len: usize, window: usize, windows: usize, w: usize) -> usize {
+    if windows <= 1 {
+        return 0;
+    }
+    let range = db_len - window;
+    (range / (windows - 1)) * w
+}
+
+#[derive(Debug)]
+struct RsearchThread {
+    shared: Arc<RsearchShared>,
+    result: Arc<Mutex<(f32, usize)>>,
+    dp_region: Region,
+    dp: Vec<f32>,
+    /// (window, next span) of an in-progress fill.
+    current: Option<(usize, usize)>,
+    mix: OpMix,
+}
+
+impl RsearchThread {
+    #[inline]
+    fn dp_idx(window: usize, i: usize, d: usize, s: usize) -> usize {
+        (d * window + i) * STATES + s
+    }
+
+    /// Initializes span-1 cells for a window: emission scores.
+    fn init_window(&mut self, t: &mut KernelTracer<'_>, w: usize) {
+        let shared = Arc::clone(&self.shared);
+        let base = window_base(shared.db.len(), shared.window, shared.windows, w);
+        let window = shared.window;
+        for i in 0..window {
+            // Stream the database window (shared region).
+            self.mix
+                .read(t, shared.db_region.addr_at((base + i) as u64), 1);
+            let nt = shared.db[base + i] as usize;
+            for s in 0..STATES {
+                let v = shared.emit[s][nt];
+                self.dp[Self::dp_idx(window, i, 0, s)] = v;
+                self.mix.write(
+                    t,
+                    self.dp_region
+                        .addr_at((Self::dp_idx(window, i, 0, s) * 4) as u64),
+                    4,
+                );
+            }
+        }
+    }
+
+    /// Fills one span diagonal `d` (all start positions) of the banded
+    /// CYK recurrence.
+    fn fill_span(&mut self, t: &mut KernelTracer<'_>, w: usize, d: usize) {
+        let shared = Arc::clone(&self.shared);
+        let base = window_base(shared.db.len(), shared.window, shared.windows, w);
+        let window = shared.window;
+        for i in 0..window - d {
+            // Pair emission of the outer residues (the SCFG's P state
+            // consumes both ends of the span).
+            self.mix
+                .read(t, shared.db_region.addr_at((base + i) as u64), 1);
+            self.mix
+                .read(t, shared.db_region.addr_at((base + i + d) as u64), 1);
+            let lo = shared.db[base + i] as usize;
+            let hi = shared.db[base + i + d] as usize;
+            for s in 0..STATES {
+                let mut best = f32::NEG_INFINITY;
+                // Sampled split points: bifurcation rules combine a left
+                // child [i, i+k] and right child [i+k+1, i+d].
+                for split in 1..=SPLITS {
+                    let k = (d * split) / (SPLITS + 1);
+                    let left = Self::dp_idx(window, i, k, (s + 1) % STATES);
+                    let right = Self::dp_idx(window, i + k + 1, d - k - 1, (s + 2) % STATES);
+                    self.mix
+                        .read(t, self.dp_region.addr_at((left * 4) as u64), 4);
+                    self.mix
+                        .read(t, self.dp_region.addr_at((right * 4) as u64), 4);
+                    let v = self.dp[left] + self.dp[right] + shared.trans[s][(s + 1) % STATES];
+                    if v > best {
+                        best = v;
+                    }
+                }
+                // Pair rule: inner span [i+1, i+d-1] with both ends
+                // emitted (canonical base pairs score higher).
+                if d >= 2 {
+                    let inner = Self::dp_idx(window, i + 1, d - 2, s);
+                    self.mix
+                        .read(t, self.dp_region.addr_at((inner * 4) as u64), 4);
+                    let pair_bonus = if lo + hi == 3 || lo + hi == 5 {
+                        1.0
+                    } else {
+                        -0.5
+                    };
+                    let v = self.dp[inner] + pair_bonus + shared.emit[s][lo] * 0.1;
+                    if v > best {
+                        best = v;
+                    }
+                }
+                let idx = Self::dp_idx(window, i, d, s);
+                self.dp[idx] = best;
+                self.mix
+                    .write(t, self.dp_region.addr_at((idx * 4) as u64), 4);
+            }
+        }
+        t.ops((window - d) as u64);
+    }
+
+    /// Window score: best root-state value over all max-span cells.
+    fn window_score(&self) -> f32 {
+        let window = self.shared.window;
+        let d = self.shared.span - 1;
+        (0..window - d)
+            .map(|i| self.dp[Self::dp_idx(window, i, d, 0)])
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+}
+
+impl ThreadKernel for RsearchThread {
+    fn step(&mut self, t: &mut KernelTracer<'_>) -> bool {
+        match self.current {
+            None => {
+                // Claim the next window.
+                let mut q = self.shared.queue.lock().expect("queue lock");
+                if *q >= self.shared.windows {
+                    return false;
+                }
+                let w = *q;
+                *q += 1;
+                drop(q);
+                self.init_window(t, w);
+                self.current = Some((w, 1));
+                true
+            }
+            Some((w, d)) => {
+                self.fill_span(t, w, d);
+                if d + 1 >= self.shared.span {
+                    // Window complete: fold the score. Ties break toward
+                    // the lower window index so the result is invariant
+                    // to thread interleaving.
+                    let score = self.window_score();
+                    let mut res = self.result.lock().expect("result lock");
+                    if score > res.0 || (score == res.0 && w < res.1) {
+                        *res = (score, w);
+                    }
+                    drop(res);
+                    self.current = None;
+                } else {
+                    self.current = Some((w, d + 1));
+                }
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_trace::{CountingSink, TraceSink, Tracer};
+
+    fn run(wl: &Rsearch, threads: usize) -> CountingSink {
+        let mut kernels = wl.make_threads(threads);
+        let mut sink = CountingSink::new();
+        let mut running = true;
+        let mut guard = 0u64;
+        while running {
+            running = false;
+            for k in &mut kernels {
+                let mut tr = Tracer::new(&mut sink as &mut dyn TraceSink);
+                running |= k.step(&mut tr);
+            }
+            guard += 1;
+            assert!(guard < 10_000_000, "RSEARCH did not terminate");
+        }
+        sink
+    }
+
+    #[test]
+    fn scans_all_windows_and_scores() {
+        let wl = Rsearch::new(Scale::tiny(), 1);
+        assert!(wl.windows() >= 2);
+        let _ = run(&wl, 2);
+        let (score, window) = wl.best_hit();
+        assert!(score.is_finite());
+        assert!(window < wl.windows());
+    }
+
+    #[test]
+    fn best_hit_invariant_to_thread_count() {
+        let a = Rsearch::new(Scale::tiny(), 2);
+        let _ = run(&a, 1);
+        let b = Rsearch::new(Scale::tiny(), 2);
+        let _ = run(&b, 4);
+        assert_eq!(a.best_hit(), b.best_hit());
+    }
+
+    #[test]
+    fn dp_traffic_dominates_db_traffic() {
+        let wl = Rsearch::new(Scale::tiny(), 3);
+        let mut kernels = wl.make_threads(1);
+        let mut sink = cmpsim_trace::VecSink::new();
+        let mut running = true;
+        while running {
+            running = false;
+            for k in &mut kernels {
+                let mut tr = Tracer::new(&mut sink as &mut dyn TraceSink);
+                running |= k.step(&mut tr);
+            }
+        }
+        let db_refs = sink
+            .records()
+            .iter()
+            .filter(|m| wl.db_region.contains(m.addr))
+            .count();
+        let total = sink.records().len();
+        assert!(
+            db_refs * 4 < total,
+            "DP should dominate: db {db_refs} of {total}"
+        );
+    }
+
+    #[test]
+    fn private_dp_region_sized_half_megabyte_at_paper_scale() {
+        let dp_bytes = (window_len(Scale::paper()) * max_span(Scale::paper()) * STATES * 4) as u64;
+        assert_eq!(dp_bytes, 512 << 10);
+        // And it shrinks with the scale knob.
+        let tiny = (window_len(Scale::tiny()) * max_span(Scale::tiny()) * STATES * 4) as u64;
+        assert!(tiny <= dp_bytes / 64);
+    }
+
+    #[test]
+    fn work_scales_with_database() {
+        let small = Rsearch::new(Scale::with_shift(12), 4);
+        let large = Rsearch::new(Scale::with_shift(10), 4);
+        let s = run(&small, 1);
+        let l = run(&large, 1);
+        assert!(l.total() > s.total() * 2, "{} vs {}", l.total(), s.total());
+    }
+}

@@ -1,0 +1,5 @@
+//! Re-export of the global scale knob (defined in `cmpsim-trace` so every
+//! layer of the stack — including the cache hierarchy — can scale with
+//! the workloads).
+
+pub use cmpsim_trace::Scale;

@@ -1,0 +1,220 @@
+//! Workload identifiers, dataset descriptions, and the kernel traits.
+
+use crate::scale::Scale;
+use cmpsim_trace::{TraceSink, Tracer};
+use std::fmt;
+
+/// The tracer type handed to kernels: a [`Tracer`] over a dynamically
+/// dispatched sink, so workloads compile once regardless of what consumes
+/// the trace (a counting sink in tests, the full co-simulation platform in
+/// experiments).
+pub type KernelTracer<'a> = Tracer<&'a mut dyn TraceSink>;
+
+/// One thread's share of a running workload.
+///
+/// Kernels are *cooperative*: [`step`](ThreadKernel::step) executes one
+/// bounded unit of real work (one video frame, one mined item, one block
+/// of matrix rows, ...) and returns. This mirrors the paper's DEX
+/// execution model, where one physical processor runs each virtual core
+/// for a time slice before switching (§3.2).
+pub trait ThreadKernel: fmt::Debug + Send {
+    /// Executes one unit of work, reporting memory references and
+    /// instruction counts through `t`. Returns `true` while more work
+    /// remains, `false` once this thread is done.
+    ///
+    /// A kernel waiting at an internal barrier may perform no work and
+    /// still return `true`; the round-robin scheduler guarantees the
+    /// threads it is waiting for will run.
+    fn step(&mut self, t: &mut KernelTracer<'_>) -> bool;
+}
+
+/// A parallel data-mining workload: a synthetic dataset plus the factory
+/// for per-thread kernels.
+pub trait Workload: fmt::Debug + Send + Sync {
+    /// Which of the eight workloads this is.
+    fn id(&self) -> WorkloadId;
+
+    /// Creates the per-thread kernels for a `threads`-way parallel run.
+    /// Threads share the workload's global data structures (through the
+    /// workload's internal shared state) exactly as the pthread versions
+    /// in the paper share their address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    fn make_threads(&self, threads: usize) -> Vec<Box<dyn ThreadKernel>>;
+
+    /// Total bytes of simulated data this workload allocated.
+    fn footprint(&self) -> u64;
+
+    /// The Table 1 row for this instantiation.
+    fn dataset(&self) -> DatasetSpec;
+}
+
+/// One row of the paper's Table 1: what a workload consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Workload name as printed in the paper.
+    pub workload: WorkloadId,
+    /// Parameter summary (e.g. "600k sequences, each with length 50").
+    pub parameters: String,
+    /// Nominal input size in bytes at the chosen scale.
+    pub input_bytes: u64,
+    /// Description of the synthetic stand-in for the paper's dataset.
+    pub provenance: String,
+}
+
+/// Identifier of one of the eight workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkloadId {
+    /// Bayesian-network SNP analysis (hill climbing).
+    Snp,
+    /// Support-vector-machine recursive feature elimination.
+    SvmRfe,
+    /// RNA secondary-structure homology search (CYK/SCFG).
+    Rsearch,
+    /// Frequent-itemset mining (FP-growth).
+    Fimi,
+    /// Parallel linear-space sequence alignment (Smith–Waterman).
+    Plsa,
+    /// Multi-document summarization (graph ranking + MMR).
+    Mds,
+    /// Video shot-boundary detection.
+    Shot,
+    /// Sports-video view-type classification.
+    Viewtype,
+}
+
+impl WorkloadId {
+    /// All eight workloads in the paper's Table 2 order.
+    pub const fn all() -> [WorkloadId; 8] {
+        [
+            WorkloadId::Snp,
+            WorkloadId::SvmRfe,
+            WorkloadId::Mds,
+            WorkloadId::Shot,
+            WorkloadId::Fimi,
+            WorkloadId::Viewtype,
+            WorkloadId::Plsa,
+            WorkloadId::Rsearch,
+        ]
+    }
+
+    /// Builds the workload at the given scale with a deterministic seed.
+    pub fn build(self, scale: Scale, seed: u64) -> Box<dyn Workload> {
+        match self {
+            WorkloadId::Snp => Box::new(crate::snp::Snp::new(scale, seed)),
+            WorkloadId::SvmRfe => Box::new(crate::svmrfe::SvmRfe::new(scale, seed)),
+            WorkloadId::Rsearch => Box::new(crate::rsearch::Rsearch::new(scale, seed)),
+            WorkloadId::Fimi => Box::new(crate::fimi::Fimi::new(scale, seed)),
+            WorkloadId::Plsa => Box::new(crate::plsa::Plsa::new(scale, seed)),
+            WorkloadId::Mds => Box::new(crate::mds::Mds::new(scale, seed)),
+            WorkloadId::Shot => Box::new(crate::shot::Shot::new(scale, seed)),
+            WorkloadId::Viewtype => Box::new(crate::viewtype::Viewtype::new(scale, seed)),
+        }
+    }
+
+    /// The paper's display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WorkloadId::Snp => "SNP",
+            WorkloadId::SvmRfe => "SVM-RFE",
+            WorkloadId::Rsearch => "RSEARCH",
+            WorkloadId::Fimi => "FIMI",
+            WorkloadId::Plsa => "PLSA",
+            WorkloadId::Mds => "MDS",
+            WorkloadId::Shot => "SHOT",
+            WorkloadId::Viewtype => "VIEWTYPE",
+        }
+    }
+
+    /// Sharing category from §4.3: `true` when threads share a primary
+    /// data structure (category (a): MDS, SVM-RFE, SNP — plus PLSA, whose
+    /// small per-thread bands keep its curve flat); `false` when threads
+    /// mostly grow private working sets (FIMI, RSEARCH, SHOT, VIEWTYPE).
+    pub const fn shares_primary_structure(self) -> bool {
+        matches!(
+            self,
+            WorkloadId::Mds | WorkloadId::SvmRfe | WorkloadId::Snp | WorkloadId::Plsa
+        )
+    }
+}
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for WorkloadId {
+    type Err = ParseWorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let canon = s.to_ascii_uppercase().replace(['-', '_'], "");
+        match canon.as_str() {
+            "SNP" => Ok(WorkloadId::Snp),
+            "SVMRFE" => Ok(WorkloadId::SvmRfe),
+            "RSEARCH" => Ok(WorkloadId::Rsearch),
+            "FIMI" => Ok(WorkloadId::Fimi),
+            "PLSA" => Ok(WorkloadId::Plsa),
+            "MDS" => Ok(WorkloadId::Mds),
+            "SHOT" => Ok(WorkloadId::Shot),
+            "VIEWTYPE" => Ok(WorkloadId::Viewtype),
+            _ => Err(ParseWorkloadError(s.to_owned())),
+        }
+    }
+}
+
+/// Error parsing a workload name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWorkloadError(String);
+
+impl fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown workload `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_eight_unique() {
+        let all = WorkloadId::all();
+        assert_eq!(all.len(), 8);
+        let mut v = all.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(WorkloadId::SvmRfe.to_string(), "SVM-RFE");
+        assert_eq!(WorkloadId::Viewtype.to_string(), "VIEWTYPE");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for id in WorkloadId::all() {
+            let parsed: WorkloadId = id.name().parse().unwrap();
+            assert_eq!(parsed, id);
+        }
+        assert_eq!("svm_rfe".parse::<WorkloadId>().unwrap(), WorkloadId::SvmRfe);
+        assert!("nope".parse::<WorkloadId>().is_err());
+    }
+
+    #[test]
+    fn sharing_categories_match_section_4_3() {
+        assert!(WorkloadId::Mds.shares_primary_structure());
+        assert!(WorkloadId::Snp.shares_primary_structure());
+        assert!(WorkloadId::SvmRfe.shares_primary_structure());
+        assert!(!WorkloadId::Shot.shares_primary_structure());
+        assert!(!WorkloadId::Viewtype.shares_primary_structure());
+        assert!(!WorkloadId::Fimi.shares_primary_structure());
+        assert!(!WorkloadId::Rsearch.shares_primary_structure());
+    }
+}

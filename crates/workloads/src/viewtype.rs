@@ -1,0 +1,485 @@
+//! VIEWTYPE — sports-video view-type classification (§2.6).
+//!
+//! For each key frame: convert RGB to HSV, train/update the dominant
+//! playfield color by histogram accumulation, segment the playfield mask,
+//! run connected-component analysis (two-pass union-find labeling), and
+//! classify the view as global / medium / close-up / out-of-view from the
+//! playfield area ratio and the largest non-field component — the
+//! low-level pipeline the paper describes (playfield segmentation by HSV
+//! dominant color + connected-component analysis).
+//!
+//! Memory behaviour this reproduces (§4.3): ~1 MB of private working set
+//! per thread (HSV buffer + mask + label array for a downsampled frame),
+//! scaling linearly with cores — 16 MB at 8 cores to 64 MB at 32 cores.
+
+use crate::datagen::SyntheticVideo;
+use crate::mix::OpMix;
+use crate::scale::Scale;
+use crate::spec::{DatasetSpec, KernelTracer, ThreadKernel, Workload, WorkloadId};
+use cmpsim_trace::{AddressSpace, Region};
+use std::sync::{Arc, Mutex};
+
+/// Key-frame stride: every 4th frame is analyzed.
+const KEY_STRIDE: u32 = 4;
+/// Analysis passes over the key frames: one to train the dominant-color
+/// model, one to classify with the settled model (§2.6: the dominant
+/// color "is adaptively trained by the accumulation of the HSV color
+/// histogram on a lot of frames").
+const PASSES: u32 = 2;
+/// HSV histogram bins per dimension (16^3 total).
+const HBINS: usize = 16;
+/// SIMD access width modeled for pixel passes.
+const VEC: u64 = 16;
+
+/// View-type classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViewClass {
+    /// Wide view dominated by playfield.
+    Global,
+    /// Medium shot: field visible, large players.
+    Medium,
+    /// Close-up: little or no field.
+    CloseUp,
+    /// Out of view: crowd, bench, adverts.
+    OutOfView,
+}
+
+impl ViewClass {
+    fn from_features(field_ratio: f64, largest_blob_ratio: f64) -> Self {
+        if field_ratio > 0.6 {
+            if largest_blob_ratio < 0.05 {
+                ViewClass::Global
+            } else {
+                ViewClass::Medium
+            }
+        } else if field_ratio > 0.2 {
+            ViewClass::CloseUp
+        } else {
+            ViewClass::OutOfView
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ViewShared {
+    video: SyntheticVideo,
+    /// Global dominant-color histogram, trained across threads.
+    hist: Mutex<Vec<u32>>,
+    hist_region: Region,
+}
+
+/// The VIEWTYPE workload: see the module docs.
+#[derive(Debug)]
+pub struct Viewtype {
+    scale: Scale,
+    space: AddressSpace,
+    video: SyntheticVideo,
+    hist_region: Region,
+    width: u32,
+    height: u32,
+    result: Arc<Mutex<Vec<(u32, ViewClass)>>>,
+}
+
+impl Viewtype {
+    /// Builds the workload: same clip shape as SHOT but analyzed at a
+    /// downsampled resolution on key frames only.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let dim_shift = scale.shift() / 2;
+        let extra = scale.shift() % 2;
+        // Downsampled analysis resolution (half of SHOT's decode size).
+        let width = (360u32 >> dim_shift).max(32);
+        let height = ((288u32 >> dim_shift) >> extra).max(24);
+        let frames = scale.count(15_000).max(1024) as u32;
+        let video = SyntheticVideo::generate(width, height, frames, seed);
+        let mut space = AddressSpace::new();
+        let hist_region =
+            space.alloc_pages("viewtype.dominant_hist", (HBINS * HBINS * HBINS * 4) as u64);
+        Viewtype {
+            scale,
+            space,
+            video,
+            hist_region,
+            width,
+            height,
+            result: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Classifications of the last completed run: (key frame, class).
+    pub fn classifications(&self) -> Vec<(u32, ViewClass)> {
+        let mut v = self.result.lock().expect("result lock").clone();
+        v.sort_unstable_by_key(|&(f, _)| f);
+        v
+    }
+
+    /// Number of key frames analyzed per run.
+    pub fn key_frames(&self) -> u32 {
+        self.video.frames.div_ceil(KEY_STRIDE)
+    }
+}
+
+impl Workload for Viewtype {
+    fn id(&self) -> WorkloadId {
+        WorkloadId::Viewtype
+    }
+
+    fn make_threads(&self, threads: usize) -> Vec<Box<dyn ThreadKernel>> {
+        assert!(threads > 0, "at least one thread");
+        let shared = Arc::new(ViewShared {
+            video: self.video.clone(),
+            hist: Mutex::new(vec![0u32; HBINS * HBINS * HBINS]),
+            hist_region: self.hist_region.clone(),
+        });
+        self.result.lock().expect("result lock").clear();
+        let mut space = self.space.clone();
+        let pixels = u64::from(self.width) * u64::from(self.height);
+        let keys = self.key_frames();
+        let per = keys.div_ceil(threads as u32);
+        (0..threads)
+            .map(|t| {
+                // Private per-thread analysis buffers: HSV (3B/px), mask
+                // (1B/px), labels (4B/px) — ~1 MB at paper scale.
+                let hsv = space.alloc_pages(&format!("viewtype.hsv.t{t}"), pixels * 3);
+                let mask = space.alloc_pages(&format!("viewtype.mask.t{t}"), pixels);
+                let labels = space.alloc_pages(&format!("viewtype.labels.t{t}"), pixels * 4);
+                let start = (t as u32 * per).min(keys);
+                let end = ((t as u32 + 1) * per).min(keys);
+                Box::new(ViewThread {
+                    shared: Arc::clone(&shared),
+                    result: Arc::clone(&self.result),
+                    hsv_region: hsv,
+                    mask_region: mask,
+                    labels_region: labels,
+                    start_key: start,
+                    next_key: start,
+                    end_key: end,
+                    pass: 0,
+                    width: self.width,
+                    height: self.height,
+                    mix: OpMix::for_workload(WorkloadId::Viewtype),
+                }) as Box<dyn ThreadKernel>
+            })
+            .collect()
+    }
+
+    fn footprint(&self) -> u64 {
+        self.space.footprint()
+    }
+
+    fn dataset(&self) -> DatasetSpec {
+        DatasetSpec {
+            workload: WorkloadId::Viewtype,
+            parameters: format!(
+                "{} frames, {}x{} analysis resolution",
+                self.video.frames, self.width, self.height
+            ),
+            input_bytes: self.scale.bytes(200 << 20),
+            provenance: "procedural sports-like clip standing in for MPEG-2 footage".to_owned(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ViewThread {
+    shared: Arc<ViewShared>,
+    result: Arc<Mutex<Vec<(u32, ViewClass)>>>,
+    hsv_region: Region,
+    mask_region: Region,
+    labels_region: Region,
+    start_key: u32,
+    next_key: u32,
+    end_key: u32,
+    /// 0 = dominant-color training pass, `PASSES - 1` = classification.
+    pass: u32,
+    width: u32,
+    height: u32,
+    mix: OpMix,
+}
+
+/// RGB → HSV hue/sat/val bytes (integer approximation).
+fn rgb_to_hsv(p: [u8; 3]) -> [u8; 3] {
+    let (r, g, b) = (i32::from(p[0]), i32::from(p[1]), i32::from(p[2]));
+    let max = r.max(g).max(b);
+    let min = r.min(g).min(b);
+    let v = max;
+    let s = if max == 0 { 0 } else { 255 * (max - min) / max };
+    let h = if max == min {
+        0
+    } else if max == r {
+        (43 * (g - b) / (max - min)).rem_euclid(256)
+    } else if max == g {
+        85 + 43 * (b - r) / (max - min)
+    } else {
+        171 + 43 * (r - g) / (max - min)
+    };
+    [h as u8, s as u8, (v & 0xFF) as u8]
+}
+
+impl ViewThread {
+    fn process_key_frame(&mut self, t: &mut KernelTracer<'_>) {
+        let frame = self.next_key * KEY_STRIDE;
+        let video = &self.shared.video;
+        let (w, h) = (self.width as usize, self.height as usize);
+        let pixels = w * h;
+
+        // Pass 1: RGB->HSV conversion; write the HSV buffer, accumulate
+        // the dominant-color histogram (shared, trained over many
+        // frames) and find this frame's modal bin.
+        let mut local_hist = vec![0u32; HBINS * HBINS * HBINS];
+        let mut hsv_buf = vec![[0u8; 3]; pixels];
+        for y in 0..h {
+            for x in 0..w {
+                let hsv = rgb_to_hsv(video.pixel(frame, x as u32, y as u32));
+                hsv_buf[y * w + x] = hsv;
+                let bin = (usize::from(hsv[0]) >> 4) * HBINS * HBINS
+                    + (usize::from(hsv[1]) >> 4) * HBINS
+                    + (usize::from(hsv[2]) >> 4);
+                local_hist[bin] += 1;
+                let off = ((y * w + x) * 3) as u64;
+                if off.is_multiple_of(VEC) {
+                    self.mix.write(
+                        t,
+                        self.hsv_region.addr_at(off.min(pixels as u64 * 3 - VEC)),
+                        VEC as u32,
+                    );
+                }
+            }
+        }
+        // Fold into the shared dominant-color histogram (adaptive
+        // training — §2.6: "adaptively trained by the accumulation of the
+        // HSV color histogram on a lot of frames").
+        let dominant_bin;
+        {
+            let mut hist = self.shared.hist.lock().expect("hist lock");
+            for (b, &c) in local_hist.iter().enumerate() {
+                if c > 0 {
+                    hist[b] += c;
+                    self.mix
+                        .update(t, self.shared.hist_region.addr_at((b * 4) as u64), 4);
+                }
+            }
+            dominant_bin = hist
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .map(|(b, _)| b)
+                .expect("histogram non-empty");
+        }
+
+        // Pass 2: playfield mask = pixels whose HSV bin matches the
+        // dominant bin's hue slice.
+        let dom_h = dominant_bin / (HBINS * HBINS);
+        let mut mask = vec![false; pixels];
+        let mut field = 0u64;
+        for (i, hsv) in hsv_buf.iter().enumerate() {
+            let is_field = usize::from(hsv[0]) >> 4 == dom_h;
+            mask[i] = is_field;
+            field += u64::from(is_field);
+            let off = i as u64;
+            if off.is_multiple_of(VEC) {
+                self.mix.read(
+                    t,
+                    self.hsv_region
+                        .addr_at((off * 3).min(pixels as u64 * 3 - VEC)),
+                    VEC as u32,
+                );
+                self.mix.write(
+                    t,
+                    self.mask_region.addr_at(off.min(pixels as u64 - VEC)),
+                    VEC as u32,
+                );
+            }
+        }
+
+        // Pass 3: connected components over the *non-field* pixels
+        // (players/objects) — two-pass labeling with union-find.
+        let mut labels = vec![0u32; pixels];
+        let mut parent: Vec<u32> = vec![0];
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                let up = parent[parent[x as usize] as usize];
+                parent[x as usize] = up;
+                x = up;
+            }
+            x
+        }
+        for y in 0..h {
+            for x in 0..w {
+                let i = y * w + x;
+                let off = (i * 4) as u64;
+                if off.is_multiple_of(VEC) {
+                    self.mix.read(
+                        t,
+                        self.mask_region
+                            .addr_at((i as u64).min(pixels as u64 - VEC)),
+                        VEC as u32,
+                    );
+                }
+                if mask[i] {
+                    continue; // field pixel: background
+                }
+                let west = if x > 0 && !mask[i - 1] {
+                    labels[i - 1]
+                } else {
+                    0
+                };
+                let north = if y > 0 && !mask[i - w] {
+                    labels[i - w]
+                } else {
+                    0
+                };
+                let label = match (west, north) {
+                    (0, 0) => {
+                        let l = parent.len() as u32;
+                        parent.push(l);
+                        l
+                    }
+                    (l, 0) | (0, l) => l,
+                    (a, b) => {
+                        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                        if ra != rb {
+                            let (lo, hi) = (ra.min(rb), ra.max(rb));
+                            parent[hi as usize] = lo;
+                        }
+                        ra.min(rb)
+                    }
+                };
+                labels[i] = label;
+                self.mix.write(t, self.labels_region.addr_at(off), 4);
+            }
+        }
+        // Second pass: resolve labels, find the largest component.
+        let mut sizes = vec![0u64; parent.len()];
+        for (i, &l) in labels.iter().enumerate() {
+            let off = (i * 4) as u64;
+            if off.is_multiple_of(VEC) {
+                self.mix
+                    .read(t, self.labels_region.addr_at(off), VEC as u32);
+            }
+            if l != 0 {
+                sizes[find(&mut parent, l) as usize] += 1;
+            }
+        }
+        let largest = sizes.iter().skip(1).copied().max().unwrap_or(0);
+
+        let field_ratio = field as f64 / pixels as f64;
+        let blob_ratio = largest as f64 / pixels as f64;
+        let class = ViewClass::from_features(field_ratio, blob_ratio);
+        if self.pass == PASSES - 1 {
+            // Only the final pass (settled dominant-color model) emits
+            // classifications.
+            self.result
+                .lock()
+                .expect("result lock")
+                .push((frame, class));
+        }
+        t.ops(32);
+        self.next_key += 1;
+    }
+}
+
+impl ThreadKernel for ViewThread {
+    fn step(&mut self, t: &mut KernelTracer<'_>) -> bool {
+        if self.next_key >= self.end_key {
+            if self.pass + 1 < PASSES {
+                self.pass += 1;
+                self.next_key = self.start_key;
+            } else {
+                return false;
+            }
+        }
+        self.process_key_frame(t);
+        self.next_key < self.end_key || self.pass + 1 < PASSES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_trace::{CountingSink, TraceSink, Tracer};
+
+    fn run(wl: &Viewtype, threads: usize) -> CountingSink {
+        let mut kernels = wl.make_threads(threads);
+        let mut sink = CountingSink::new();
+        let mut running = true;
+        let mut guard = 0u64;
+        while running {
+            running = false;
+            for k in &mut kernels {
+                let mut tr = Tracer::new(&mut sink as &mut dyn TraceSink);
+                running |= k.step(&mut tr);
+            }
+            guard += 1;
+            assert!(guard < 10_000_000, "VIEWTYPE did not terminate");
+        }
+        sink
+    }
+
+    #[test]
+    fn classifies_every_key_frame() {
+        let wl = Viewtype::new(Scale::tiny(), 1);
+        let _ = run(&wl, 2);
+        let out = wl.classifications();
+        assert_eq!(out.len() as u32, wl.key_frames());
+        // Frames are key-frame aligned and unique.
+        for w in out.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(out.iter().all(|&(f, _)| f % KEY_STRIDE == 0));
+    }
+
+    #[test]
+    fn frames_in_same_shot_classified_identically() {
+        let wl = Viewtype::new(Scale::tiny(), 2);
+        let _ = run(&wl, 1);
+        let out = wl.classifications();
+        // Pixels are stationary within a shot, so consecutive key frames
+        // of one shot must agree once training has settled.
+        let video = &wl.video;
+        let mut agree = 0;
+        let mut total = 0;
+        for w in out.windows(2) {
+            if video.shot_of(w[0].0) == video.shot_of(w[1].0) && w[0].0 > video.frames / 4 {
+                total += 1;
+                agree += usize::from(w[0].1 == w[1].1);
+            }
+        }
+        assert!(total > 0);
+        assert!(agree * 10 >= total * 9, "agree {agree}/{total}");
+    }
+
+    #[test]
+    fn rgb_to_hsv_grayscale_has_zero_saturation() {
+        for v in [0u8, 17, 128, 255] {
+            let hsv = rgb_to_hsv([v, v, v]);
+            assert_eq!(hsv[1], 0);
+            assert_eq!(hsv[2], v);
+        }
+    }
+
+    #[test]
+    fn rgb_to_hsv_primary_hues_are_distinct() {
+        let r = rgb_to_hsv([255, 0, 0])[0];
+        let g = rgb_to_hsv([0, 255, 0])[0];
+        let b = rgb_to_hsv([0, 0, 255])[0];
+        assert_ne!(r, g);
+        assert_ne!(g, b);
+        assert_ne!(r, b);
+    }
+
+    #[test]
+    fn results_complete_under_thread_scaling() {
+        let wl = Viewtype::new(Scale::tiny(), 3);
+        let _ = run(&wl, 8);
+        assert_eq!(wl.classifications().len() as u32, wl.key_frames());
+    }
+
+    #[test]
+    fn private_buffers_scale_with_threads() {
+        let wl = Viewtype::new(Scale::tiny(), 4);
+        let base = wl.footprint();
+        let _ = wl.make_threads(4);
+        // make_threads clones the space; workload base footprint stays.
+        assert_eq!(wl.footprint(), base);
+    }
+}

@@ -1,0 +1,114 @@
+//! Working-set validation: each workload's measured footprint (distinct
+//! 64-byte lines touched) must sit where the paper says it does, at
+//! matched scale — these are the numbers behind Figure 4's knees.
+
+use cmpsim_trace::{FnSink, Scale, TraceSink, Tracer};
+use cmpsim_workloads::WorkloadId;
+use std::collections::HashSet;
+
+/// Runs a workload to completion on `threads` threads and measures the
+/// distinct 64-byte lines touched.
+fn measure_ws(id: WorkloadId, scale: Scale, threads: usize) -> u64 {
+    let wl = id.build(scale, 99);
+    let mut kernels = wl.make_threads(threads);
+    let mut lines: HashSet<u64> = HashSet::new();
+    let mut running = true;
+    let mut guard = 0u64;
+    while running {
+        running = false;
+        for k in &mut kernels {
+            let mut sink = FnSink(|r: cmpsim_trace::MemRef| {
+                lines.insert(r.addr.line(64));
+            });
+            let mut tracer = Tracer::new(&mut sink as &mut dyn TraceSink);
+            running |= k.step(&mut tracer);
+        }
+        guard += 1;
+        assert!(guard < 10_000_000, "{id} did not terminate");
+    }
+    lines.len() as u64 * 64
+}
+
+const SCALE: Scale = Scale::tiny();
+/// The divisor at `Scale::tiny`.
+const DIV: u64 = 256;
+
+#[test]
+fn mds_working_set_is_matrix_sized() {
+    // Paper: "a sparse matrix of 300MB" dominates.
+    let ws = measure_ws(WorkloadId::Mds, SCALE, 4);
+    let paper_equiv = ws * DIV;
+    assert!(
+        (150 << 20..600 << 20).contains(&paper_equiv),
+        "MDS working set {paper_equiv} bytes (paper-equivalent)"
+    );
+}
+
+#[test]
+fn shot_working_set_scales_linearly_with_threads() {
+    // Paper: ~4 MB per thread of private frame buffers.
+    let ws2 = measure_ws(WorkloadId::Shot, SCALE, 2);
+    let ws8 = measure_ws(WorkloadId::Shot, SCALE, 8);
+    let growth = ws8 as f64 / ws2 as f64;
+    assert!(
+        (2.0..6.0).contains(&growth),
+        "SHOT 2->8 thread footprint growth {growth}"
+    );
+}
+
+#[test]
+fn svmrfe_working_set_does_not_scale_with_threads() {
+    let ws1 = measure_ws(WorkloadId::SvmRfe, SCALE, 1);
+    let ws8 = measure_ws(WorkloadId::SvmRfe, SCALE, 8);
+    let growth = ws8 as f64 / ws1 as f64;
+    assert!(
+        growth < 1.2,
+        "SVM-RFE footprint must be shared: growth {growth}"
+    );
+}
+
+#[test]
+fn rsearch_private_dp_grows_with_threads() {
+    let ws1 = measure_ws(WorkloadId::Rsearch, SCALE, 1);
+    let ws8 = measure_ws(WorkloadId::Rsearch, SCALE, 8);
+    assert!(
+        ws8 > ws1,
+        "RSEARCH footprint must grow with threads: {ws1} -> {ws8}"
+    );
+}
+
+#[test]
+fn snp_working_set_spans_its_three_structures() {
+    let ws = measure_ws(WorkloadId::Snp, SCALE, 4);
+    // Data table + score cache + (touched part of) statistics table:
+    // well above the data table alone, well below the full region sum.
+    let wl = WorkloadId::Snp.build(SCALE, 99);
+    let full = wl.footprint();
+    let data_only = SCALE.count(600_000).max(1024) * 50;
+    assert!(ws > data_only / 2, "SNP ws {ws} vs data {data_only}");
+    assert!(ws <= full, "SNP ws {ws} vs allocated {full}");
+}
+
+#[test]
+fn plsa_working_set_is_smallest() {
+    // Paper Figure 4: PLSA has a 4 MB-class working set — the smallest
+    // of the non-flat workloads.
+    let plsa = measure_ws(WorkloadId::Plsa, SCALE, 8);
+    let shot = measure_ws(WorkloadId::Shot, SCALE, 8);
+    let mds = measure_ws(WorkloadId::Mds, SCALE, 8);
+    assert!(plsa < shot, "PLSA {plsa} vs SHOT {shot}");
+    assert!(plsa < mds, "PLSA {plsa} vs MDS {mds}");
+}
+
+#[test]
+fn fimi_tree_dominates_and_private_data_is_minor() {
+    let ws1 = measure_ws(WorkloadId::Fimi, SCALE, 1);
+    let ws8 = measure_ws(WorkloadId::Fimi, SCALE, 8);
+    let growth = ws8 as f64 / ws1 as f64;
+    // Paper: "the footprint of the global working set is much larger
+    // than that of the additional private per-thread data".
+    assert!(
+        growth < 1.5,
+        "FIMI shared tree must dominate: growth {growth}"
+    );
+}
