@@ -1,9 +1,10 @@
 //! Raw simulator throughput: accesses/second of the set-associative
 //! cache and the banked Dragonhead LLC under different access patterns.
+//! Run with `cargo bench --bench cache_throughput [-- <filter>]`.
 
 use cmpsim_cache::{CacheConfig, SetAssocCache};
+use cmpsim_telemetry::BenchHarness;
 use cmpsim_trace::Pcg32;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn streaming_trace(n: usize) -> Vec<u64> {
     (0..n as u64).collect()
@@ -20,10 +21,9 @@ fn zipf_trace(n: usize, span: u64) -> Vec<u64> {
     (0..n).map(|_| table.sample(&mut rng) as u64).collect()
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn main() {
+    let mut h = BenchHarness::from_args();
     let n = 1_000_000usize;
-    let mut group = c.benchmark_group("cache_access");
-    group.throughput(Throughput::Elements(n as u64));
     for (name, trace) in [
         ("streaming", streaming_trace(n)),
         ("random", random_trace(n, 1 << 20)),
@@ -31,24 +31,19 @@ fn bench_cache(c: &mut Criterion) {
     ] {
         for size_mb in [1u64, 16] {
             let cfg = CacheConfig::lru(size_mb << 20, 64, 16).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("{size_mb}MB")),
-                &trace,
-                |b, trace| {
-                    b.iter(|| {
-                        let mut cache = SetAssocCache::new(cfg);
-                        let mut hits = 0u64;
-                        for &line in trace {
-                            hits += u64::from(cache.access(line, false).is_hit());
-                        }
-                        hits
-                    })
+            let mut hits = 0u64;
+            h.run(
+                &format!("cache_access/{name}/{size_mb}MB"),
+                5,
+                Some(n as u64),
+                || {
+                    let mut cache = SetAssocCache::new(cfg);
+                    hits = 0;
+                    for &line in &trace {
+                        hits += u64::from(cache.access(line, false).is_hit());
+                    }
                 },
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cache);
-criterion_main!(benches);

@@ -2,48 +2,37 @@
 //! table/figure at smoke scale. (The figure *content* is produced by the
 //! `src/bin` harnesses; these benches track the simulator's speed so
 //! regressions in the co-simulation hot path are caught.)
+//! Run with `cargo bench --bench experiments [-- <filter>]`.
 
 use cmpsim_core::experiment::{
     CacheSizeStudy, CmpClass, LineSizeStudy, PrefetchStudy, Table2Study,
 };
 use cmpsim_core::{Scale, WorkloadId};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cmpsim_telemetry::BenchHarness;
 
 const SEED: u64 = 2007;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments");
-    group.sample_size(10);
+fn main() {
+    let mut h = BenchHarness::from_args();
 
-    group.bench_function("table2_plsa", |b| {
-        b.iter(|| Table2Study::new(Scale::tiny(), SEED).run(WorkloadId::Plsa))
+    h.run("experiments/table2_plsa", 10, None, || {
+        let _ = Table2Study::new(Scale::tiny(), SEED).run(WorkloadId::Plsa);
     });
 
-    group.bench_function("fig4_sweep_svmrfe", |b| {
-        b.iter(|| {
-            CacheSizeStudy::new(Scale::tiny(), CmpClass::Small, SEED)
-                .run_with_sizes(WorkloadId::SvmRfe, &[64 << 10, 256 << 10, 1 << 20])
-        })
+    h.run("experiments/fig4_sweep_svmrfe", 10, None, || {
+        let _ = CacheSizeStudy::new(Scale::tiny(), CmpClass::Small, SEED)
+            .run_with_sizes(WorkloadId::SvmRfe, &[64 << 10, 256 << 10, 1 << 20]);
     });
 
-    group.bench_function("fig7_lines_shot", |b| {
-        b.iter(|| {
-            let mut study = LineSizeStudy::new(Scale::tiny(), SEED);
-            study.cores = 4;
-            study.run(WorkloadId::Shot)
-        })
+    h.run("experiments/fig7_lines_shot", 10, None, || {
+        let mut study = LineSizeStudy::new(Scale::tiny(), SEED);
+        study.cores = 4;
+        let _ = study.run(WorkloadId::Shot);
     });
 
-    group.bench_function("fig8_prefetch_plsa", |b| {
-        b.iter(|| {
-            let mut study = PrefetchStudy::new(Scale::tiny(), SEED);
-            study.parallel_threads = 4;
-            study.run(WorkloadId::Plsa)
-        })
+    h.run("experiments/fig8_prefetch_plsa", 10, None, || {
+        let mut study = PrefetchStudy::new(Scale::tiny(), SEED);
+        study.parallel_threads = 4;
+        let _ = study.run(WorkloadId::Plsa);
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

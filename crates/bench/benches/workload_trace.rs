@@ -1,34 +1,27 @@
 //! Workload kernel throughput: instructions simulated per second for
 //! each of the eight data-mining kernels (pure trace generation, no
 //! cache model).
+//! Run with `cargo bench --bench workload_trace [-- <filter>]`.
 
+use cmpsim_telemetry::BenchHarness;
 use cmpsim_trace::{CountingSink, TraceSink, Tracer};
 use cmpsim_workloads::{Scale, WorkloadId};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_workloads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload_trace");
-    group.sample_size(10);
+fn main() {
+    let mut h = BenchHarness::from_args();
     for id in WorkloadId::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(id), &id, |b, &id| {
-            b.iter(|| {
-                let wl = id.build(Scale::tiny(), 1);
-                let mut threads = wl.make_threads(2);
-                let mut sink = CountingSink::new();
-                let mut running = true;
-                while running {
-                    running = false;
-                    for th in &mut threads {
-                        let mut tr = Tracer::new(&mut sink as &mut dyn TraceSink);
-                        running |= th.step(&mut tr);
-                    }
+        h.run(&format!("workload_trace/{id}"), 10, None, || {
+            let wl = id.build(Scale::tiny(), 1);
+            let mut threads = wl.make_threads(2);
+            let mut sink = CountingSink::new();
+            let mut running = true;
+            while running {
+                running = false;
+                for th in &mut threads {
+                    let mut tr = Tracer::new(&mut sink as &mut dyn TraceSink);
+                    running |= th.step(&mut tr);
                 }
-                sink.total()
-            })
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_workloads);
-criterion_main!(benches);

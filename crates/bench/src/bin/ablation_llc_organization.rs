@@ -3,7 +3,7 @@
 //! al., Zhang & Asanovic, Nurvitadhi et al.) studies *shared* LLCs for
 //! these workloads.
 
-use cmpsim_bench::Options;
+use cmpsim_bench::{results_json, Options};
 use cmpsim_core::experiment::LlcOrganizationStudy;
 use cmpsim_core::report::TextTable;
 
@@ -16,14 +16,18 @@ fn main() {
         opts.scale
     );
     let mut t = TextTable::new(["Workload", "Shared MPKI", "Private MPKI", "Private/Shared"]);
-    for &w in &opts.workloads {
-        let r = study.run(w);
+    let results: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    for r in &results {
         t.row([
-            w.to_string(),
+            r.workload.to_string(),
             format!("{:.3}", r.shared_mpki),
             format!("{:.3}", r.private_mpki),
             format!("{:.2}x", r.private_penalty()),
         ]);
     }
     println!("{}", t.render());
+    opts.emit_json(
+        "ablation_llc_organization",
+        results_json::llc_organization_results(&results),
+    );
 }

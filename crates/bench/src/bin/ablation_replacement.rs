@@ -2,7 +2,7 @@
 //! LRU, tree-PLRU, FIFO, and random replacement to check the paper's
 //! working-set conclusions are not LRU artifacts.
 
-use cmpsim_bench::Options;
+use cmpsim_bench::{results_json, Options};
 use cmpsim_core::experiment::ReplacementStudy;
 use cmpsim_core::report::{human_bytes, TextTable};
 
@@ -16,6 +16,7 @@ fn main() {
         "Ablation: replacement policy on the SCMP size sweep (scale {})\n",
         opts.scale
     );
+    let mut sweeps = Vec::new();
     for &w in &opts.workloads {
         let curves = study.run(w);
         println!("{w}:");
@@ -33,5 +34,10 @@ fn main() {
             );
         }
         println!("{}", t.render());
+        sweeps.push((w, curves));
     }
+    opts.emit_json(
+        "ablation_replacement",
+        results_json::replacement_sweeps(&sweeps),
+    );
 }

@@ -2,7 +2,7 @@
 //! threads at a fixed LLC separates §4.3's category (a) (shared primary
 //! structure) from category (b) (per-thread private data).
 
-use cmpsim_bench::Options;
+use cmpsim_bench::{results_json, Options};
 use cmpsim_core::experiment::SharingStudy;
 use cmpsim_core::report::render_sharing;
 
@@ -15,4 +15,5 @@ fn main() {
     );
     let results: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
     println!("{}", render_sharing(&results));
+    opts.emit_json("ablation_sharing", results_json::sharing_results(&results));
 }

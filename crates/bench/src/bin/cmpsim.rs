@@ -15,11 +15,14 @@
 use cmpsim_bench::parse_scale;
 use cmpsim_core::cosim::{CoSimConfig, CoSimulation};
 use cmpsim_core::report::{human_bytes, TextTable};
-use cmpsim_core::{Scale, WorkloadId};
+use cmpsim_core::tel::{write_json_file, JsonValue, RunManifest, SpanProfiler};
+use cmpsim_core::{telemetry, Scale, WorkloadId};
 use cmpsim_dragonhead::{Dragonhead, DragonheadConfig};
 use cmpsim_trace::file::{TraceReader, TraceWriter};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,8 +35,9 @@ fn main() {
             eprintln!(
                 "usage: cmpsim <list|run|record|replay> [options]\n\
                  run    --workload NAME --cores N [--llc SIZE] [--line N] [--scale S] [--prefetch]\n\
+                        [--json] [--metrics-out FILE]\n\
                  record --workload NAME --cores N --out FILE [--scale S]\n\
-                 replay --trace FILE [--llc SIZE] [--line N]"
+                 replay --trace FILE [--llc SIZE] [--line N] [--json] [--metrics-out FILE]"
             );
             2
         }
@@ -52,6 +56,21 @@ struct Cli {
     prefetch: bool,
     out: Option<String>,
     trace: Option<String>,
+    json: bool,
+    metrics_out: Option<PathBuf>,
+}
+
+impl Cli {
+    /// Where the telemetry JSON goes: `--metrics-out` wins, `--json`
+    /// falls back to `results/<name>.json`, otherwise no JSON is
+    /// written.
+    fn json_path(&self, name: &str) -> Option<PathBuf> {
+        match &self.metrics_out {
+            Some(p) => Some(p.clone()),
+            None if self.json => Some(Path::new("results").join(format!("{name}.json"))),
+            None => None,
+        }
+    }
 }
 
 fn parse(args: &[String]) -> Result<Cli, String> {
@@ -80,6 +99,11 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--prefetch" => cli.prefetch = true,
             "--out" => cli.out = Some(val()?),
             "--trace" => cli.trace = Some(val()?),
+            "--json" => cli.json = true,
+            "--metrics-out" => {
+                cli.metrics_out = Some(PathBuf::from(val()?));
+                cli.json = true;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -152,7 +176,9 @@ fn cmd_run(args: &[String]) -> i32 {
         cfg = cfg.with_prefetch(cmpsim_prefetch::StrideConfig::default());
     }
     let wl = workload.build(cli.scale, cli.seed);
-    let r = CoSimulation::new(cfg).run(wl.as_ref());
+    let started = Instant::now();
+    let mut spans = SpanProfiler::new();
+    let r = CoSimulation::new(cfg).run_profiled(wl.as_ref(), &mut spans);
     println!(
         "{workload} on {} cores, {} LLC ({}B lines), scale {}:",
         cli.cores,
@@ -166,6 +192,15 @@ fn cmd_run(args: &[String]) -> i32 {
     println!("  LLC MPKI     : {:.3}", r.mpki);
     if cli.prefetch {
         println!("  prefetch fills: {}", r.prefetch_fills);
+    }
+    if let Some(path) = cli.json_path("cmpsim_run") {
+        let mut manifest = telemetry::manifest("cmpsim", &cfg, workload, cli.scale, cli.seed);
+        manifest.wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        let doc = telemetry::telemetry_report(manifest, &r, spans);
+        if let Err(e) = doc.write_json(&path) {
+            return fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        eprintln!("wrote {}", path.display());
     }
     0
 }
@@ -264,6 +299,23 @@ fn cmd_replay(args: &[String]) -> i32 {
     println!("  miss ratio   : {:.2}%", s.miss_ratio() * 100.0);
     println!("  excluded     : {}", board.address_filter().excluded());
     println!("  MPKI         : {:.3}", board.mpki());
+    if let Some(out) = cli.json_path("cmpsim_replay") {
+        let mut metrics = cmpsim_core::tel::MetricRegistry::new();
+        board.export_metrics(&mut metrics);
+        let manifest = RunManifest::new("cmpsim_replay", env!("CARGO_PKG_VERSION"))
+            .config_entry("trace", path.as_str())
+            .config_entry("llc_bytes", llc.size_bytes())
+            .config_entry("llc_line_bytes", llc.line_bytes())
+            .config_entry("transactions", n);
+        let doc = JsonValue::object([
+            ("manifest", manifest.to_json()),
+            ("metrics", metrics.to_json()),
+        ]);
+        if let Err(e) = write_json_file(&out, &doc) {
+            return fail(&format!("cannot write {}: {e}", out.display()));
+        }
+        eprintln!("wrote {}", out.display());
+    }
     0
 }
 

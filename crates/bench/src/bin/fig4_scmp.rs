@@ -1,7 +1,7 @@
 //! Regenerates Figure 4: LLC misses per 1000 instructions vs cache size
 //! on the small-scale CMP (8 cores), 64-byte lines.
 
-use cmpsim_bench::Options;
+use cmpsim_bench::{results_json, Options};
 use cmpsim_core::experiment::{CacheSizeStudy, CmpClass};
 use cmpsim_core::report::{human_bytes, render_ascii_chart, render_cache_size_figure};
 
@@ -31,4 +31,5 @@ fn main() {
             None => println!("  {:9} none (streaming)", c.workload.to_string()),
         }
     }
+    opts.emit_json("fig4_scmp", results_json::cache_size_curves(&curves));
 }

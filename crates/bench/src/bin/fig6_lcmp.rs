@@ -1,7 +1,7 @@
 //! Regenerates Figure 6: LLC misses per 1000 instructions vs cache size
 //! on the large-scale CMP (32 cores), 64-byte lines.
 
-use cmpsim_bench::Options;
+use cmpsim_bench::{results_json, Options};
 use cmpsim_core::experiment::{CacheSizeStudy, CmpClass};
 use cmpsim_core::report::render_cache_size_figure;
 
@@ -14,4 +14,5 @@ fn main() {
     );
     let curves: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
     println!("{}", render_cache_size_figure(&curves));
+    opts.emit_json("fig6_lcmp", results_json::cache_size_curves(&curves));
 }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 7: line-size sensitivity on the LCMP with a 32 MB
 //! LLC (scaled), lines from 64 B to 4096 B.
 
-use cmpsim_bench::Options;
+use cmpsim_bench::{results_json, Options};
 use cmpsim_core::experiment::LineSizeStudy;
 use cmpsim_core::report::render_line_size_figure;
 
@@ -23,4 +23,5 @@ fn main() {
             c.improvement_at(1024)
         );
     }
+    opts.emit_json("fig7_linesize", results_json::line_size_curves(&curves));
 }

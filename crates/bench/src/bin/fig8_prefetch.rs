@@ -1,7 +1,7 @@
 //! Regenerates Figure 8: performance gain from the stride hardware
 //! prefetcher, serial vs 16-thread, on a Xeon-class timing model.
 
-use cmpsim_bench::Options;
+use cmpsim_bench::{results_json, Options};
 use cmpsim_core::experiment::PrefetchStudy;
 use cmpsim_core::report::render_prefetch_figure;
 
@@ -19,4 +19,5 @@ fn main() {
          for VIEWTYPE/FIMI/PLSA/RSEARCH/SHOT/SVM-RFE, while SNP and MDS gain less in\n\
          parallel because demand misses already saturate the bus."
     );
+    opts.emit_json("fig8_prefetch", results_json::prefetch_results(&results));
 }

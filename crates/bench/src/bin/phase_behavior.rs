@@ -2,7 +2,7 @@
 //! the phase behavior §1 of the paper gives as the reason run-to-
 //! completion co-simulation matters.
 
-use cmpsim_bench::Options;
+use cmpsim_bench::{results_json, Options};
 use cmpsim_core::experiment::PhaseStudy;
 use cmpsim_core::report::TextTable;
 
@@ -14,6 +14,7 @@ fn main() {
         opts.scale
     );
     let mut t = TextTable::new(["Workload", "Samples", "Mean MPKI", "CoV", "Phases?"]);
+    let mut all = Vec::new();
     for &w in &opts.workloads {
         let series = study.run(w);
         let mean = if series.is_empty() {
@@ -35,6 +36,8 @@ fn main() {
                 "steady".to_owned()
             },
         ]);
+        all.push((w, series));
     }
     println!("{}", t.render());
+    opts.emit_json("phase_behavior", results_json::phase_series(&all));
 }

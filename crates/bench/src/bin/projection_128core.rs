@@ -2,7 +2,7 @@
 //! speculates that FIMI and RSEARCH working sets keep growing with core
 //! count while MDS/SVM-RFE/SNP/PLSA stay flat "even on 128 cores".
 
-use cmpsim_bench::Options;
+use cmpsim_bench::{results_json, Options};
 use cmpsim_core::experiment::ProjectionStudy;
 use cmpsim_core::report::TextTable;
 
@@ -17,12 +17,15 @@ fn main() {
     let mut t = TextTable::new(
         std::iter::once("Workload".to_owned()).chain(cores.iter().map(|c| format!("{c} cores"))),
     );
+    let mut all = Vec::new();
     for &w in &opts.workloads {
         let series = study.run(w, &cores);
         t.row(
             std::iter::once(w.to_string())
                 .chain(series.iter().map(|(_, mpki)| format!("{mpki:.3}"))),
         );
+        all.push((w, series));
     }
     println!("{}", t.render());
+    opts.emit_json("projection_128core", results_json::projection_series(&all));
 }

@@ -3,6 +3,7 @@
 
 use cmpsim_bench::Options;
 use cmpsim_core::report::{human_bytes, TextTable};
+use cmpsim_core::tel::JsonValue;
 
 fn main() {
     let opts = Options::from_args();
@@ -11,6 +12,7 @@ fn main() {
         opts.scale
     );
     let mut t = TextTable::new(["Workload", "Parameters", "Size of Data Input", "Provenance"]);
+    let mut rows = Vec::new();
     for &id in &opts.workloads {
         let wl = id.build(opts.scale, opts.seed);
         let d = wl.dataset();
@@ -20,6 +22,13 @@ fn main() {
             human_bytes(d.input_bytes),
             d.provenance.clone(),
         ]);
+        rows.push(JsonValue::object([
+            ("workload", JsonValue::from(id.to_string())),
+            ("parameters", JsonValue::from(d.parameters.clone())),
+            ("input_bytes", JsonValue::U64(d.input_bytes)),
+            ("provenance", JsonValue::from(d.provenance.clone())),
+        ]));
     }
     println!("{}", t.render());
+    opts.emit_json("table1_inputs", JsonValue::Array(rows));
 }

@@ -1,7 +1,7 @@
 //! Regenerates Table 2: single-threaded workload characteristics on a
 //! Pentium 4-class machine (8 KB DL1 + 512 KB L2, scaled).
 
-use cmpsim_bench::Options;
+use cmpsim_bench::{results_json, Options};
 use cmpsim_core::experiment::Table2Study;
 use cmpsim_core::report::render_table2;
 
@@ -18,4 +18,5 @@ fn main() {
         "paper reference (measured on real hardware): IPC 0.06 (MDS) to 1.08 (PLSA);\n\
          %mem 42.3% (RSEARCH) to 83.1% (PLSA); DL2 MPKI 0.18 (PLSA) to 18.95 (MDS)."
     );
+    opts.emit_json("table2_characteristics", results_json::table2_rows(&rows));
 }

@@ -10,9 +10,22 @@
 //!   (default `ci`; `tiny` for smoke runs, `paper` for the full-size
 //!   reproduction),
 //! * `--seed N` — dataset seed (default 2007),
-//! * `--workloads A,B,C` — restrict to a subset (default: all eight).
+//! * `--workloads A,B,C` — restrict to a subset (default: all eight),
+//! * `--json` — also write the results as `results/<name>.json`, a
+//!   machine-readable twin of the text output,
+//! * `--metrics-out FILE` — like `--json` but to an explicit path.
+//!
+//! The JSON twin carries a run manifest (producer, version, scale, seed,
+//! workloads, wall time) plus a `results` payload built by the
+//! [`results_json`] converters, so a plot script never has to parse the
+//! aligned text tables.
 
+use cmpsim_telemetry::{JsonValue, RunManifest};
 use cmpsim_workloads::{Scale, WorkloadId};
+use std::path::PathBuf;
+use std::time::Instant;
+
+pub mod results_json;
 
 /// Parsed common options.
 #[derive(Debug, Clone)]
@@ -23,6 +36,11 @@ pub struct Options {
     pub seed: u64,
     /// Workloads to run.
     pub workloads: Vec<WorkloadId>,
+    /// Write a `results/<name>.json` twin next to the text output.
+    pub json: bool,
+    /// Explicit output path for the JSON twin (implies `--json`).
+    pub metrics_out: Option<PathBuf>,
+    started: Instant,
 }
 
 impl Default for Options {
@@ -31,6 +49,9 @@ impl Default for Options {
             scale: Scale::ci(),
             seed: 2007,
             workloads: WorkloadId::all().to_vec(),
+            json: false,
+            metrics_out: None,
+            started: Instant::now(),
         }
     }
 }
@@ -61,11 +82,58 @@ impl Options {
                         .map(|s| s.parse().unwrap_or_else(|_| usage("unknown workload")))
                         .collect();
                 }
+                "--json" => opts.json = true,
+                "--metrics-out" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("missing --metrics-out value"));
+                    opts.metrics_out = Some(PathBuf::from(v));
+                    opts.json = true;
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument `{other}`")),
             }
         }
         opts
+    }
+
+    /// Where the JSON twin goes: `--metrics-out` wins, otherwise
+    /// `results/<name>.json` under `--json`, otherwise nowhere.
+    pub fn json_path(&self, name: &str) -> Option<PathBuf> {
+        match (&self.metrics_out, self.json) {
+            (Some(p), _) => Some(p.clone()),
+            (None, true) => Some(PathBuf::from("results").join(format!("{name}.json"))),
+            (None, false) => None,
+        }
+    }
+
+    /// The manifest stamped into every JSON twin.
+    pub fn manifest(&self, name: &str) -> RunManifest {
+        let mut m = RunManifest::new(name, env!("CARGO_PKG_VERSION"))
+            .with_workloads(self.workloads.iter().copied())
+            .with_scale_seed(self.scale, self.seed);
+        m.wall_ms = self.started.elapsed().as_secs_f64() * 1e3;
+        m
+    }
+
+    /// Writes `{manifest, results}` to the JSON twin path, if one was
+    /// requested. Text output on stdout is unaffected; the path note
+    /// goes to stderr.
+    pub fn emit_json(&self, name: &str, results: JsonValue) {
+        let Some(path) = self.json_path(name) else {
+            return;
+        };
+        let doc = JsonValue::object([
+            ("manifest", self.manifest(name).to_json()),
+            ("results", results),
+        ]);
+        match cmpsim_telemetry::write_json_file(&path, &doc) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -93,6 +161,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale tiny|ci|paper|1/N] [--seed N] [--workloads A,B,C]\n\
+         \x20      [--json] [--metrics-out FILE]\n\
          workloads: SNP, SVM-RFE, MDS, SHOT, FIMI, VIEWTYPE, PLSA, RSEARCH"
     );
     std::process::exit(2);
@@ -117,5 +186,29 @@ mod tests {
         let o = Options::default();
         assert_eq!(o.workloads.len(), 8);
         assert_eq!(o.seed, 2007);
+        assert!(!o.json);
+    }
+
+    #[test]
+    fn json_path_resolution() {
+        let mut o = Options::default();
+        assert_eq!(o.json_path("fig4"), None);
+        o.json = true;
+        assert_eq!(
+            o.json_path("fig4"),
+            Some(PathBuf::from("results/fig4.json"))
+        );
+        o.metrics_out = Some(PathBuf::from("/tmp/x.json"));
+        assert_eq!(o.json_path("fig4"), Some(PathBuf::from("/tmp/x.json")));
+    }
+
+    #[test]
+    fn manifest_carries_run_identity() {
+        let o = Options::default();
+        let m = o.manifest("table2");
+        assert_eq!(m.experiment, "table2");
+        assert_eq!(m.seed, 2007);
+        assert_eq!(m.workloads.len(), 8);
+        assert!(m.wall_ms >= 0.0);
     }
 }

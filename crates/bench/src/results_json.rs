@@ -1,0 +1,304 @@
+//! Converters from study result structs to the JSON `results` payload
+//! each binary writes next to its text output.
+//!
+//! The shapes mirror the text tables one-to-one: one array entry per
+//! curve/row, numeric fields unrounded (the text output rounds for
+//! alignment; the JSON twin keeps full precision for plotting).
+
+use cmpsim_cache::ReplacementPolicy;
+use cmpsim_core::experiment::{
+    CacheSizeCurve, LineSizeCurve, LlcOrganizationResult, PhasePoint, PrefetchResult,
+    SharingResult, Table2Row,
+};
+use cmpsim_core::WorkloadId;
+use cmpsim_telemetry::JsonValue;
+
+/// Figure 4/5/6 payload: per-workload MPKI-vs-size curves with the
+/// derived working-set knee.
+pub fn cache_size_curves(curves: &[CacheSizeCurve]) -> JsonValue {
+    JsonValue::Array(
+        curves
+            .iter()
+            .map(|c| {
+                JsonValue::object([
+                    ("workload", JsonValue::from(c.workload.to_string())),
+                    ("cmp", JsonValue::from(c.cmp.to_string())),
+                    ("cores", JsonValue::from(c.cmp.cores() as u64)),
+                    (
+                        "points",
+                        JsonValue::Array(
+                            c.points
+                                .iter()
+                                .map(|p| {
+                                    JsonValue::object([
+                                        ("llc_bytes", JsonValue::U64(p.llc_bytes)),
+                                        ("mpki", JsonValue::F64(p.mpki)),
+                                        ("misses", JsonValue::U64(p.misses)),
+                                        ("instructions", JsonValue::U64(p.instructions)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "knee_bytes",
+                        c.knee(0.5).map_or(JsonValue::Null, JsonValue::U64),
+                    ),
+                    ("flatness", JsonValue::F64(c.flatness())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Figure 7 payload: per-workload MPKI-vs-line-size curves.
+pub fn line_size_curves(curves: &[LineSizeCurve]) -> JsonValue {
+    JsonValue::Array(
+        curves
+            .iter()
+            .map(|c| {
+                JsonValue::object([
+                    ("workload", JsonValue::from(c.workload.to_string())),
+                    (
+                        "points",
+                        JsonValue::Array(
+                            c.points
+                                .iter()
+                                .map(|p| {
+                                    JsonValue::object([
+                                        ("line_bytes", JsonValue::U64(p.line_bytes)),
+                                        ("mpki", JsonValue::F64(p.mpki)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("improvement_256", JsonValue::F64(c.improvement_at(256))),
+                    ("improvement_1024", JsonValue::F64(c.improvement_at(1024))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Figure 8 payload: prefetch speedups.
+pub fn prefetch_results(results: &[PrefetchResult]) -> JsonValue {
+    JsonValue::Array(
+        results
+            .iter()
+            .map(|r| {
+                JsonValue::object([
+                    ("workload", JsonValue::from(r.workload.to_string())),
+                    ("serial_speedup", JsonValue::F64(r.serial_speedup)),
+                    ("parallel_speedup", JsonValue::F64(r.parallel_speedup)),
+                    (
+                        "parallel_utilization",
+                        JsonValue::F64(r.parallel_utilization),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Table 2 payload: single-threaded characteristics.
+pub fn table2_rows(rows: &[Table2Row]) -> JsonValue {
+    JsonValue::Array(
+        rows.iter()
+            .map(|r| {
+                JsonValue::object([
+                    ("workload", JsonValue::from(r.workload.to_string())),
+                    ("ipc", JsonValue::F64(r.ipc)),
+                    ("instructions", JsonValue::U64(r.instructions)),
+                    ("memory_fraction", JsonValue::F64(r.memory_fraction)),
+                    ("read_fraction", JsonValue::F64(r.read_fraction)),
+                    ("dl1_apki", JsonValue::F64(r.dl1_apki)),
+                    ("dl1_mpki", JsonValue::F64(r.dl1_mpki)),
+                    ("dl2_mpki", JsonValue::F64(r.dl2_mpki)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Sharing-ablation payload.
+pub fn sharing_results(results: &[SharingResult]) -> JsonValue {
+    JsonValue::Array(
+        results
+            .iter()
+            .map(|r| {
+                JsonValue::object([
+                    ("workload", JsonValue::from(r.workload.to_string())),
+                    ("miss_growth_8x", JsonValue::F64(r.miss_growth_8x)),
+                    (
+                        "paper_category_shared",
+                        JsonValue::Bool(r.paper_category_shared),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Replacement-ablation payload: one entry per workload, each holding
+/// the size sweep under every policy.
+pub fn replacement_sweeps(
+    sweeps: &[(WorkloadId, Vec<(ReplacementPolicy, CacheSizeCurve)>)],
+) -> JsonValue {
+    JsonValue::Array(
+        sweeps
+            .iter()
+            .map(|(w, curves)| {
+                JsonValue::object([
+                    ("workload", JsonValue::from(w.to_string())),
+                    (
+                        "policies",
+                        JsonValue::Array(
+                            curves
+                                .iter()
+                                .map(|(p, c)| {
+                                    JsonValue::object([
+                                        ("policy", JsonValue::from(p.to_string())),
+                                        ("curve", cache_size_curves(std::slice::from_ref(c))),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Shared-vs-private LLC organization payload.
+pub fn llc_organization_results(results: &[LlcOrganizationResult]) -> JsonValue {
+    JsonValue::Array(
+        results
+            .iter()
+            .map(|r| {
+                JsonValue::object([
+                    ("workload", JsonValue::from(r.workload.to_string())),
+                    ("shared_mpki", JsonValue::F64(r.shared_mpki)),
+                    ("private_mpki", JsonValue::F64(r.private_mpki)),
+                    ("private_penalty", JsonValue::F64(r.private_penalty())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Core-count projection payload: one entry per workload, MPKI at each
+/// core count.
+pub fn projection_series(series: &[(WorkloadId, Vec<(usize, f64)>)]) -> JsonValue {
+    JsonValue::Array(
+        series
+            .iter()
+            .map(|(w, pts)| {
+                JsonValue::object([
+                    ("workload", JsonValue::from(w.to_string())),
+                    (
+                        "points",
+                        JsonValue::Array(
+                            pts.iter()
+                                .map(|&(cores, mpki)| {
+                                    JsonValue::object([
+                                        ("cores", JsonValue::from(cores as u64)),
+                                        ("mpki", JsonValue::F64(mpki)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Phase-behavior payload: the per-interval MPKI series per workload,
+/// as parallel `cycles` / `interval_mpki` arrays (a long sampler series
+/// as one object per point would dominate the document). MPKI is
+/// rounded to 1e-6, which is far below the model's fidelity.
+pub fn phase_series(series: &[(WorkloadId, Vec<PhasePoint>)]) -> JsonValue {
+    JsonValue::Array(
+        series
+            .iter()
+            .map(|(w, pts)| {
+                JsonValue::object([
+                    ("workload", JsonValue::from(w.to_string())),
+                    (
+                        "cycles",
+                        JsonValue::Array(pts.iter().map(|p| JsonValue::U64(p.cycle)).collect()),
+                    ),
+                    (
+                        "interval_mpki",
+                        JsonValue::Array(
+                            pts.iter()
+                                .map(|p| JsonValue::F64((p.interval_mpki * 1e6).round() / 1e6))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_core::experiment::{CachePoint, CmpClass};
+
+    fn curve() -> CacheSizeCurve {
+        CacheSizeCurve {
+            workload: WorkloadId::Fimi,
+            cmp: CmpClass::Small,
+            points: vec![
+                CachePoint {
+                    llc_bytes: 1 << 20,
+                    mpki: 4.0,
+                    misses: 400,
+                    instructions: 100_000,
+                },
+                CachePoint {
+                    llc_bytes: 1 << 21,
+                    mpki: 1.0,
+                    misses: 100,
+                    instructions: 100_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn cache_size_payload_shape() {
+        let j = cache_size_curves(&[curve()]);
+        let entry = &j.as_array().unwrap()[0];
+        assert_eq!(entry.get("workload").unwrap().as_str(), Some("FIMI"));
+        assert_eq!(entry.get("cores").unwrap().as_u64(), Some(8));
+        let pts = entry.get("points").unwrap().as_array().unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].get("llc_bytes").unwrap().as_u64(), Some(1 << 20));
+        // The knee (MPKI halves) is at the 2 MB point.
+        assert_eq!(entry.get("knee_bytes").unwrap().as_u64(), Some(1 << 21));
+    }
+
+    #[test]
+    fn payloads_serialize_and_reparse() {
+        let docs = [
+            cache_size_curves(&[curve()]),
+            projection_series(&[(WorkloadId::Mds, vec![(8, 2.0), (16, 3.0)])]),
+            phase_series(&[(
+                WorkloadId::Snp,
+                vec![PhasePoint {
+                    cycle: 50_000,
+                    interval_mpki: 1.25,
+                }],
+            )]),
+        ];
+        for d in docs {
+            assert_eq!(cmpsim_telemetry::parse(&d.to_json()).unwrap(), d);
+        }
+    }
+}

@@ -1,11 +1,19 @@
-//! Property-based tests for the cache simulator's core invariants.
+//! Randomized invariant tests for the cache simulator's core
+//! properties, driven by the repo's own deterministic PCG stream (the
+//! build environment is offline, so no external property-testing
+//! framework is used; every case is seeded and reproducible).
 
 use cmpsim_cache::{CacheConfig, ReplacementPolicy, SetAssocCache};
-use proptest::prelude::*;
+use cmpsim_trace::Pcg32;
 
-/// An arbitrary short access trace over a bounded line space.
-fn trace_strategy(max_line: u64) -> impl Strategy<Value = Vec<(u64, bool)>> {
-    prop::collection::vec((0..max_line, any::<bool>()), 1..800)
+const CASES: u64 = 64;
+
+/// A random short access trace over a bounded line space.
+fn random_trace(rng: &mut Pcg32, max_line: u64) -> Vec<(u64, bool)> {
+    let len = 1 + rng.below(799) as usize;
+    (0..len)
+        .map(|_| (rng.below(max_line), rng.chance(0.5)))
+        .collect()
 }
 
 fn run_trace(cache: &mut SetAssocCache, trace: &[(u64, bool)]) -> u64 {
@@ -15,38 +23,54 @@ fn run_trace(cache: &mut SetAssocCache, trace: &[(u64, bool)]) -> u64 {
     cache.stats().misses
 }
 
-proptest! {
-    /// hits + misses == accesses, read_misses + write_misses == misses,
-    /// and occupancy never exceeds capacity.
-    #[test]
-    fn stats_identities(trace in trace_strategy(256)) {
+const POLICIES: [ReplacementPolicy; 4] = [
+    ReplacementPolicy::Lru,
+    ReplacementPolicy::TreePlru,
+    ReplacementPolicy::Fifo,
+    ReplacementPolicy::Random,
+];
+
+/// hits + misses == accesses, read_misses + write_misses == misses,
+/// and occupancy never exceeds capacity.
+#[test]
+fn stats_identities() {
+    let mut rng = Pcg32::seed(0xCAC4E001);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng, 256);
         let cfg = CacheConfig::lru(8 * 1024, 64, 4).unwrap();
         let mut c = SetAssocCache::new(cfg);
         run_trace(&mut c, &trace);
         let s = c.stats();
-        prop_assert_eq!(s.hits + s.misses, s.accesses);
-        prop_assert_eq!(s.read_misses + s.write_misses, s.misses);
-        prop_assert!(s.writebacks <= s.evictions);
-        prop_assert!(c.resident_lines() <= cfg.num_lines());
+        assert_eq!(s.hits + s.misses, s.accesses, "case {case}");
+        assert_eq!(s.read_misses + s.write_misses, s.misses, "case {case}");
+        assert!(s.writebacks <= s.evictions, "case {case}");
+        assert!(c.resident_lines() <= cfg.num_lines(), "case {case}");
     }
+}
 
-    /// LRU inclusion: with the same number of sets, a higher-associativity
-    /// cache never misses more (per-set LRU stack property).
-    #[test]
-    fn lru_inclusion_in_associativity(trace in trace_strategy(512)) {
+/// LRU inclusion: with the same number of sets, a higher-associativity
+/// cache never misses more (per-set LRU stack property).
+#[test]
+fn lru_inclusion_in_associativity() {
+    let mut rng = Pcg32::seed(0xCAC4E002);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng, 512);
         // 64 sets each: 2-way vs 8-way.
         let small = CacheConfig::lru(64 * 2 * 64, 64, 2).unwrap();
         let large = CacheConfig::lru(64 * 8 * 64, 64, 8).unwrap();
-        let mut c_small = SetAssocCache::new(small);
-        let mut c_large = SetAssocCache::new(large);
-        let m_small = run_trace(&mut c_small, &trace);
-        let m_large = run_trace(&mut c_large, &trace);
-        prop_assert!(m_large <= m_small, "{m_large} > {m_small}");
+        let m_small = run_trace(&mut SetAssocCache::new(small), &trace);
+        let m_large = run_trace(&mut SetAssocCache::new(large), &trace);
+        assert!(m_large <= m_small, "case {case}: {m_large} > {m_small}");
     }
+}
 
-    /// A second pass over any trace that fits in the cache is all hits.
-    #[test]
-    fn second_pass_hits_when_fitting(lines in prop::collection::vec(0u64..64, 1..64)) {
+/// A second pass over any trace that fits in the cache is all hits.
+#[test]
+fn second_pass_hits_when_fitting() {
+    let mut rng = Pcg32::seed(0xCAC4E003);
+    for case in 0..CASES {
+        let len = 1 + rng.below(63) as usize;
+        let lines: Vec<u64> = (0..len).map(|_| rng.below(64)).collect();
         // 64 lines capacity, fully covering the line space.
         let cfg = CacheConfig::lru(64 * 64, 64, 8).unwrap();
         let mut c = SetAssocCache::new(cfg);
@@ -57,13 +81,17 @@ proptest! {
         for &l in &lines {
             c.access(l, false);
         }
-        prop_assert_eq!(c.stats().misses, 0);
+        assert_eq!(c.stats().misses, 0, "case {case}");
     }
+}
 
-    /// Probe (contains) never changes behaviour: interleaving probes
-    /// into a trace leaves hit/miss outcomes identical.
-    #[test]
-    fn probes_are_pure(trace in trace_strategy(128)) {
+/// Probe (contains) never changes behaviour: interleaving probes into a
+/// trace leaves hit/miss outcomes identical.
+#[test]
+fn probes_are_pure() {
+    let mut rng = Pcg32::seed(0xCAC4E004);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng, 128);
         let cfg = CacheConfig::lru(4096, 64, 4).unwrap();
         let mut plain = SetAssocCache::new(cfg);
         let mut probed = SetAssocCache::new(cfg);
@@ -72,36 +100,36 @@ proptest! {
             let _ = probed.contains(line ^ 1);
             let _ = probed.contains(line);
             let b = probed.access(line, write).is_hit();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case} line {line}");
         }
     }
+}
 
-    /// Invalidation really removes the line and is idempotent.
-    #[test]
-    fn invalidate_removes(line in 0u64..1024) {
+/// Invalidation really removes the line and is idempotent.
+#[test]
+fn invalidate_removes() {
+    let mut rng = Pcg32::seed(0xCAC4E005);
+    for case in 0..CASES {
+        let line = rng.below(1024);
         let cfg = CacheConfig::lru(64 * 1024, 64, 16).unwrap();
         let mut c = SetAssocCache::new(cfg);
         c.access(line, true);
-        prop_assert!(c.contains(line));
+        assert!(c.contains(line), "case {case}");
         let ev = c.invalidate(line);
-        prop_assert!(ev.is_some());
-        prop_assert!(ev.unwrap().dirty);
-        prop_assert!(!c.contains(line));
-        prop_assert!(c.invalidate(line).is_none());
+        assert!(ev.is_some(), "case {case}");
+        assert!(ev.unwrap().dirty, "case {case}");
+        assert!(!c.contains(line), "case {case}");
+        assert!(c.invalidate(line).is_none(), "case {case}");
     }
+}
 
-    /// Every policy keeps occupancy within capacity and stats consistent.
-    #[test]
-    fn all_policies_safe(
-        trace in trace_strategy(300),
-        policy_idx in 0usize..4,
-    ) {
-        let policy = [
-            ReplacementPolicy::Lru,
-            ReplacementPolicy::TreePlru,
-            ReplacementPolicy::Fifo,
-            ReplacementPolicy::Random,
-        ][policy_idx];
+/// Every policy keeps occupancy within capacity and stats consistent.
+#[test]
+fn all_policies_safe() {
+    let mut rng = Pcg32::seed(0xCAC4E006);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng, 300);
+        let policy = POLICIES[rng.below(4) as usize];
         let cfg = CacheConfig::builder()
             .size_bytes(8 * 1024)
             .line_bytes(64)
@@ -111,20 +139,23 @@ proptest! {
             .unwrap();
         let mut c = SetAssocCache::new(cfg);
         run_trace(&mut c, &trace);
-        prop_assert!(c.resident_lines() <= cfg.num_lines());
-        prop_assert_eq!(c.stats().hits + c.stats().misses, c.stats().accesses);
+        assert!(c.resident_lines() <= cfg.num_lines(), "case {case}");
+        assert_eq!(
+            c.stats().hits + c.stats().misses,
+            c.stats().accesses,
+            "case {case} ({policy:?})"
+        );
     }
+}
 
-    /// Deterministic replay: the same trace always produces the same
-    /// counters, for every policy (Random uses a fixed PCG stream).
-    #[test]
-    fn deterministic_replay(trace in trace_strategy(256), policy_idx in 0usize..4) {
-        let policy = [
-            ReplacementPolicy::Lru,
-            ReplacementPolicy::TreePlru,
-            ReplacementPolicy::Fifo,
-            ReplacementPolicy::Random,
-        ][policy_idx];
+/// Deterministic replay: the same trace always produces the same
+/// counters, for every policy (Random uses a fixed PCG stream).
+#[test]
+fn deterministic_replay() {
+    let mut rng = Pcg32::seed(0xCAC4E007);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng, 256);
+        let policy = POLICIES[rng.below(4) as usize];
         let cfg = CacheConfig::builder()
             .size_bytes(4096)
             .line_bytes(64)
@@ -136,6 +167,6 @@ proptest! {
         let mut b = SetAssocCache::new(cfg);
         run_trace(&mut a, &trace);
         run_trace(&mut b, &trace);
-        prop_assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.stats(), b.stats(), "case {case} ({policy:?})");
     }
 }

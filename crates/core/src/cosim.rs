@@ -5,6 +5,7 @@ use cmpsim_dragonhead::{Dragonhead, DragonheadConfig, Sample};
 use cmpsim_memsys::RunCounts;
 use cmpsim_prefetch::StrideConfig;
 use cmpsim_softsdv::{FsbListener, HostNoiseConfig, PlatformConfig, RunSummary, VirtualPlatform};
+use cmpsim_telemetry::{MetricRegistry, SpanProfiler};
 use cmpsim_trace::FsbTransaction;
 use cmpsim_workloads::Workload;
 
@@ -118,6 +119,10 @@ pub struct CoSimReport {
     pub llc_bytes: u64,
     /// The LLC line size this report is for.
     pub llc_line_bytes: u64,
+    /// Every counter from both sides of the bus as labeled series: the
+    /// platform's retirement/private-cache counters and the board's
+    /// per-bank, per-core LLC counters.
+    pub metrics: MetricRegistry,
 }
 
 impl CoSimReport {
@@ -177,10 +182,27 @@ impl CoSimulation {
 
     /// Runs `workload` to completion under this configuration.
     pub fn run(&self, workload: &dyn Workload) -> CoSimReport {
+        let mut spans = SpanProfiler::new();
+        self.run_profiled(workload, &mut spans)
+    }
+
+    /// Like [`run`](CoSimulation::run), but records wall-clock spans for
+    /// the build/simulate/report stages into `spans`.
+    pub fn run_profiled(&self, workload: &dyn Workload, spans: &mut SpanProfiler) -> CoSimReport {
+        spans.start("cosim");
+        spans.start("build");
         let mut platform = VirtualPlatform::new(self.cfg.platform_config(), workload);
         let mut dh = Dragonhead::new(self.cfg.dragonhead_config());
+        spans.end();
+        spans.start("simulate");
         let run = platform.run(&mut Snoop(&mut dh));
-        Self::report(run, &dh)
+        spans.end();
+        spans.start("report");
+        dh.flush(run.cycles);
+        let report = Self::report(run, &dh);
+        spans.end();
+        spans.end();
+        report
     }
 
     /// Runs `workload` once while emulating every LLC in `llcs`
@@ -199,6 +221,9 @@ impl CoSimulation {
             })
             .collect();
         let run = platform.run(&mut MultiSnoop(&mut boards));
+        for dh in &mut boards {
+            dh.flush(run.cycles);
+        }
         boards
             .iter()
             .map(|dh| Self::report(run.clone(), dh))
@@ -208,6 +233,9 @@ impl CoSimulation {
     fn report(run: RunSummary, dh: &Dragonhead) -> CoSimReport {
         let llc = dh.stats();
         let mpki = llc.mpki(run.instructions);
+        let mut metrics = MetricRegistry::new();
+        run.export_metrics(&mut metrics);
+        dh.export_metrics(&mut metrics);
         CoSimReport {
             mpki,
             llc,
@@ -217,6 +245,7 @@ impl CoSimulation {
             writebacks_to_memory: dh.writebacks_to_memory(),
             llc_bytes: dh.config().cache.size_bytes(),
             llc_line_bytes: dh.config().cache.line_bytes(),
+            metrics,
             run,
         }
     }
@@ -274,6 +303,28 @@ mod tests {
                 w[0].llc.misses,
                 w[1].llc.misses
             );
+        }
+    }
+
+    #[test]
+    fn report_carries_metrics_and_flushed_samples() {
+        let wl = WorkloadId::Fimi.build(Scale::tiny(), 1);
+        let mut cfg = CoSimConfig::new(2, 1 << 20).unwrap();
+        cfg.sample_period = 1000;
+        let mut spans = cmpsim_telemetry::SpanProfiler::new();
+        let r = CoSimulation::new(cfg).run_profiled(wl.as_ref(), &mut spans);
+        // The flush guarantees the series covers the end of the run.
+        assert!(!r.samples.is_empty());
+        assert_eq!(r.samples.last().unwrap().cycle, r.run.cycles);
+        assert_eq!(r.samples.last().unwrap().accesses, r.llc.accesses);
+        // Counters from both sides of the bus landed in the registry.
+        assert_eq!(r.metrics.counter_total("instructions"), r.run.instructions);
+        assert_eq!(r.metrics.counter_total("llc_misses"), r.llc.misses);
+        assert_eq!(r.metrics.counter_total("core_llc_accesses"), r.llc.accesses);
+        // Build/simulate/report stages were timed.
+        let names: Vec<&str> = spans.spans().iter().map(|s| s.name.as_str()).collect();
+        for stage in ["cosim", "build", "simulate", "report"] {
+            assert!(names.contains(&stage), "missing span {stage}");
         }
     }
 

@@ -39,12 +39,14 @@
 pub mod cosim;
 pub mod experiment;
 pub mod report;
+pub mod telemetry;
 
 pub use cmpsim_cache as cache;
 pub use cmpsim_dragonhead as dragonhead;
 pub use cmpsim_memsys as memsys;
 pub use cmpsim_prefetch as prefetch;
 pub use cmpsim_softsdv as softsdv;
+pub use cmpsim_telemetry as tel;
 pub use cmpsim_trace as trace;
 pub use cmpsim_workloads as workloads;
 

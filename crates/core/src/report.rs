@@ -37,9 +37,13 @@ impl TextTable {
         self.rows.is_empty()
     }
 
-    /// Renders with aligned columns.
+    /// Renders with aligned columns. A table with no columns renders as
+    /// the empty string.
     pub fn render(&self) -> String {
         let cols = self.headers.len();
+        if cols == 0 {
+            return String::new();
+        }
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate().take(cols) {
@@ -67,9 +71,13 @@ impl TextTable {
     }
 }
 
-/// Formats a byte count the way the paper labels its x-axes (4MB, 64KB).
+/// Formats a byte count the way the paper labels its x-axes (1GB, 4MB,
+/// 64KB). Falls through to the next-smaller unit when the count is not
+/// a whole multiple.
 pub fn human_bytes(bytes: u64) -> String {
-    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+    if bytes >= 1 << 30 && bytes.is_multiple_of(1 << 30) {
+        format!("{}GB", bytes >> 30)
+    } else if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
         format!("{}MB", bytes >> 20)
     } else if bytes >= 1 << 10 {
         format!("{}KB", bytes >> 10)
@@ -261,6 +269,23 @@ mod tests {
         assert_eq!(human_bytes(4 << 20), "4MB");
         assert_eq!(human_bytes(256 << 10), "256KB");
         assert_eq!(human_bytes(64), "64B");
+    }
+
+    #[test]
+    fn human_bytes_gb_scale() {
+        assert_eq!(human_bytes(1 << 30), "1GB");
+        assert_eq!(human_bytes(4u64 << 30), "4GB");
+        // Not a whole GB: falls back to MB (the 64/128-core projections
+        // sweep LLCs past 1 GB in power-of-two steps, so 1536MB stays MB).
+        assert_eq!(human_bytes(1536 << 20), "1536MB");
+    }
+
+    #[test]
+    fn zero_column_table_renders_empty() {
+        let headers: [&str; 0] = [];
+        let mut t = TextTable::new(headers);
+        t.row(["ignored"]);
+        assert_eq!(t.render(), "");
     }
 
     #[test]

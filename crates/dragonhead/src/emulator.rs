@@ -5,6 +5,7 @@ use crate::cc::BankedCache;
 use crate::sampler::Sampler;
 use cmpsim_cache::{CacheConfig, CacheStats};
 use cmpsim_prefetch::{Prefetcher, StrideConfig, StridePrefetcher};
+use cmpsim_telemetry::{Labels, MetricRegistry};
 use cmpsim_trace::{FsbKind, FsbTransaction};
 
 /// Dragonhead configuration: the emulated cache plus board parameters.
@@ -191,6 +192,54 @@ impl Dragonhead {
     pub fn prefetch_fills(&self) -> u64 {
         self.prefetch_issued_to_memory
     }
+
+    /// Per-bank counters, as the CB reads each cache controller.
+    pub fn bank_stats(&self) -> Vec<CacheStats> {
+        self.cc.bank_stats()
+    }
+
+    /// Closes out the sampler's trailing partial interval at `cycle`
+    /// (see [`Sampler::flush`]); call once when the run ends so the tail
+    /// of the 500 µs time series is not lost.
+    pub fn flush(&mut self, cycle: u64) {
+        self.sampler.flush(
+            cycle,
+            self.af.instructions(),
+            self.stats().accesses,
+            self.stats().misses,
+        );
+    }
+
+    /// Exports every board counter into `reg` as labeled series: the
+    /// merged LLC demand counters, per-bank CC counters (`bank` label),
+    /// per-core attribution (`core` label), AF window counters, and the
+    /// writeback/prefetch memory-traffic split.
+    pub fn export_metrics(&self, reg: &mut MetricRegistry) {
+        let llc = self.stats();
+        let none = Labels::none();
+        reg.count("llc_accesses", &none, llc.accesses);
+        reg.count("llc_hits", &none, llc.hits);
+        reg.count("llc_misses", &none, llc.misses);
+        reg.count("llc_evictions", &none, llc.evictions);
+        reg.count("llc_writebacks", &none, llc.writebacks);
+        for (i, b) in self.cc.bank_stats().iter().enumerate() {
+            let l = Labels::none().with("bank", i.to_string());
+            reg.count("llc_bank_accesses", &l, b.accesses);
+            reg.count("llc_bank_misses", &l, b.misses);
+        }
+        for (i, c) in self.per_core.iter().enumerate() {
+            let l = Labels::none().with("core", i.to_string());
+            reg.count("core_llc_accesses", &l, c.accesses);
+            reg.count("core_llc_misses", &l, c.misses);
+        }
+        reg.count("af_excluded", &none, self.af.excluded());
+        reg.count("af_decode_errors", &none, self.af.decode_errors());
+        reg.count("instructions_reported", &none, self.af.instructions());
+        reg.count("writebacks_absorbed", &none, self.wb_absorbed);
+        reg.count("writebacks_to_memory", &none, self.wb_to_memory);
+        reg.count("prefetch_fills", &none, self.prefetch_issued_to_memory);
+        reg.gauge("llc_mpki", &none, self.mpki());
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +355,48 @@ mod tests {
             off.stats().misses
         );
         assert!(on.prefetch_fills() > 0);
+    }
+
+    #[test]
+    fn flush_closes_trailing_interval() {
+        let mut dh = Dragonhead::new(DragonheadConfig {
+            sample_period: 100,
+            ..DragonheadConfig::new(CacheConfig::lru(1 << 20, 64, 16).unwrap())
+        });
+        open(&mut dh);
+        for i in 0..25u64 {
+            read(&mut dh, i * 10, i * 64); // last access at cycle 240
+        }
+        assert_eq!(dh.samples().len(), 2, "boundaries at 100 and 200");
+        dh.flush(240);
+        assert_eq!(dh.samples().len(), 3);
+        let tail = dh.samples().last().unwrap();
+        assert_eq!(tail.cycle, 240);
+        assert_eq!(tail.accesses, 25);
+    }
+
+    #[test]
+    fn export_metrics_partitions_by_core_and_bank() {
+        let mut dh = board(1 << 20, 64);
+        open(&mut dh);
+        for t in MessageCodec::encode(Message::CoreId(1), 0) {
+            dh.observe(&t);
+        }
+        for i in 0..8u64 {
+            read(&mut dh, i, i * 64);
+        }
+        let mut reg = cmpsim_telemetry::MetricRegistry::new();
+        dh.export_metrics(&mut reg);
+        assert_eq!(reg.counter_total("llc_accesses"), 8);
+        assert_eq!(reg.counter_total("llc_bank_accesses"), 8);
+        assert_eq!(reg.counter_total("core_llc_accesses"), 8);
+        assert_eq!(
+            reg.counter_value(
+                "core_llc_accesses",
+                &cmpsim_telemetry::Labels::none().with("core", "1")
+            ),
+            8
+        );
     }
 
     #[test]

@@ -69,6 +69,27 @@ impl Sampler {
         }
     }
 
+    /// Records any samples still owed up to `cycle` (the catch-up loop
+    /// of [`tick`](Sampler::tick)), then closes out the trailing partial
+    /// interval with a final sample at `cycle` itself.
+    ///
+    /// Runs rarely end exactly on a period boundary; without a flush the
+    /// tail of the run — up to one full period of activity — would be
+    /// missing from the time series. Flushing at a cycle that already
+    /// has a sample (or behind the last one) records nothing extra.
+    pub fn flush(&mut self, cycle: u64, instructions: u64, accesses: u64, misses: u64) {
+        self.tick(cycle, instructions, accesses, misses);
+        if self.samples.last().map_or(cycle > 0, |s| s.cycle < cycle) {
+            self.samples.push(Sample {
+                cycle,
+                instructions,
+                accesses,
+                misses,
+            });
+            self.next_at = cycle - cycle % self.period + self.period;
+        }
+    }
+
     /// All samples recorded so far.
     pub fn samples(&self) -> &[Sample] {
         &self.samples
@@ -130,5 +151,45 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_period_panics() {
         let _ = Sampler::new(0);
+    }
+
+    #[test]
+    fn flush_records_trailing_partial_interval() {
+        let mut s = Sampler::new(100);
+        s.tick(100, 10, 20, 5);
+        s.flush(150, 15, 30, 8);
+        let cycles: Vec<u64> = s.samples().iter().map(|x| x.cycle).collect();
+        assert_eq!(cycles, vec![100, 150]);
+        assert_eq!(s.samples()[1].misses, 8);
+    }
+
+    #[test]
+    fn flush_catches_up_missed_boundaries_first() {
+        let mut s = Sampler::new(100);
+        s.flush(250, 9, 12, 3);
+        let cycles: Vec<u64> = s.samples().iter().map(|x| x.cycle).collect();
+        assert_eq!(cycles, vec![100, 200, 250]);
+    }
+
+    #[test]
+    fn flush_on_boundary_adds_nothing_extra() {
+        let mut s = Sampler::new(100);
+        s.flush(200, 4, 8, 2);
+        let cycles: Vec<u64> = s.samples().iter().map(|x| x.cycle).collect();
+        assert_eq!(cycles, vec![100, 200]);
+        // Flushing again at or behind the last sample is a no-op.
+        s.flush(200, 4, 8, 2);
+        s.flush(150, 4, 8, 2);
+        assert_eq!(s.samples().len(), 2);
+        // Ticking resumes from the next boundary, not a stale one.
+        s.tick(300, 5, 9, 2);
+        assert_eq!(s.samples().last().unwrap().cycle, 300);
+    }
+
+    #[test]
+    fn flush_at_zero_records_nothing() {
+        let mut s = Sampler::new(100);
+        s.flush(0, 0, 0, 0);
+        assert!(s.samples().is_empty());
     }
 }

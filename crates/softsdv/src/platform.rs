@@ -170,6 +170,34 @@ impl RunSummary {
             self.memory_instructions as f64 / self.instructions as f64
         }
     }
+
+    /// Exports the platform-side counters into `reg` as labeled series:
+    /// run totals, private-cache counters (`level` label), and the
+    /// per-core retirement breakdown (`core` label).
+    pub fn export_metrics(&self, reg: &mut cmpsim_telemetry::MetricRegistry) {
+        use cmpsim_telemetry::Labels;
+        let none = Labels::none();
+        reg.count("instructions", &none, self.instructions);
+        reg.count("memory_instructions", &none, self.memory_instructions);
+        reg.count("loads", &none, self.loads);
+        reg.count("stores", &none, self.stores);
+        reg.count("cycles", &none, self.cycles);
+        reg.count("bus_transactions", &none, self.bus_transactions);
+        for (level, stats) in [("l1", &self.l1), ("l2", &self.l2)] {
+            let l = Labels::none().with("level", level);
+            reg.count("private_accesses", &l, stats.accesses);
+            reg.count("private_hits", &l, stats.hits);
+            reg.count("private_misses", &l, stats.misses);
+            reg.count("private_writebacks", &l, stats.writebacks);
+        }
+        for (i, c) in self.per_core.iter().enumerate() {
+            let l = Labels::none().with("core", i.to_string());
+            reg.count("core_instructions", &l, c.instructions);
+            reg.count("core_memory_instructions", &l, c.memory_instructions);
+            reg.count("core_loads", &l, c.loads);
+            reg.count("core_slices", &l, c.slices);
+        }
+    }
 }
 
 /// The virtual platform: N virtual cores, their coherent private caches,

@@ -1,0 +1,121 @@
+//! A small wall-clock benchmark harness (the in-tree replacement for an
+//! external benchmarking framework — the container this repo builds in
+//! has no network access, so the harness lives here, built on the same
+//! span machinery the simulator uses for self-profiling).
+
+use std::time::Instant;
+
+/// One benchmark's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Measured iterations.
+    pub iters: u32,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest iteration in nanoseconds.
+    pub min_ns: u128,
+    /// Optional throughput denominator (elements per iteration).
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    /// Elements per second, when a throughput denominator was set.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.elements
+            .map(|e| e as f64 / (self.mean_ns / 1e9))
+            .filter(|v| v.is_finite())
+    }
+}
+
+/// Runs benchmarks and prints a criterion-style one-line summary each.
+#[derive(Debug, Default)]
+pub struct BenchHarness {
+    results: Vec<BenchResult>,
+    filter: Option<String>,
+}
+
+impl BenchHarness {
+    /// A harness honoring a substring filter from the command line
+    /// (`cargo bench -- <filter>`), mirroring the usual convention.
+    pub fn from_args() -> Self {
+        // Cargo passes `--bench`; ignore flags, keep the first free arg.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        BenchHarness {
+            results: Vec::new(),
+            filter,
+        }
+    }
+
+    /// Times `f` over `iters` iterations (after one warm-up) and records
+    /// the result. `elements` is an optional per-iteration throughput
+    /// denominator.
+    pub fn run(&mut self, name: &str, iters: u32, elements: Option<u64>, mut f: impl FnMut()) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        f(); // warm-up
+        let mut min_ns = u128::MAX;
+        let mut total_ns = 0u128;
+        let iters = iters.max(1);
+        for _ in 0..iters {
+            let t = Instant::now();
+            f();
+            let ns = t.elapsed().as_nanos();
+            min_ns = min_ns.min(ns);
+            total_ns += ns;
+        }
+        let r = BenchResult {
+            name: name.to_owned(),
+            iters,
+            mean_ns: total_ns as f64 / f64::from(iters),
+            min_ns,
+            elements,
+        };
+        match r.elements_per_sec() {
+            Some(eps) => println!(
+                "{:<40} {:>12.0} ns/iter  {:>12.0} elem/s",
+                r.name, r.mean_ns, eps
+            ),
+            None => println!("{:<40} {:>12.0} ns/iter", r.name, r.mean_ns),
+        }
+        self.results.push(r);
+    }
+
+    /// All recorded results.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_records_results() {
+        let mut h = BenchHarness::default();
+        let mut x = 0u64;
+        h.run("noop", 3, Some(10), || x = x.wrapping_add(1));
+        assert_eq!(h.results().len(), 1);
+        let r = &h.results()[0];
+        assert_eq!(r.iters, 3);
+        assert!(r.mean_ns >= r.min_ns as f64);
+        assert!(r.elements_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut h = BenchHarness {
+            filter: Some("cache".to_owned()),
+            ..BenchHarness::default()
+        };
+        h.run("workload_trace", 1, None, || ());
+        h.run("cache_access", 1, None, || ());
+        assert_eq!(h.results().len(), 1);
+        assert_eq!(h.results()[0].name, "cache_access");
+    }
+}

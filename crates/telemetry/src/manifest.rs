@@ -1,0 +1,133 @@
+//! Run manifests: the provenance record emitted next to every result.
+//!
+//! A result file without the configuration that produced it cannot be
+//! reproduced; the manifest captures the experiment name, workloads,
+//! scale, seed, full configuration, package version, and wall time in a
+//! machine-readable form.
+
+use crate::value::JsonValue;
+
+/// The JSON schema version written into every document; bump when the
+/// document layout changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Provenance for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Producing tool (binary or study name, e.g. `cmpsim` or
+    /// `fig4_scmp`).
+    pub experiment: String,
+    /// Cargo package version of the producer.
+    pub version: String,
+    /// Workloads the run covered (paper names, e.g. `FIMI`).
+    pub workloads: Vec<String>,
+    /// Scale knob, rendered (`1/16`, `paper`, ...).
+    pub scale: String,
+    /// Dataset seed.
+    pub seed: u64,
+    /// Full configuration, as ordered key/value entries.
+    pub config: Vec<(String, JsonValue)>,
+    /// Wall-clock duration of the run in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl RunManifest {
+    /// Starts a manifest for `experiment` at `version`
+    /// (pass `env!("CARGO_PKG_VERSION")`).
+    pub fn new(experiment: &str, version: &str) -> Self {
+        RunManifest {
+            experiment: experiment.to_owned(),
+            version: version.to_owned(),
+            workloads: Vec::new(),
+            scale: String::new(),
+            seed: 0,
+            config: Vec::new(),
+            wall_ms: 0.0,
+        }
+    }
+
+    /// Sets the workload list.
+    pub fn with_workloads<S: ToString, I: IntoIterator<Item = S>>(mut self, ws: I) -> Self {
+        self.workloads = ws.into_iter().map(|w| w.to_string()).collect();
+        self
+    }
+
+    /// Sets scale and seed.
+    pub fn with_scale_seed(mut self, scale: impl ToString, seed: u64) -> Self {
+        self.scale = scale.to_string();
+        self.seed = seed;
+        self
+    }
+
+    /// Appends one configuration entry.
+    pub fn config_entry(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.config.push((key.to_owned(), value.into()));
+        self
+    }
+
+    /// Reads back a configuration entry.
+    pub fn config_value(&self, key: &str) -> Option<&JsonValue> {
+        self.config.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Exports as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("schema_version", JsonValue::U64(u64::from(SCHEMA_VERSION))),
+            ("experiment", JsonValue::Str(self.experiment.clone())),
+            ("version", JsonValue::Str(self.version.clone())),
+            (
+                "workloads",
+                JsonValue::Array(
+                    self.workloads
+                        .iter()
+                        .map(|w| JsonValue::Str(w.clone()))
+                        .collect(),
+                ),
+            ),
+            ("scale", JsonValue::Str(self.scale.clone())),
+            ("seed", JsonValue::U64(self.seed)),
+            (
+                "config",
+                JsonValue::Object(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect(),
+                ),
+            ),
+            ("wall_ms", JsonValue::F64(self.wall_ms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrips_config() {
+        let m = RunManifest::new("fig4_scmp", "0.1.0")
+            .with_workloads(["FIMI", "MDS"])
+            .with_scale_seed("1/16", 2007)
+            .config_entry("cores", 8u64)
+            .config_entry("llc_bytes", 1u64 << 21);
+        let j = m.to_json();
+        assert_eq!(j.get("experiment").unwrap().as_str(), Some("fig4_scmp"));
+        assert_eq!(j.get("seed").unwrap().as_u64(), Some(2007));
+        assert_eq!(j.get_path(&["config", "cores"]).unwrap().as_u64(), Some(8));
+        assert_eq!(j.get("workloads").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(m.config_value("llc_bytes").unwrap().as_u64(), Some(1 << 21));
+        let parsed = crate::value::parse(&j.to_json_pretty()).unwrap();
+        assert_eq!(parsed, j);
+    }
+
+    #[test]
+    fn schema_version_is_stamped() {
+        let j = RunManifest::new("x", "0.1.0").to_json();
+        assert_eq!(
+            j.get("schema_version").unwrap().as_u64(),
+            Some(u64::from(SCHEMA_VERSION))
+        );
+    }
+}

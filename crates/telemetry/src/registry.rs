@@ -1,0 +1,412 @@
+//! The metric registry: labeled counters, gauges, and histograms.
+//!
+//! Modeled on the counter infrastructure the paper's collection board
+//! exposes to the host — every counter is identified by a name plus a
+//! small set of labels (`core`, `bank`, `workload`, ...), so the same
+//! logical metric can be recorded per core and per bank without
+//! inventing new names.
+
+use crate::value::JsonValue;
+use std::fmt::Write as _;
+
+/// A sorted label set (`key=value` pairs). Sorting makes series identity
+/// independent of insertion order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Labels(Vec<(String, String)>);
+
+impl Labels {
+    /// The empty label set.
+    pub fn none() -> Self {
+        Labels::default()
+    }
+
+    /// Builds from `(key, value)` pairs.
+    pub fn from_pairs<K: Into<String>, V: Into<String>, I: IntoIterator<Item = (K, V)>>(
+        pairs: I,
+    ) -> Self {
+        let mut v: Vec<(String, String)> = pairs
+            .into_iter()
+            .map(|(k, val)| (k.into(), val.into()))
+            .collect();
+        v.sort();
+        Labels(v)
+    }
+
+    /// Adds one label, keeping the set sorted.
+    pub fn with<K: Into<String>, V: Into<String>>(mut self, key: K, value: V) -> Self {
+        self.0.push((key.into(), value.into()));
+        self.0.sort();
+        self
+    }
+
+    /// The pairs, sorted by key.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.0
+    }
+
+    /// Renders as `k1=v1,k2=v2` (the CSV label column).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}={v}");
+        }
+        out
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(
+            self.0
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+                .collect(),
+        )
+    }
+}
+
+/// A power-of-two-bucket histogram (bucket `i` counts values in
+/// `[2^(i-1), 2^i)`, bucket 0 counts zeros and ones).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn observe(&mut self, value: u64) {
+        let bucket = if value <= 1 {
+            0
+        } else {
+            (64 - (value - 1).leading_zeros()) as usize
+        };
+        if bucket >= self.buckets.len() {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        self.max = self.max.max(value);
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Bucket counts (bucket `i` holds values in `[2^(i-1), 2^i)`).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("count", JsonValue::U64(self.count)),
+            ("sum", JsonValue::U64(self.sum)),
+            ("min", JsonValue::U64(self.min)),
+            ("max", JsonValue::U64(self.max)),
+            ("mean", JsonValue::F64(self.mean())),
+            (
+                "pow2_buckets",
+                JsonValue::Array(self.buckets.iter().map(|&b| JsonValue::U64(b)).collect()),
+            ),
+        ])
+    }
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Point-in-time measurement.
+    Gauge(f64),
+    /// Distribution of observations.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    /// The metric type name used in exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One named, labeled series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name (snake_case).
+    pub name: String,
+    /// Label set identifying the series.
+    pub labels: Labels,
+    /// Current value.
+    pub value: MetricValue,
+}
+
+/// The registry: the set of all series recorded by a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricRegistry::default()
+    }
+
+    /// All series, in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether no series have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    fn series(&mut self, name: &str, labels: &Labels, default: MetricValue) -> &mut MetricValue {
+        if let Some(i) = self
+            .metrics
+            .iter()
+            .position(|m| m.name == name && &m.labels == labels)
+        {
+            return &mut self.metrics[i].value;
+        }
+        self.metrics.push(Metric {
+            name: name.to_owned(),
+            labels: labels.clone(),
+            value: default,
+        });
+        &mut self.metrics.last_mut().expect("just pushed").value
+    }
+
+    /// Adds to a counter series (created at zero on first touch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series exists with a different type.
+    pub fn count(&mut self, name: &str, labels: &Labels, delta: u64) {
+        match self.series(name, labels, MetricValue::Counter(0)) {
+            MetricValue::Counter(v) => *v += delta,
+            other => panic!("metric {name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Sets a gauge series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series exists with a different type.
+    pub fn gauge(&mut self, name: &str, labels: &Labels, value: f64) {
+        match self.series(name, labels, MetricValue::Gauge(0.0)) {
+            MetricValue::Gauge(v) => *v = value,
+            other => panic!("metric {name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Records one observation into a histogram series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series exists with a different type.
+    pub fn observe(&mut self, name: &str, labels: &Labels, value: u64) {
+        match self.series(name, labels, MetricValue::Histogram(Histogram::default())) {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => panic!("metric {name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Reads back a counter (0 when absent).
+    pub fn counter_value(&self, name: &str, labels: &Labels) -> u64 {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && &m.labels == labels)
+            .and_then(|m| match m.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Sums a counter across every label combination.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .map(|m| match m.value {
+                MetricValue::Counter(v) => v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Exports every series as a JSON array.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Array(
+            self.metrics
+                .iter()
+                .map(|m| {
+                    let value = match &m.value {
+                        MetricValue::Counter(v) => JsonValue::U64(*v),
+                        MetricValue::Gauge(v) => JsonValue::F64(*v),
+                        MetricValue::Histogram(h) => h.to_json(),
+                    };
+                    JsonValue::object([
+                        ("name", JsonValue::Str(m.name.clone())),
+                        ("type", JsonValue::from(m.value.kind())),
+                        ("labels", m.labels.to_json()),
+                        ("value", value),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Exports every series as CSV (`name,type,labels,value` — histograms
+    /// export their mean, with count/min/max in extra columns).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,type,labels,value,count,min,max\n");
+        for m in &self.metrics {
+            let (value, count, min, max) = match &m.value {
+                MetricValue::Counter(v) => {
+                    (format!("{v}"), String::new(), String::new(), String::new())
+                }
+                MetricValue::Gauge(v) => {
+                    (format!("{v}"), String::new(), String::new(), String::new())
+                }
+                MetricValue::Histogram(h) => (
+                    format!("{}", h.mean()),
+                    format!("{}", h.count()),
+                    format!("{}", h.min()),
+                    format!("{}", h.max()),
+                ),
+            };
+            let _ = writeln!(
+                out,
+                "{},{},\"{}\",{value},{count},{min},{max}",
+                m.name,
+                m.value.kind(),
+                m.labels.render(),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let mut r = MetricRegistry::new();
+        let core0 = Labels::none().with("core", "0");
+        let core1 = Labels::none().with("core", "1");
+        r.count("llc_misses", &core0, 3);
+        r.count("llc_misses", &core1, 5);
+        r.count("llc_misses", &core0, 2);
+        assert_eq!(r.counter_value("llc_misses", &core0), 5);
+        assert_eq!(r.counter_value("llc_misses", &core1), 5);
+        assert_eq!(r.counter_total("llc_misses"), 10);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let a = Labels::from_pairs([("bank", "2"), ("core", "0")]);
+        let b = Labels::none().with("core", "0").with("bank", "2");
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "bank=2,core=0");
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = MetricRegistry::new();
+        r.gauge("mpki", &Labels::none(), 4.0);
+        r.gauge("mpki", &Labels::none(), 2.5);
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r.to_json().as_array().unwrap()[0].get("value"),
+            Some(&JsonValue::F64(2.5))
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_pow2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        // 0,1 -> bucket 0; 2 -> bucket 1; 3,4 -> bucket 2; 1000 -> bucket 10.
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets()[10], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_confusion_panics() {
+        let mut r = MetricRegistry::new();
+        r.count("x", &Labels::none(), 1);
+        r.gauge("x", &Labels::none(), 1.0);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let mut r = MetricRegistry::new();
+        r.count("bus_transactions", &Labels::none().with("core", "3"), 7);
+        r.observe("slice_len", &Labels::none(), 4);
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,type,labels,value,count,min,max");
+        assert_eq!(lines[1], "bus_transactions,counter,\"core=3\",7,,,");
+        assert!(lines[2].starts_with("slice_len,histogram,\"\",4,1,4,4"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Wall-clock self-profiling: named spans around pipeline stages.
+//!
+//! METICULOUS-style emulators publish where *their own* time goes
+//! alongside the emulated counters; these spans do the same for the
+//! simulate/emulate/report stages of a run.
+
+use crate::value::JsonValue;
+use std::time::Instant;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name (e.g. `simulate`, `report`).
+    pub name: String,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u128,
+    /// Nesting depth at the time the span ran (0 = top level).
+    pub depth: usize,
+}
+
+impl SpanRecord {
+    /// Duration in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+}
+
+/// Collects named wall-clock spans; spans may nest.
+#[derive(Debug, Default)]
+pub struct SpanProfiler {
+    finished: Vec<SpanRecord>,
+    open: Vec<(String, Instant)>,
+}
+
+impl SpanProfiler {
+    /// An empty profiler.
+    pub fn new() -> Self {
+        SpanProfiler::default()
+    }
+
+    /// Times a closure under `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        self.start(name);
+        let out = f();
+        self.end();
+        out
+    }
+
+    /// Opens a span; pair with [`end`](SpanProfiler::end).
+    pub fn start(&mut self, name: &str) {
+        self.open.push((name.to_owned(), Instant::now()));
+    }
+
+    /// Closes the innermost open span. No-op when nothing is open.
+    pub fn end(&mut self) {
+        if let Some((name, at)) = self.open.pop() {
+            self.finished.push(SpanRecord {
+                name,
+                nanos: at.elapsed().as_nanos(),
+                depth: self.open.len(),
+            });
+        }
+    }
+
+    /// All finished spans, in completion order.
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.finished
+    }
+
+    /// Total nanoseconds across every finished span with this name.
+    pub fn total_nanos(&self, name: &str) -> u128 {
+        self.finished
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.nanos)
+            .sum()
+    }
+
+    /// Exports finished spans as a JSON array.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Array(
+            self.finished
+                .iter()
+                .map(|s| {
+                    JsonValue::object([
+                        ("name", JsonValue::Str(s.name.clone())),
+                        ("wall_ms", JsonValue::F64(s.millis())),
+                        ("depth", JsonValue::U64(s.depth as u64)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_a_span() {
+        let mut p = SpanProfiler::new();
+        let v = p.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(p.spans().len(), 1);
+        assert_eq!(p.spans()[0].name, "work");
+        assert_eq!(p.spans()[0].depth, 0);
+    }
+
+    #[test]
+    fn nesting_tracks_depth() {
+        let mut p = SpanProfiler::new();
+        p.start("outer");
+        p.time("inner", || ());
+        p.end();
+        let inner = p.spans().iter().find(|s| s.name == "inner").unwrap();
+        let outer = p.spans().iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.depth, 0);
+        assert!(outer.nanos >= inner.nanos);
+    }
+
+    #[test]
+    fn unbalanced_end_is_harmless() {
+        let mut p = SpanProfiler::new();
+        p.end();
+        assert!(p.spans().is_empty());
+    }
+
+    #[test]
+    fn totals_sum_repeated_names() {
+        let mut p = SpanProfiler::new();
+        p.time("stage", || ());
+        p.time("stage", || ());
+        assert_eq!(p.spans().len(), 2);
+        assert!(p.total_nanos("stage") >= p.spans()[0].nanos);
+    }
+}

@@ -1,0 +1,189 @@
+//! The phase timeline: per-interval derived metrics from cumulative
+//! counter snapshots.
+//!
+//! The paper's host reads cumulative counters from the collection board
+//! every 500 µs; the quantities of interest (interval MPKI, bus
+//! utilization, miss ratio) are *differences* between consecutive
+//! snapshots. [`Timeline`] does that differencing once, so every exporter
+//! and study sees the same derived series.
+
+use crate::value::JsonValue;
+use std::fmt::Write as _;
+
+/// One interval of the timeline, with both the raw deltas and the
+/// derived rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalRecord {
+    /// Interval index (0-based).
+    pub index: usize,
+    /// First cycle covered by this interval (exclusive of the previous
+    /// snapshot's cycle).
+    pub start_cycle: u64,
+    /// Cycle of the snapshot that closed this interval.
+    pub end_cycle: u64,
+    /// Instructions retired within the interval.
+    pub instructions: u64,
+    /// LLC accesses within the interval.
+    pub accesses: u64,
+    /// LLC misses within the interval.
+    pub misses: u64,
+    /// Misses per 1000 instructions within the interval.
+    pub mpki: f64,
+    /// Misses / accesses within the interval.
+    pub miss_ratio: f64,
+    /// Bus data transactions per cycle within the interval (the
+    /// utilization proxy the sampler can compute without a timing model).
+    pub bus_utilization: f64,
+}
+
+/// Builds interval records from cumulative `(cycle, instructions,
+/// accesses, misses)` snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    records: Vec<IntervalRecord>,
+    last_cycle: u64,
+    last_instructions: u64,
+    last_accesses: u64,
+    last_misses: u64,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Feeds one cumulative snapshot; records the interval since the
+    /// previous snapshot. Snapshots that do not advance the clock are
+    /// ignored (they carry no interval).
+    pub fn push_cumulative(&mut self, cycle: u64, instructions: u64, accesses: u64, misses: u64) {
+        if cycle <= self.last_cycle && !self.records.is_empty() {
+            return;
+        }
+        let di = instructions.saturating_sub(self.last_instructions);
+        let da = accesses.saturating_sub(self.last_accesses);
+        let dm = misses.saturating_sub(self.last_misses);
+        let dc = cycle.saturating_sub(self.last_cycle);
+        self.records.push(IntervalRecord {
+            index: self.records.len(),
+            start_cycle: self.last_cycle,
+            end_cycle: cycle,
+            instructions: di,
+            accesses: da,
+            misses: dm,
+            mpki: if di == 0 {
+                0.0
+            } else {
+                dm as f64 * 1000.0 / di as f64
+            },
+            miss_ratio: if da == 0 { 0.0 } else { dm as f64 / da as f64 },
+            bus_utilization: if dc == 0 { 0.0 } else { da as f64 / dc as f64 },
+        });
+        self.last_cycle = cycle;
+        self.last_instructions = instructions;
+        self.last_accesses = accesses;
+        self.last_misses = misses;
+    }
+
+    /// The recorded intervals.
+    pub fn records(&self) -> &[IntervalRecord] {
+        &self.records
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no intervals have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Exports as a JSON array of interval objects.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.records.iter().map(interval_json).collect())
+    }
+
+    /// Exports as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,start_cycle,end_cycle,instructions,accesses,misses,mpki,miss_ratio,bus_utilization\n",
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{}",
+                r.index,
+                r.start_cycle,
+                r.end_cycle,
+                r.instructions,
+                r.accesses,
+                r.misses,
+                r.mpki,
+                r.miss_ratio,
+                r.bus_utilization
+            );
+        }
+        out
+    }
+}
+
+fn interval_json(r: &IntervalRecord) -> JsonValue {
+    JsonValue::object([
+        ("index", JsonValue::U64(r.index as u64)),
+        ("start_cycle", JsonValue::U64(r.start_cycle)),
+        ("end_cycle", JsonValue::U64(r.end_cycle)),
+        ("instructions", JsonValue::U64(r.instructions)),
+        ("accesses", JsonValue::U64(r.accesses)),
+        ("misses", JsonValue::U64(r.misses)),
+        ("mpki", JsonValue::F64(r.mpki)),
+        ("miss_ratio", JsonValue::F64(r.miss_ratio)),
+        ("bus_utilization", JsonValue::F64(r.bus_utilization)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differencing_produces_interval_rates() {
+        let mut t = Timeline::new();
+        t.push_cumulative(100, 1000, 10, 2);
+        t.push_cumulative(200, 3000, 30, 8);
+        assert_eq!(t.len(), 2);
+        let r = t.records()[1];
+        assert_eq!(r.instructions, 2000);
+        assert_eq!(r.misses, 6);
+        assert!((r.mpki - 3.0).abs() < 1e-12);
+        assert!((r.miss_ratio - 0.3).abs() < 1e-12);
+        assert!((r.bus_utilization - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stalled_clock_is_ignored() {
+        let mut t = Timeline::new();
+        t.push_cumulative(100, 10, 1, 0);
+        t.push_cumulative(100, 10, 1, 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn zero_denominators_yield_zero_rates() {
+        let mut t = Timeline::new();
+        t.push_cumulative(50, 0, 0, 0);
+        let r = t.records()[0];
+        assert_eq!(r.mpki, 0.0);
+        assert_eq!(r.miss_ratio, 0.0);
+        assert!(r.bus_utilization == 0.0);
+    }
+
+    #[test]
+    fn csv_has_one_line_per_interval_plus_header() {
+        let mut t = Timeline::new();
+        t.push_cumulative(10, 100, 5, 1);
+        t.push_cumulative(20, 200, 9, 2);
+        assert_eq!(t.to_csv().lines().count(), 3);
+    }
+}

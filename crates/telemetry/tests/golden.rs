@@ -1,0 +1,130 @@
+//! Golden-file tests: the JSON and CSV exporters are a wire format that
+//! downstream tooling (plot scripts, result diffing) parses, so their
+//! exact byte-for-byte output is pinned here.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p cmpsim-telemetry --test golden
+//! ```
+
+use cmpsim_telemetry::{Labels, MetricRegistry, RunManifest, TelemetryReport, Timeline};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden file; run with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+/// A fully deterministic report: fixed counters, a three-interval
+/// timeline, a manifest with pinned version and wall time, no spans
+/// (span durations are wall-clock and would not be reproducible).
+fn fixture() -> TelemetryReport {
+    let mut manifest = RunManifest::new("golden", "0.0.0")
+        .with_workloads(["FIMI", "SHOT"])
+        .with_scale_seed("1:256", 7)
+        .config_entry("cores", 2u64)
+        .config_entry("llc_bytes", 1u64 << 20)
+        .config_entry("prefetch", false);
+    manifest.wall_ms = 12.5;
+    let mut r = TelemetryReport::new(manifest);
+    r.metrics.count("instructions", &Labels::none(), 100_000);
+    for (core, misses) in [(0u32, 40u64), (1, 25)] {
+        let l = Labels::none().with("core", core.to_string());
+        r.metrics.count("llc_accesses", &l, 500 + u64::from(core));
+        r.metrics.count("llc_misses", &l, misses);
+    }
+    r.metrics.gauge("llc_mpki", &Labels::none(), 0.65);
+    for v in [1u64, 2, 3, 900] {
+        r.metrics.observe("slice_len", &Labels::none(), v);
+    }
+    r.timeline.push_cumulative(50_000, 30_000, 400, 20);
+    r.timeline.push_cumulative(100_000, 70_000, 800, 45);
+    r.timeline.push_cumulative(120_000, 100_000, 1001, 65);
+    r
+}
+
+#[test]
+fn report_json_matches_golden() {
+    let doc = fixture().to_json();
+    check(
+        "report.json",
+        &format!("{}\n", doc.to_json_pretty().trim_end()),
+    );
+}
+
+#[test]
+fn metrics_csv_matches_golden() {
+    check("metrics.csv", &fixture().metrics.to_csv());
+}
+
+#[test]
+fn timeline_csv_matches_golden() {
+    check("intervals.csv", &fixture().timeline.to_csv());
+}
+
+#[test]
+fn golden_json_reparses_to_identical_document() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        // Regeneration pass: report.json may not be written yet.
+        return;
+    }
+    let text = std::fs::read_to_string(golden_path("report.json")).unwrap();
+    let reparsed = cmpsim_telemetry::parse(&text).unwrap();
+    assert_eq!(reparsed, fixture().to_json());
+}
+
+#[test]
+fn timeline_differencing_is_visible_in_golden() {
+    // Guard against the fixture silently degenerating: the third interval
+    // must carry the expected deltas.
+    let t: &Timeline = &fixture().timeline;
+    let r = t.records()[2];
+    assert_eq!(r.instructions, 30_000);
+    assert_eq!(r.accesses, 201);
+    assert_eq!(r.misses, 20);
+}
+
+#[test]
+fn registry_roundtrip_through_json_array() {
+    let reg: MetricRegistry = fixture().metrics;
+    let arr = reg.to_json();
+    let names: Vec<_> = arr
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|m| m.get("name").unwrap().as_str().unwrap().to_owned())
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "instructions",
+            "llc_accesses",
+            "llc_misses",
+            "llc_accesses",
+            "llc_misses",
+            "llc_mpki",
+            "slice_len"
+        ]
+    );
+}

@@ -1,96 +1,148 @@
-//! Property-based tests for the trace substrate.
+//! Randomized invariant tests for the trace substrate, driven by the
+//! crate's own deterministic PCG stream (the build environment is
+//! offline, so no external property-testing framework is used; every
+//! case is seeded and reproducible).
 
 use cmpsim_trace::{
     Addr, AddressSpace, MemRef, Message, MessageCodec, Pcg32, TraceSink, Tracer, VecSink,
 };
-use proptest::prelude::*;
 
-fn message_strategy() -> impl Strategy<Value = Message> {
-    prop_oneof![
-        Just(Message::Start),
-        Just(Message::Stop),
-        any::<u32>().prop_map(Message::CoreId),
-        any::<u64>().prop_map(Message::InstructionsRetired),
-        any::<u64>().prop_map(Message::CyclesCompleted),
-    ]
+const CASES: u64 = 128;
+
+fn random_message(rng: &mut Pcg32) -> Message {
+    match rng.below(5) {
+        0 => Message::Start,
+        1 => Message::Stop,
+        2 => Message::CoreId(rng.next_u32()),
+        3 => Message::InstructionsRetired(rng.next_u64()),
+        _ => Message::CyclesCompleted(rng.next_u64()),
+    }
 }
 
-proptest! {
-    /// Any message round-trips through the address encoding.
-    #[test]
-    fn message_roundtrip(msg in message_strategy()) {
+/// Any message round-trips through the address encoding.
+#[test]
+fn message_roundtrip() {
+    let mut rng = Pcg32::seed(0x7ACE001);
+    for case in 0..CASES {
+        let msg = random_message(&mut rng);
         let mut codec = MessageCodec::new();
         let mut decoded = None;
         for t in MessageCodec::encode(msg, 0) {
             decoded = codec.decode(&t).unwrap();
         }
-        prop_assert_eq!(decoded, Some(msg));
+        assert_eq!(decoded, Some(msg), "case {case}");
     }
+}
 
-    /// Interleaving unrelated completed messages between the halves of a
-    /// two-part counter does not corrupt it (the decoder keeps per-kind
-    /// high halves).
-    #[test]
-    fn message_interleaving(v in (1u64 << 32).., core in any::<u32>()) {
+/// Interleaving unrelated completed messages between the halves of a
+/// two-part counter does not corrupt it (the decoder keeps per-kind
+/// high halves).
+#[test]
+fn message_interleaving() {
+    let mut rng = Pcg32::seed(0x7ACE002);
+    for case in 0..CASES {
+        let v = (1u64 << 32) | rng.next_u64();
+        let core = rng.next_u32();
         let mut codec = MessageCodec::new();
         let txns = MessageCodec::encode(Message::InstructionsRetired(v), 0);
-        prop_assert_eq!(txns.len(), 2);
-        prop_assert_eq!(codec.decode(&txns[0]).unwrap(), None);
+        assert_eq!(txns.len(), 2, "case {case}");
+        assert_eq!(codec.decode(&txns[0]).unwrap(), None, "case {case}");
         // A core-id message lands between the halves.
         for t in MessageCodec::encode(Message::CoreId(core), 0) {
-            prop_assert_eq!(codec.decode(&t).unwrap(), Some(Message::CoreId(core)));
+            assert_eq!(
+                codec.decode(&t).unwrap(),
+                Some(Message::CoreId(core)),
+                "case {case}"
+            );
         }
-        prop_assert_eq!(
+        assert_eq!(
             codec.decode(&txns[1]).unwrap(),
-            Some(Message::InstructionsRetired(v))
+            Some(Message::InstructionsRetired(v)),
+            "case {case}"
         );
     }
+}
 
-    /// Allocations never overlap and respect alignment.
-    #[test]
-    fn regions_disjoint(sizes in prop::collection::vec((1u64..10_000, 0u32..8), 1..40)) {
+/// Allocations never overlap and respect alignment.
+#[test]
+fn regions_disjoint() {
+    let mut rng = Pcg32::seed(0x7ACE003);
+    for case in 0..CASES {
+        let n = 1 + rng.below(39) as usize;
+        let sizes: Vec<(u64, u32)> = (0..n)
+            .map(|_| (1 + rng.below(9_999), rng.below(8) as u32))
+            .collect();
         let mut space = AddressSpace::new();
         let regions: Vec<_> = sizes
             .iter()
             .enumerate()
-            .map(|(i, &(size, align_log))| {
-                space.alloc(&format!("r{i}"), size, 1 << align_log)
-            })
+            .map(|(i, &(size, align_log))| space.alloc(&format!("r{i}"), size, 1 << align_log))
             .collect();
         for (i, r) in regions.iter().enumerate() {
-            prop_assert_eq!(r.base().raw() % (1 << sizes[i].1), 0);
+            assert_eq!(r.base().raw() % (1 << sizes[i].1), 0, "case {case}");
             for other in &regions[i + 1..] {
-                prop_assert!(r.end() <= other.base() || other.end() <= r.base());
+                assert!(
+                    r.end() <= other.base() || other.end() <= r.base(),
+                    "case {case}: overlapping regions"
+                );
             }
         }
-        prop_assert_eq!(space.footprint(), sizes.iter().map(|s| s.0).sum::<u64>());
+        assert_eq!(
+            space.footprint(),
+            sizes.iter().map(|s| s.0).sum::<u64>(),
+            "case {case}"
+        );
     }
+}
 
-    /// `MemRef::lines` covers exactly the bytes the access touches.
-    #[test]
-    fn lines_cover_access(addr in 0u64..100_000, size in 1u32..5_000) {
+/// `MemRef::lines` covers exactly the bytes the access touches.
+#[test]
+fn lines_cover_access() {
+    let mut rng = Pcg32::seed(0x7ACE004);
+    for case in 0..CASES {
+        let addr = rng.below(100_000);
+        let size = 1 + rng.below(4_999) as u32;
         let r = MemRef::read(Addr::new(addr), size);
         let lines: Vec<u64> = r.lines(64).collect();
-        prop_assert_eq!(*lines.first().unwrap(), addr / 64);
-        prop_assert_eq!(*lines.last().unwrap(), (addr + u64::from(size) - 1) / 64);
-        prop_assert!(lines.windows(2).all(|w| w[1] == w[0] + 1));
+        assert_eq!(*lines.first().unwrap(), addr / 64, "case {case}");
+        assert_eq!(
+            *lines.last().unwrap(),
+            (addr + u64::from(size) - 1) / 64,
+            "case {case}"
+        );
+        assert!(
+            lines.windows(2).all(|w| w[1] == w[0] + 1),
+            "case {case}: lines not contiguous"
+        );
     }
+}
 
-    /// The PCG stays in range and is reproducible.
-    #[test]
-    fn pcg_bounded_and_deterministic(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// The PCG stays in range and is reproducible.
+#[test]
+fn pcg_bounded_and_deterministic() {
+    let mut meta = Pcg32::seed(0x7ACE005);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.below(999_999);
         let mut a = Pcg32::seed(seed);
         let mut b = Pcg32::seed(seed);
         for _ in 0..50 {
             let x = a.below(bound);
-            prop_assert!(x < bound);
-            prop_assert_eq!(x, b.below(bound));
+            assert!(x < bound, "case {case}");
+            assert_eq!(x, b.below(bound), "case {case}");
         }
     }
+}
 
-    /// Tracer accounting matches the sink's view for any access mix.
-    #[test]
-    fn tracer_matches_sink(ops in prop::collection::vec((0u8..3, 0u64..1 << 20), 1..200)) {
+/// Tracer accounting matches the sink's view for any access mix.
+#[test]
+fn tracer_matches_sink() {
+    let mut rng = Pcg32::seed(0x7ACE006);
+    for case in 0..CASES {
+        let n = 1 + rng.below(199) as usize;
+        let ops: Vec<(u8, u64)> = (0..n)
+            .map(|_| (rng.below(3) as u8, rng.below(1 << 20)))
+            .collect();
         let mut tracer = Tracer::new(VecSink::new());
         let (mut loads, mut stores) = (0u64, 0u64);
         for &(kind, addr) in &ops {
@@ -106,18 +158,27 @@ proptest! {
                 _ => tracer.ops(3),
             }
         }
-        prop_assert_eq!(tracer.loads(), loads);
-        prop_assert_eq!(tracer.stores(), stores);
-        prop_assert_eq!(tracer.sink().records().len() as u64, loads + stores);
+        assert_eq!(tracer.loads(), loads, "case {case}");
+        assert_eq!(tracer.stores(), stores, "case {case}");
+        assert_eq!(
+            tracer.sink().records().len() as u64,
+            loads + stores,
+            "case {case}"
+        );
     }
+}
 
-    /// Fractional op charging converges to the exact expected total.
-    #[test]
-    fn ops_f_is_exact_in_the_limit(per in 0.01f64..4.0, n in 100u32..2000) {
-        struct Null;
-        impl TraceSink for Null {
-            fn record(&mut self, _r: MemRef) {}
-        }
+/// Fractional op charging converges to the exact expected total.
+#[test]
+fn ops_f_is_exact_in_the_limit() {
+    struct Null;
+    impl TraceSink for Null {
+        fn record(&mut self, _r: MemRef) {}
+    }
+    let mut rng = Pcg32::seed(0x7ACE007);
+    for case in 0..CASES {
+        let per = 0.01 + rng.f64() * 3.99;
+        let n = 100 + rng.below(1_900) as u32;
         let mut t = Tracer::new(Null);
         for _ in 0..n {
             t.read(Addr::new(0), 4);
@@ -125,6 +186,9 @@ proptest! {
         }
         let expect = f64::from(n) * per;
         let got = (t.instructions() - t.memory_instructions()) as f64;
-        prop_assert!((got - expect).abs() <= 1.0, "{got} vs {expect}");
+        assert!(
+            (got - expect).abs() <= 1.0,
+            "case {case}: {got} vs {expect}"
+        );
     }
 }

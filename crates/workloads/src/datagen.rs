@@ -133,7 +133,11 @@ impl GeneMatrix {
         for &informative in is_informative.iter().take(genes) {
             for &label in &labels {
                 let noise = rng.f64() as f32 - 0.5;
-                let signal = if informative { f32::from(label) * 1.5 } else { 0.0 };
+                let signal = if informative {
+                    f32::from(label) * 1.5
+                } else {
+                    0.0
+                };
                 values.push(signal + noise);
             }
         }

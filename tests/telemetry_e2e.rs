@@ -1,0 +1,145 @@
+//! End-to-end check of the telemetry surface of the `cmpsim` CLI: a
+//! real `cmpsim run --metrics-out` invocation must produce a JSON
+//! document whose manifest round-trips the command-line flags and whose
+//! interval series carries at least one Dragonhead sample.
+//!
+//! This test lives in the root `tests/` directory but is compiled as an
+//! integration test of the bench crate (see `crates/bench/Cargo.toml`)
+//! so that `CARGO_BIN_EXE_cmpsim` resolves.
+
+use cmpsim_telemetry::{parse, JsonValue};
+use std::process::Command;
+
+fn run_cmpsim(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cmpsim"))
+        .args(args)
+        .output()
+        .expect("spawn cmpsim")
+}
+
+#[test]
+fn run_json_manifest_round_trips_cli_flags() {
+    let dir = std::env::temp_dir().join(format!("cmpsim_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("metrics.json");
+    let status = run_cmpsim(&[
+        "run",
+        "--workload",
+        "FIMI",
+        "--cores",
+        "4",
+        "--llc",
+        "1MB",
+        "--line",
+        "128",
+        "--scale",
+        "tiny",
+        "--seed",
+        "42",
+        "--prefetch",
+        "--metrics-out",
+        out.to_str().unwrap(),
+    ]);
+    assert!(
+        status.status.success(),
+        "cmpsim run failed: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+
+    let text = std::fs::read_to_string(&out).unwrap();
+    let doc = parse(&text).expect("metrics file is valid JSON");
+    let manifest = doc.get("manifest").expect("document has a manifest");
+
+    // The manifest must reproduce the flags we passed.
+    assert_eq!(
+        manifest.get("experiment").and_then(JsonValue::as_str),
+        Some("cmpsim")
+    );
+    assert_eq!(manifest.get("seed").and_then(JsonValue::as_u64), Some(42));
+    let workloads = match manifest.get("workloads") {
+        Some(JsonValue::Array(a)) => a,
+        other => panic!("workloads not an array: {other:?}"),
+    };
+    assert_eq!(workloads.len(), 1);
+    assert_eq!(workloads[0].as_str(), Some("FIMI"));
+    let config = manifest.get("config").expect("manifest has config");
+    assert_eq!(config.get("cores").and_then(JsonValue::as_u64), Some(4));
+    assert_eq!(
+        config.get("llc_line_bytes").and_then(JsonValue::as_u64),
+        Some(128)
+    );
+    assert_eq!(
+        config.get("prefetch").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    // --llc is scaled down by --scale before reaching the config, so just
+    // check it is a power of two as `llc_config` guarantees.
+    let llc_bytes = config
+        .get("llc_bytes")
+        .and_then(JsonValue::as_u64)
+        .expect("llc_bytes present");
+    assert!(llc_bytes.is_power_of_two(), "llc_bytes = {llc_bytes}");
+
+    // The counter registry must attribute work to every core we asked for.
+    let metrics = match doc.get("metrics") {
+        Some(JsonValue::Array(a)) => a,
+        other => panic!("metrics not an array: {other:?}"),
+    };
+    let mut cores_seen: Vec<String> = metrics
+        .iter()
+        .filter_map(|m| m.get("labels")?.get("core")?.as_str().map(str::to_owned))
+        .collect();
+    cores_seen.sort();
+    cores_seen.dedup();
+    assert_eq!(cores_seen, ["0", "1", "2", "3"]);
+
+    // And at least one closed sampler interval with an MPKI field.
+    let intervals = match doc.get("intervals") {
+        Some(JsonValue::Array(a)) => a,
+        other => panic!("intervals not an array: {other:?}"),
+    };
+    assert!(!intervals.is_empty(), "no sampler intervals recorded");
+    assert!(intervals
+        .iter()
+        .all(|i| i.get("mpki").and_then(JsonValue::as_f64).is_some()));
+
+    // Stage spans from the profiled run.
+    let spans = match doc.get("spans") {
+        Some(JsonValue::Array(a)) => a,
+        other => panic!("spans not an array: {other:?}"),
+    };
+    let names: Vec<_> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(JsonValue::as_str))
+        .collect();
+    for expected in ["cosim", "build", "simulate", "report"] {
+        assert!(names.contains(&expected), "missing span {expected}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_without_json_flags_writes_nothing() {
+    let dir = std::env::temp_dir().join(format!("cmpsim_e2e_plain_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let status = Command::new(env!("CARGO_BIN_EXE_cmpsim"))
+        .current_dir(&dir)
+        .args([
+            "run",
+            "--workload",
+            "FIMI",
+            "--cores",
+            "2",
+            "--scale",
+            "tiny",
+        ])
+        .output()
+        .expect("spawn cmpsim");
+    assert!(status.status.success());
+    assert!(
+        !dir.join("results").exists(),
+        "plain run must not create results/"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
