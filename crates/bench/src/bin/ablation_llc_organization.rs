@@ -3,9 +3,11 @@
 //! al., Zhang & Asanovic, Nurvitadhi et al.) studies *shared* LLCs for
 //! these workloads.
 
-use cmpsim_bench::{results_json, Options};
+use cmpsim_bench::{finish_runner, results_json, Options};
 use cmpsim_core::experiment::LlcOrganizationStudy;
+use cmpsim_core::grid::{run_grid, GridSpec};
 use cmpsim_core::report::TextTable;
+use cmpsim_core::tel::JsonValue;
 
 fn main() {
     let opts = Options::from_args();
@@ -15,8 +17,20 @@ fn main() {
          capacity (scale {})\n",
         opts.scale
     );
+    let spec = GridSpec::new(
+        "ablation_llc_organization",
+        opts.scale,
+        opts.seed,
+        opts.workloads.clone(),
+    );
+    let report = run_grid(&spec, &opts.runner(), move |w| {
+        results_json::llc_organization_result(&study.run(w))
+    });
+    let results: Vec<_> = report
+        .payloads()
+        .filter_map(results_json::parse_llc_organization_result)
+        .collect();
     let mut t = TextTable::new(["Workload", "Shared MPKI", "Private MPKI", "Private/Shared"]);
-    let results: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
     for r in &results {
         t.row([
             r.workload.to_string(),
@@ -26,8 +40,10 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    opts.emit_json(
+    opts.emit_json_runner(
         "ablation_llc_organization",
-        results_json::llc_organization_results(&results),
+        JsonValue::Array(report.payloads().cloned().collect()),
+        &report,
     );
+    finish_runner(&report);
 }

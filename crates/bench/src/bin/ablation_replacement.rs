@@ -2,9 +2,11 @@
 //! LRU, tree-PLRU, FIFO, and random replacement to check the paper's
 //! working-set conclusions are not LRU artifacts.
 
-use cmpsim_bench::{results_json, Options};
+use cmpsim_bench::{finish_runner, results_json, Options};
 use cmpsim_core::experiment::ReplacementStudy;
+use cmpsim_core::grid::{run_grid, GridSpec};
 use cmpsim_core::report::{human_bytes, TextTable};
+use cmpsim_core::tel::JsonValue;
 
 fn main() {
     let opts = Options::from_args();
@@ -16,9 +18,20 @@ fn main() {
         "Ablation: replacement policy on the SCMP size sweep (scale {})\n",
         opts.scale
     );
-    let mut sweeps = Vec::new();
-    for &w in &opts.workloads {
-        let curves = study.run(w);
+    let spec = GridSpec::new(
+        "ablation_replacement",
+        opts.scale,
+        opts.seed,
+        opts.workloads.clone(),
+    )
+    .param("policies", "LRU,PLRU,FIFO,RAND");
+    let report = run_grid(&spec, &opts.runner(), move |w| {
+        results_json::replacement_sweep(w, &study.run(w))
+    });
+    for (w, curves) in report
+        .payloads()
+        .filter_map(results_json::parse_replacement_sweep)
+    {
         println!("{w}:");
         let mut t = TextTable::new(
             std::iter::once("LLC size".to_owned()).chain(curves.iter().map(|(p, _)| p.to_string())),
@@ -34,10 +47,11 @@ fn main() {
             );
         }
         println!("{}", t.render());
-        sweeps.push((w, curves));
     }
-    opts.emit_json(
+    opts.emit_json_runner(
         "ablation_replacement",
-        results_json::replacement_sweeps(&sweeps),
+        JsonValue::Array(report.payloads().cloned().collect()),
+        &report,
     );
+    finish_runner(&report);
 }

@@ -2,9 +2,11 @@
 //! threads at a fixed LLC separates §4.3's category (a) (shared primary
 //! structure) from category (b) (per-thread private data).
 
-use cmpsim_bench::{results_json, Options};
+use cmpsim_bench::{finish_runner, results_json, Options};
 use cmpsim_core::experiment::SharingStudy;
+use cmpsim_core::grid::{run_grid, GridSpec};
 use cmpsim_core::report::render_sharing;
+use cmpsim_core::tel::JsonValue;
 
 fn main() {
     let opts = Options::from_args();
@@ -13,7 +15,24 @@ fn main() {
         "Ablation: sharing categories via thread-scaling miss growth (scale {})\n",
         opts.scale
     );
-    let results: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    let spec = GridSpec::new(
+        "ablation_sharing",
+        opts.scale,
+        opts.seed,
+        opts.workloads.clone(),
+    );
+    let report = run_grid(&spec, &opts.runner(), move |w| {
+        results_json::sharing_result(&study.run(w))
+    });
+    let results: Vec<_> = report
+        .payloads()
+        .filter_map(results_json::parse_sharing_result)
+        .collect();
     println!("{}", render_sharing(&results));
-    opts.emit_json("ablation_sharing", results_json::sharing_results(&results));
+    opts.emit_json_runner(
+        "ablation_sharing",
+        JsonValue::Array(report.payloads().cloned().collect()),
+        &report,
+    );
+    finish_runner(&report);
 }

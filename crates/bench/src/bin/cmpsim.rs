@@ -3,18 +3,26 @@
 //! ```text
 //! cmpsim list
 //! cmpsim run    --workload FIMI --cores 8 --llc 32MB [--line 64] [--scale ci] [--prefetch]
+//! cmpsim grid   --cores 8 [--workloads FIMI,MDS] [--jobs 4] [--cache-dir DIR] [--no-cache]
 //! cmpsim record --workload SHOT --cores 8 --out shot.cmpt [--scale tiny]
 //! cmpsim replay --trace shot.cmpt --llc 4MB [--line 256]
 //! ```
+//!
+//! `grid` runs the cache-size sweep for one CMP class on the experiment
+//! runner: the per-workload cells fan out over `--jobs` workers and are
+//! served from the content-addressed result cache when unchanged.
 //!
 //! `record`/`replay` capture the FSB transaction stream once and emulate
 //! it against any number of cache configurations afterwards — the same
 //! decoupling the FPGA rig offered (the bus trace does not depend on the
 //! emulated LLC because the emulator is passive).
 
-use cmpsim_bench::parse_scale;
+use cmpsim_bench::{parse_scale, results_json};
 use cmpsim_core::cosim::{CoSimConfig, CoSimulation};
+use cmpsim_core::experiment::{CacheSizeStudy, CmpClass};
+use cmpsim_core::grid::{run_grid, GridSpec};
 use cmpsim_core::report::{human_bytes, TextTable};
+use cmpsim_core::runner::RunnerConfig;
 use cmpsim_core::tel::{write_json_file, JsonValue, RunManifest, SpanProfiler};
 use cmpsim_core::{telemetry, Scale, WorkloadId};
 use cmpsim_dragonhead::{Dragonhead, DragonheadConfig};
@@ -29,13 +37,16 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("list") => cmd_list(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("grid") => cmd_grid(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cmpsim <list|run|record|replay> [options]\n\
+                "usage: cmpsim <list|run|grid|record|replay> [options]\n\
                  run    --workload NAME --cores N [--llc SIZE] [--line N] [--scale S] [--prefetch]\n\
                         [--json] [--metrics-out FILE]\n\
+                 grid   --cores 8|16|32 [--workloads A,B,C] [--scale S] [--seed N] [--jobs N]\n\
+                        [--cache-dir DIR] [--no-cache] [--json] [--metrics-out FILE]\n\
                  record --workload NAME --cores N --out FILE [--scale S]\n\
                  replay --trace FILE [--llc SIZE] [--line N] [--json] [--metrics-out FILE]"
             );
@@ -48,6 +59,7 @@ fn main() {
 #[derive(Debug, Default)]
 struct Cli {
     workload: Option<WorkloadId>,
+    workloads: Vec<WorkloadId>,
     cores: usize,
     llc: u64,
     line: u64,
@@ -58,6 +70,8 @@ struct Cli {
     trace: Option<String>,
     json: bool,
     metrics_out: Option<PathBuf>,
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Cli {
@@ -75,11 +89,14 @@ impl Cli {
 
 fn parse(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
+        workloads: WorkloadId::all().to_vec(),
         cores: 8,
         llc: 32 << 20,
         line: 64,
         scale: Scale::ci(),
         seed: 2007,
+        jobs: 1,
+        cache_dir: Some(PathBuf::from("results/cache")),
         ..Cli::default()
     };
     let mut it = args.iter();
@@ -91,6 +108,12 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         };
         match a.as_str() {
             "--workload" => cli.workload = Some(val()?.parse().map_err(|e| format!("{e}"))?),
+            "--workloads" => {
+                cli.workloads = val()?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|_| format!("unknown workload `{s}`")))
+                    .collect::<Result<_, _>>()?;
+            }
             "--cores" => cli.cores = val()?.parse().map_err(|_| "bad --cores")?,
             "--llc" => cli.llc = parse_size(&val()?)?,
             "--line" => cli.line = val()?.parse().map_err(|_| "bad --line")?,
@@ -104,6 +127,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.metrics_out = Some(PathBuf::from(val()?));
                 cli.json = true;
             }
+            "--jobs" => cli.jobs = val()?.parse().map_err(|_| "bad --jobs")?,
+            "--cache-dir" => cli.cache_dir = Some(PathBuf::from(val()?)),
+            "--no-cache" => cli.cache_dir = None,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -163,11 +189,14 @@ fn cmd_run(args: &[String]) -> i32 {
     let Some(workload) = cli.workload else {
         return fail("run requires --workload");
     };
-    let llc = cmpsim_core::experiment::llc_config(
+    let llc = match cmpsim_core::experiment::llc_config(
         cli.scale.pow2_bytes(cli.llc.next_power_of_two(), 16 << 10),
         cli.line,
         16,
-    );
+    ) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("bad LLC geometry: {e}")),
+    };
     let mut cfg = match CoSimConfig::scaled(cli.cores, llc.size_bytes(), cli.scale) {
         Ok(c) => c.with_llc(llc),
         Err(e) => return fail(&e.to_string()),
@@ -203,6 +232,67 @@ fn cmd_run(args: &[String]) -> i32 {
         eprintln!("wrote {}", path.display());
     }
     0
+}
+
+fn cmd_grid(args: &[String]) -> i32 {
+    let cli = match parse(args) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let Some(cmp) = CmpClass::all().into_iter().find(|c| c.cores() == cli.cores) else {
+        return fail("grid requires --cores 8, 16, or 32 (SCMP/MCMP/LCMP)");
+    };
+    let study = CacheSizeStudy::new(cli.scale, cmp, cli.seed);
+    println!(
+        "Grid: LLC MPKI vs size on {cmp} ({} cores), 64B lines, scale {}\n",
+        cmp.cores(),
+        cli.scale
+    );
+    let spec = GridSpec::new("cmpsim_grid", cli.scale, cli.seed, cli.workloads.clone())
+        .param("cmp", cmp)
+        .param("line", 64);
+    let runner = RunnerConfig {
+        workers: cli.jobs,
+        cache_dir: cli.cache_dir.clone(),
+        retries: 1,
+        progress: std::io::IsTerminal::is_terminal(&std::io::stderr()),
+    };
+    let report = run_grid(&spec, &runner, move |w| {
+        results_json::cache_size_curve(&study.run(w))
+    });
+    let curves: Vec<_> = report
+        .payloads()
+        .filter_map(results_json::parse_cache_size_curve)
+        .collect();
+    println!("{}", cmpsim_core::report::render_cache_size_figure(&curves));
+    if let Some(path) = cli.json_path("cmpsim_grid") {
+        let manifest = RunManifest::new("cmpsim_grid", env!("CARGO_PKG_VERSION"))
+            .with_workloads(cli.workloads.iter().copied())
+            .with_scale_seed(cli.scale, cli.seed)
+            .config_entry("cmp", cmp.to_string())
+            .config_entry("cores", cmp.cores() as u64)
+            .config_entry("runner_jobs", report.workers)
+            .config_entry("runner_ok", report.ok_count())
+            .config_entry("runner_cached", report.cached_count())
+            .config_entry("runner_failed", report.failed_count());
+        let doc = JsonValue::object([
+            ("manifest", manifest.to_json()),
+            (
+                "results",
+                JsonValue::Array(report.payloads().cloned().collect()),
+            ),
+            ("runner", report.to_json()),
+        ]);
+        if let Err(e) = write_json_file(&path, &doc) {
+            return fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    eprintln!("runner: {}", report.summary());
+    for (label, error) in report.failures() {
+        eprintln!("runner: job `{label}` failed: {error}");
+    }
+    i32::from(report.failed_count() > 0)
 }
 
 fn cmd_record(args: &[String]) -> i32 {
@@ -276,7 +366,10 @@ fn cmd_replay(args: &[String]) -> i32 {
         Ok(r) => r,
         Err(e) => return fail(&e.to_string()),
     };
-    let llc = cmpsim_core::experiment::llc_config(cli.llc.next_power_of_two(), cli.line, 16);
+    let llc = match cmpsim_core::experiment::llc_config(cli.llc.next_power_of_two(), cli.line, 16) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("bad LLC geometry: {e}")),
+    };
     let mut board = Dragonhead::new(DragonheadConfig::new(llc));
     let mut n = 0u64;
     for txn in reader {

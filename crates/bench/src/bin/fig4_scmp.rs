@@ -1,9 +1,11 @@
 //! Regenerates Figure 4: LLC misses per 1000 instructions vs cache size
 //! on the small-scale CMP (8 cores), 64-byte lines.
 
-use cmpsim_bench::{results_json, Options};
+use cmpsim_bench::{finish_runner, results_json, Options};
 use cmpsim_core::experiment::{CacheSizeStudy, CmpClass};
+use cmpsim_core::grid::{run_grid, GridSpec};
 use cmpsim_core::report::{human_bytes, render_ascii_chart, render_cache_size_figure};
+use cmpsim_core::tel::JsonValue;
 
 fn main() {
     let opts = Options::from_args();
@@ -12,7 +14,16 @@ fn main() {
         "Figure 4: LLC MPKI on SCMP (8 cores), 64B lines, scale {}\n",
         opts.scale
     );
-    let curves: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    let spec = GridSpec::new("fig4_scmp", opts.scale, opts.seed, opts.workloads.clone())
+        .param("cmp", CmpClass::Small)
+        .param("line", 64);
+    let report = run_grid(&spec, &opts.runner(), move |w| {
+        results_json::cache_size_curve(&study.run(w))
+    });
+    let curves: Vec<_> = report
+        .payloads()
+        .filter_map(results_json::parse_cache_size_curve)
+        .collect();
     println!("{}", render_cache_size_figure(&curves));
     let series: Vec<(String, Vec<(u64, f64)>)> = curves
         .iter()
@@ -31,5 +42,10 @@ fn main() {
             None => println!("  {:9} none (streaming)", c.workload.to_string()),
         }
     }
-    opts.emit_json("fig4_scmp", results_json::cache_size_curves(&curves));
+    opts.emit_json_runner(
+        "fig4_scmp",
+        JsonValue::Array(report.payloads().cloned().collect()),
+        &report,
+    );
+    finish_runner(&report);
 }

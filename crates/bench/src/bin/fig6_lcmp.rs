@@ -1,9 +1,11 @@
 //! Regenerates Figure 6: LLC misses per 1000 instructions vs cache size
 //! on the large-scale CMP (32 cores), 64-byte lines.
 
-use cmpsim_bench::{results_json, Options};
+use cmpsim_bench::{finish_runner, results_json, Options};
 use cmpsim_core::experiment::{CacheSizeStudy, CmpClass};
+use cmpsim_core::grid::{run_grid, GridSpec};
 use cmpsim_core::report::render_cache_size_figure;
+use cmpsim_core::tel::JsonValue;
 
 fn main() {
     let opts = Options::from_args();
@@ -12,7 +14,21 @@ fn main() {
         "Figure 6: LLC MPKI on LCMP (32 cores), 64B lines, scale {}\n",
         opts.scale
     );
-    let curves: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    let spec = GridSpec::new("fig6_lcmp", opts.scale, opts.seed, opts.workloads.clone())
+        .param("cmp", CmpClass::Large)
+        .param("line", 64);
+    let report = run_grid(&spec, &opts.runner(), move |w| {
+        results_json::cache_size_curve(&study.run(w))
+    });
+    let curves: Vec<_> = report
+        .payloads()
+        .filter_map(results_json::parse_cache_size_curve)
+        .collect();
     println!("{}", render_cache_size_figure(&curves));
-    opts.emit_json("fig6_lcmp", results_json::cache_size_curves(&curves));
+    opts.emit_json_runner(
+        "fig6_lcmp",
+        JsonValue::Array(report.payloads().cloned().collect()),
+        &report,
+    );
+    finish_runner(&report);
 }

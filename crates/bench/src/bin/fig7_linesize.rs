@@ -1,9 +1,11 @@
 //! Regenerates Figure 7: line-size sensitivity on the LCMP with a 32 MB
 //! LLC (scaled), lines from 64 B to 4096 B.
 
-use cmpsim_bench::{results_json, Options};
-use cmpsim_core::experiment::LineSizeStudy;
+use cmpsim_bench::{finish_runner, results_json, Options};
+use cmpsim_core::experiment::{paper_line_sizes, LineSizeStudy};
+use cmpsim_core::grid::{join_list, run_grid, GridSpec};
 use cmpsim_core::report::render_line_size_figure;
+use cmpsim_core::tel::JsonValue;
 
 fn main() {
     let opts = Options::from_args();
@@ -12,7 +14,20 @@ fn main() {
         "Figure 7: line-size sensitivity on LCMP (32 cores), 32MB-class LLC, scale {}\n",
         opts.scale
     );
-    let curves: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    let spec = GridSpec::new(
+        "fig7_linesize",
+        opts.scale,
+        opts.seed,
+        opts.workloads.clone(),
+    )
+    .param("lines", join_list(&paper_line_sizes()));
+    let report = run_grid(&spec, &opts.runner(), move |w| {
+        results_json::line_size_curve(&study.run(w))
+    });
+    let curves: Vec<_> = report
+        .payloads()
+        .filter_map(results_json::parse_line_size_curve)
+        .collect();
     println!("{}", render_line_size_figure(&curves));
     println!("improvement factor 64B -> 256B (paper: ~3-4x for SHOT, MDS, SNP, SVM-RFE):");
     for c in &curves {
@@ -23,5 +38,10 @@ fn main() {
             c.improvement_at(1024)
         );
     }
-    opts.emit_json("fig7_linesize", results_json::line_size_curves(&curves));
+    opts.emit_json_runner(
+        "fig7_linesize",
+        JsonValue::Array(report.payloads().cloned().collect()),
+        &report,
+    );
+    finish_runner(&report);
 }

@@ -1,9 +1,11 @@
 //! Regenerates Figure 8: performance gain from the stride hardware
 //! prefetcher, serial vs 16-thread, on a Xeon-class timing model.
 
-use cmpsim_bench::{results_json, Options};
+use cmpsim_bench::{finish_runner, results_json, Options};
 use cmpsim_core::experiment::PrefetchStudy;
+use cmpsim_core::grid::{run_grid, GridSpec};
 use cmpsim_core::report::render_prefetch_figure;
+use cmpsim_core::tel::JsonValue;
 
 fn main() {
     let opts = Options::from_args();
@@ -12,12 +14,30 @@ fn main() {
         "Figure 8: hardware-prefetch performance gain (stride prefetcher, scale {})\n",
         opts.scale
     );
-    let results: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    let spec = GridSpec::new(
+        "fig8_prefetch",
+        opts.scale,
+        opts.seed,
+        opts.workloads.clone(),
+    )
+    .param("prefetcher", "stride");
+    let report = run_grid(&spec, &opts.runner(), move |w| {
+        results_json::prefetch_result(&study.run(w))
+    });
+    let results: Vec<_> = report
+        .payloads()
+        .filter_map(results_json::parse_prefetch_result)
+        .collect();
     println!("{}", render_prefetch_figure(&results));
     println!(
         "paper reference: all workloads gain (up to ~33%); parallel gains exceed serial\n\
          for VIEWTYPE/FIMI/PLSA/RSEARCH/SHOT/SVM-RFE, while SNP and MDS gain less in\n\
          parallel because demand misses already saturate the bus."
     );
-    opts.emit_json("fig8_prefetch", results_json::prefetch_results(&results));
+    opts.emit_json_runner(
+        "fig8_prefetch",
+        JsonValue::Array(report.payloads().cloned().collect()),
+        &report,
+    );
+    finish_runner(&report);
 }

@@ -2,9 +2,11 @@
 //! the phase behavior §1 of the paper gives as the reason run-to-
 //! completion co-simulation matters.
 
-use cmpsim_bench::{results_json, Options};
+use cmpsim_bench::{finish_runner, results_json, Options};
 use cmpsim_core::experiment::PhaseStudy;
+use cmpsim_core::grid::{run_grid, GridSpec};
 use cmpsim_core::report::TextTable;
+use cmpsim_core::tel::JsonValue;
 
 fn main() {
     let opts = Options::from_args();
@@ -13,10 +15,20 @@ fn main() {
         "Phase behavior: interval MPKI over time, 8 cores, 32MB-class LLC (scale {})\n",
         opts.scale
     );
+    let spec = GridSpec::new(
+        "phase_behavior",
+        opts.scale,
+        opts.seed,
+        opts.workloads.clone(),
+    );
+    let report = run_grid(&spec, &opts.runner(), move |w| {
+        results_json::phase_entry(w, &study.run(w))
+    });
     let mut t = TextTable::new(["Workload", "Samples", "Mean MPKI", "CoV", "Phases?"]);
-    let mut all = Vec::new();
-    for &w in &opts.workloads {
-        let series = study.run(w);
+    for (w, series) in report
+        .payloads()
+        .filter_map(results_json::parse_phase_entry)
+    {
         let mean = if series.is_empty() {
             0.0
         } else {
@@ -36,8 +48,12 @@ fn main() {
                 "steady".to_owned()
             },
         ]);
-        all.push((w, series));
     }
     println!("{}", t.render());
-    opts.emit_json("phase_behavior", results_json::phase_series(&all));
+    opts.emit_json_runner(
+        "phase_behavior",
+        JsonValue::Array(report.payloads().cloned().collect()),
+        &report,
+    );
+    finish_runner(&report);
 }

@@ -2,9 +2,11 @@
 //! speculates that FIMI and RSEARCH working sets keep growing with core
 //! count while MDS/SVM-RFE/SNP/PLSA stay flat "even on 128 cores".
 
-use cmpsim_bench::{results_json, Options};
+use cmpsim_bench::{finish_runner, results_json, Options};
 use cmpsim_core::experiment::ProjectionStudy;
+use cmpsim_core::grid::{join_list, run_grid, GridSpec};
 use cmpsim_core::report::TextTable;
+use cmpsim_core::tel::JsonValue;
 
 fn main() {
     let opts = Options::from_args();
@@ -14,18 +16,33 @@ fn main() {
         "Projection: LLC MPKI at a fixed 32MB-class LLC, 8 to 128 cores (scale {})\n",
         opts.scale
     );
+    let spec = GridSpec::new(
+        "projection_128core",
+        opts.scale,
+        opts.seed,
+        opts.workloads.clone(),
+    )
+    .param("cores", join_list(&cores));
+    let report = run_grid(&spec, &opts.runner(), move |w| {
+        results_json::projection_entry(w, &study.run(w, &cores))
+    });
     let mut t = TextTable::new(
         std::iter::once("Workload".to_owned()).chain(cores.iter().map(|c| format!("{c} cores"))),
     );
-    let mut all = Vec::new();
-    for &w in &opts.workloads {
-        let series = study.run(w, &cores);
+    for (w, series) in report
+        .payloads()
+        .filter_map(results_json::parse_projection_entry)
+    {
         t.row(
             std::iter::once(w.to_string())
                 .chain(series.iter().map(|(_, mpki)| format!("{mpki:.3}"))),
         );
-        all.push((w, series));
     }
     println!("{}", t.render());
-    opts.emit_json("projection_128core", results_json::projection_series(&all));
+    opts.emit_json_runner(
+        "projection_128core",
+        JsonValue::Array(report.payloads().cloned().collect()),
+        &report,
+    );
+    finish_runner(&report);
 }

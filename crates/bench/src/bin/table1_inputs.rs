@@ -1,7 +1,8 @@
 //! Regenerates Table 1: input parameters and dataset sizes for every
 //! workload, as instantiated at the chosen scale.
 
-use cmpsim_bench::Options;
+use cmpsim_bench::{finish_runner, Options};
+use cmpsim_core::grid::{run_grid, GridSpec};
 use cmpsim_core::report::{human_bytes, TextTable};
 use cmpsim_core::tel::JsonValue;
 
@@ -11,24 +12,42 @@ fn main() {
         "Table 1: input parameters and datasets (scale {})\n",
         opts.scale
     );
-    let mut t = TextTable::new(["Workload", "Parameters", "Size of Data Input", "Provenance"]);
-    let mut rows = Vec::new();
-    for &id in &opts.workloads {
-        let wl = id.build(opts.scale, opts.seed);
+    let spec = GridSpec::new(
+        "table1_inputs",
+        opts.scale,
+        opts.seed,
+        opts.workloads.clone(),
+    );
+    let (scale, seed) = (opts.scale, opts.seed);
+    let report = run_grid(&spec, &opts.runner(), move |id| {
+        let wl = id.build(scale, seed);
         let d = wl.dataset();
-        t.row([
-            id.to_string(),
-            d.parameters.clone(),
-            human_bytes(d.input_bytes),
-            d.provenance.clone(),
-        ]);
-        rows.push(JsonValue::object([
+        JsonValue::object([
             ("workload", JsonValue::from(id.to_string())),
             ("parameters", JsonValue::from(d.parameters.clone())),
             ("input_bytes", JsonValue::U64(d.input_bytes)),
             ("provenance", JsonValue::from(d.provenance.clone())),
-        ]));
+        ])
+    });
+    let mut t = TextTable::new(["Workload", "Parameters", "Size of Data Input", "Provenance"]);
+    for row in report.payloads() {
+        let field = |k: &str| row.get(k).and_then(JsonValue::as_str).unwrap_or("?");
+        t.row([
+            field("workload").to_owned(),
+            field("parameters").to_owned(),
+            human_bytes(
+                row.get("input_bytes")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or(0),
+            ),
+            field("provenance").to_owned(),
+        ]);
     }
     println!("{}", t.render());
-    opts.emit_json("table1_inputs", JsonValue::Array(rows));
+    opts.emit_json_runner(
+        "table1_inputs",
+        JsonValue::Array(report.payloads().cloned().collect()),
+        &report,
+    );
+    finish_runner(&report);
 }

@@ -1,9 +1,11 @@
 //! Regenerates Table 2: single-threaded workload characteristics on a
 //! Pentium 4-class machine (8 KB DL1 + 512 KB L2, scaled).
 
-use cmpsim_bench::{results_json, Options};
+use cmpsim_bench::{finish_runner, results_json, Options};
 use cmpsim_core::experiment::Table2Study;
+use cmpsim_core::grid::{run_grid, GridSpec};
 use cmpsim_core::report::render_table2;
+use cmpsim_core::tel::JsonValue;
 
 fn main() {
     let opts = Options::from_args();
@@ -12,11 +14,28 @@ fn main() {
         opts.scale
     );
     let study = Table2Study::new(opts.scale, opts.seed);
-    let rows: Vec<_> = opts.workloads.iter().map(|&w| study.run(w)).collect();
+    let spec = GridSpec::new(
+        "table2_characteristics",
+        opts.scale,
+        opts.seed,
+        opts.workloads.clone(),
+    );
+    let report = run_grid(&spec, &opts.runner(), move |w| {
+        results_json::table2_row(&study.run(w))
+    });
+    let rows: Vec<_> = report
+        .payloads()
+        .filter_map(results_json::parse_table2_row)
+        .collect();
     println!("{}", render_table2(&rows));
     println!(
         "paper reference (measured on real hardware): IPC 0.06 (MDS) to 1.08 (PLSA);\n\
          %mem 42.3% (RSEARCH) to 83.1% (PLSA); DL2 MPKI 0.18 (PLSA) to 18.95 (MDS)."
     );
-    opts.emit_json("table2_characteristics", results_json::table2_rows(&rows));
+    opts.emit_json_runner(
+        "table2_characteristics",
+        JsonValue::Array(report.payloads().cloned().collect()),
+        &report,
+    );
+    finish_runner(&report);
 }

@@ -13,15 +13,28 @@
 //! * `--workloads A,B,C` — restrict to a subset (default: all eight),
 //! * `--json` — also write the results as `results/<name>.json`, a
 //!   machine-readable twin of the text output,
-//! * `--metrics-out FILE` — like `--json` but to an explicit path.
+//! * `--metrics-out FILE` — like `--json` but to an explicit path,
+//! * `--jobs N` — worker threads for the experiment grid (default 1,
+//!   `0` = one per CPU); output is byte-identical at any job count,
+//! * `--cache-dir DIR` — content-addressed result cache root (default
+//!   `results/cache`),
+//! * `--no-cache` — disable the result cache for this run.
 //!
 //! The JSON twin carries a run manifest (producer, version, scale, seed,
 //! workloads, wall time) plus a `results` payload built by the
 //! [`results_json`] converters, so a plot script never has to parse the
 //! aligned text tables.
+//!
+//! Every binary funnels its per-workload cells through
+//! [`cmpsim_core::grid::run_grid`] and renders text by parsing the JSON
+//! payloads back (see [`results_json`]'s `parse_*` functions) — the one
+//! code path guarantees serial, parallel, cold, and warm runs print the
+//! same bytes.
 
+use cmpsim_core::runner::{RunReport, RunnerConfig};
 use cmpsim_telemetry::{JsonValue, RunManifest};
 use cmpsim_workloads::{Scale, WorkloadId};
+use std::io::IsTerminal as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -40,6 +53,10 @@ pub struct Options {
     pub json: bool,
     /// Explicit output path for the JSON twin (implies `--json`).
     pub metrics_out: Option<PathBuf>,
+    /// Worker threads for the experiment grid (`0` = one per CPU).
+    pub jobs: usize,
+    /// Result-cache root; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
     started: Instant,
 }
 
@@ -51,6 +68,8 @@ impl Default for Options {
             workloads: WorkloadId::all().to_vec(),
             json: false,
             metrics_out: None,
+            jobs: 1,
+            cache_dir: Some(PathBuf::from("results/cache")),
             started: Instant::now(),
         }
     }
@@ -59,42 +78,60 @@ impl Default for Options {
 impl Options {
     /// Parses `std::env::args`, exiting with a usage message on errors.
     pub fn from_args() -> Self {
+        match Options::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(e) => usage(&e),
+        }
+    }
+
+    /// Parses an argument list. Any token that is not a recognized flag
+    /// (or a recognized flag's value) is an error — a typo like
+    /// `--sclae` must not silently run the default sweep.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut opts = Options::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(arg) = args.next() {
+            let mut val = || args.next().ok_or_else(|| format!("missing {arg} value"));
             match arg.as_str() {
                 "--scale" => {
-                    let v = args
-                        .next()
-                        .unwrap_or_else(|| usage("missing --scale value"));
-                    opts.scale = parse_scale(&v).unwrap_or_else(|| usage("bad --scale value"));
+                    opts.scale = parse_scale(&val()?).ok_or("bad --scale value")?;
                 }
                 "--seed" => {
-                    let v = args.next().unwrap_or_else(|| usage("missing --seed value"));
-                    opts.seed = v.parse().unwrap_or_else(|_| usage("bad --seed value"));
+                    opts.seed = val()?.parse().map_err(|_| "bad --seed value")?;
                 }
                 "--workloads" => {
-                    let v = args
-                        .next()
-                        .unwrap_or_else(|| usage("missing --workloads value"));
-                    opts.workloads = v
+                    opts.workloads = val()?
                         .split(',')
-                        .map(|s| s.parse().unwrap_or_else(|_| usage("unknown workload")))
-                        .collect();
+                        .map(|s| s.parse().map_err(|_| format!("unknown workload `{s}`")))
+                        .collect::<Result<_, _>>()?;
                 }
                 "--json" => opts.json = true,
                 "--metrics-out" => {
-                    let v = args
-                        .next()
-                        .unwrap_or_else(|| usage("missing --metrics-out value"));
-                    opts.metrics_out = Some(PathBuf::from(v));
+                    opts.metrics_out = Some(PathBuf::from(val()?));
                     opts.json = true;
                 }
-                "--help" | "-h" => usage(""),
-                other => usage(&format!("unknown argument `{other}`")),
+                "--jobs" => {
+                    opts.jobs = val()?.parse().map_err(|_| "bad --jobs value")?;
+                }
+                "--cache-dir" => opts.cache_dir = Some(PathBuf::from(val()?)),
+                "--no-cache" => opts.cache_dir = None,
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown argument `{other}`")),
             }
         }
-        opts
+        Ok(opts)
+    }
+
+    /// The runner configuration these options describe. The live
+    /// progress line is only drawn when stderr is a terminal, so
+    /// redirected runs (CI, tests) log clean lines.
+    pub fn runner(&self) -> RunnerConfig {
+        RunnerConfig {
+            workers: self.jobs,
+            cache_dir: self.cache_dir.clone(),
+            retries: 1,
+            progress: std::io::stderr().is_terminal(),
+        }
     }
 
     /// Where the JSON twin goes: `--metrics-out` wins, otherwise
@@ -135,6 +172,46 @@ impl Options {
             }
         }
     }
+
+    /// Like [`emit_json`](Options::emit_json), but for a grid run: the
+    /// manifest additionally records the runner counters, and the
+    /// document carries the full per-job [`RunReport`] under `runner`.
+    pub fn emit_json_runner(&self, name: &str, results: JsonValue, report: &RunReport) {
+        let Some(path) = self.json_path(name) else {
+            return;
+        };
+        let manifest = self
+            .manifest(name)
+            .config_entry("runner_jobs", report.workers)
+            .config_entry("runner_ok", report.ok_count())
+            .config_entry("runner_cached", report.cached_count())
+            .config_entry("runner_failed", report.failed_count());
+        let doc = JsonValue::object([
+            ("manifest", manifest.to_json()),
+            ("results", results),
+            ("runner", report.to_json()),
+        ]);
+        match cmpsim_telemetry::write_json_file(&path, &doc) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Standard grid-run epilogue: prints the batch summary (and every
+/// failure) to stderr, then exits non-zero if any job failed — after
+/// the surviving results have been rendered and written.
+pub fn finish_runner(report: &RunReport) {
+    eprintln!("runner: {}", report.summary());
+    for (label, error) in report.failures() {
+        eprintln!("runner: job `{label}` failed: {error}");
+    }
+    if report.failed_count() > 0 {
+        std::process::exit(1);
+    }
 }
 
 /// Parses a scale spec: `tiny`, `ci`, `paper`, or `1/N` with N a power
@@ -161,7 +238,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--scale tiny|ci|paper|1/N] [--seed N] [--workloads A,B,C]\n\
-         \x20      [--json] [--metrics-out FILE]\n\
+         \x20      [--json] [--metrics-out FILE] [--jobs N] [--cache-dir DIR] [--no-cache]\n\
          workloads: SNP, SVM-RFE, MDS, SHOT, FIMI, VIEWTYPE, PLSA, RSEARCH"
     );
     std::process::exit(2);
@@ -187,6 +264,40 @@ mod tests {
         assert_eq!(o.workloads.len(), 8);
         assert_eq!(o.seed, 2007);
         assert!(!o.json);
+        assert_eq!(o.jobs, 1);
+        assert_eq!(o.cache_dir, Some(PathBuf::from("results/cache")));
+    }
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        // A typo must not silently run the default sweep.
+        let err = parse(&["--sclae", "ci"]).unwrap_err();
+        assert!(err.contains("unknown argument `--sclae`"), "{err}");
+        assert!(parse(&["ci"]).is_err());
+        assert!(parse(&["--workloads", "FIMI,BOGUS"])
+            .unwrap_err()
+            .contains("unknown workload `BOGUS`"));
+        assert!(parse(&["--scale"]).unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn runner_flags_parse() {
+        let o = parse(&["--jobs", "4", "--cache-dir", "/tmp/c"]).unwrap();
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.cache_dir, Some(PathBuf::from("/tmp/c")));
+        let cfg = o.runner();
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.cache_dir, Some(PathBuf::from("/tmp/c")));
+        // Last flag wins in either order.
+        let o = parse(&["--cache-dir", "/tmp/c", "--no-cache"]).unwrap();
+        assert_eq!(o.cache_dir, None);
+        let o = parse(&["--no-cache", "--cache-dir", "/tmp/c"]).unwrap();
+        assert_eq!(o.cache_dir, Some(PathBuf::from("/tmp/c")));
+        assert!(parse(&["--jobs", "many"]).is_err());
     }
 
     #[test]

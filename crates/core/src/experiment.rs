@@ -50,6 +50,17 @@ impl fmt::Display for CmpClass {
     }
 }
 
+impl std::str::FromStr for CmpClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        CmpClass::all()
+            .into_iter()
+            .find(|c| c.name() == s)
+            .ok_or_else(|| format!("unknown CMP class `{s}` (expected SCMP, MCMP, or LCMP)"))
+    }
+}
+
 /// The paper's LLC size sweep (Figures 4–6): 4 MB to 256 MB, scaled.
 pub fn paper_cache_sizes(scale: Scale) -> Vec<u64> {
     [4u64, 8, 16, 32, 64, 128, 256]
@@ -67,14 +78,32 @@ pub fn paper_line_sizes() -> Vec<u64> {
 /// clamping the associativity so the geometry stays valid for small
 /// scaled-down caches with very large lines (each of the four Dragonhead
 /// banks must still hold at least one full set).
-pub fn llc_config(size: u64, line: u64, preferred_ways: u32) -> CacheConfig {
+///
+/// The clamp works in three steps: the per-bank capacity (`size / 4`)
+/// bounds how many `line`-byte ways a bank can hold at all
+/// (`max_ways`); the preferred associativity is limited to that bound
+/// and rounded to a power of two; and `min(1 << max_ways.ilog2())`
+/// caps the rounded value at the largest power of two that still fits —
+/// on the smallest scaled caches with 4096-byte lines this bottoms out
+/// at direct-mapped (one way).
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when no valid geometry exists even after
+/// clamping — e.g. a capacity smaller than a single line, or a
+/// non-power-of-two capacity.
+pub fn llc_config(
+    size: u64,
+    line: u64,
+    preferred_ways: u32,
+) -> Result<CacheConfig, cmpsim_cache::ConfigError> {
     let per_bank = size / 4;
     let max_ways = (per_bank / line).max(1);
     let ways = u64::from(preferred_ways)
         .min(max_ways)
         .next_power_of_two()
         .min(1 << max_ways.ilog2()) as u32;
-    CacheConfig::lru(size, line, ways.max(1)).expect("clamped geometry is valid")
+    CacheConfig::lru(size, line, ways.max(1))
 }
 
 /// One (cache size, MPKI) measurement.
@@ -91,7 +120,7 @@ pub struct CachePoint {
 }
 
 /// The MPKI-vs-size curve of one workload on one CMP class.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheSizeCurve {
     /// Which workload.
     pub workload: WorkloadId,
@@ -191,7 +220,7 @@ pub struct LinePoint {
 }
 
 /// The line-size sensitivity curve of one workload (Figure 7).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LineSizeCurve {
     /// Which workload.
     pub workload: WorkloadId,
@@ -249,7 +278,7 @@ impl LineSizeStudy {
         let cfg = CoSimConfig::scaled(self.cores, size, self.scale).expect("valid geometry");
         let llcs: Vec<CacheConfig> = paper_line_sizes()
             .iter()
-            .map(|&line| llc_config(size, line, 16))
+            .map(|&line| llc_config(size, line, 16).expect("paper line sizes clamp to valid"))
             .collect();
         let reports = CoSimulation::new(cfg).run_sweep(wl.as_ref(), &llcs);
         LineSizeCurve {
@@ -271,7 +300,7 @@ impl LineSizeStudy {
 }
 
 /// Figure 8 result for one workload: prefetch speedups.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PrefetchResult {
     /// Which workload.
     pub workload: WorkloadId,
@@ -385,7 +414,7 @@ impl PrefetchStudy {
 }
 
 /// One row of Table 2.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Table2Row {
     /// Which workload.
     pub workload: WorkloadId,
@@ -481,7 +510,7 @@ pub struct SharingStudy {
 }
 
 /// Result of the sharing ablation for one workload.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SharingResult {
     /// Which workload.
     pub workload: WorkloadId,
@@ -632,7 +661,7 @@ pub struct LlcOrganizationStudy {
 }
 
 /// Result of the organization study for one workload.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LlcOrganizationResult {
     /// Which workload.
     pub workload: WorkloadId,
@@ -681,8 +710,8 @@ impl LlcOrganizationStudy {
             },
             wl.as_ref(),
         );
-        let shared_cfg = llc_config(total, 64, 16);
-        let slice_cfg = llc_config(slice, 64, 16);
+        let shared_cfg = llc_config(total, 64, 16).expect("scaled totals clamp to valid");
+        let slice_cfg = llc_config(slice, 64, 16).expect("scaled slices clamp to valid");
         let mut shared_board = Dragonhead::new(DragonheadConfig::new(shared_cfg));
         // One private slice per core; each slice gets a full Dragonhead
         // (its AF tracks the same core-id messages, and we route by the
@@ -822,14 +851,50 @@ mod tests {
     #[test]
     fn llc_config_clamps_ways() {
         // Plenty of room: preferred associativity kept.
-        assert_eq!(llc_config(1 << 20, 64, 16).associativity(), 16);
+        assert_eq!(llc_config(1 << 20, 64, 16).unwrap().associativity(), 16);
         // 32 KB per bank with 4 KB lines leaves 8 lines: ways clamp to 8.
-        let tight = llc_config(128 << 10, 4096, 16);
+        let tight = llc_config(128 << 10, 4096, 16).unwrap();
         assert_eq!(tight.associativity(), 8);
         assert!(tight.num_sets() >= 1);
         // Degenerate: one line per bank.
-        let degenerate = llc_config(16 << 10, 4096, 16);
+        let degenerate = llc_config(16 << 10, 4096, 16).unwrap();
         assert_eq!(degenerate.associativity(), 1);
+    }
+
+    #[test]
+    fn llc_config_4k_lines_on_smallest_scaled_caches() {
+        // The tiny-scale floor of the Figures 4-6 sweep is 16 KB; with
+        // the Figure 7 maximum line of 4096 B a bank (size/4) holds
+        // exactly one line, so `max_ways` bottoms out at 1 and the
+        // `min(1 << max_ways.ilog2())` clamp forces direct-mapped.
+        let smallest = *paper_cache_sizes(Scale::tiny()).first().unwrap();
+        assert_eq!(smallest, 16 << 10);
+        let cfg = llc_config(smallest, 4096, 16).unwrap();
+        assert_eq!(cfg.associativity(), 1);
+        assert_eq!(cfg.line_bytes(), 4096);
+        assert_eq!(cfg.num_sets(), 4);
+        // One line *total* per bank (8 KB cache): still valid, still
+        // direct-mapped, via the same clamp path (per_bank < line).
+        let one_line_banks = llc_config(8 << 10, 4096, 16).unwrap();
+        assert_eq!(one_line_banks.associativity(), 1);
+        assert_eq!(one_line_banks.num_sets(), 2);
+        // Every (scaled size, paper line) pair of the Figure 7 grid
+        // clamps to a buildable geometry.
+        for &size in &paper_cache_sizes(Scale::tiny()) {
+            for &line in &paper_line_sizes() {
+                let cfg = llc_config(size, line, 16).unwrap();
+                assert!(cfg.associativity() >= 1);
+                assert!(u64::from(cfg.associativity()) * line <= size / 4);
+            }
+        }
+    }
+
+    #[test]
+    fn llc_config_surfaces_impossible_geometries_as_errors() {
+        // Capacity below a single line: no clamp can save this.
+        assert!(llc_config(2 << 10, 4096, 16).is_err());
+        // Non-power-of-two capacity is a builder error, not a panic.
+        assert!(llc_config(3 << 20, 64, 16).is_err());
     }
 
     #[test]
@@ -838,6 +903,10 @@ mod tests {
         assert_eq!(CmpClass::Medium.cores(), 16);
         assert_eq!(CmpClass::Large.cores(), 32);
         assert_eq!(CmpClass::Large.to_string(), "LCMP");
+        for c in CmpClass::all() {
+            assert_eq!(c.name().parse::<CmpClass>().unwrap(), c);
+        }
+        assert!("XCMP".parse::<CmpClass>().is_err());
     }
 
     #[test]

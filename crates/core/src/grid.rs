@@ -1,0 +1,160 @@
+//! Grid execution: fanning a (workload × configuration) experiment grid
+//! out over the [`cmpsim_runner`] worker pool.
+//!
+//! Every figure/table binary walks the same shape of grid — a list of
+//! workloads, each run under one fixed [`CoSimConfig`](crate::CoSimConfig)
+//! family (CMP class, cache-size sweep, line-size sweep, ...). A
+//! [`GridSpec`] captures that identity; [`run_grid`] turns each workload
+//! cell into an [`ExperimentJob`] whose cache key fingerprints
+//! `{experiment, crate version, scale, seed, workload, config params}`,
+//! so a warm re-run of an unchanged grid executes nothing and a config
+//! or version change invalidates exactly the affected cells.
+
+use cmpsim_runner::{ExperimentJob, JobKey, RunReport, Runner, RunnerConfig};
+use cmpsim_telemetry::JsonValue;
+use cmpsim_workloads::{Scale, WorkloadId};
+use std::fmt::Display;
+use std::fmt::Write as _;
+
+/// The identity of one experiment grid: which experiment, at which
+/// scale/seed, over which workloads, under which configuration.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Experiment name (the producing binary, e.g. `fig4_scmp`).
+    pub experiment: String,
+    /// Global scale knob.
+    pub scale: Scale,
+    /// Dataset seed.
+    pub seed: u64,
+    /// One grid cell per workload, in output order.
+    pub workloads: Vec<WorkloadId>,
+    /// Configuration identity shared by every cell (cores, cache
+    /// sizes, line sizes, ...) — part of each cell's cache key.
+    pub params: Vec<(String, String)>,
+}
+
+impl GridSpec {
+    /// A grid for `experiment` over `workloads` at `scale`/`seed`.
+    pub fn new(experiment: &str, scale: Scale, seed: u64, workloads: Vec<WorkloadId>) -> Self {
+        GridSpec {
+            experiment: experiment.to_owned(),
+            scale,
+            seed,
+            workloads,
+            params: Vec::new(),
+        }
+    }
+
+    /// Appends one configuration-identity parameter.
+    pub fn param(mut self, key: &str, value: impl Display) -> Self {
+        self.params.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// The content-address of one workload cell. Includes the crate
+    /// version so a simulator change invalidates stale results.
+    pub fn job_key(&self, workload: WorkloadId) -> JobKey {
+        let mut key = JobKey::new(&self.experiment)
+            .field("version", env!("CARGO_PKG_VERSION"))
+            .field("scale", self.scale)
+            .field("seed", self.seed)
+            .field("workload", workload);
+        for (k, v) in &self.params {
+            key = key.field(k, v);
+        }
+        key
+    }
+}
+
+/// Runs `f` for every workload cell of the grid on the worker pool,
+/// returning per-cell outcomes in workload order.
+///
+/// `f` must be a pure function of the cell (plus the seeded
+/// configuration it captures): it is what the cache key stands for, and
+/// it may be skipped entirely on a warm cache. The closure is cloned
+/// per cell, so capture cheap `Copy`/`Clone` study configs, not big
+/// state.
+pub fn run_grid<F>(spec: &GridSpec, cfg: &RunnerConfig, f: F) -> RunReport
+where
+    F: Fn(WorkloadId) -> JsonValue + Send + Sync + Clone + 'static,
+{
+    let jobs = spec
+        .workloads
+        .iter()
+        .map(|&w| {
+            let f = f.clone();
+            ExperimentJob::new(w.to_string(), spec.job_key(w), move || f(w))
+        })
+        .collect();
+    Runner::new(cfg.clone()).run(jobs)
+}
+
+/// Renders a list as a compact comma-joined string — the conventional
+/// encoding for sweep lists (cache sizes, line sizes, core counts)
+/// inside [`GridSpec::param`] values.
+pub fn join_list<T: Display>(items: &[T]) -> String {
+    let mut out = String::new();
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{item}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_keys_separate_cells_and_configs() {
+        let spec = GridSpec::new(
+            "fig4_scmp",
+            Scale::tiny(),
+            7,
+            vec![WorkloadId::Fimi, WorkloadId::Mds],
+        )
+        .param("cmp", "SCMP")
+        .param("sizes", join_list(&[16384u64, 65536]));
+        let a = spec.job_key(WorkloadId::Fimi);
+        let b = spec.job_key(WorkloadId::Mds);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Same cell under a different config is a different address.
+        let other = GridSpec {
+            params: vec![("cmp".to_owned(), "MCMP".to_owned())],
+            ..spec.clone()
+        };
+        assert_ne!(
+            a.fingerprint(),
+            other.job_key(WorkloadId::Fimi).fingerprint()
+        );
+        assert!(a.canonical().contains("workload=FIMI"));
+        assert!(a.canonical().contains("sizes=16384,65536"));
+    }
+
+    #[test]
+    fn run_grid_preserves_workload_order() {
+        let spec = GridSpec::new(
+            "order",
+            Scale::tiny(),
+            1,
+            vec![WorkloadId::Shot, WorkloadId::Fimi, WorkloadId::Plsa],
+        );
+        let cfg = RunnerConfig {
+            workers: 3,
+            ..RunnerConfig::default()
+        };
+        let report = run_grid(&spec, &cfg, |w| JsonValue::from(w.to_string()));
+        let names: Vec<&str> = report.payloads().filter_map(JsonValue::as_str).collect();
+        assert_eq!(names, ["SHOT", "FIMI", "PLSA"]);
+        assert_eq!(report.ok_count(), 3);
+    }
+
+    #[test]
+    fn join_list_renders_compactly() {
+        assert_eq!(join_list::<u64>(&[]), "");
+        assert_eq!(join_list(&[64u64]), "64");
+        assert_eq!(join_list(&[64u64, 128, 256]), "64,128,256");
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod cosim;
 pub mod experiment;
+pub mod grid;
 pub mod report;
 pub mod telemetry;
 
@@ -45,6 +46,7 @@ pub use cmpsim_cache as cache;
 pub use cmpsim_dragonhead as dragonhead;
 pub use cmpsim_memsys as memsys;
 pub use cmpsim_prefetch as prefetch;
+pub use cmpsim_runner as runner;
 pub use cmpsim_softsdv as softsdv;
 pub use cmpsim_telemetry as tel;
 pub use cmpsim_trace as trace;

@@ -1,0 +1,148 @@
+//! The content-addressed on-disk result cache.
+//!
+//! Layout: one JSON file per finished job under
+//! `<root>/<hh>/<hash16>.json`, where `hh` is the first two hex digits
+//! of the key fingerprint (a fan-out so a 10k-cell sweep does not put
+//! 10k files in one directory). Each file stores the full canonical key
+//! next to the result:
+//!
+//! ```json
+//! { "key": "experiment=fig4_scmp;scale=1/16;...", "result": { ... } }
+//! ```
+//!
+//! Lookups verify the stored key against the requested one, so a
+//! fingerprint collision degrades to a cache miss, never a wrong
+//! result. Corrupt or unreadable entries are likewise treated as
+//! misses. Writes go through a temp file in the same directory followed
+//! by a rename, so a killed run never leaves a torn entry behind.
+
+use crate::hash::JobKey;
+use cmpsim_telemetry::{parse, JsonValue};
+use std::path::{Path, PathBuf};
+
+/// A result cache rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at `root` (created lazily on first store).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ResultCache { root: root.into() }
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The on-disk path of `key`'s entry.
+    pub fn entry_path(&self, key: &JobKey) -> PathBuf {
+        let hex = key.hex();
+        self.root.join(&hex[..2]).join(format!("{hex}.json"))
+    }
+
+    /// Returns the cached result for `key`, or `None` on a miss
+    /// (absent, unreadable, corrupt, or a fingerprint collision).
+    pub fn lookup(&self, key: &JobKey) -> Option<JsonValue> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let doc = parse(&text).ok()?;
+        if doc.get("key")?.as_str()? != key.canonical() {
+            return None;
+        }
+        doc.get("result").cloned()
+    }
+
+    /// Stores `result` under `key`, atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; callers may treat a failed store as
+    /// non-fatal (the job result is still returned, only the warm-run
+    /// shortcut is lost).
+    pub fn store(&self, key: &JobKey, result: &JsonValue) -> std::io::Result<()> {
+        let path = self.entry_path(key);
+        let dir = path.parent().expect("entry path has a parent");
+        std::fs::create_dir_all(dir)?;
+        let doc = JsonValue::object([
+            ("key", JsonValue::from(key.canonical())),
+            ("result", result.clone()),
+        ]);
+        let tmp = dir.join(format!(
+            "{}.tmp.{}",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("entry"),
+            std::process::id()
+        ));
+        std::fs::write(&tmp, doc.to_json_pretty())?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Number of entries currently on disk (walks the fan-out dirs).
+    pub fn len(&self) -> usize {
+        let Ok(shards) = std::fs::read_dir(&self.root) else {
+            return 0;
+        };
+        shards
+            .flatten()
+            .filter_map(|d| std::fs::read_dir(d.path()).ok())
+            .flat_map(|files| files.flatten())
+            .filter(|f| f.path().extension().is_some_and(|e| e == "json"))
+            .count()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let root =
+            std::env::temp_dir().join(format!("cmpsim_runner_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        ResultCache::new(root)
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips() {
+        let cache = temp_cache("roundtrip");
+        let key = JobKey::new("t").field("workload", "FIMI");
+        assert_eq!(cache.lookup(&key), None);
+        let result = JsonValue::object([("mpki", JsonValue::F64(1.25))]);
+        cache.store(&key, &result).unwrap();
+        assert_eq!(cache.lookup(&key), Some(result));
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_miss() {
+        let cache = temp_cache("corrupt");
+        let key = JobKey::new("t").field("workload", "MDS");
+        cache.store(&key, &JsonValue::Bool(true)).unwrap();
+        std::fs::write(cache.entry_path(&key), "{ not json").unwrap();
+        assert_eq!(cache.lookup(&key), None);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn key_mismatch_is_a_miss() {
+        // Simulate a fingerprint collision: an entry at the right path
+        // whose stored canonical key belongs to someone else.
+        let cache = temp_cache("collision");
+        let key = JobKey::new("t").field("seed", 1u64);
+        cache.store(&key, &JsonValue::U64(7)).unwrap();
+        let forged = JsonValue::object([
+            ("key", JsonValue::from("experiment=other")),
+            ("result", JsonValue::U64(9)),
+        ]);
+        std::fs::write(cache.entry_path(&key), forged.to_json()).unwrap();
+        assert_eq!(cache.lookup(&key), None);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+}

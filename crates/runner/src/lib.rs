@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! `cmpsim-runner` — the parallel experiment execution engine.
+//!
+//! Every figure/table of the study is a grid of *independent*
+//! co-simulations (workload × CMP class × cache geometry). The paper's
+//! own infrastructure farmed those cells out to emulator runs; this
+//! crate is the software equivalent: a std-only work-stealing worker
+//! pool that executes [`ExperimentJob`]s across `--jobs N` OS threads
+//! with
+//!
+//! * a **content-addressed result cache** ([`ResultCache`]) keyed by a
+//!   stable FNV-1a fingerprint of the job identity ([`JobKey`]:
+//!   experiment, scale, seed, config fields, crate version), so warm
+//!   re-runs skip finished cells,
+//! * **fault isolation** — a panicking job is caught
+//!   (`catch_unwind`), retried a bounded number of times, and reported
+//!   as [`JobOutcome::Failed`] while the rest of the batch completes,
+//! * **deterministic ordering** — per-job results land in submission
+//!   order, so a `--jobs 8` run is byte-identical to `--jobs 1`,
+//! * **telemetry** — [`RunReport::export_metrics`] /
+//!   [`RunReport::export_spans`] feed the `cmpsim-telemetry` registry,
+//!   and an optional live progress line tracks completed/cached/failed
+//!   counts with an ETA.
+//!
+//! # Example
+//!
+//! ```
+//! use cmpsim_runner::{ExperimentJob, JobKey, Runner, RunnerConfig};
+//! use cmpsim_telemetry::JsonValue;
+//!
+//! let jobs = (0..4u64)
+//!     .map(|i| {
+//!         ExperimentJob::new(
+//!             format!("cell{i}"),
+//!             JobKey::new("demo").field("cell", i),
+//!             move || JsonValue::U64(i * i),
+//!         )
+//!     })
+//!     .collect();
+//! let report = Runner::new(RunnerConfig {
+//!     workers: 2,
+//!     ..RunnerConfig::default()
+//! })
+//! .run(jobs);
+//! assert_eq!(report.ok_count(), 4);
+//! let squares: Vec<u64> = report.payloads().filter_map(|v| v.as_u64()).collect();
+//! assert_eq!(squares, [0, 1, 4, 9]); // submission order, not completion order
+//! ```
+
+pub mod cache;
+pub mod hash;
+pub mod pool;
+
+pub use cache::ResultCache;
+pub use hash::JobKey;
+pub use pool::{ExperimentJob, JobOutcome, JobReport, RunReport, Runner, RunnerConfig};

@@ -1,0 +1,461 @@
+//! The work-stealing worker pool and its job/outcome types.
+//!
+//! Jobs are distributed round-robin across per-worker deques up front;
+//! each worker pops from the front of its own deque and, when empty,
+//! steals from the back of its peers'. Because the job set is fixed at
+//! submission (no job spawns further jobs), "every deque empty" is the
+//! termination condition — no condition variables needed.
+//!
+//! Determinism: results are written into a slot per submission index,
+//! so the report order equals submission order no matter which worker
+//! finished which job when. Each job closure is a self-contained,
+//! seeded computation, so a parallel run is byte-identical to a serial
+//! one.
+
+use crate::cache::ResultCache;
+use crate::hash::JobKey;
+use cmpsim_telemetry::{JsonValue, Labels, MetricRegistry, SpanProfiler};
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How the pool runs a batch of jobs.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub workers: usize,
+    /// Root of the content-addressed result cache; `None` disables
+    /// caching entirely.
+    pub cache_dir: Option<PathBuf>,
+    /// How many times a panicking job is re-run before it is reported
+    /// as [`JobOutcome::Failed`] (`1` = one retry, two attempts total).
+    pub retries: u32,
+    /// Emit a live `\r`-rewritten progress line on stderr.
+    pub progress: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            workers: 1,
+            cache_dir: None,
+            retries: 1,
+            progress: false,
+        }
+    }
+}
+
+/// One unit of work: a cache key plus a closure producing the job's
+/// JSON result payload.
+pub struct ExperimentJob {
+    /// Display label (progress line, failure summary).
+    pub label: String,
+    /// Content-address of the result.
+    pub key: JobKey,
+    run: Box<dyn Fn() -> JsonValue + Send + Sync>,
+}
+
+impl ExperimentJob {
+    /// A job running `run` whenever the cache misses on `key`.
+    pub fn new(
+        label: impl Into<String>,
+        key: JobKey,
+        run: impl Fn() -> JsonValue + Send + Sync + 'static,
+    ) -> Self {
+        ExperimentJob {
+            label: label.into(),
+            key,
+            run: Box::new(run),
+        }
+    }
+}
+
+impl std::fmt::Debug for ExperimentJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentJob")
+            .field("label", &self.label)
+            .field("key", &self.key.canonical())
+            .finish_non_exhaustive()
+    }
+}
+
+/// How one job ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// Executed this run.
+    Ok(JsonValue),
+    /// Served from the result cache without executing.
+    Cached(JsonValue),
+    /// Panicked on every attempt; the rest of the batch still ran.
+    Failed {
+        /// Rendered panic payload of the last attempt.
+        error: String,
+    },
+}
+
+impl JobOutcome {
+    /// The result payload, if the job produced one.
+    pub fn payload(&self) -> Option<&JsonValue> {
+        match self {
+            JobOutcome::Ok(v) | JobOutcome::Cached(v) => Some(v),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Short machine-readable kind: `ok`, `cached`, or `failed`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobOutcome::Ok(_) => "ok",
+            JobOutcome::Cached(_) => "cached",
+            JobOutcome::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// Per-job record in the batch report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// The job's display label.
+    pub label: String,
+    /// How it ended.
+    pub outcome: JobOutcome,
+    /// Wall-clock time spent on this job (cache lookup + attempts).
+    pub wall_ms: f64,
+    /// Execution attempts (0 for a cache hit).
+    pub attempts: u32,
+}
+
+/// The structured report of one batch: per-job outcomes in submission
+/// order plus batch-level counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Per-job reports, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// Worker threads the batch actually used.
+    pub workers: usize,
+    /// Wall-clock time of the whole batch.
+    pub wall_ms: f64,
+}
+
+impl RunReport {
+    /// Jobs executed this run.
+    pub fn ok_count(&self) -> usize {
+        self.count(|o| matches!(o, JobOutcome::Ok(_)))
+    }
+
+    /// Jobs served from the cache.
+    pub fn cached_count(&self) -> usize {
+        self.count(|o| matches!(o, JobOutcome::Cached(_)))
+    }
+
+    /// Jobs that failed every attempt.
+    pub fn failed_count(&self) -> usize {
+        self.count(|o| matches!(o, JobOutcome::Failed { .. }))
+    }
+
+    fn count(&self, f: impl Fn(&JobOutcome) -> bool) -> usize {
+        self.jobs.iter().filter(|j| f(&j.outcome)).count()
+    }
+
+    /// Result payloads of the successful jobs, in submission order
+    /// (failed jobs are skipped).
+    pub fn payloads(&self) -> impl Iterator<Item = &JsonValue> {
+        self.jobs.iter().filter_map(|j| j.outcome.payload())
+    }
+
+    /// `(label, error)` for every failed job, in submission order.
+    pub fn failures(&self) -> Vec<(&str, &str)> {
+        self.jobs
+            .iter()
+            .filter_map(|j| match &j.outcome {
+                JobOutcome::Failed { error } => Some((j.label.as_str(), error.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// One-line human summary, e.g.
+    /// `0 ok, 8 cached, 0 failed of 8 jobs (4 workers, 12.3 ms)`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ok, {} cached, {} failed of {} jobs ({} workers, {:.1} ms)",
+            self.ok_count(),
+            self.cached_count(),
+            self.failed_count(),
+            self.jobs.len(),
+            self.workers,
+            self.wall_ms
+        )
+    }
+
+    /// Feeds batch counters and the per-job wall-time histogram into a
+    /// telemetry registry (`runner_jobs{outcome=...}`,
+    /// `runner_job_micros`).
+    pub fn export_metrics(&self, reg: &mut MetricRegistry) {
+        for j in &self.jobs {
+            let labels = Labels::none().with("outcome", j.outcome.kind());
+            reg.count("runner_jobs", &labels, 1);
+            reg.observe(
+                "runner_job_micros",
+                &Labels::none(),
+                (j.wall_ms * 1e3) as u64,
+            );
+        }
+    }
+
+    /// Replays each job as a finished span (`job:<label>`) on a span
+    /// profiler, under one `runner` parent span.
+    pub fn export_spans(&self, spans: &mut SpanProfiler) {
+        for j in &self.jobs {
+            spans.record(&format!("job:{}", j.label), (j.wall_ms * 1e6) as u128, 1);
+        }
+        spans.record("runner", (self.wall_ms * 1e6) as u128, 0);
+    }
+
+    /// The report as a JSON object (embedded in result documents).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("workers", JsonValue::from(self.workers)),
+            ("wall_ms", JsonValue::F64(self.wall_ms)),
+            ("ok", JsonValue::from(self.ok_count())),
+            ("cached", JsonValue::from(self.cached_count())),
+            ("failed", JsonValue::from(self.failed_count())),
+            (
+                "jobs",
+                JsonValue::Array(
+                    self.jobs
+                        .iter()
+                        .map(|j| {
+                            let mut fields = vec![
+                                ("label".to_owned(), JsonValue::from(j.label.clone())),
+                                ("outcome".to_owned(), JsonValue::from(j.outcome.kind())),
+                                ("wall_ms".to_owned(), JsonValue::F64(j.wall_ms)),
+                                (
+                                    "attempts".to_owned(),
+                                    JsonValue::from(u64::from(j.attempts)),
+                                ),
+                            ];
+                            if let JobOutcome::Failed { error } = &j.outcome {
+                                fields.push(("error".to_owned(), JsonValue::from(error.clone())));
+                            }
+                            JsonValue::Object(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Live progress counters shared by the workers.
+struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    ok: AtomicUsize,
+    cached: AtomicUsize,
+    failed: AtomicUsize,
+    started: Instant,
+    /// Serializes the `\r` line so two workers never interleave writes.
+    line: Mutex<()>,
+    enabled: bool,
+}
+
+impl Progress {
+    fn new(total: usize, enabled: bool) -> Self {
+        Progress {
+            total,
+            done: AtomicUsize::new(0),
+            ok: AtomicUsize::new(0),
+            cached: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            started: Instant::now(),
+            line: Mutex::new(()),
+            enabled,
+        }
+    }
+
+    fn update(&self, outcome: &JobOutcome) {
+        match outcome {
+            JobOutcome::Ok(_) => &self.ok,
+            JobOutcome::Cached(_) => &self.cached,
+            JobOutcome::Failed { .. } => &self.failed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled {
+            return;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let eta = if done > 0 && done < self.total {
+            elapsed / done as f64 * (self.total - done) as f64
+        } else {
+            0.0
+        };
+        let _guard = self.line.lock().unwrap_or_else(|e| e.into_inner());
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r[{done}/{}] {} ok, {} cached, {} failed, eta {eta:.1}s   ",
+            self.total,
+            self.ok.load(Ordering::Relaxed),
+            self.cached.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+        );
+        if done == self.total {
+            let _ = writeln!(err);
+        }
+        let _ = err.flush();
+    }
+}
+
+/// The worker pool itself.
+#[derive(Debug, Clone, Default)]
+pub struct Runner {
+    cfg: RunnerConfig,
+}
+
+impl Runner {
+    /// A runner with the given configuration.
+    pub fn new(cfg: RunnerConfig) -> Self {
+        Runner { cfg }
+    }
+
+    /// Executes a batch of jobs and reports per-job outcomes in
+    /// submission order.
+    ///
+    /// A job found in the cache is not executed ([`JobOutcome::Cached`]);
+    /// a job that panics is retried up to `retries` times and then
+    /// reported as [`JobOutcome::Failed`] without aborting the batch.
+    pub fn run(&self, jobs: Vec<ExperimentJob>) -> RunReport {
+        let started = Instant::now();
+        let total = jobs.len();
+        let workers = match self.cfg.workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+        .min(total.max(1));
+        let cache = self.cfg.cache_dir.as_ref().map(ResultCache::new);
+
+        // Round-robin pre-distribution over per-worker deques.
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for i in 0..total {
+            queues[i % workers]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(i);
+        }
+        let slots: Vec<Mutex<Option<JobReport>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let progress = Progress::new(total, self.cfg.progress);
+
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let jobs = &jobs;
+                let queues = &queues;
+                let slots = &slots;
+                let progress = &progress;
+                let cache = cache.as_ref();
+                let retries = self.cfg.retries;
+                scope.spawn(move || {
+                    while let Some(i) = next_job(queues, me) {
+                        let report = execute(&jobs[i], cache, retries);
+                        progress.update(&report.outcome);
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
+                    }
+                });
+            }
+        });
+
+        RunReport {
+            jobs: slots
+                .into_iter()
+                .map(|s| {
+                    s.into_inner()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .expect("every submitted job produced a report")
+                })
+                .collect(),
+            workers,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// Pops from the front of `me`'s deque, or steals from the back of a
+/// peer's. `None` only when every deque is empty, which is final
+/// because no job enqueues further jobs.
+fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(i) = queues[me]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .pop_front()
+    {
+        return Some(i);
+    }
+    for off in 1..queues.len() {
+        let victim = (me + off) % queues.len();
+        if let Some(i) = queues[victim]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_back()
+        {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn execute(job: &ExperimentJob, cache: Option<&ResultCache>, retries: u32) -> JobReport {
+    let started = Instant::now();
+    if let Some(c) = cache {
+        if let Some(v) = c.lookup(&job.key) {
+            return JobReport {
+                label: job.label.clone(),
+                outcome: JobOutcome::Cached(v),
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                attempts: 0,
+            };
+        }
+    }
+    let mut attempts = 0;
+    let outcome = loop {
+        attempts += 1;
+        match catch_unwind(AssertUnwindSafe(|| (job.run)())) {
+            Ok(v) => {
+                if let Some(c) = cache {
+                    if let Err(e) = c.store(&job.key, &v) {
+                        eprintln!("warning: cannot cache result of {}: {e}", job.label);
+                    }
+                }
+                break JobOutcome::Ok(v);
+            }
+            Err(payload) => {
+                if attempts > retries {
+                    break JobOutcome::Failed {
+                        error: panic_message(payload.as_ref()),
+                    };
+                }
+            }
+        }
+    };
+    JobReport {
+        label: job.label.clone(),
+        outcome,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        attempts,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

@@ -1,0 +1,205 @@
+//! Integration tests for the worker pool: ordering determinism, cache
+//! warm-up, and panic isolation.
+
+use cmpsim_runner::{ExperimentJob, JobKey, JobOutcome, Runner, RunnerConfig};
+use cmpsim_telemetry::{JsonValue, MetricRegistry, SpanProfiler};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmpsim_runner_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn square_jobs(n: u64) -> Vec<ExperimentJob> {
+    (0..n)
+        .map(|i| {
+            ExperimentJob::new(
+                format!("sq{i}"),
+                JobKey::new("squares").field("i", i),
+                move || JsonValue::U64(i * i),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_results_match_serial_in_submission_order() {
+    let serial = Runner::new(RunnerConfig::default()).run(square_jobs(16));
+    let parallel = Runner::new(RunnerConfig {
+        workers: 4,
+        ..RunnerConfig::default()
+    })
+    .run(square_jobs(16));
+    assert_eq!(parallel.workers, 4);
+    let s: Vec<&JsonValue> = serial.payloads().collect();
+    let p: Vec<&JsonValue> = parallel.payloads().collect();
+    assert_eq!(s, p);
+    assert_eq!(p.len(), 16);
+    assert_eq!(p[3].as_u64(), Some(9));
+}
+
+#[test]
+fn workers_never_exceed_jobs() {
+    let report = Runner::new(RunnerConfig {
+        workers: 64,
+        ..RunnerConfig::default()
+    })
+    .run(square_jobs(3));
+    assert_eq!(report.workers, 3);
+    assert_eq!(report.ok_count(), 3);
+}
+
+#[test]
+fn warm_cache_executes_nothing() {
+    let dir = temp_dir("warm");
+    let cfg = RunnerConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..RunnerConfig::default()
+    };
+    let executions = Arc::new(AtomicUsize::new(0));
+    let jobs = |count: &Arc<AtomicUsize>| -> Vec<ExperimentJob> {
+        (0..5u64)
+            .map(|i| {
+                let count = Arc::clone(count);
+                ExperimentJob::new(
+                    format!("cell{i}"),
+                    JobKey::new("warmth").field("i", i),
+                    move || {
+                        count.fetch_add(1, Ordering::SeqCst);
+                        JsonValue::U64(i + 100)
+                    },
+                )
+            })
+            .collect()
+    };
+    let cold = Runner::new(cfg.clone()).run(jobs(&executions));
+    assert_eq!(cold.ok_count(), 5);
+    assert_eq!(cold.cached_count(), 0);
+    assert_eq!(executions.load(Ordering::SeqCst), 5);
+
+    let warm = Runner::new(cfg).run(jobs(&executions));
+    assert_eq!(warm.ok_count(), 0);
+    assert_eq!(warm.cached_count(), 5);
+    // Zero additional executions: every cell came off disk.
+    assert_eq!(executions.load(Ordering::SeqCst), 5);
+    // And the payloads are identical to the cold run's.
+    assert_eq!(
+        cold.payloads().collect::<Vec<_>>(),
+        warm.payloads().collect::<Vec<_>>()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_job_fails_in_isolation_with_bounded_retry() {
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&attempts);
+    let mut jobs = square_jobs(6);
+    jobs.insert(
+        3,
+        ExperimentJob::new("bad", JobKey::new("panics"), move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+            panic!("deliberate test panic");
+        }),
+    );
+    let report = Runner::new(RunnerConfig {
+        workers: 3,
+        retries: 2,
+        ..RunnerConfig::default()
+    })
+    .run(jobs);
+    // The batch completed around the failure.
+    assert_eq!(report.ok_count(), 6);
+    assert_eq!(report.failed_count(), 1);
+    // Bounded retry: 1 initial attempt + 2 retries.
+    assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    assert_eq!(report.jobs[3].attempts, 3);
+    let failures = report.failures();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].0, "bad");
+    assert!(failures[0].1.contains("deliberate test panic"));
+    // Failed jobs carry no payload; the others are untouched and ordered.
+    assert!(report.jobs[3].outcome.payload().is_none());
+    let vals: Vec<u64> = report.payloads().filter_map(|v| v.as_u64()).collect();
+    assert_eq!(vals, [0, 1, 4, 9, 16, 25]);
+    assert!(report.summary().contains("1 failed of 7 jobs"));
+}
+
+#[test]
+fn failed_jobs_are_not_cached() {
+    let dir = temp_dir("nofailcache");
+    let cfg = RunnerConfig {
+        cache_dir: Some(dir.clone()),
+        retries: 0,
+        ..RunnerConfig::default()
+    };
+    let make = |succeed: bool| {
+        vec![ExperimentJob::new(
+            "flaky",
+            JobKey::new("flaky"),
+            move || {
+                if succeed {
+                    JsonValue::Bool(true)
+                } else {
+                    panic!("first run fails")
+                }
+            },
+        )]
+    };
+    let first = Runner::new(cfg.clone()).run(make(false));
+    assert_eq!(first.failed_count(), 1);
+    // The failure was not poisoned into the cache: the next run executes.
+    let second = Runner::new(cfg).run(make(true));
+    assert_eq!(second.ok_count(), 1);
+    assert_eq!(second.cached_count(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_exports_telemetry_and_json() {
+    let dir = temp_dir("telemetry");
+    let cfg = RunnerConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..RunnerConfig::default()
+    };
+    Runner::new(cfg.clone()).run(square_jobs(4));
+    let report = Runner::new(cfg).run(square_jobs(4));
+    let mut reg = MetricRegistry::new();
+    report.export_metrics(&mut reg);
+    assert_eq!(reg.counter_total("runner_jobs"), 4);
+    let mut spans = SpanProfiler::new();
+    report.export_spans(&mut spans);
+    let names: Vec<&str> = spans.spans().iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains(&"runner"));
+    assert!(names.contains(&"job:sq0"));
+
+    let doc = report.to_json();
+    assert_eq!(doc.get("cached").and_then(JsonValue::as_u64), Some(4));
+    assert_eq!(doc.get("ok").and_then(JsonValue::as_u64), Some(0));
+    let jobs = doc.get("jobs").unwrap().as_array().unwrap();
+    assert_eq!(jobs.len(), 4);
+    assert!(jobs
+        .iter()
+        .all(|j| j.get("outcome").and_then(JsonValue::as_str) == Some("cached")));
+    // The document survives a serialize/parse round trip.
+    assert_eq!(cmpsim_telemetry::parse(&doc.to_json()).unwrap(), doc);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn outcome_kinds() {
+    assert_eq!(JobOutcome::Ok(JsonValue::Null).kind(), "ok");
+    assert_eq!(JobOutcome::Cached(JsonValue::Null).kind(), "cached");
+    assert_eq!(
+        JobOutcome::Failed {
+            error: String::new()
+        }
+        .kind(),
+        "failed"
+    );
+}

@@ -62,6 +62,17 @@ impl SpanProfiler {
         }
     }
 
+    /// Appends an already-measured span — one timed elsewhere (e.g. on
+    /// a worker thread of the experiment runner) and replayed here —
+    /// without touching this profiler's open-span stack.
+    pub fn record(&mut self, name: &str, nanos: u128, depth: usize) {
+        self.finished.push(SpanRecord {
+            name: name.to_owned(),
+            nanos,
+            depth,
+        });
+    }
+
     /// All finished spans, in completion order.
     pub fn spans(&self) -> &[SpanRecord] {
         &self.finished
@@ -125,6 +136,20 @@ mod tests {
         let mut p = SpanProfiler::new();
         p.end();
         assert!(p.spans().is_empty());
+    }
+
+    #[test]
+    fn record_appends_external_span() {
+        let mut p = SpanProfiler::new();
+        p.start("outer");
+        p.record("replayed", 1_500_000, 1);
+        p.end();
+        let replayed = p.spans().iter().find(|s| s.name == "replayed").unwrap();
+        assert_eq!(replayed.nanos, 1_500_000);
+        assert_eq!(replayed.depth, 1);
+        assert!((replayed.millis() - 1.5).abs() < 1e-9);
+        // The open stack was untouched: "outer" still closed normally.
+        assert!(p.spans().iter().any(|s| s.name == "outer"));
     }
 
     #[test]

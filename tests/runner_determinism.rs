@@ -1,0 +1,86 @@
+//! Tier-1 determinism guarantee of the experiment runner: a figure
+//! binary must produce byte-identical text output and identical JSON
+//! `results` whether it runs serially, on four workers, cold, or from a
+//! warm result cache.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmpsim-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_fig4(extra: &[&str], metrics_out: &Path) -> Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig4_scmp"))
+        .args([
+            "--scale",
+            "tiny",
+            "--workloads",
+            "FIMI,SHOT",
+            "--seed",
+            "7",
+            "--metrics-out",
+        ])
+        .arg(metrics_out)
+        .args(extra)
+        .output()
+        .expect("spawn fig4_scmp");
+    assert!(
+        out.status.success(),
+        "fig4_scmp {extra:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn read_doc(path: &Path) -> cmpsim_telemetry::JsonValue {
+    let text = std::fs::read_to_string(path).expect("read json twin");
+    cmpsim_telemetry::parse(&text).expect("parse json twin")
+}
+
+#[test]
+fn parallel_and_cached_runs_match_serial_bytes() {
+    let dir = temp_dir("runner-det");
+    let cache = dir.join("cache");
+
+    let serial = run_fig4(&["--jobs", "1", "--no-cache"], &dir.join("serial.json"));
+    let cold = run_fig4(
+        &["--jobs", "4", "--cache-dir", cache.to_str().unwrap()],
+        &dir.join("cold.json"),
+    );
+    let warm = run_fig4(
+        &["--jobs", "4", "--cache-dir", cache.to_str().unwrap()],
+        &dir.join("warm.json"),
+    );
+
+    // Text output is byte-identical across serial, parallel-cold, and
+    // parallel-warm runs.
+    assert_eq!(serial.stdout, cold.stdout, "parallel stdout differs");
+    assert_eq!(serial.stdout, warm.stdout, "cached stdout differs");
+
+    // The JSON results payload is identical too (the manifest differs
+    // in wall time and runner counters by design).
+    let serial_doc = read_doc(&dir.join("serial.json"));
+    let cold_doc = read_doc(&dir.join("cold.json"));
+    let warm_doc = read_doc(&dir.join("warm.json"));
+    let results = serial_doc.get("results").expect("results key");
+    assert_eq!(Some(results), cold_doc.get("results"));
+    assert_eq!(Some(results), warm_doc.get("results"));
+    assert_eq!(results.as_array().map(<[_]>::len), Some(2));
+
+    // The cold run executed both cells; the warm run executed none.
+    let counter = |doc: &cmpsim_telemetry::JsonValue, key: &str| {
+        doc.get_path(&["manifest", "config", key])
+            .and_then(|v| v.as_u64())
+    };
+    assert_eq!(counter(&cold_doc, "runner_ok"), Some(2));
+    assert_eq!(counter(&cold_doc, "runner_cached"), Some(0));
+    assert_eq!(counter(&warm_doc, "runner_ok"), Some(0));
+    assert_eq!(counter(&warm_doc, "runner_cached"), Some(2));
+    assert_eq!(counter(&warm_doc, "runner_failed"), Some(0));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
