@@ -256,6 +256,7 @@ fn cmd_grid(args: &[String]) -> i32 {
         cache_dir: cli.cache_dir.clone(),
         retries: 1,
         progress: std::io::IsTerminal::is_terminal(&std::io::stderr()),
+        job_timeout: None,
     };
     let report = run_grid(&spec, &runner, move |w| {
         results_json::cache_size_curve(&study.run(w))

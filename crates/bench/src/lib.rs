@@ -57,6 +57,8 @@ pub struct Options {
     pub jobs: usize,
     /// Result-cache root; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Per-job watchdog deadline in seconds; `None` waits forever.
+    pub job_timeout: Option<u64>,
     started: Instant,
 }
 
@@ -70,6 +72,7 @@ impl Default for Options {
             metrics_out: None,
             jobs: 1,
             cache_dir: Some(PathBuf::from("results/cache")),
+            job_timeout: None,
             started: Instant::now(),
         }
     }
@@ -115,6 +118,13 @@ impl Options {
                 }
                 "--cache-dir" => opts.cache_dir = Some(PathBuf::from(val()?)),
                 "--no-cache" => opts.cache_dir = None,
+                "--job-timeout" => {
+                    let secs: u64 = val()?.parse().map_err(|_| "bad --job-timeout value")?;
+                    if secs == 0 {
+                        return Err("bad --job-timeout value".to_owned());
+                    }
+                    opts.job_timeout = Some(secs);
+                }
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument `{other}`")),
             }
@@ -131,6 +141,7 @@ impl Options {
             cache_dir: self.cache_dir.clone(),
             retries: 1,
             progress: std::io::stderr().is_terminal(),
+            job_timeout: self.job_timeout.map(std::time::Duration::from_secs),
         }
     }
 
@@ -239,6 +250,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <bin> [--scale tiny|ci|paper|1/N] [--seed N] [--workloads A,B,C]\n\
          \x20      [--json] [--metrics-out FILE] [--jobs N] [--cache-dir DIR] [--no-cache]\n\
+         \x20      [--job-timeout SECONDS]\n\
          workloads: SNP, SVM-RFE, MDS, SHOT, FIMI, VIEWTYPE, PLSA, RSEARCH"
     );
     std::process::exit(2);

@@ -1,11 +1,14 @@
 //! The SoftSDV ↔ Dragonhead binding.
 
+use crate::error::CoSimError;
+use crate::validate::Validator;
 use cmpsim_cache::{CacheConfig, CacheStats, ConfigError, HierarchyConfig};
 use cmpsim_dragonhead::{Dragonhead, DragonheadConfig, Sample};
+use cmpsim_faults::FaultInjector;
 use cmpsim_memsys::RunCounts;
 use cmpsim_prefetch::StrideConfig;
 use cmpsim_softsdv::{FsbListener, HostNoiseConfig, PlatformConfig, RunSummary, VirtualPlatform};
-use cmpsim_telemetry::{MetricRegistry, SpanProfiler};
+use cmpsim_telemetry::{Labels, MetricRegistry, SpanProfiler};
 use cmpsim_trace::FsbTransaction;
 use cmpsim_workloads::Workload;
 
@@ -119,6 +122,9 @@ pub struct CoSimReport {
     pub llc_bytes: u64,
     /// The LLC line size this report is for.
     pub llc_line_bytes: u64,
+    /// Distinct lines resident in the LLC at end of run (for the
+    /// occupancy invariant: never more than capacity).
+    pub llc_resident_lines: u64,
     /// Every counter from both sides of the bus as labeled series: the
     /// platform's retirement/private-cache counters and the board's
     /// per-bank, per-core LLC counters.
@@ -174,6 +180,38 @@ impl FsbListener for MultiSnoop<'_> {
     }
 }
 
+/// A board behind a faulty channel: every platform transaction passes
+/// through the injector, which may drop, duplicate, reorder, or corrupt
+/// it before the board sees anything.
+struct FaultSnoop<'a> {
+    dh: &'a mut Dragonhead,
+    injector: &'a mut dyn FaultInjector,
+    buf: Vec<FsbTransaction>,
+}
+
+impl FaultSnoop<'_> {
+    fn deliver(&mut self) {
+        for txn in self.buf.drain(..) {
+            self.dh.observe(&txn);
+        }
+    }
+
+    /// Releases transactions the injector was still holding back (e.g.
+    /// the second half of a reorder swap) at end of stream.
+    fn drain_held(&mut self) {
+        self.injector.finish(&mut self.buf);
+        self.deliver();
+    }
+}
+
+impl FsbListener for FaultSnoop<'_> {
+    #[inline]
+    fn transaction(&mut self, txn: &FsbTransaction) {
+        self.injector.inject(txn, &mut self.buf);
+        self.deliver();
+    }
+}
+
 impl CoSimulation {
     /// Creates a co-simulation from a config.
     pub fn new(cfg: CoSimConfig) -> Self {
@@ -198,7 +236,7 @@ impl CoSimulation {
         let run = platform.run(&mut Snoop(&mut dh));
         spans.end();
         spans.start("report");
-        dh.flush(run.cycles);
+        dh.flush(run.cycles).expect("platform cycles are monotone");
         let report = Self::report(run, &dh);
         spans.end();
         spans.end();
@@ -222,12 +260,82 @@ impl CoSimulation {
             .collect();
         let run = platform.run(&mut MultiSnoop(&mut boards));
         for dh in &mut boards {
-            dh.flush(run.cycles);
+            dh.flush(run.cycles).expect("platform cycles are monotone");
         }
         boards
             .iter()
             .map(|dh| Self::report(run.clone(), dh))
             .collect()
+    }
+
+    /// Like [`run`](CoSimulation::run), but every failure mode is a
+    /// structured [`CoSimError`] instead of a panic, and the finished
+    /// report is checked against the full invariant catalogue before it
+    /// is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`CoSimError::Invariant`] for a bad cache geometry or a report
+    /// that fails self-validation; [`CoSimError::Protocol`] if the
+    /// sampler clock ran backwards.
+    pub fn run_checked(&self, workload: &dyn Workload) -> Result<CoSimReport, CoSimError> {
+        let mut platform = VirtualPlatform::new(self.cfg.platform_config(), workload);
+        let mut dh = Dragonhead::try_new(self.cfg.dragonhead_config())?;
+        let run = platform.run(&mut Snoop(&mut dh));
+        dh.flush(run.cycles)?;
+        let report = Self::report(run, &dh);
+        Validator::new(self.cfg.sample_period).validate(&report)?;
+        Ok(report)
+    }
+
+    /// Runs `workload` with `injector` perturbing the FSB stream between
+    /// the platform and the board — the chaos path.
+    ///
+    /// The platform itself is never faulted (its [`RunSummary`] is
+    /// ground truth); only what the board *observes* is. The returned
+    /// report carries the injection census in `metrics`
+    /// (`faults_injected`, plus a per-`class` breakdown) next to the
+    /// board's own anomaly counters, and is validated like
+    /// [`run_checked`](CoSimulation::run_checked) so an unrecovered
+    /// corruption surfaces as a named invariant violation, never a
+    /// silently wrong figure.
+    ///
+    /// # Errors
+    ///
+    /// Same taxonomy as [`run_checked`](CoSimulation::run_checked).
+    pub fn run_with_faults(
+        &self,
+        workload: &dyn Workload,
+        injector: &mut dyn FaultInjector,
+    ) -> Result<CoSimReport, CoSimError> {
+        let mut platform = VirtualPlatform::new(self.cfg.platform_config(), workload);
+        let mut dh = Dragonhead::try_new(self.cfg.dragonhead_config())?;
+        let run = {
+            let mut snoop = FaultSnoop {
+                dh: &mut dh,
+                injector,
+                buf: Vec::new(),
+            };
+            let run = platform.run(&mut snoop);
+            snoop.drain_held();
+            run
+        };
+        dh.flush(run.cycles)?;
+        let mut report = Self::report(run, &dh);
+        let injected = injector.faults_injected();
+        if injected > 0 {
+            report
+                .metrics
+                .count("faults_injected", &Labels::none(), injected);
+            for (class, v) in injector.fault_counters().by_class() {
+                if v > 0 {
+                    let labels = Labels::none().with("class", class);
+                    report.metrics.count("faults_injected_class", &labels, v);
+                }
+            }
+        }
+        Validator::new(self.cfg.sample_period).validate(&report)?;
+        Ok(report)
     }
 
     fn report(run: RunSummary, dh: &Dragonhead) -> CoSimReport {
@@ -245,6 +353,7 @@ impl CoSimulation {
             writebacks_to_memory: dh.writebacks_to_memory(),
             llc_bytes: dh.config().cache.size_bytes(),
             llc_line_bytes: dh.config().cache.line_bytes(),
+            llc_resident_lines: dh.resident_lines(),
             metrics,
             run,
         }

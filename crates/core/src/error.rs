@@ -1,0 +1,144 @@
+//! The structured failure taxonomy of a co-simulated run.
+//!
+//! The hardware rig the paper describes can fail in ways a clean
+//! software model never exercises: the bus channel desynchronizes, a
+//! counter wedges, the host stops reading samples. This module gives
+//! every such failure a *category*, so the experiment runner can report
+//! **which invariant broke** for each grid cell instead of a bare panic
+//! string.
+
+use cmpsim_runner::JobError;
+use std::fmt;
+
+/// Why a co-simulated run could not produce a trustworthy report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoSimError {
+    /// The bus/message protocol broke down beyond recovery: the decoder
+    /// desynchronized or the sampler clock ran backwards.
+    Protocol {
+        /// What the protocol layer observed.
+        detail: String,
+    },
+    /// A run-level invariant did not hold in the finished report (see
+    /// [`Validator`](crate::validate::Validator) for the catalogue).
+    Invariant {
+        /// The violated invariant's name (e.g. `llc_conservation`).
+        name: String,
+        /// What was expected vs what was found.
+        detail: String,
+    },
+    /// The host side failed (cache store, result file, config build).
+    Io {
+        /// The underlying failure.
+        detail: String,
+    },
+    /// The run exceeded its deadline.
+    Timeout {
+        /// What was being waited for.
+        detail: String,
+    },
+}
+
+impl CoSimError {
+    /// A protocol-breakdown error.
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        CoSimError::Protocol {
+            detail: detail.into(),
+        }
+    }
+
+    /// An invariant-violation error.
+    pub fn invariant(name: impl Into<String>, detail: impl Into<String>) -> Self {
+        CoSimError::Invariant {
+            name: name.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// An I/O or configuration error.
+    pub fn io(detail: impl Into<String>) -> Self {
+        CoSimError::Io {
+            detail: detail.into(),
+        }
+    }
+
+    /// A deadline error.
+    pub fn timeout(detail: impl Into<String>) -> Self {
+        CoSimError::Timeout {
+            detail: detail.into(),
+        }
+    }
+
+    /// The taxonomy category as a stable lowercase string — the value
+    /// reported in job outcomes and telemetry labels.
+    pub fn category(&self) -> &'static str {
+        match self {
+            CoSimError::Protocol { .. } => "protocol",
+            CoSimError::Invariant { .. } => "invariant",
+            CoSimError::Io { .. } => "io",
+            CoSimError::Timeout { .. } => "timeout",
+        }
+    }
+}
+
+impl fmt::Display for CoSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoSimError::Protocol { detail } => write!(f, "protocol breakdown: {detail}"),
+            CoSimError::Invariant { name, detail } => {
+                write!(f, "invariant `{name}` violated: {detail}")
+            }
+            CoSimError::Io { detail } => write!(f, "i/o failure: {detail}"),
+            CoSimError::Timeout { detail } => write!(f, "timed out: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CoSimError {}
+
+impl From<cmpsim_cache::ConfigError> for CoSimError {
+    fn from(e: cmpsim_cache::ConfigError) -> Self {
+        CoSimError::invariant("config", e.to_string())
+    }
+}
+
+impl From<cmpsim_dragonhead::SamplerError> for CoSimError {
+    fn from(e: cmpsim_dragonhead::SamplerError) -> Self {
+        CoSimError::protocol(e.to_string())
+    }
+}
+
+impl From<CoSimError> for JobError {
+    fn from(e: CoSimError) -> Self {
+        JobError::new(e.category(), e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_are_stable() {
+        assert_eq!(CoSimError::protocol("x").category(), "protocol");
+        assert_eq!(CoSimError::invariant("n", "x").category(), "invariant");
+        assert_eq!(CoSimError::io("x").category(), "io");
+        assert_eq!(CoSimError::timeout("x").category(), "timeout");
+    }
+
+    #[test]
+    fn display_names_the_invariant() {
+        let e = CoSimError::invariant("sample_count", "expected 10, found 7");
+        assert_eq!(
+            e.to_string(),
+            "invariant `sample_count` violated: expected 10, found 7"
+        );
+    }
+
+    #[test]
+    fn converts_into_job_error() {
+        let j: JobError = CoSimError::protocol("orphan high half").into();
+        assert_eq!(j.category, "protocol");
+        assert!(j.message.contains("orphan high half"));
+    }
+}

@@ -10,7 +10,7 @@
 //! so a warm re-run of an unchanged grid executes nothing and a config
 //! or version change invalidates exactly the affected cells.
 
-use cmpsim_runner::{ExperimentJob, JobKey, RunReport, Runner, RunnerConfig};
+use cmpsim_runner::{ExperimentJob, JobError, JobKey, RunReport, Runner, RunnerConfig};
 use cmpsim_telemetry::JsonValue;
 use cmpsim_workloads::{Scale, WorkloadId};
 use std::fmt::Display;
@@ -89,6 +89,26 @@ where
     Runner::new(cfg.clone()).run(jobs)
 }
 
+/// Like [`run_grid`], but each cell may fail with a structured
+/// [`CoSimError`](crate::CoSimError) (via its `Into<JobError>`
+/// conversion): the pool records *which invariant broke* for that cell
+/// as a [`JobOutcome::Errored`](cmpsim_runner::JobOutcome) — without
+/// retrying the deterministic failure or disturbing its neighbours.
+pub fn try_run_grid<F>(spec: &GridSpec, cfg: &RunnerConfig, f: F) -> RunReport
+where
+    F: Fn(WorkloadId) -> Result<JsonValue, JobError> + Send + Sync + Clone + 'static,
+{
+    let jobs = spec
+        .workloads
+        .iter()
+        .map(|&w| {
+            let f = f.clone();
+            ExperimentJob::try_new(w.to_string(), spec.job_key(w), move || f(w))
+        })
+        .collect();
+    Runner::new(cfg.clone()).run(jobs)
+}
+
 /// Renders a list as a compact comma-joined string — the conventional
 /// encoding for sweep lists (cache sizes, line sizes, core counts)
 /// inside [`GridSpec::param`] values.
@@ -149,6 +169,40 @@ mod tests {
         let names: Vec<&str> = report.payloads().filter_map(JsonValue::as_str).collect();
         assert_eq!(names, ["SHOT", "FIMI", "PLSA"]);
         assert_eq!(report.ok_count(), 3);
+    }
+
+    #[test]
+    fn try_run_grid_reports_which_invariant_broke_per_cell() {
+        use crate::error::CoSimError;
+        let spec = GridSpec::new(
+            "fallible",
+            Scale::tiny(),
+            1,
+            vec![WorkloadId::Shot, WorkloadId::Fimi, WorkloadId::Plsa],
+        );
+        let cfg = RunnerConfig {
+            retries: 2,
+            ..RunnerConfig::default()
+        };
+        let report = try_run_grid(&spec, &cfg, |w| {
+            if w == WorkloadId::Fimi {
+                Err(CoSimError::invariant("llc_conservation", "hits + misses != accesses").into())
+            } else {
+                Ok(JsonValue::from(w.to_string()))
+            }
+        });
+        assert_eq!(report.ok_count(), 2);
+        assert_eq!(report.failed_count(), 1);
+        // Deterministic error: not retried, and the category survives.
+        assert_eq!(report.jobs[1].attempts, 1);
+        assert!(matches!(
+            &report.jobs[1].outcome,
+            cmpsim_runner::JobOutcome::Errored { category, error }
+                if category == "invariant" && error.contains("llc_conservation")
+        ));
+        // The healthy neighbours kept their order.
+        let names: Vec<&str> = report.payloads().filter_map(JsonValue::as_str).collect();
+        assert_eq!(names, ["SHOT", "PLSA"]);
     }
 
     #[test]

@@ -37,13 +37,16 @@
 //! ```
 
 pub mod cosim;
+pub mod error;
 pub mod experiment;
 pub mod grid;
 pub mod report;
 pub mod telemetry;
+pub mod validate;
 
 pub use cmpsim_cache as cache;
 pub use cmpsim_dragonhead as dragonhead;
+pub use cmpsim_faults as faults;
 pub use cmpsim_memsys as memsys;
 pub use cmpsim_prefetch as prefetch;
 pub use cmpsim_runner as runner;
@@ -54,4 +57,6 @@ pub use cmpsim_workloads as workloads;
 
 pub use cmpsim_workloads::{Scale, WorkloadId};
 pub use cosim::{CoSimConfig, CoSimReport, CoSimulation};
+pub use error::CoSimError;
 pub use experiment::CmpClass;
+pub use validate::Validator;

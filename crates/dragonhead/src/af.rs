@@ -1,7 +1,13 @@
 //! The AF (address filter) FPGA: message decoding, window tracking, and
 //! core attribution.
 
-use cmpsim_trace::{FsbTransaction, Message, MessageCodec, MessageDecodeError};
+use cmpsim_trace::{FsbTransaction, Message, MessageCodec, MessageDecodeError, ProtocolStats};
+
+/// The largest core id the filter will believe. The hardware attributes
+/// traffic to a handful of virtual cores; a core id beyond this bound
+/// can only be a corrupted message, and accepting it would let one bad
+/// transaction allocate an absurd per-core counter table downstream.
+pub const MAX_PLAUSIBLE_CORES: u32 = 4096;
 
 /// What the address filter decided about one bus transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +25,10 @@ pub enum FilterOutcome {
     Control(Message),
     /// A malformed message-window transaction.
     Malformed(MessageDecodeError),
+    /// A message that decoded but failed a plausibility check
+    /// (implausible core id, counter running backwards): the filter
+    /// state is left untouched and the message is counted, not applied.
+    Quarantined(Message),
 }
 
 /// Address-filter state machine.
@@ -36,6 +46,7 @@ pub struct AddressFilter {
     cycles: u64,
     excluded: u64,
     decode_errors: u64,
+    quarantined: u64,
 }
 
 impl AddressFilter {
@@ -74,20 +85,58 @@ impl AddressFilter {
         self.decode_errors
     }
 
+    /// Decoder anomaly counters (desyncs, quarantined kinds, cycle
+    /// regressions) accumulated by the protocol state machine.
+    pub fn protocol_stats(&self) -> &ProtocolStats {
+        self.codec.stats()
+    }
+
+    /// Messages the filter quarantined at the plausibility layer:
+    /// implausible core ids and counters running backwards. Transactions
+    /// quarantined for undefined kind bits are counted separately in
+    /// [`protocol_stats`](AddressFilter::protocol_stats).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// A decoded message is applied only if it is plausible; a fault on
+    /// the channel can produce well-formed messages carrying garbage.
+    fn apply(&mut self, msg: Message) -> FilterOutcome {
+        match msg {
+            Message::Start => self.window_open = true,
+            Message::Stop => self.window_open = false,
+            Message::CoreId(c) => {
+                if c >= MAX_PLAUSIBLE_CORES {
+                    self.quarantined += 1;
+                    return FilterOutcome::Quarantined(msg);
+                }
+                self.core = c;
+            }
+            // SoftSDV reports cumulative totals: a value running
+            // backwards is channel corruption, not progress.
+            Message::InstructionsRetired(v) => {
+                if v < self.instructions {
+                    self.quarantined += 1;
+                    return FilterOutcome::Quarantined(msg);
+                }
+                self.instructions = v;
+            }
+            Message::CyclesCompleted(v) => {
+                if v < self.cycles {
+                    self.quarantined += 1;
+                    return FilterOutcome::Quarantined(msg);
+                }
+                self.cycles = v;
+            }
+        }
+        FilterOutcome::Control(msg)
+    }
+
     /// Processes one bus transaction.
     pub fn filter(&mut self, txn: &FsbTransaction) -> FilterOutcome {
         if txn.is_message() {
             return match self.codec.decode(txn) {
-                Ok(Some(msg)) => {
-                    match msg {
-                        Message::Start => self.window_open = true,
-                        Message::Stop => self.window_open = false,
-                        Message::CoreId(c) => self.core = c,
-                        Message::InstructionsRetired(v) => self.instructions = v,
-                        Message::CyclesCompleted(v) => self.cycles = v,
-                    }
-                    FilterOutcome::Control(msg)
-                }
+                Ok(Some(msg)) => self.apply(msg),
                 Ok(None) => FilterOutcome::Control(Message::CyclesCompleted(self.cycles)),
                 Err(e) => {
                     self.decode_errors += 1;
@@ -156,6 +205,42 @@ mod tests {
         send(&mut af, Message::CyclesCompleted(42));
         assert_eq!(af.instructions(), 123_456_789_000);
         assert_eq!(af.cycles(), 42);
+    }
+
+    #[test]
+    fn implausible_core_id_is_quarantined() {
+        let mut af = AddressFilter::new();
+        send(&mut af, Message::CoreId(3));
+        let msg = Message::CoreId(MAX_PLAUSIBLE_CORES);
+        for t in MessageCodec::encode(msg, 0) {
+            assert_eq!(af.filter(&t), FilterOutcome::Quarantined(msg));
+        }
+        assert_eq!(af.core(), 3, "corrupt core id must not be applied");
+        assert_eq!(af.quarantined(), 1);
+    }
+
+    #[test]
+    fn counter_regression_is_quarantined() {
+        let mut af = AddressFilter::new();
+        send(&mut af, Message::InstructionsRetired(1_000));
+        send(&mut af, Message::InstructionsRetired(400));
+        assert_eq!(af.instructions(), 1_000, "counters only move forward");
+        send(&mut af, Message::CyclesCompleted(90));
+        send(&mut af, Message::CyclesCompleted(80));
+        assert_eq!(af.cycles(), 90);
+        assert_eq!(af.quarantined(), 2);
+        // Plausible progress is still accepted afterwards.
+        send(&mut af, Message::InstructionsRetired(2_000));
+        assert_eq!(af.instructions(), 2_000);
+    }
+
+    #[test]
+    fn protocol_stats_surface_codec_anomalies() {
+        let mut af = AddressFilter::new();
+        let pair = MessageCodec::encode(Message::InstructionsRetired(1 << 40), 0);
+        af.filter(&pair[0]); // orphan high half
+        send(&mut af, Message::Start); // interrupts the pair: desync
+        assert_eq!(af.protocol_stats().desyncs, 1);
     }
 
     #[test]

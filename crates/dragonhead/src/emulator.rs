@@ -2,8 +2,8 @@
 
 use crate::af::{AddressFilter, FilterOutcome};
 use crate::cc::BankedCache;
-use crate::sampler::Sampler;
-use cmpsim_cache::{CacheConfig, CacheStats};
+use crate::sampler::{Sampler, SamplerError};
+use cmpsim_cache::{CacheConfig, CacheStats, ConfigError};
 use cmpsim_prefetch::{Prefetcher, StrideConfig, StridePrefetcher};
 use cmpsim_telemetry::{Labels, MetricRegistry};
 use cmpsim_trace::{FsbKind, FsbTransaction};
@@ -68,6 +68,7 @@ pub struct Dragonhead {
     prefetch_issued_to_memory: u64,
     wb_absorbed: u64,
     wb_to_memory: u64,
+    data_path_messages: u64,
 }
 
 impl Dragonhead {
@@ -75,13 +76,23 @@ impl Dragonhead {
     ///
     /// # Panics
     ///
-    /// Panics if the per-bank cache geometry is invalid (the public
-    /// constructors of [`CacheConfig`] make this unlikely; an indivisible
-    /// size/bank combination is the one remaining hazard).
+    /// Panics if the per-bank cache geometry is invalid; use
+    /// [`try_new`](Dragonhead::try_new) to handle that structurally.
     pub fn new(cfg: DragonheadConfig) -> Self {
-        Dragonhead {
+        Self::try_new(cfg).expect("bank geometry must divide")
+    }
+
+    /// Builds the emulator, reporting an invalid per-bank cache geometry
+    /// (e.g. a size that does not divide evenly across banks, or zero
+    /// banks) as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from the banked-cache construction.
+    pub fn try_new(cfg: DragonheadConfig) -> Result<Self, ConfigError> {
+        Ok(Dragonhead {
             af: AddressFilter::new(),
-            cc: BankedCache::new(cfg.cache, cfg.banks).expect("bank geometry must divide"),
+            cc: BankedCache::new(cfg.cache, cfg.banks)?,
             sampler: Sampler::new(cfg.sample_period),
             per_core: Vec::new(),
             prefetcher: cfg.prefetch.map(StridePrefetcher::new),
@@ -89,8 +100,9 @@ impl Dragonhead {
             prefetch_issued_to_memory: 0,
             wb_absorbed: 0,
             wb_to_memory: 0,
+            data_path_messages: 0,
             cfg,
-        }
+        })
     }
 
     /// The configuration the board was built with.
@@ -101,7 +113,9 @@ impl Dragonhead {
     /// Observes one FSB transaction (the snoop port).
     pub fn observe(&mut self, txn: &FsbTransaction) {
         match self.af.filter(txn) {
-            FilterOutcome::Control(_) | FilterOutcome::Malformed(_) => {}
+            FilterOutcome::Control(_)
+            | FilterOutcome::Malformed(_)
+            | FilterOutcome::Quarantined(_) => {}
             FilterOutcome::Excluded => {}
             FilterOutcome::Emulate { core } => self.emulate(core, txn),
         }
@@ -134,7 +148,14 @@ impl Dragonhead {
                     self.wb_to_memory += 1;
                 }
             }
-            FsbKind::Message => unreachable!("AF filters messages"),
+            // The AF routes every message-window transaction to the
+            // codec, so this arm fires only if the filter and the data
+            // path ever disagree on classification — a protocol bug a
+            // degraded channel must surface as a counter, not a panic.
+            FsbKind::Message => {
+                self.data_path_messages += 1;
+                return;
+            }
         }
         self.sampler.tick(
             txn.cycle,
@@ -198,16 +219,45 @@ impl Dragonhead {
         self.cc.bank_stats()
     }
 
+    /// Total lines resident across the LLC banks (for occupancy
+    /// invariants: residency can never exceed capacity).
+    pub fn resident_lines(&self) -> u64 {
+        self.cc.resident_lines()
+    }
+
+    /// Desynchronizations the protocol decoder detected and recovered
+    /// from (orphan payload halves).
+    pub fn desyncs_detected(&self) -> u64 {
+        self.af.protocol_stats().desyncs
+    }
+
+    /// Transactions quarantined anywhere on the board: undefined message
+    /// kinds at the decoder, implausible decoded messages at the filter,
+    /// and message-kind transactions that leaked into the data path.
+    pub fn transactions_quarantined(&self) -> u64 {
+        self.af.protocol_stats().quarantined + self.af.quarantined() + self.data_path_messages
+    }
+
+    /// Message transactions whose cycle stamps ran backwards.
+    pub fn cycle_regressions(&self) -> u64 {
+        self.af.protocol_stats().cycle_regressions
+    }
+
     /// Closes out the sampler's trailing partial interval at `cycle`
     /// (see [`Sampler::flush`]); call once when the run ends so the tail
     /// of the 500 µs time series is not lost.
-    pub fn flush(&mut self, cycle: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SamplerError`] if `cycle` is behind the newest
+    /// recorded sample (the host and emulator clocks desynchronized).
+    pub fn flush(&mut self, cycle: u64) -> Result<(), SamplerError> {
         self.sampler.flush(
             cycle,
             self.af.instructions(),
             self.stats().accesses,
             self.stats().misses,
-        );
+        )
     }
 
     /// Exports every board counter into `reg` as labeled series: the
@@ -238,6 +288,18 @@ impl Dragonhead {
         reg.count("writebacks_absorbed", &none, self.wb_absorbed);
         reg.count("writebacks_to_memory", &none, self.wb_to_memory);
         reg.count("prefetch_fills", &none, self.prefetch_issued_to_memory);
+        // Channel-anomaly counters are exported only when an anomaly
+        // occurred, so a clean run's telemetry is byte-identical to
+        // builds that predate fault tolerance.
+        for (name, v) in [
+            ("desyncs_detected", self.desyncs_detected()),
+            ("transactions_quarantined", self.transactions_quarantined()),
+            ("cycle_regressions", self.cycle_regressions()),
+        ] {
+            if v > 0 {
+                reg.count(name, &none, v);
+            }
+        }
         reg.gauge("llc_mpki", &none, self.mpki());
     }
 }
@@ -368,7 +430,7 @@ mod tests {
             read(&mut dh, i * 10, i * 64); // last access at cycle 240
         }
         assert_eq!(dh.samples().len(), 2, "boundaries at 100 and 200");
-        dh.flush(240);
+        dh.flush(240).unwrap();
         assert_eq!(dh.samples().len(), 3);
         let tail = dh.samples().last().unwrap();
         assert_eq!(tail.cycle, 240);

@@ -51,7 +51,7 @@ pub mod cc;
 pub mod emulator;
 pub mod sampler;
 
-pub use af::{AddressFilter, FilterOutcome};
+pub use af::{AddressFilter, FilterOutcome, MAX_PLAUSIBLE_CORES};
 pub use cc::BankedCache;
 pub use emulator::{Dragonhead, DragonheadConfig};
-pub use sampler::{Sample, Sampler};
+pub use sampler::{Sample, Sampler, SamplerError};

@@ -1,5 +1,30 @@
 //! The CB-to-host sampling channel: periodic counter snapshots.
 
+use std::fmt;
+
+/// A [`Sampler::flush`] was asked to close the series *before* a sample
+/// it already recorded — time ran backwards, which on real hardware
+/// means the host clock and the emulator clock have desynchronized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerError {
+    /// The cycle passed to the offending flush.
+    pub cycle: u64,
+    /// The cycle of the newest sample already recorded.
+    pub last: u64,
+}
+
+impl fmt::Display for SamplerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flush at cycle {} is behind the last recorded sample at cycle {}",
+            self.cycle, self.last
+        )
+    }
+}
+
+impl std::error::Error for SamplerError {}
+
 /// One counter snapshot, as read by the host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Sample {
@@ -75,9 +100,29 @@ impl Sampler {
     ///
     /// Runs rarely end exactly on a period boundary; without a flush the
     /// tail of the run — up to one full period of activity — would be
-    /// missing from the time series. Flushing at a cycle that already
-    /// has a sample (or behind the last one) records nothing extra.
-    pub fn flush(&mut self, cycle: u64, instructions: u64, accesses: u64, misses: u64) {
+    /// missing from the time series. Flushing again at the cycle of the
+    /// last recorded sample is an idempotent no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SamplerError`] (recording nothing) if `cycle` is
+    /// strictly behind the newest sample already recorded: the time
+    /// series is append-only and must stay monotone.
+    pub fn flush(
+        &mut self,
+        cycle: u64,
+        instructions: u64,
+        accesses: u64,
+        misses: u64,
+    ) -> Result<(), SamplerError> {
+        if let Some(last) = self.samples.last() {
+            if cycle < last.cycle {
+                return Err(SamplerError {
+                    cycle,
+                    last: last.cycle,
+                });
+            }
+        }
         self.tick(cycle, instructions, accesses, misses);
         if self.samples.last().map_or(cycle > 0, |s| s.cycle < cycle) {
             self.samples.push(Sample {
@@ -88,6 +133,7 @@ impl Sampler {
             });
             self.next_at = cycle - cycle % self.period + self.period;
         }
+        Ok(())
     }
 
     /// All samples recorded so far.
@@ -157,7 +203,7 @@ mod tests {
     fn flush_records_trailing_partial_interval() {
         let mut s = Sampler::new(100);
         s.tick(100, 10, 20, 5);
-        s.flush(150, 15, 30, 8);
+        s.flush(150, 15, 30, 8).unwrap();
         let cycles: Vec<u64> = s.samples().iter().map(|x| x.cycle).collect();
         assert_eq!(cycles, vec![100, 150]);
         assert_eq!(s.samples()[1].misses, 8);
@@ -166,7 +212,7 @@ mod tests {
     #[test]
     fn flush_catches_up_missed_boundaries_first() {
         let mut s = Sampler::new(100);
-        s.flush(250, 9, 12, 3);
+        s.flush(250, 9, 12, 3).unwrap();
         let cycles: Vec<u64> = s.samples().iter().map(|x| x.cycle).collect();
         assert_eq!(cycles, vec![100, 200, 250]);
     }
@@ -174,12 +220,11 @@ mod tests {
     #[test]
     fn flush_on_boundary_adds_nothing_extra() {
         let mut s = Sampler::new(100);
-        s.flush(200, 4, 8, 2);
+        s.flush(200, 4, 8, 2).unwrap();
         let cycles: Vec<u64> = s.samples().iter().map(|x| x.cycle).collect();
         assert_eq!(cycles, vec![100, 200]);
-        // Flushing again at or behind the last sample is a no-op.
-        s.flush(200, 4, 8, 2);
-        s.flush(150, 4, 8, 2);
+        // Flushing again at the last sample's cycle is an idempotent no-op.
+        s.flush(200, 4, 8, 2).unwrap();
         assert_eq!(s.samples().len(), 2);
         // Ticking resumes from the next boundary, not a stale one.
         s.tick(300, 5, 9, 2);
@@ -187,9 +232,26 @@ mod tests {
     }
 
     #[test]
+    fn flush_rejects_time_reversal() {
+        let mut s = Sampler::new(100);
+        s.flush(200, 4, 8, 2).unwrap();
+        assert_eq!(
+            s.flush(150, 4, 8, 2),
+            Err(SamplerError {
+                cycle: 150,
+                last: 200
+            })
+        );
+        // The rejected flush recorded nothing and broke nothing.
+        assert_eq!(s.samples().len(), 2);
+        s.flush(250, 5, 9, 2).unwrap();
+        assert_eq!(s.samples().last().unwrap().cycle, 250);
+    }
+
+    #[test]
     fn flush_at_zero_records_nothing() {
         let mut s = Sampler::new(100);
-        s.flush(0, 0, 0, 0);
+        s.flush(0, 0, 0, 0).unwrap();
         assert!(s.samples().is_empty());
     }
 }

@@ -1,0 +1,529 @@
+#![warn(missing_docs)]
+
+//! `cmpsim-faults` — deterministic fault injection for the co-simulation
+//! bus channel.
+//!
+//! The SoftSDV → Dragonhead protocol rides on the only channel a passive
+//! snooper can observe: memory transactions at reserved addresses (§3.3
+//! of the paper). On a real FPGA emulator that channel is *not* perfect —
+//! transactions get dropped on buffer overruns, reordered by the bus
+//! arbiter, corrupted by marginal timing, and interleaved with host
+//! traffic. This crate perturbs the FSB transaction stream the same way,
+//! but *deterministically*: a [`FaultPlan`] seeds a PCG32 stream, so a
+//! given `(plan, seed)` always produces the same fault sequence and every
+//! chaos run is bit-reproducible.
+//!
+//! The [`FaultInjector`] trait sits between the platform and any
+//! [`FsbListener`](https://docs.rs)-style consumer. The [`NoFaults`]
+//! implementation is a zero-cost pass-through, so fault-free runs are
+//! byte-identical to a build without this crate in the loop.
+//!
+//! Fault classes ([`FaultCounters`] tracks each):
+//!
+//! * **drop** — the transaction never reaches the snooper,
+//! * **duplicate** — the snooper sees it twice,
+//! * **reorder** — two adjacent transactions swap places,
+//! * **corrupt_addr** — one address bit of a message-window transaction
+//!   flips (yielding out-of-window kind bits or a mangled payload),
+//! * **tear_pair** — one half of a split 64-bit payload (high/low
+//!   message pair) is lost, leaving an orphan half,
+//! * **wrong_core** — a core-id message is rewritten to another core,
+//! * **cycle_jitter** — the bus timestamp is perturbed, producing
+//!   non-monotone cycle stamps and sampler-interval jitter.
+
+use cmpsim_trace::message::WireKind;
+use cmpsim_trace::{Addr, FsbTransaction, Pcg32};
+
+/// A transformer of the observed FSB transaction stream.
+///
+/// `inject` maps each source transaction to zero or more delivered
+/// transactions; `finish` releases anything still held back (a reordering
+/// injector may be holding one transaction) at end of stream.
+pub trait FaultInjector {
+    /// Transforms one source transaction into the transactions actually
+    /// delivered to the snooper, appended to `out`.
+    fn inject(&mut self, txn: &FsbTransaction, out: &mut Vec<FsbTransaction>);
+
+    /// Releases any transactions still held back at end of stream.
+    fn finish(&mut self, out: &mut Vec<FsbTransaction>) {
+        let _ = out;
+    }
+
+    /// Total faults injected so far.
+    fn faults_injected(&self) -> u64 {
+        0
+    }
+
+    /// Per-class fault counts injected so far (all zero for injectors
+    /// that do not classify their faults).
+    fn fault_counters(&self) -> FaultCounters {
+        FaultCounters::default()
+    }
+}
+
+/// The zero-cost default: every transaction passes through untouched, so
+/// a fault-free run is byte-identical to one without an injector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    #[inline]
+    fn inject(&mut self, txn: &FsbTransaction, out: &mut Vec<FsbTransaction>) {
+        out.push(*txn);
+    }
+}
+
+/// Per-class fault counts, reported into telemetry after a chaos run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Transactions dropped.
+    pub dropped: u64,
+    /// Transactions delivered twice.
+    pub duplicated: u64,
+    /// Adjacent transaction pairs swapped.
+    pub reordered: u64,
+    /// Message-window addresses with a flipped bit.
+    pub corrupted_addr: u64,
+    /// Split high/low payload pairs with one half lost.
+    pub torn_pairs: u64,
+    /// Core-id messages rewritten to another core.
+    pub wrong_core: u64,
+    /// Cycle stamps perturbed.
+    pub cycle_jitter: u64,
+}
+
+impl FaultCounters {
+    /// Total faults across all classes.
+    pub fn total(&self) -> u64 {
+        self.dropped
+            + self.duplicated
+            + self.reordered
+            + self.corrupted_addr
+            + self.torn_pairs
+            + self.wrong_core
+            + self.cycle_jitter
+    }
+
+    /// `(class, count)` pairs for every fault class, in a fixed order.
+    pub fn by_class(&self) -> [(&'static str, u64); 7] {
+        [
+            ("dropped", self.dropped),
+            ("duplicated", self.duplicated),
+            ("reordered", self.reordered),
+            ("corrupted_addr", self.corrupted_addr),
+            ("torn_pairs", self.torn_pairs),
+            ("wrong_core", self.wrong_core),
+            ("cycle_jitter", self.cycle_jitter),
+        ]
+    }
+}
+
+/// A seeded description of which faults to inject at which rates.
+///
+/// All rates are per-transaction probabilities in `[0, 1]`; the draws
+/// come from one PCG32 stream seeded by `seed`, so the same plan always
+/// perturbs the same transactions of the same stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed for the fault stream.
+    pub seed: u64,
+    /// Probability a transaction is dropped.
+    pub drop_rate: f64,
+    /// Probability a transaction is duplicated.
+    pub duplicate_rate: f64,
+    /// Probability a transaction is held back and swapped with its
+    /// successor.
+    pub reorder_rate: f64,
+    /// Probability one address bit of a *message* transaction flips.
+    pub corrupt_addr_rate: f64,
+    /// Probability a split high/low payload pair loses one half.
+    pub tear_pair_rate: f64,
+    /// Probability a core-id message is rewritten to a random core.
+    pub wrong_core_rate: f64,
+    /// Probability a cycle stamp is perturbed.
+    pub cycle_jitter_rate: f64,
+    /// Maximum magnitude of a cycle perturbation (± this many cycles).
+    pub jitter_cycles: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a builder base).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            corrupt_addr_rate: 0.0,
+            tear_pair_rate: 0.0,
+            wrong_core_rate: 0.0,
+            cycle_jitter_rate: 0.0,
+            jitter_cycles: 0,
+        }
+    }
+
+    /// Sets the drop rate.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_rate = p;
+        self
+    }
+
+    /// Sets the duplicate rate.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate_rate = p;
+        self
+    }
+
+    /// Sets the reorder rate.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder_rate = p;
+        self
+    }
+
+    /// Sets the message-address corruption rate.
+    pub fn with_corrupt_addr(mut self, p: f64) -> Self {
+        self.corrupt_addr_rate = p;
+        self
+    }
+
+    /// Sets the payload-pair tear rate.
+    pub fn with_tear_pair(mut self, p: f64) -> Self {
+        self.tear_pair_rate = p;
+        self
+    }
+
+    /// Sets the core-id rewrite rate.
+    pub fn with_wrong_core(mut self, p: f64) -> Self {
+        self.wrong_core_rate = p;
+        self
+    }
+
+    /// Sets the cycle-jitter rate and magnitude.
+    pub fn with_cycle_jitter(mut self, p: f64, magnitude: u64) -> Self {
+        self.cycle_jitter_rate = p;
+        self.jitter_cycles = magnitude;
+        self
+    }
+
+    /// Builds the injector for this plan.
+    pub fn build(self) -> SeededFaults {
+        SeededFaults::new(self)
+    }
+}
+
+/// The stateful injector a [`FaultPlan`] describes.
+///
+/// Holds at most one transaction (for reordering) and one pending
+/// tear decision (drop-the-next-low-half), so memory use is constant.
+#[derive(Debug, Clone)]
+pub struct SeededFaults {
+    plan: FaultPlan,
+    rng: Pcg32,
+    /// Transaction held back by a reorder fault, delivered after its
+    /// successor.
+    held: Option<FsbTransaction>,
+    /// Set when a tear fault chose to drop the *low* half of the pair
+    /// whose high half just passed.
+    tear_next_low: bool,
+    counters: FaultCounters,
+}
+
+impl SeededFaults {
+    /// Creates the injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        SeededFaults {
+            rng: Pcg32::seed_stream(plan.seed, 0xFA07),
+            plan,
+            held: None,
+            tear_next_low: false,
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Per-class fault counts so far.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// Applies single-transaction mutations (corruption, core rewrite,
+    /// jitter). Returns `None` when the transaction is consumed by a
+    /// drop or tear fault.
+    fn mutate(&mut self, txn: &FsbTransaction) -> Option<FsbTransaction> {
+        let mut txn = *txn;
+        let wire = WireKind::of(&txn);
+
+        // A pending tear consumes the low half of the pair in flight
+        // (already counted when the tear was decided on the high half).
+        if self.tear_next_low
+            && matches!(wire, Some(WireKind::InstretLo) | Some(WireKind::CyclesLo))
+        {
+            self.tear_next_low = false;
+            return None;
+        }
+
+        // Tearing a pair: on a high half, either drop it now (the low
+        // half arrives alone and silently pairs with zero) or mark the
+        // low half for dropping (leaving an orphan high half).
+        if matches!(wire, Some(WireKind::InstretHi) | Some(WireKind::CyclesHi))
+            && self.rng.chance(self.plan.tear_pair_rate)
+        {
+            self.counters.torn_pairs += 1;
+            if self.rng.chance(0.5) {
+                return None; // drop the high half
+            }
+            self.tear_next_low = true; // drop the coming low half
+        }
+
+        if self.rng.chance(self.plan.drop_rate) {
+            self.counters.dropped += 1;
+            return None;
+        }
+
+        if wire == Some(WireKind::CoreId) && self.rng.chance(self.plan.wrong_core_rate) {
+            let bogus = self.rng.below(16) as u32;
+            txn =
+                cmpsim_trace::MessageCodec::encode(cmpsim_trace::Message::CoreId(bogus), txn.cycle)
+                    [0];
+            self.counters.wrong_core += 1;
+        }
+
+        if txn.is_message() && self.rng.chance(self.plan.corrupt_addr_rate) {
+            // Flip one bit among the kind/payload address bits (6..43),
+            // keeping the address inside the reserved window so the
+            // snooper still classifies it as a message.
+            let bit = self.rng.range(6, 43);
+            txn = FsbTransaction::new(txn.cycle, txn.kind, Addr::new(txn.addr.raw() ^ (1 << bit)));
+            self.counters.corrupted_addr += 1;
+        }
+
+        if self.plan.jitter_cycles > 0 && self.rng.chance(self.plan.cycle_jitter_rate) {
+            let magnitude = self.rng.below(self.plan.jitter_cycles + 1);
+            let cycle = if self.rng.chance(0.5) {
+                txn.cycle.saturating_sub(magnitude)
+            } else {
+                txn.cycle.saturating_add(magnitude)
+            };
+            txn = FsbTransaction::new(cycle, txn.kind, txn.addr);
+            self.counters.cycle_jitter += 1;
+        }
+
+        Some(txn)
+    }
+}
+
+impl FaultInjector for SeededFaults {
+    fn inject(&mut self, txn: &FsbTransaction, out: &mut Vec<FsbTransaction>) {
+        let Some(txn) = self.mutate(txn) else {
+            return;
+        };
+
+        if self.rng.chance(self.plan.duplicate_rate) {
+            self.counters.duplicated += 1;
+            out.push(txn);
+        }
+
+        match self.held.take() {
+            // A held transaction is released *after* the current one:
+            // the adjacent pair is delivered swapped.
+            Some(prev) => {
+                out.push(txn);
+                out.push(prev);
+            }
+            None => {
+                if self.rng.chance(self.plan.reorder_rate) {
+                    self.counters.reordered += 1;
+                    self.held = Some(txn);
+                } else {
+                    out.push(txn);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<FsbTransaction>) {
+        if let Some(t) = self.held.take() {
+            out.push(t);
+        }
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.counters.total()
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_trace::{FsbKind, Message, MessageCodec};
+
+    fn data(cycle: u64, addr: u64) -> FsbTransaction {
+        FsbTransaction::new(cycle, FsbKind::ReadLine, Addr::new(addr))
+    }
+
+    fn drive(inj: &mut dyn FaultInjector, txns: &[FsbTransaction]) -> Vec<FsbTransaction> {
+        let mut out = Vec::new();
+        for t in txns {
+            inj.inject(t, &mut out);
+        }
+        inj.finish(&mut out);
+        out
+    }
+
+    #[test]
+    fn no_faults_is_identity() {
+        let txns: Vec<_> = (0..32).map(|i| data(i, i * 64)).collect();
+        let mut inj = NoFaults;
+        assert_eq!(drive(&mut inj, &txns), txns);
+        assert_eq!(inj.faults_injected(), 0);
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let txns: Vec<_> = (0..64).map(|i| data(i, i * 64)).collect();
+        let mut inj = FaultPlan::none(1).build();
+        assert_eq!(drive(&mut inj, &txns), txns);
+        assert_eq!(inj.counters().total(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let txns: Vec<_> = (0..512).map(|i| data(i, i * 64)).collect();
+        let plan = FaultPlan::none(42)
+            .with_drop(0.1)
+            .with_duplicate(0.1)
+            .with_reorder(0.1)
+            .with_cycle_jitter(0.1, 100);
+        let a = drive(&mut plan.build(), &txns);
+        let b = drive(&mut plan.build(), &txns);
+        assert_eq!(a, b);
+        let c = drive(&mut FaultPlan { seed: 43, ..plan }.build(), &txns);
+        assert_ne!(a, c, "different seed must perturb differently");
+    }
+
+    #[test]
+    fn drop_rate_shrinks_stream() {
+        let txns: Vec<_> = (0..1000).map(|i| data(i, i * 64)).collect();
+        let mut inj = FaultPlan::none(7).with_drop(0.25).build();
+        let out = drive(&mut inj, &txns);
+        assert!(out.len() < 900, "dropped only {} of 1000", 1000 - out.len());
+        assert_eq!(out.len() as u64, 1000 - inj.counters().dropped);
+    }
+
+    #[test]
+    fn duplicates_grow_stream() {
+        let txns: Vec<_> = (0..1000).map(|i| data(i, i * 64)).collect();
+        let mut inj = FaultPlan::none(7).with_duplicate(0.25).build();
+        let out = drive(&mut inj, &txns);
+        assert_eq!(out.len() as u64, 1000 + inj.counters().duplicated);
+        assert!(inj.counters().duplicated > 100);
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_pairs() {
+        let txns: Vec<_> = (0..1000).map(|i| data(i, i * 64)).collect();
+        let mut inj = FaultPlan::none(9).with_reorder(0.2).build();
+        let out = drive(&mut inj, &txns);
+        // Nothing lost, nothing added — only order perturbed.
+        assert_eq!(out.len(), txns.len());
+        let mut sorted = out.clone();
+        sorted.sort_by_key(|t| t.cycle);
+        assert_eq!(sorted, txns);
+        assert!(inj.counters().reordered > 50);
+        assert_ne!(out, txns);
+    }
+
+    #[test]
+    fn corruption_targets_messages_only() {
+        let mut txns = Vec::new();
+        for i in 0..200u64 {
+            txns.push(data(i, i * 64));
+            txns.extend(MessageCodec::encode(Message::InstructionsRetired(i), i));
+        }
+        let mut inj = FaultPlan::none(3).with_corrupt_addr(0.5).build();
+        let out = drive(&mut inj, &txns);
+        assert!(inj.counters().corrupted_addr > 20);
+        // Every corrupted address still classifies as a message; data
+        // transactions pass untouched.
+        let data_in: Vec<_> = txns.iter().filter(|t| !t.is_message()).collect();
+        let data_out: Vec<_> = out.iter().filter(|t| !t.is_message()).collect();
+        assert_eq!(data_in, data_out);
+    }
+
+    #[test]
+    fn tearing_only_affects_split_pairs() {
+        // Large counter values force two-transaction encodings.
+        let mut txns = Vec::new();
+        for i in 0..200u64 {
+            txns.extend(MessageCodec::encode(
+                Message::CyclesCompleted((1 << 40) + i),
+                i,
+            ));
+        }
+        let mut inj = FaultPlan::none(5).with_tear_pair(0.5).build();
+        let out = drive(&mut inj, &txns);
+        assert!(inj.counters().torn_pairs > 20);
+        assert_eq!(
+            out.len() as u64,
+            txns.len() as u64 - inj.counters().torn_pairs
+        );
+    }
+
+    #[test]
+    fn wrong_core_rewrites_core_ids() {
+        let mut txns = Vec::new();
+        for i in 0..200u64 {
+            txns.extend(MessageCodec::encode(Message::CoreId(7), i));
+        }
+        let mut inj = FaultPlan::none(11).with_wrong_core(0.5).build();
+        let out = drive(&mut inj, &txns);
+        assert!(inj.counters().wrong_core > 20);
+        assert_eq!(out.len(), txns.len());
+        // Rewritten messages still decode as CoreId — of some other core.
+        let mut codec = MessageCodec::new();
+        let mut others = 0;
+        for t in &out {
+            if let Ok(Some(Message::CoreId(c))) = codec.decode(t) {
+                if c != 7 {
+                    others += 1;
+                }
+            }
+        }
+        assert!(others > 0, "some core ids must differ");
+    }
+
+    #[test]
+    fn jitter_perturbs_cycles_within_bound() {
+        let txns: Vec<_> = (0..1000).map(|i| data(i + 1000, i * 64)).collect();
+        let mut inj = FaultPlan::none(13).with_cycle_jitter(0.3, 50).build();
+        let out = drive(&mut inj, &txns);
+        assert!(inj.counters().cycle_jitter > 100);
+        for (a, b) in txns.iter().zip(&out) {
+            assert!(
+                a.cycle.abs_diff(b.cycle) <= 50,
+                "{} vs {}",
+                a.cycle,
+                b.cycle
+            );
+            assert_eq!(a.addr, b.addr);
+        }
+    }
+
+    #[test]
+    fn counters_by_class_cover_total() {
+        let txns: Vec<_> = (0..500).map(|i| data(i, i * 64)).collect();
+        let mut inj = FaultPlan::none(17)
+            .with_drop(0.05)
+            .with_duplicate(0.05)
+            .with_reorder(0.05)
+            .with_cycle_jitter(0.05, 10)
+            .build();
+        let _ = drive(&mut inj, &txns);
+        let c = *inj.counters();
+        assert_eq!(c.by_class().iter().map(|(_, n)| n).sum::<u64>(), c.total());
+        assert_eq!(inj.faults_injected(), c.total());
+    }
+}

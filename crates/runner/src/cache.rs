@@ -7,16 +7,26 @@
 //! next to the result:
 //!
 //! ```json
-//! { "key": "experiment=fig4_scmp;scale=1/16;...", "result": { ... } }
+//! {
+//!   "key": "experiment=fig4_scmp;scale=1/16;...",
+//!   "len": 123,
+//!   "fnv": "90b1c5f6b1e3d2a4",
+//!   "result": { ... }
+//! }
 //! ```
 //!
-//! Lookups verify the stored key against the requested one, so a
-//! fingerprint collision degrades to a cache miss, never a wrong
-//! result. Corrupt or unreadable entries are likewise treated as
-//! misses. Writes go through a temp file in the same directory followed
-//! by a rename, so a killed run never leaves a torn entry behind.
+//! `len` and `fnv` form an integrity header over the canonical (compact)
+//! serialization of `result`: a lookup re-serializes the parsed result
+//! and verifies both, so an entry whose payload was truncated, bit-rotted,
+//! or hand-edited is **evicted** (the file is removed) and recomputed
+//! rather than trusted. Lookups also verify the stored key against the
+//! requested one, so a fingerprint collision degrades to a plain cache
+//! miss (no eviction — the entry is someone else's valid result), never
+//! a wrong answer. Writes go through a temp file in the same directory
+//! followed by a rename, so a killed run never leaves a torn entry
+//! behind.
 
-use crate::hash::JobKey;
+use crate::hash::{fnv1a64, JobKey};
 use cmpsim_telemetry::{parse, JsonValue};
 use std::path::{Path, PathBuf};
 
@@ -45,13 +55,42 @@ impl ResultCache {
 
     /// Returns the cached result for `key`, or `None` on a miss
     /// (absent, unreadable, corrupt, or a fingerprint collision).
+    ///
+    /// An entry that parses but fails integrity validation — missing or
+    /// wrong `len`/`fnv` header, payload not matching its checksum — is
+    /// evicted from disk so the recomputed result can replace it.
     pub fn lookup(&self, key: &JobKey) -> Option<JsonValue> {
-        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
-        let doc = parse(&text).ok()?;
-        if doc.get("key")?.as_str()? != key.canonical() {
+        let path = self.entry_path(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        let Ok(doc) = parse(&text) else {
+            let _ = std::fs::remove_file(&path);
+            return None;
+        };
+        // A key mismatch is a fingerprint collision: the entry is some
+        // other job's valid result, so miss without evicting.
+        if doc.get("key").and_then(JsonValue::as_str) != Some(key.canonical().as_str()) {
             return None;
         }
-        doc.get("result").cloned()
+        match Self::validate(&doc) {
+            Some(result) => Some(result),
+            None => {
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Checks the integrity header of a parsed entry and returns the
+    /// verified result payload.
+    fn validate(doc: &JsonValue) -> Option<JsonValue> {
+        let len = doc.get("len")?.as_u64()?;
+        let fnv = doc.get("fnv")?.as_str()?;
+        let result = doc.get("result")?;
+        let body = result.to_json();
+        if body.len() as u64 != len || format!("{:016x}", fnv1a64(body.as_bytes())) != fnv {
+            return None;
+        }
+        Some(result.clone())
     }
 
     /// Stores `result` under `key`, atomically (temp file + rename).
@@ -65,8 +104,14 @@ impl ResultCache {
         let path = self.entry_path(key);
         let dir = path.parent().expect("entry path has a parent");
         std::fs::create_dir_all(dir)?;
+        let body = result.to_json();
         let doc = JsonValue::object([
             ("key", JsonValue::from(key.canonical())),
+            ("len", JsonValue::from(body.len() as u64)),
+            (
+                "fnv",
+                JsonValue::from(format!("{:016x}", fnv1a64(body.as_bytes()))),
+            ),
             ("result", result.clone()),
         ]);
         let tmp = dir.join(format!(
@@ -127,6 +172,45 @@ mod tests {
         cache.store(&key, &JsonValue::Bool(true)).unwrap();
         std::fs::write(cache.entry_path(&key), "{ not json").unwrap();
         assert_eq!(cache.lookup(&key), None);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn checksum_mismatch_evicts_entry() {
+        let cache = temp_cache("checksum");
+        let key = JobKey::new("t").field("workload", "SNP");
+        cache
+            .store(&key, &JsonValue::object([("mpki", JsonValue::F64(2.5))]))
+            .unwrap();
+        // Bit-rot the payload without touching key or header: the entry
+        // still parses, but the checksum no longer matches.
+        let path = cache.entry_path(&key);
+        let tampered = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("2.5", "9.5");
+        std::fs::write(&path, tampered).unwrap();
+        assert_eq!(cache.lookup(&key), None, "tampered entry must not serve");
+        assert!(!path.exists(), "corrupt entry must be evicted");
+        // The slot is clean: a recompute can store and serve again.
+        let fresh = JsonValue::object([("mpki", JsonValue::F64(2.5))]);
+        cache.store(&key, &fresh).unwrap();
+        assert_eq!(cache.lookup(&key), Some(fresh));
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn headerless_legacy_entry_is_evicted() {
+        let cache = temp_cache("legacy");
+        let key = JobKey::new("t").field("workload", "OLD");
+        let legacy = JsonValue::object([
+            ("key", JsonValue::from(key.canonical())),
+            ("result", JsonValue::U64(7)),
+        ]);
+        let path = cache.entry_path(&key);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, legacy.to_json()).unwrap();
+        assert_eq!(cache.lookup(&key), None, "no integrity header, no trust");
+        assert!(!path.exists());
         let _ = std::fs::remove_dir_all(cache.root());
     }
 

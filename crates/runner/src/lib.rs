@@ -54,4 +54,4 @@ pub mod pool;
 
 pub use cache::ResultCache;
 pub use hash::JobKey;
-pub use pool::{ExperimentJob, JobOutcome, JobReport, RunReport, Runner, RunnerConfig};
+pub use pool::{ExperimentJob, JobError, JobOutcome, JobReport, RunReport, Runner, RunnerConfig};

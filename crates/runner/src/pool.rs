@@ -16,12 +16,13 @@ use crate::cache::ResultCache;
 use crate::hash::JobKey;
 use cmpsim_telemetry::{JsonValue, Labels, MetricRegistry, SpanProfiler};
 use std::collections::VecDeque;
+use std::fmt;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// How the pool runs a batch of jobs.
 #[derive(Debug, Clone)]
@@ -31,11 +32,19 @@ pub struct RunnerConfig {
     /// Root of the content-addressed result cache; `None` disables
     /// caching entirely.
     pub cache_dir: Option<PathBuf>,
-    /// How many times a panicking job is re-run before it is reported
-    /// as [`JobOutcome::Failed`] (`1` = one retry, two attempts total).
+    /// How many times a panicking or hung job is re-run before it is
+    /// reported as [`JobOutcome::Failed`] / [`JobOutcome::TimedOut`]
+    /// (`1` = one retry, two attempts total).
     pub retries: u32,
     /// Emit a live `\r`-rewritten progress line on stderr.
     pub progress: bool,
+    /// Per-job watchdog deadline. `None` (the default) runs jobs inline
+    /// on the worker with no deadline; `Some(t)` runs each attempt on a
+    /// detached thread and gives up on it after `t`, so one hung cell
+    /// cannot stall the whole grid. An abandoned attempt's thread is
+    /// left to finish in the background (std threads cannot be killed);
+    /// its eventual result is discarded.
+    pub job_timeout: Option<Duration>,
 }
 
 impl Default for RunnerConfig {
@@ -45,9 +54,39 @@ impl Default for RunnerConfig {
             cache_dir: None,
             retries: 1,
             progress: false,
+            job_timeout: None,
         }
     }
 }
+
+/// A structured, deterministic job failure: unlike a panic, it states
+/// which class of invariant broke, and it is not retried (a pure job
+/// that errored once will error identically again).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Failure class, e.g. `protocol`, `invariant`, `io`, `config`.
+    pub category: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl JobError {
+    /// A job error in `category` with detail `message`.
+    pub fn new(category: impl Into<String>, message: impl Into<String>) -> Self {
+        JobError {
+            category: category.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.category, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// One unit of work: a cache key plus a closure producing the job's
 /// JSON result payload.
@@ -56,7 +95,7 @@ pub struct ExperimentJob {
     pub label: String,
     /// Content-address of the result.
     pub key: JobKey,
-    run: Box<dyn Fn() -> JsonValue + Send + Sync>,
+    run: Box<dyn Fn() -> Result<JsonValue, JobError> + Send + Sync>,
 }
 
 impl ExperimentJob {
@@ -65,6 +104,17 @@ impl ExperimentJob {
         label: impl Into<String>,
         key: JobKey,
         run: impl Fn() -> JsonValue + Send + Sync + 'static,
+    ) -> Self {
+        Self::try_new(label, key, move || Ok(run()))
+    }
+
+    /// Like [`new`](ExperimentJob::new), but the closure may fail with a
+    /// structured [`JobError`] instead of panicking. Structured errors
+    /// are reported as [`JobOutcome::Errored`] and never retried.
+    pub fn try_new(
+        label: impl Into<String>,
+        key: JobKey,
+        run: impl Fn() -> Result<JsonValue, JobError> + Send + Sync + 'static,
     ) -> Self {
         ExperimentJob {
             label: label.into(),
@@ -95,6 +145,19 @@ pub enum JobOutcome {
         /// Rendered panic payload of the last attempt.
         error: String,
     },
+    /// Returned a structured [`JobError`] (deterministic, not retried).
+    Errored {
+        /// The error's failure class (`protocol`, `invariant`, ...).
+        category: String,
+        /// The error's detail message.
+        error: String,
+    },
+    /// Hung past the watchdog deadline on every attempt; the attempt
+    /// threads were abandoned and the batch moved on.
+    TimedOut {
+        /// What the watchdog observed (deadline, attempts).
+        error: String,
+    },
 }
 
 impl JobOutcome {
@@ -102,16 +165,31 @@ impl JobOutcome {
     pub fn payload(&self) -> Option<&JsonValue> {
         match self {
             JobOutcome::Ok(v) | JobOutcome::Cached(v) => Some(v),
-            JobOutcome::Failed { .. } => None,
+            JobOutcome::Failed { .. }
+            | JobOutcome::Errored { .. }
+            | JobOutcome::TimedOut { .. } => None,
         }
     }
 
-    /// Short machine-readable kind: `ok`, `cached`, or `failed`.
+    /// Short machine-readable kind: `ok`, `cached`, `failed`, `error`,
+    /// or `timeout`.
     pub fn kind(&self) -> &'static str {
         match self {
             JobOutcome::Ok(_) => "ok",
             JobOutcome::Cached(_) => "cached",
             JobOutcome::Failed { .. } => "failed",
+            JobOutcome::Errored { .. } => "error",
+            JobOutcome::TimedOut { .. } => "timeout",
+        }
+    }
+
+    /// The failure detail, if the job did not produce a payload.
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            JobOutcome::Ok(_) | JobOutcome::Cached(_) => None,
+            JobOutcome::Failed { error }
+            | JobOutcome::Errored { error, .. }
+            | JobOutcome::TimedOut { error } => Some(error),
         }
     }
 }
@@ -152,9 +230,15 @@ impl RunReport {
         self.count(|o| matches!(o, JobOutcome::Cached(_)))
     }
 
-    /// Jobs that failed every attempt.
+    /// Jobs that produced no payload: panicked every attempt, returned
+    /// a structured error, or hung past the watchdog deadline.
     pub fn failed_count(&self) -> usize {
-        self.count(|o| matches!(o, JobOutcome::Failed { .. }))
+        self.count(|o| o.error().is_some())
+    }
+
+    /// Jobs the watchdog gave up on.
+    pub fn timed_out_count(&self) -> usize {
+        self.count(|o| matches!(o, JobOutcome::TimedOut { .. }))
     }
 
     fn count(&self, f: impl Fn(&JobOutcome) -> bool) -> usize {
@@ -171,10 +255,7 @@ impl RunReport {
     pub fn failures(&self) -> Vec<(&str, &str)> {
         self.jobs
             .iter()
-            .filter_map(|j| match &j.outcome {
-                JobOutcome::Failed { error } => Some((j.label.as_str(), error.as_str())),
-                _ => None,
-            })
+            .filter_map(|j| Some((j.label.as_str(), j.outcome.error()?)))
             .collect()
     }
 
@@ -239,8 +320,14 @@ impl RunReport {
                                     JsonValue::from(u64::from(j.attempts)),
                                 ),
                             ];
-                            if let JobOutcome::Failed { error } = &j.outcome {
-                                fields.push(("error".to_owned(), JsonValue::from(error.clone())));
+                            if let Some(error) = j.outcome.error() {
+                                fields.push(("error".to_owned(), JsonValue::from(error)));
+                            }
+                            if let JobOutcome::Errored { category, .. } = &j.outcome {
+                                fields.push((
+                                    "category".to_owned(),
+                                    JsonValue::from(category.clone()),
+                                ));
                             }
                             JsonValue::Object(fields)
                         })
@@ -282,7 +369,9 @@ impl Progress {
         match outcome {
             JobOutcome::Ok(_) => &self.ok,
             JobOutcome::Cached(_) => &self.cached,
-            JobOutcome::Failed { .. } => &self.failed,
+            JobOutcome::Failed { .. }
+            | JobOutcome::Errored { .. }
+            | JobOutcome::TimedOut { .. } => &self.failed,
         }
         .fetch_add(1, Ordering::Relaxed);
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -340,6 +429,10 @@ impl Runner {
         .min(total.max(1));
         let cache = self.cfg.cache_dir.as_ref().map(ResultCache::new);
 
+        // Jobs are shared via `Arc` so a watchdog attempt can outlive the
+        // batch: an abandoned attempt thread holds its own reference.
+        let jobs: Vec<Arc<ExperimentJob>> = jobs.into_iter().map(Arc::new).collect();
+
         // Round-robin pre-distribution over per-worker deques.
         let queues: Vec<Mutex<VecDeque<usize>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
@@ -360,9 +453,10 @@ impl Runner {
                 let progress = &progress;
                 let cache = cache.as_ref();
                 let retries = self.cfg.retries;
+                let timeout = self.cfg.job_timeout;
                 scope.spawn(move || {
                     while let Some(i) = next_job(queues, me) {
-                        let report = execute(&jobs[i], cache, retries);
+                        let report = execute(&jobs[i], cache, retries, timeout);
                         progress.update(&report.outcome);
                         *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
                     }
@@ -409,7 +503,48 @@ fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
     None
 }
 
-fn execute(job: &ExperimentJob, cache: Option<&ResultCache>, retries: u32) -> JobReport {
+/// One attempt's result as the worker sees it: the closure finished
+/// (possibly by panicking), or the watchdog gave up waiting.
+enum Attempt {
+    Finished(std::thread::Result<Result<JsonValue, JobError>>),
+    Hung,
+}
+
+/// Runs one attempt, inline or under a watchdog deadline.
+///
+/// With a deadline, the attempt runs on a *detached* thread and the
+/// worker waits on a channel: if the deadline passes, the thread is
+/// abandoned (std threads cannot be killed) and its eventual result —
+/// sent into a channel nobody reads — is dropped.
+fn attempt(job: &Arc<ExperimentJob>, timeout: Option<Duration>) -> Attempt {
+    let Some(deadline) = timeout else {
+        return Attempt::Finished(catch_unwind(AssertUnwindSafe(|| (job.run)())));
+    };
+    let (tx, rx) = mpsc::channel();
+    let worker = Arc::clone(job);
+    let spawned = std::thread::Builder::new()
+        .name(format!("watchdog:{}", job.label))
+        .spawn(move || {
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(|| (worker.run)())));
+        });
+    match spawned {
+        Err(e) => Attempt::Finished(Ok(Err(JobError::new(
+            "io",
+            format!("cannot spawn watchdog thread: {e}"),
+        )))),
+        Ok(_handle) => match rx.recv_timeout(deadline) {
+            Ok(result) => Attempt::Finished(result),
+            Err(_) => Attempt::Hung,
+        },
+    }
+}
+
+fn execute(
+    job: &Arc<ExperimentJob>,
+    cache: Option<&ResultCache>,
+    retries: u32,
+    timeout: Option<Duration>,
+) -> JobReport {
     let started = Instant::now();
     if let Some(c) = cache {
         if let Some(v) = c.lookup(&job.key) {
@@ -424,8 +559,8 @@ fn execute(job: &ExperimentJob, cache: Option<&ResultCache>, retries: u32) -> Jo
     let mut attempts = 0;
     let outcome = loop {
         attempts += 1;
-        match catch_unwind(AssertUnwindSafe(|| (job.run)())) {
-            Ok(v) => {
+        match attempt(job, timeout) {
+            Attempt::Finished(Ok(Ok(v))) => {
                 if let Some(c) = cache {
                     if let Err(e) = c.store(&job.key, &v) {
                         eprintln!("warning: cannot cache result of {}: {e}", job.label);
@@ -433,10 +568,29 @@ fn execute(job: &ExperimentJob, cache: Option<&ResultCache>, retries: u32) -> Jo
                 }
                 break JobOutcome::Ok(v);
             }
-            Err(payload) => {
+            // A structured error is deterministic — a pure job would
+            // fail identically on a retry, so report it immediately.
+            Attempt::Finished(Ok(Err(e))) => {
+                break JobOutcome::Errored {
+                    category: e.category,
+                    error: e.message,
+                };
+            }
+            Attempt::Finished(Err(payload)) => {
                 if attempts > retries {
                     break JobOutcome::Failed {
                         error: panic_message(payload.as_ref()),
+                    };
+                }
+            }
+            Attempt::Hung => {
+                if attempts > retries {
+                    let ms = timeout.map_or(0, |t| t.as_millis());
+                    break JobOutcome::TimedOut {
+                        error: format!(
+                            "no result within {ms} ms on any of {attempts} attempt(s); \
+                             attempt thread(s) abandoned"
+                        ),
                     };
                 }
             }

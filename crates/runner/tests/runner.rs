@@ -202,4 +202,119 @@ fn outcome_kinds() {
         .kind(),
         "failed"
     );
+    assert_eq!(
+        JobOutcome::Errored {
+            category: "protocol".into(),
+            error: String::new()
+        }
+        .kind(),
+        "error"
+    );
+    assert_eq!(
+        JobOutcome::TimedOut {
+            error: String::new()
+        }
+        .kind(),
+        "timeout"
+    );
+}
+
+#[test]
+fn structured_errors_are_deterministic_and_not_retried() {
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&attempts);
+    let mut jobs = square_jobs(3);
+    jobs.insert(
+        1,
+        ExperimentJob::try_new("broken", JobKey::new("errs"), move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+            Err(cmpsim_runner::JobError::new(
+                "invariant",
+                "sample count drifted from the cycle clock",
+            ))
+        }),
+    );
+    let report = Runner::new(RunnerConfig {
+        retries: 3,
+        ..RunnerConfig::default()
+    })
+    .run(jobs);
+    assert_eq!(report.ok_count(), 3);
+    assert_eq!(report.failed_count(), 1);
+    // Deterministic failure: exactly one attempt despite retries = 3.
+    assert_eq!(attempts.load(Ordering::SeqCst), 1);
+    assert_eq!(
+        report.jobs[1].outcome,
+        JobOutcome::Errored {
+            category: "invariant".into(),
+            error: "sample count drifted from the cycle clock".into(),
+        }
+    );
+    // The report JSON names the job, the kind, and the category.
+    let doc = report.to_json();
+    let jobs = doc.get("jobs").unwrap().as_array().unwrap();
+    assert_eq!(
+        jobs[1].get("outcome").and_then(JsonValue::as_str),
+        Some("error")
+    );
+    assert_eq!(
+        jobs[1].get("category").and_then(JsonValue::as_str),
+        Some("invariant")
+    );
+    assert!(report.failures()[0].1.contains("sample count"));
+}
+
+#[test]
+fn watchdog_abandons_hung_job_and_batch_completes() {
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&attempts);
+    let mut jobs = square_jobs(4);
+    jobs.insert(
+        2,
+        ExperimentJob::new("hung", JobKey::new("hangs"), move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+            // Far beyond the deadline; the watchdog must not wait for it.
+            std::thread::sleep(std::time::Duration::from_secs(60));
+            JsonValue::Null
+        }),
+    );
+    let started = std::time::Instant::now();
+    let report = Runner::new(RunnerConfig {
+        workers: 2,
+        retries: 1,
+        job_timeout: Some(std::time::Duration::from_millis(100)),
+        ..RunnerConfig::default()
+    })
+    .run(jobs);
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "the hung job stalled the batch"
+    );
+    // Every healthy cell completed in submission order under the deadline.
+    assert_eq!(report.ok_count(), 4);
+    assert_eq!(report.timed_out_count(), 1);
+    assert_eq!(report.failed_count(), 1);
+    let vals: Vec<u64> = report.payloads().filter_map(|v| v.as_u64()).collect();
+    assert_eq!(vals, [0, 1, 4, 9]);
+    // Retried once: two abandoned attempts in total.
+    assert_eq!(report.jobs[2].attempts, 2);
+    assert_eq!(attempts.load(Ordering::SeqCst), 2);
+    assert!(matches!(
+        &report.jobs[2].outcome,
+        JobOutcome::TimedOut { error } if error.contains("2 attempt")
+    ));
+}
+
+#[test]
+fn watchdog_passes_healthy_jobs_through() {
+    let report = Runner::new(RunnerConfig {
+        workers: 2,
+        job_timeout: Some(std::time::Duration::from_secs(30)),
+        ..RunnerConfig::default()
+    })
+    .run(square_jobs(8));
+    assert_eq!(report.ok_count(), 8);
+    assert_eq!(report.timed_out_count(), 0);
+    let vals: Vec<u64> = report.payloads().filter_map(|v| v.as_u64()).collect();
+    assert_eq!(vals, [0, 1, 4, 9, 16, 25, 36, 49]);
 }

@@ -47,7 +47,10 @@ pub mod stream;
 
 pub use addr::{Addr, AddressSpace, Region};
 pub use fsb::{FsbKind, FsbTransaction};
-pub use message::{Message, MessageCodec, MessageDecodeError, MSG_WINDOW_BASE, MSG_WINDOW_SIZE};
+pub use message::{
+    Message, MessageCodec, MessageDecodeError, ProtocolState, ProtocolStats, WireKind,
+    MSG_WINDOW_BASE, MSG_WINDOW_SIZE,
+};
 pub use record::{AccessKind, MemRef};
 pub use rng::{Pcg32, ZipfTable};
 pub use scale::Scale;

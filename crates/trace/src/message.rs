@@ -42,6 +42,89 @@ const KIND_INSTRET_HI: u64 = 5;
 const KIND_CYCLES_LO: u64 = 6;
 const KIND_CYCLES_HI: u64 = 7;
 
+/// The raw wire-level kind of a message transaction, before any
+/// protocol state is applied.
+///
+/// Exposed so tooling that perturbs or analyses the transaction stream
+/// (fault injection, trace inspection) can classify messages without
+/// running a stateful decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireKind {
+    /// Start-emulation marker.
+    Start,
+    /// Stop-emulation marker.
+    Stop,
+    /// Core-id announcement.
+    CoreId,
+    /// Low half of an instructions-retired payload.
+    InstretLo,
+    /// High half of an instructions-retired payload.
+    InstretHi,
+    /// Low half of a cycles-completed payload.
+    CyclesLo,
+    /// High half of a cycles-completed payload.
+    CyclesHi,
+}
+
+impl WireKind {
+    /// Classifies a transaction's wire kind; `None` for data
+    /// transactions and for message-window addresses with undefined
+    /// kind bits.
+    pub fn of(txn: &FsbTransaction) -> Option<WireKind> {
+        let (kind, _) = MessageCodec::unpack(txn.addr)?;
+        match kind {
+            KIND_START => Some(WireKind::Start),
+            KIND_STOP => Some(WireKind::Stop),
+            KIND_CORE_ID => Some(WireKind::CoreId),
+            KIND_INSTRET_LO => Some(WireKind::InstretLo),
+            KIND_INSTRET_HI => Some(WireKind::InstretHi),
+            KIND_CYCLES_LO => Some(WireKind::CyclesLo),
+            KIND_CYCLES_HI => Some(WireKind::CyclesHi),
+            _ => None,
+        }
+    }
+}
+
+/// Decoder protocol state: what the codec is waiting for.
+///
+/// The decoder is a state machine because 64-bit payloads span a
+/// high-half/low-half transaction pair; between the two halves the
+/// stream is in a vulnerable state a dropped or reordered transaction
+/// can desynchronize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolState {
+    /// No payload in flight; any well-formed message is accepted.
+    #[default]
+    Synced,
+    /// Saw an instructions-retired high half; its low half must be the
+    /// next message, else the pair is declared torn.
+    AwaitInstretLo,
+    /// Saw a cycles-completed high half; its low half must be the next
+    /// message, else the pair is declared torn.
+    AwaitCyclesLo,
+}
+
+/// Anomaly counters maintained by the decoder.
+///
+/// A real bus channel drops, reorders, and corrupts transactions; the
+/// decoder counts every anomaly it survives so a run can report how
+/// degraded its channel was (METICULOUS-style self-diagnosis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// Completed messages decoded.
+    pub messages: u64,
+    /// Desynchronizations detected: a high half not followed by its
+    /// matching low half (orphan high). The decoder recovers by
+    /// discarding the orphan and resyncing on the interrupting message.
+    pub desyncs: u64,
+    /// Transactions quarantined: message-window addresses whose kind
+    /// bits decode to nothing the protocol defines.
+    pub quarantined: u64,
+    /// Message transactions whose cycle stamp went backwards relative
+    /// to the previous message.
+    pub cycle_regressions: u64,
+}
+
 /// A co-simulation control message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Message {
@@ -85,7 +168,12 @@ impl std::error::Error for MessageDecodeError {}
 ///
 /// The decoder is stateful because 64-bit payloads span two transactions;
 /// one codec instance must see the transaction stream in order (which is
-/// how a bus snooper sees it).
+/// how a bus snooper sees it). It is an explicit protocol state machine
+/// ([`ProtocolState`]) that *survives* a degraded channel: an orphan high
+/// half (its low half dropped or displaced) is detected as a desync, the
+/// pending half is discarded, and decoding resynchronizes on the very
+/// message that interrupted the pair. Undefined kind bits are quarantined
+/// rather than trusted. Every anomaly is counted in [`ProtocolStats`].
 ///
 /// # Example
 ///
@@ -102,14 +190,26 @@ impl std::error::Error for MessageDecodeError {}
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct MessageCodec {
-    pending_instret_hi: u64,
-    pending_cycles_hi: u64,
+    state: ProtocolState,
+    pending_hi: u64,
+    stats: ProtocolStats,
+    last_cycle: u64,
 }
 
 impl MessageCodec {
-    /// Creates a codec with no pending high halves.
+    /// Creates a codec in the [`ProtocolState::Synced`] state.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The current protocol state.
+    pub fn state(&self) -> ProtocolState {
+        self.state
+    }
+
+    /// Anomaly counters accumulated so far.
+    pub fn stats(&self) -> &ProtocolStats {
+        &self.stats
     }
 
     fn pack(kind: u64, payload: u64) -> Addr {
@@ -157,43 +257,88 @@ impl MessageCodec {
         }
     }
 
-    /// Decodes one transaction.
+    /// Decodes one transaction through the protocol state machine.
     ///
     /// Returns `Ok(Some(msg))` when the transaction completes a message,
     /// `Ok(None)` when it is the high half of a payload still awaiting its
     /// low half.
     ///
+    /// Recovery semantics on a degraded channel: a pending high half that
+    /// is interrupted by any other well-formed message is an **orphan** —
+    /// the desync is counted, the orphan discarded, and the interrupting
+    /// message is decoded normally (resync within one message boundary).
+    /// A lone low half pairs with zero, exactly as the encoder's
+    /// omitted-zero-high-half convention requires.
+    ///
     /// # Errors
     ///
     /// [`MessageDecodeError::NotAMessage`] if the address is outside the
     /// reserved window; [`MessageDecodeError::UnknownKind`] for undefined
-    /// kind fields.
+    /// kind fields (the transaction is quarantined and the protocol state
+    /// is preserved, so a corrupted transaction cannot tear a pair that a
+    /// later low half would complete — except that the corrupted
+    /// transaction may *be* that low half, which the orphan-high check
+    /// catches on the next message).
     pub fn decode(&mut self, txn: &FsbTransaction) -> Result<Option<Message>, MessageDecodeError> {
         let (kind, payload) =
             Self::unpack(txn.addr).ok_or(MessageDecodeError::NotAMessage(txn.addr))?;
+
+        if txn.cycle < self.last_cycle {
+            self.stats.cycle_regressions += 1;
+        } else {
+            self.last_cycle = txn.cycle;
+        }
+
+        // Undefined kind bits: quarantine without touching pairing state.
+        if !(KIND_START..=KIND_CYCLES_HI).contains(&kind) {
+            self.stats.quarantined += 1;
+            return Err(MessageDecodeError::UnknownKind(kind));
+        }
+
+        // Orphan-high detection: a payload pair in flight must complete
+        // with its matching low half; anything else tore the pair.
+        match self.state {
+            ProtocolState::Synced => {}
+            ProtocolState::AwaitInstretLo if kind == KIND_INSTRET_LO => {}
+            ProtocolState::AwaitCyclesLo if kind == KIND_CYCLES_LO => {}
+            ProtocolState::AwaitInstretLo | ProtocolState::AwaitCyclesLo => {
+                self.stats.desyncs += 1;
+                self.pending_hi = 0;
+                self.state = ProtocolState::Synced;
+            }
+        }
+
+        let complete = |stats: &mut ProtocolStats, msg| {
+            stats.messages += 1;
+            Ok(Some(msg))
+        };
         match kind {
-            KIND_START => Ok(Some(Message::Start)),
-            KIND_STOP => Ok(Some(Message::Stop)),
-            KIND_CORE_ID => Ok(Some(Message::CoreId(payload as u32))),
+            KIND_START => complete(&mut self.stats, Message::Start),
+            KIND_STOP => complete(&mut self.stats, Message::Stop),
+            KIND_CORE_ID => complete(&mut self.stats, Message::CoreId(payload as u32)),
             KIND_INSTRET_HI => {
-                self.pending_instret_hi = payload;
+                self.pending_hi = payload;
+                self.state = ProtocolState::AwaitInstretLo;
                 Ok(None)
             }
             KIND_INSTRET_LO => {
-                let v = (self.pending_instret_hi << 32) | payload;
-                self.pending_instret_hi = 0;
-                Ok(Some(Message::InstructionsRetired(v)))
+                let v = (self.pending_hi << 32) | payload;
+                self.pending_hi = 0;
+                self.state = ProtocolState::Synced;
+                complete(&mut self.stats, Message::InstructionsRetired(v))
             }
             KIND_CYCLES_HI => {
-                self.pending_cycles_hi = payload;
+                self.pending_hi = payload;
+                self.state = ProtocolState::AwaitCyclesLo;
                 Ok(None)
             }
             KIND_CYCLES_LO => {
-                let v = (self.pending_cycles_hi << 32) | payload;
-                self.pending_cycles_hi = 0;
-                Ok(Some(Message::CyclesCompleted(v)))
+                let v = (self.pending_hi << 32) | payload;
+                self.pending_hi = 0;
+                self.state = ProtocolState::Synced;
+                complete(&mut self.stats, Message::CyclesCompleted(v))
             }
-            k => Err(MessageDecodeError::UnknownKind(k)),
+            _ => unreachable!("kind range checked above"),
         }
     }
 }
@@ -314,5 +459,101 @@ mod tests {
             assert!(t.is_message());
             assert_eq!(t.cycle, 9);
         }
+    }
+
+    #[test]
+    fn wire_kind_classifies_without_state() {
+        let pair = MessageCodec::encode(Message::CyclesCompleted(1 << 40), 0);
+        assert_eq!(WireKind::of(&pair[0]), Some(WireKind::CyclesHi));
+        assert_eq!(WireKind::of(&pair[1]), Some(WireKind::CyclesLo));
+        let start = &MessageCodec::encode(Message::Start, 0)[0];
+        assert_eq!(WireKind::of(start), Some(WireKind::Start));
+        let data = FsbTransaction::new(0, FsbKind::ReadLine, Addr::new(0x40));
+        assert_eq!(WireKind::of(&data), None);
+        let junk = FsbTransaction::new(0, FsbKind::Message, Addr::new(MSG_WINDOW_BASE));
+        assert_eq!(WireKind::of(&junk), None, "kind 0 is undefined");
+    }
+
+    #[test]
+    fn orphan_high_is_detected_and_recovered() {
+        let mut codec = MessageCodec::new();
+        let pair = MessageCodec::encode(Message::InstructionsRetired(1 << 40), 0);
+        // High half arrives, then its low half is lost and a core-id
+        // message interrupts the pair.
+        assert_eq!(codec.decode(&pair[0]).unwrap(), None);
+        assert_eq!(codec.state(), ProtocolState::AwaitInstretLo);
+        let interloper = &MessageCodec::encode(Message::CoreId(3), 1)[0];
+        assert_eq!(codec.decode(interloper).unwrap(), Some(Message::CoreId(3)));
+        assert_eq!(codec.stats().desyncs, 1);
+        assert_eq!(codec.state(), ProtocolState::Synced);
+        // The stale high half must not leak into the next counter.
+        let small = &MessageCodec::encode(Message::InstructionsRetired(5), 2)[0];
+        assert_eq!(
+            codec.decode(small).unwrap(),
+            Some(Message::InstructionsRetired(5))
+        );
+    }
+
+    #[test]
+    fn mismatched_low_half_tears_pair() {
+        let mut codec = MessageCodec::new();
+        let instret = MessageCodec::encode(Message::InstructionsRetired(1 << 40), 0);
+        let cycles = MessageCodec::encode(Message::CyclesCompleted(7), 1);
+        assert_eq!(codec.decode(&instret[0]).unwrap(), None);
+        // A cycles low half interrupts the instret pair: desync, then the
+        // cycles message itself decodes cleanly with a zero high half.
+        assert_eq!(
+            codec.decode(&cycles[0]).unwrap(),
+            Some(Message::CyclesCompleted(7))
+        );
+        assert_eq!(codec.stats().desyncs, 1);
+    }
+
+    #[test]
+    fn unknown_kind_preserves_pairing_state() {
+        let mut codec = MessageCodec::new();
+        let pair = MessageCodec::encode(Message::CyclesCompleted(1 << 40), 0);
+        assert_eq!(codec.decode(&pair[0]).unwrap(), None);
+        let junk = FsbTransaction::new(
+            0,
+            FsbKind::Message,
+            Addr::new(MSG_WINDOW_BASE | (21 << KIND_SHIFT)),
+        );
+        assert!(codec.decode(&junk).is_err());
+        assert_eq!(codec.stats().quarantined, 1);
+        // The pair still completes: the corrupted transaction was not
+        // mistaken for its low half.
+        assert_eq!(
+            codec.decode(&pair[1]).unwrap(),
+            Some(Message::CyclesCompleted(1 << 40))
+        );
+        assert_eq!(codec.stats().desyncs, 0);
+    }
+
+    #[test]
+    fn cycle_regressions_are_counted() {
+        let mut codec = MessageCodec::new();
+        for (cycle, expect_regressions) in [(10, 0), (20, 0), (15, 1), (20, 1), (5, 2)] {
+            let t = &MessageCodec::encode(Message::Start, cycle)[0];
+            let _ = codec.decode(t).unwrap();
+            assert_eq!(codec.stats().cycle_regressions, expect_regressions);
+        }
+    }
+
+    #[test]
+    fn stats_count_completed_messages() {
+        let mut codec = MessageCodec::new();
+        for msg in [
+            Message::Start,
+            Message::CoreId(1),
+            Message::InstructionsRetired(1 << 40),
+            Message::Stop,
+        ] {
+            for t in MessageCodec::encode(msg, 0) {
+                let _ = codec.decode(&t).unwrap();
+            }
+        }
+        assert_eq!(codec.stats().messages, 4);
+        assert_eq!(codec.stats().desyncs, 0);
     }
 }

@@ -174,6 +174,8 @@ impl ZipfTable {
     /// Draws a rank in `[0, n)`; rank 0 is the most frequent.
     pub fn sample(&self, rng: &mut Pcg32) -> usize {
         let u = rng.f64();
+        // Infallible: the CDF is built from finite positive weights and
+        // `rng.f64()` is in [0, 1), so no comparison involves a NaN.
         match self
             .cdf
             .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))

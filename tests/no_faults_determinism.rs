@@ -1,0 +1,65 @@
+//! The robustness layer's no-regression pin: with no fault injector and
+//! no anomalies, a figure binary's output is **byte-identical** to the
+//! golden capture taken before the fault-injection layer existed.
+//!
+//! This is the guarantee that the state-machine decoder, the fallible
+//! sampler flush, the watchdog-capable pool, and the checksummed result
+//! cache cost a clean run nothing — not a reordered metric row, not a
+//! reformatted digit. The golden files live in `tests/golden/` and were
+//! captured from
+//! `fig4_scmp --scale tiny --workloads FIMI,SHOT --seed 7 --jobs 1 --no-cache`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+#[test]
+fn clean_run_is_byte_identical_to_pre_fault_layer_golden() {
+    let dir = std::env::temp_dir().join(format!("cmpsim-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let json_path = dir.join("fig4.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_fig4_scmp"))
+        .args(["--scale", "tiny", "--workloads", "FIMI,SHOT", "--seed", "7"])
+        .args(["--jobs", "1", "--no-cache", "--metrics-out"])
+        .arg(&json_path)
+        .output()
+        .expect("spawn fig4_scmp");
+    assert!(
+        out.status.success(),
+        "fig4_scmp failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Stdout: every byte of the tables and ASCII plots matches.
+    let golden_stdout =
+        std::fs::read(golden_dir().join("fig4_tiny_stdout.txt")).expect("read golden stdout");
+    assert_eq!(
+        out.stdout,
+        golden_stdout,
+        "clean-run stdout drifted from the golden capture:\n--- golden\n{}\n--- current\n{}",
+        String::from_utf8_lossy(&golden_stdout),
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // JSON: the `results` subtree matches exactly. (The manifest's wall
+    // time and version stamp vary by design, so only `results` is
+    // pinned.)
+    let golden_text =
+        std::fs::read_to_string(golden_dir().join("fig4_tiny.json")).expect("read golden json");
+    let golden_doc = cmpsim_telemetry::parse(&golden_text).expect("parse golden json");
+    let current_text = std::fs::read_to_string(&json_path).expect("read current json");
+    let current_doc = cmpsim_telemetry::parse(&current_text).expect("parse current json");
+    let golden_results = golden_doc.get("results").expect("golden results key");
+    assert_eq!(
+        Some(golden_results),
+        current_doc.get("results"),
+        "clean-run JSON results drifted from the golden capture"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
