@@ -3,9 +3,9 @@
 //! al., Zhang & Asanovic, Nurvitadhi et al.) studies *shared* LLCs for
 //! these workloads.
 
-use cmpsim_bench::{finish_runner, results_json, Options};
+use cmpsim_bench::{finish_grid, results_json, run_grid, Options};
 use cmpsim_core::experiment::LlcOrganizationStudy;
-use cmpsim_core::grid::{run_grid, GridSpec};
+use cmpsim_core::grid::GridSpec;
 use cmpsim_core::report::TextTable;
 use cmpsim_core::tel::JsonValue;
 
@@ -23,7 +23,7 @@ fn main() {
         opts.seed,
         opts.workloads.clone(),
     );
-    let report = run_grid(&spec, &opts.runner(), move |w| {
+    let report = run_grid(&opts, &spec, move |w| {
         results_json::llc_organization_result(&study.run(w))
     });
     let results: Vec<_> = report
@@ -45,5 +45,5 @@ fn main() {
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
     );
-    finish_runner(&report);
+    finish_grid(&opts, &report);
 }

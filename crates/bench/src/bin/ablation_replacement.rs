@@ -2,9 +2,9 @@
 //! LRU, tree-PLRU, FIFO, and random replacement to check the paper's
 //! working-set conclusions are not LRU artifacts.
 
-use cmpsim_bench::{finish_runner, results_json, Options};
+use cmpsim_bench::{finish_grid, results_json, run_grid, Options};
 use cmpsim_core::experiment::ReplacementStudy;
-use cmpsim_core::grid::{run_grid, GridSpec};
+use cmpsim_core::grid::GridSpec;
 use cmpsim_core::report::{human_bytes, TextTable};
 use cmpsim_core::tel::JsonValue;
 
@@ -25,7 +25,7 @@ fn main() {
         opts.workloads.clone(),
     )
     .param("policies", "LRU,PLRU,FIFO,RAND");
-    let report = run_grid(&spec, &opts.runner(), move |w| {
+    let report = run_grid(&opts, &spec, move |w| {
         results_json::replacement_sweep(w, &study.run(w))
     });
     for (w, curves) in report
@@ -53,5 +53,5 @@ fn main() {
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
     );
-    finish_runner(&report);
+    finish_grid(&opts, &report);
 }

@@ -2,9 +2,9 @@
 //! threads at a fixed LLC separates §4.3's category (a) (shared primary
 //! structure) from category (b) (per-thread private data).
 
-use cmpsim_bench::{finish_runner, results_json, Options};
+use cmpsim_bench::{finish_grid, results_json, run_grid, Options};
 use cmpsim_core::experiment::SharingStudy;
-use cmpsim_core::grid::{run_grid, GridSpec};
+use cmpsim_core::grid::GridSpec;
 use cmpsim_core::report::render_sharing;
 use cmpsim_core::tel::JsonValue;
 
@@ -21,7 +21,7 @@ fn main() {
         opts.seed,
         opts.workloads.clone(),
     );
-    let report = run_grid(&spec, &opts.runner(), move |w| {
+    let report = run_grid(&opts, &spec, move |w| {
         results_json::sharing_result(&study.run(w))
     });
     let results: Vec<_> = report
@@ -34,5 +34,5 @@ fn main() {
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
     );
-    finish_runner(&report);
+    finish_grid(&opts, &report);
 }

@@ -20,9 +20,11 @@
 use cmpsim_bench::{parse_scale, results_json};
 use cmpsim_core::cosim::{CoSimConfig, CoSimulation};
 use cmpsim_core::experiment::{CacheSizeStudy, CmpClass};
-use cmpsim_core::grid::{run_grid, GridSpec};
+use cmpsim_core::grid::{self, run_grid_supervised, GridSpec};
 use cmpsim_core::report::{human_bytes, TextTable};
-use cmpsim_core::runner::RunnerConfig;
+use cmpsim_core::runner::{
+    emit_result, shutdown, IsolateMode, JournalConfig, RunnerConfig, CHILD_ENTRY,
+};
 use cmpsim_core::tel::{write_json_file, JsonValue, RunManifest, SpanProfiler};
 use cmpsim_core::{telemetry, Scale, WorkloadId};
 use cmpsim_dragonhead::{Dragonhead, DragonheadConfig};
@@ -40,6 +42,7 @@ fn main() {
         Some("grid") => cmd_grid(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some(entry) if entry == CHILD_ENTRY => cmd_child(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cmpsim <list|run|grid|record|replay> [options]\n\
@@ -47,6 +50,8 @@ fn main() {
                         [--json] [--metrics-out FILE]\n\
                  grid   --cores 8|16|32 [--workloads A,B,C] [--scale S] [--seed N] [--jobs N]\n\
                         [--cache-dir DIR] [--no-cache] [--json] [--metrics-out FILE]\n\
+                        [--journal-dir DIR] [--run-id ID] [--resume ID]\n\
+                        [--isolate inline|process] [--retries N]\n\
                  record --workload NAME --cores N --out FILE [--scale S]\n\
                  replay --trace FILE [--llc SIZE] [--line N] [--json] [--metrics-out FILE]"
             );
@@ -72,6 +77,11 @@ struct Cli {
     metrics_out: Option<PathBuf>,
     jobs: usize,
     cache_dir: Option<PathBuf>,
+    journal_dir: Option<PathBuf>,
+    run_id: Option<String>,
+    resume: Option<String>,
+    isolate: IsolateMode,
+    retries: Option<u32>,
 }
 
 impl Cli {
@@ -130,6 +140,11 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--jobs" => cli.jobs = val()?.parse().map_err(|_| "bad --jobs")?,
             "--cache-dir" => cli.cache_dir = Some(PathBuf::from(val()?)),
             "--no-cache" => cli.cache_dir = None,
+            "--journal-dir" => cli.journal_dir = Some(PathBuf::from(val()?)),
+            "--run-id" => cli.run_id = Some(val()?),
+            "--resume" => cli.resume = Some(val()?),
+            "--isolate" => cli.isolate = val()?.parse()?,
+            "--retries" => cli.retries = Some(val()?.parse().map_err(|_| "bad --retries")?),
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -251,14 +266,28 @@ fn cmd_grid(args: &[String]) -> i32 {
     let spec = GridSpec::new("cmpsim_grid", cli.scale, cli.seed, cli.workloads.clone())
         .param("cmp", cmp)
         .param("line", 64);
+    let journal = journal_config(&cli);
     let runner = RunnerConfig {
         workers: cli.jobs,
         cache_dir: cli.cache_dir.clone(),
-        retries: 1,
+        retries: cli.retries.unwrap_or(1),
         progress: std::io::IsTerminal::is_terminal(&std::io::stderr()),
         job_timeout: None,
+        isolate: cli.isolate,
+        shutdown: journal.as_ref().map(|_| shutdown::install()),
+        journal,
+        ..RunnerConfig::default()
     };
-    let report = run_grid(&spec, &runner, move |w| {
+    // The base argv a supervised child recomputes one cell from:
+    // `cmpsim __run-job <W> grid <base>` — the original grid arguments
+    // minus every parent-only concern (the parent owns parallelism,
+    // caching, journalling, isolation, and output).
+    let child_base: Vec<String> = std::iter::once("grid".to_owned())
+        .chain(strip_parent_flags(args))
+        .chain(std::iter::once("--no-cache".to_owned()))
+        .collect();
+    let base = (cli.isolate == IsolateMode::Process).then_some(child_base.as_slice());
+    let report = run_grid_supervised(&spec, &runner, base, move |w| {
         results_json::cache_size_curve(&study.run(w))
     });
     let curves: Vec<_> = report
@@ -267,7 +296,7 @@ fn cmd_grid(args: &[String]) -> i32 {
         .collect();
     println!("{}", cmpsim_core::report::render_cache_size_figure(&curves));
     if let Some(path) = cli.json_path("cmpsim_grid") {
-        let manifest = RunManifest::new("cmpsim_grid", env!("CARGO_PKG_VERSION"))
+        let mut manifest = RunManifest::new("cmpsim_grid", env!("CARGO_PKG_VERSION"))
             .with_workloads(cli.workloads.iter().copied())
             .with_scale_seed(cli.scale, cli.seed)
             .config_entry("cmp", cmp.to_string())
@@ -276,6 +305,23 @@ fn cmd_grid(args: &[String]) -> i32 {
             .config_entry("runner_ok", report.ok_count())
             .config_entry("runner_cached", report.cached_count())
             .config_entry("runner_failed", report.failed_count());
+        // Recovery counters appear only when the crash-safety machinery
+        // did something, so a clean run's manifest is unchanged.
+        if report.replayed_count() > 0 {
+            manifest = manifest.config_entry("runner_replayed", report.replayed_count());
+        }
+        if report.recovered > 0 {
+            manifest = manifest.config_entry("runner_recovered", report.recovered);
+        }
+        if report.skipped_count() > 0 {
+            manifest = manifest.config_entry("runner_skipped", report.skipped_count());
+        }
+        if report.poisoned_count() > 0 {
+            manifest = manifest.config_entry("runner_poisoned", report.poisoned_count());
+        }
+        if report.interrupted {
+            manifest = manifest.config_entry("runner_interrupted", 1u64);
+        }
         let doc = JsonValue::object([
             ("manifest", manifest.to_json()),
             (
@@ -293,7 +339,96 @@ fn cmd_grid(args: &[String]) -> i32 {
     for (label, error) in report.failures() {
         eprintln!("runner: job `{label}` failed: {error}");
     }
+    if report.interrupted {
+        if let Some(run_id) = &report.run_id {
+            let mut resume_args: Vec<String> = vec!["cmpsim".into(), "grid".into()];
+            let mut it = args.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--resume" | "--run-id" => {
+                        it.next();
+                    }
+                    other => resume_args.push(other.to_owned()),
+                }
+            }
+            resume_args.push("--resume".to_owned());
+            resume_args.push(run_id.clone());
+            eprintln!(
+                "runner: interrupted — resume with: {}",
+                resume_args.join(" ")
+            );
+        }
+    }
     i32::from(report.failed_count() > 0)
+}
+
+/// The journal configuration `grid` flags describe, or `None` when
+/// journalling is off (the default).
+fn journal_config(cli: &Cli) -> Option<JournalConfig> {
+    if cli.resume.is_none() && cli.journal_dir.is_none() && cli.run_id.is_none() {
+        return None;
+    }
+    let dir = cli
+        .journal_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results/journal"));
+    Some(match &cli.resume {
+        Some(id) => JournalConfig::new(dir, id.clone()).resuming(),
+        None => {
+            let id = cli
+                .run_id
+                .clone()
+                .unwrap_or_else(|| grid::fresh_run_id("cmpsim_grid"));
+            JournalConfig::new(dir, id)
+        }
+    })
+}
+
+/// Strips the flags a supervised child must not inherit: parallelism,
+/// caching, journalling, isolation (a child never recurses), workload
+/// selection (the cell is named by `__run-job`), and output paths.
+fn strip_parent_flags(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" | "--cache-dir" | "--metrics-out" | "--journal-dir" | "--run-id"
+            | "--resume" | "--isolate" | "--retries" | "--workloads" => {
+                it.next();
+            }
+            "--json" | "--no-cache" => {}
+            other => out.push(other.to_owned()),
+        }
+    }
+    out
+}
+
+/// Hidden single-cell child mode: `cmpsim __run-job <W> grid <args>`
+/// computes exactly one grid cell and reports it over the supervisor
+/// marker protocol. Spawned by `--isolate process`; not part of the
+/// public CLI.
+fn cmd_child(args: &[String]) -> i32 {
+    let Some(w) = args.first() else {
+        return fail("__run-job requires a workload");
+    };
+    let workload: WorkloadId = match w.parse() {
+        Ok(w) => w,
+        Err(_) => return fail(&format!("unknown workload `{w}`")),
+    };
+    let rest = match args.get(1).map(String::as_str) {
+        Some("grid") => &args[2..],
+        _ => &args[1..],
+    };
+    let cli = match parse(rest) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let Some(cmp) = CmpClass::all().into_iter().find(|c| c.cores() == cli.cores) else {
+        return fail("grid requires --cores 8, 16, or 32 (SCMP/MCMP/LCMP)");
+    };
+    let study = CacheSizeStudy::new(cli.scale, cmp, cli.seed);
+    emit_result(&Ok(results_json::cache_size_curve(&study.run(workload))));
+    0
 }
 
 fn cmd_record(args: &[String]) -> i32 {

@@ -1,9 +1,9 @@
 //! Regenerates Figure 4: LLC misses per 1000 instructions vs cache size
 //! on the small-scale CMP (8 cores), 64-byte lines.
 
-use cmpsim_bench::{finish_runner, results_json, Options};
+use cmpsim_bench::{finish_grid, results_json, run_grid, Options};
 use cmpsim_core::experiment::{CacheSizeStudy, CmpClass};
-use cmpsim_core::grid::{run_grid, GridSpec};
+use cmpsim_core::grid::GridSpec;
 use cmpsim_core::report::{human_bytes, render_ascii_chart, render_cache_size_figure};
 use cmpsim_core::tel::JsonValue;
 
@@ -17,7 +17,7 @@ fn main() {
     let spec = GridSpec::new("fig4_scmp", opts.scale, opts.seed, opts.workloads.clone())
         .param("cmp", CmpClass::Small)
         .param("line", 64);
-    let report = run_grid(&spec, &opts.runner(), move |w| {
+    let report = run_grid(&opts, &spec, move |w| {
         results_json::cache_size_curve(&study.run(w))
     });
     let curves: Vec<_> = report
@@ -47,5 +47,5 @@ fn main() {
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
     );
-    finish_runner(&report);
+    finish_grid(&opts, &report);
 }

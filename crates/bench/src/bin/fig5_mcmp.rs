@@ -1,9 +1,9 @@
 //! Regenerates Figure 5: LLC misses per 1000 instructions vs cache size
 //! on the medium-scale CMP (16 cores), 64-byte lines.
 
-use cmpsim_bench::{finish_runner, results_json, Options};
+use cmpsim_bench::{finish_grid, results_json, run_grid, Options};
 use cmpsim_core::experiment::{CacheSizeStudy, CmpClass};
-use cmpsim_core::grid::{run_grid, GridSpec};
+use cmpsim_core::grid::GridSpec;
 use cmpsim_core::report::render_cache_size_figure;
 use cmpsim_core::tel::JsonValue;
 
@@ -17,7 +17,7 @@ fn main() {
     let spec = GridSpec::new("fig5_mcmp", opts.scale, opts.seed, opts.workloads.clone())
         .param("cmp", CmpClass::Medium)
         .param("line", 64);
-    let report = run_grid(&spec, &opts.runner(), move |w| {
+    let report = run_grid(&opts, &spec, move |w| {
         results_json::cache_size_curve(&study.run(w))
     });
     let curves: Vec<_> = report
@@ -30,5 +30,5 @@ fn main() {
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
     );
-    finish_runner(&report);
+    finish_grid(&opts, &report);
 }

@@ -1,9 +1,9 @@
 //! Regenerates Figure 7: line-size sensitivity on the LCMP with a 32 MB
 //! LLC (scaled), lines from 64 B to 4096 B.
 
-use cmpsim_bench::{finish_runner, results_json, Options};
+use cmpsim_bench::{finish_grid, results_json, run_grid, Options};
 use cmpsim_core::experiment::{paper_line_sizes, LineSizeStudy};
-use cmpsim_core::grid::{join_list, run_grid, GridSpec};
+use cmpsim_core::grid::{join_list, GridSpec};
 use cmpsim_core::report::render_line_size_figure;
 use cmpsim_core::tel::JsonValue;
 
@@ -21,7 +21,7 @@ fn main() {
         opts.workloads.clone(),
     )
     .param("lines", join_list(&paper_line_sizes()));
-    let report = run_grid(&spec, &opts.runner(), move |w| {
+    let report = run_grid(&opts, &spec, move |w| {
         results_json::line_size_curve(&study.run(w))
     });
     let curves: Vec<_> = report
@@ -43,5 +43,5 @@ fn main() {
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
     );
-    finish_runner(&report);
+    finish_grid(&opts, &report);
 }

@@ -1,9 +1,9 @@
 //! Regenerates Figure 8: performance gain from the stride hardware
 //! prefetcher, serial vs 16-thread, on a Xeon-class timing model.
 
-use cmpsim_bench::{finish_runner, results_json, Options};
+use cmpsim_bench::{finish_grid, results_json, run_grid, Options};
 use cmpsim_core::experiment::PrefetchStudy;
-use cmpsim_core::grid::{run_grid, GridSpec};
+use cmpsim_core::grid::GridSpec;
 use cmpsim_core::report::render_prefetch_figure;
 use cmpsim_core::tel::JsonValue;
 
@@ -21,7 +21,7 @@ fn main() {
         opts.workloads.clone(),
     )
     .param("prefetcher", "stride");
-    let report = run_grid(&spec, &opts.runner(), move |w| {
+    let report = run_grid(&opts, &spec, move |w| {
         results_json::prefetch_result(&study.run(w))
     });
     let results: Vec<_> = report
@@ -39,5 +39,5 @@ fn main() {
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
     );
-    finish_runner(&report);
+    finish_grid(&opts, &report);
 }

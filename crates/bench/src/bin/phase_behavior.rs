@@ -2,9 +2,9 @@
 //! the phase behavior §1 of the paper gives as the reason run-to-
 //! completion co-simulation matters.
 
-use cmpsim_bench::{finish_runner, results_json, Options};
+use cmpsim_bench::{finish_grid, results_json, run_grid, Options};
 use cmpsim_core::experiment::PhaseStudy;
-use cmpsim_core::grid::{run_grid, GridSpec};
+use cmpsim_core::grid::GridSpec;
 use cmpsim_core::report::TextTable;
 use cmpsim_core::tel::JsonValue;
 
@@ -21,7 +21,7 @@ fn main() {
         opts.seed,
         opts.workloads.clone(),
     );
-    let report = run_grid(&spec, &opts.runner(), move |w| {
+    let report = run_grid(&opts, &spec, move |w| {
         results_json::phase_entry(w, &study.run(w))
     });
     let mut t = TextTable::new(["Workload", "Samples", "Mean MPKI", "CoV", "Phases?"]);
@@ -55,5 +55,5 @@ fn main() {
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
     );
-    finish_runner(&report);
+    finish_grid(&opts, &report);
 }

@@ -2,9 +2,9 @@
 //! speculates that FIMI and RSEARCH working sets keep growing with core
 //! count while MDS/SVM-RFE/SNP/PLSA stay flat "even on 128 cores".
 
-use cmpsim_bench::{finish_runner, results_json, Options};
+use cmpsim_bench::{finish_grid, results_json, run_grid, Options};
 use cmpsim_core::experiment::ProjectionStudy;
-use cmpsim_core::grid::{join_list, run_grid, GridSpec};
+use cmpsim_core::grid::{join_list, GridSpec};
 use cmpsim_core::report::TextTable;
 use cmpsim_core::tel::JsonValue;
 
@@ -23,7 +23,7 @@ fn main() {
         opts.workloads.clone(),
     )
     .param("cores", join_list(&cores));
-    let report = run_grid(&spec, &opts.runner(), move |w| {
+    let report = run_grid(&opts, &spec, move |w| {
         results_json::projection_entry(w, &study.run(w, &cores))
     });
     let mut t = TextTable::new(
@@ -44,5 +44,5 @@ fn main() {
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
     );
-    finish_runner(&report);
+    finish_grid(&opts, &report);
 }

@@ -1,8 +1,8 @@
 //! Regenerates Table 1: input parameters and dataset sizes for every
 //! workload, as instantiated at the chosen scale.
 
-use cmpsim_bench::{finish_runner, Options};
-use cmpsim_core::grid::{run_grid, GridSpec};
+use cmpsim_bench::{finish_grid, run_grid, Options};
+use cmpsim_core::grid::GridSpec;
 use cmpsim_core::report::{human_bytes, TextTable};
 use cmpsim_core::tel::JsonValue;
 
@@ -19,7 +19,7 @@ fn main() {
         opts.workloads.clone(),
     );
     let (scale, seed) = (opts.scale, opts.seed);
-    let report = run_grid(&spec, &opts.runner(), move |id| {
+    let report = run_grid(&opts, &spec, move |id| {
         let wl = id.build(scale, seed);
         let d = wl.dataset();
         JsonValue::object([
@@ -49,5 +49,5 @@ fn main() {
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
     );
-    finish_runner(&report);
+    finish_grid(&opts, &report);
 }

@@ -1,9 +1,9 @@
 //! Regenerates Table 2: single-threaded workload characteristics on a
 //! Pentium 4-class machine (8 KB DL1 + 512 KB L2, scaled).
 
-use cmpsim_bench::{finish_runner, results_json, Options};
+use cmpsim_bench::{finish_grid, results_json, run_grid, Options};
 use cmpsim_core::experiment::Table2Study;
-use cmpsim_core::grid::{run_grid, GridSpec};
+use cmpsim_core::grid::GridSpec;
 use cmpsim_core::report::render_table2;
 use cmpsim_core::tel::JsonValue;
 
@@ -20,7 +20,7 @@ fn main() {
         opts.seed,
         opts.workloads.clone(),
     );
-    let report = run_grid(&spec, &opts.runner(), move |w| {
+    let report = run_grid(&opts, &spec, move |w| {
         results_json::table2_row(&study.run(w))
     });
     let rows: Vec<_> = report
@@ -37,5 +37,5 @@ fn main() {
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
     );
-    finish_runner(&report);
+    finish_grid(&opts, &report);
 }

@@ -18,7 +18,17 @@
 //!   `0` = one per CPU); output is byte-identical at any job count,
 //! * `--cache-dir DIR` — content-addressed result cache root (default
 //!   `results/cache`),
-//! * `--no-cache` — disable the result cache for this run.
+//! * `--no-cache` — disable the result cache for this run,
+//! * `--journal-dir DIR` — enable the crash-safe write-ahead run
+//!   journal, storing `<run-id>.jsonl` under `DIR`,
+//! * `--run-id ID` — name this run's journal (implies `--journal-dir
+//!   results/journal` unless one is given),
+//! * `--resume ID` — resume the journalled run `ID`: completed cells
+//!   are replayed from the journal, in-flight ones re-execute,
+//! * `--isolate inline|process` — where grid cells execute; `process`
+//!   re-execs the binary per cell (hidden `__run-job` entrypoint) so
+//!   aborts and OOM kills are contained and retried,
+//! * `--retries N` — extra attempts for a crashed/hung cell (default 1).
 //!
 //! The JSON twin carries a run manifest (producer, version, scale, seed,
 //! workloads, wall time) plus a `results` payload built by the
@@ -31,7 +41,10 @@
 //! code path guarantees serial, parallel, cold, and warm runs print the
 //! same bytes.
 
-use cmpsim_core::runner::{RunReport, RunnerConfig};
+use cmpsim_core::grid::{self, GridSpec};
+use cmpsim_core::runner::{
+    shutdown, IsolateMode, JobError, JournalConfig, RunReport, RunnerConfig, CHILD_ENTRY,
+};
 use cmpsim_telemetry::{JsonValue, RunManifest};
 use cmpsim_workloads::{Scale, WorkloadId};
 use std::io::IsTerminal as _;
@@ -59,6 +72,23 @@ pub struct Options {
     pub cache_dir: Option<PathBuf>,
     /// Per-job watchdog deadline in seconds; `None` waits forever.
     pub job_timeout: Option<u64>,
+    /// Write-ahead journal directory; `None` runs un-journalled unless
+    /// `--run-id`/`--resume` imply the default directory.
+    pub journal_dir: Option<PathBuf>,
+    /// Explicit journal run id for a fresh run.
+    pub run_id: Option<String>,
+    /// Run id of a journalled run to resume.
+    pub resume: Option<String>,
+    /// Where grid cells execute.
+    pub isolate: IsolateMode,
+    /// Extra attempts for a crashed/hung cell; `None` = the default 1.
+    pub retries: Option<u32>,
+    /// Hidden child mode: compute exactly this one cell and print the
+    /// supervisor marker line (`__run-job <WORKLOAD>`).
+    pub run_job: Option<WorkloadId>,
+    /// The raw argument list as parsed — the base from which child argv
+    /// is derived.
+    raw: Vec<String>,
     started: Instant,
 }
 
@@ -73,6 +103,13 @@ impl Default for Options {
             jobs: 1,
             cache_dir: Some(PathBuf::from("results/cache")),
             job_timeout: None,
+            journal_dir: None,
+            run_id: None,
+            resume: None,
+            isolate: IsolateMode::Inline,
+            retries: None,
+            run_job: None,
+            raw: Vec::new(),
             started: Instant::now(),
         }
     }
@@ -91,8 +128,21 @@ impl Options {
     /// (or a recognized flag's value) is an error — a typo like
     /// `--sclae` must not silently run the default sweep.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
-        let mut opts = Options::default();
-        let mut args = args.into_iter();
+        let mut opts = Options {
+            raw: args.into_iter().collect(),
+            ..Options::default()
+        };
+        let mut args = opts.raw.clone().into_iter();
+        // The hidden child entrypoint only counts in first position —
+        // exactly where the supervisor puts it.
+        if opts.raw.first().map(String::as_str) == Some(CHILD_ENTRY) {
+            args.next();
+            let w = args.next().ok_or("missing __run-job workload")?;
+            opts.run_job = Some(
+                w.parse()
+                    .map_err(|_| format!("unknown workload `{w}` after {CHILD_ENTRY}"))?,
+            );
+        }
         while let Some(arg) = args.next() {
             let mut val = || args.next().ok_or_else(|| format!("missing {arg} value"));
             match arg.as_str() {
@@ -125,6 +175,13 @@ impl Options {
                     }
                     opts.job_timeout = Some(secs);
                 }
+                "--journal-dir" => opts.journal_dir = Some(PathBuf::from(val()?)),
+                "--run-id" => opts.run_id = Some(val()?),
+                "--resume" => opts.resume = Some(val()?),
+                "--isolate" => opts.isolate = val()?.parse()?,
+                "--retries" => {
+                    opts.retries = Some(val()?.parse().map_err(|_| "bad --retries value")?);
+                }
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument `{other}`")),
             }
@@ -139,10 +196,95 @@ impl Options {
         RunnerConfig {
             workers: self.jobs,
             cache_dir: self.cache_dir.clone(),
-            retries: 1,
+            retries: self.retries.unwrap_or(1),
             progress: std::io::stderr().is_terminal(),
             job_timeout: self.job_timeout.map(std::time::Duration::from_secs),
+            isolate: self.isolate,
+            ..RunnerConfig::default()
         }
+    }
+
+    /// Like [`runner`](Options::runner), but wired for a crash-safe grid
+    /// run of `experiment`: when journalling is requested
+    /// (`--journal-dir`/`--run-id`/`--resume`), the config carries the
+    /// journal and the process-global SIGINT/SIGTERM drain flag.
+    pub fn runner_grid(&self, experiment: &str) -> RunnerConfig {
+        let mut cfg = self.runner();
+        if let Some(journal) = self.journal_config(experiment) {
+            cfg.journal = Some(journal);
+            cfg.shutdown = Some(shutdown::install());
+        }
+        cfg
+    }
+
+    /// The journal configuration these options describe, or `None` when
+    /// journalling is off (the default: a plain run writes nothing).
+    pub fn journal_config(&self, experiment: &str) -> Option<JournalConfig> {
+        if self.resume.is_none() && self.journal_dir.is_none() && self.run_id.is_none() {
+            return None;
+        }
+        let dir = self
+            .journal_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results/journal"));
+        Some(match &self.resume {
+            Some(id) => JournalConfig::new(dir, id.clone()).resuming(),
+            None => {
+                let id = self
+                    .run_id
+                    .clone()
+                    .unwrap_or_else(|| grid::fresh_run_id(experiment));
+                JournalConfig::new(dir, id)
+            }
+        })
+    }
+
+    /// The argv a supervised child uses to recompute one cell (minus the
+    /// leading `__run-job <WORKLOAD>` pair, which the grid attaches):
+    /// the original arguments with every parent-only concern stripped —
+    /// parallelism, caching, journalling, isolation (a child must never
+    /// recurse), timeouts (the parent enforces the deadline by killing
+    /// the child), and output paths. The child always runs uncached:
+    /// the parent stores the result it reports.
+    pub fn child_args(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut args = self.raw.iter();
+        if self.raw.first().map(String::as_str) == Some(CHILD_ENTRY) {
+            args.next();
+            args.next();
+        }
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--jobs" | "--cache-dir" | "--metrics-out" | "--journal-dir" | "--run-id"
+                | "--resume" | "--isolate" | "--job-timeout" | "--retries" | "--workloads" => {
+                    args.next();
+                }
+                "--json" | "--no-cache" => {}
+                other => out.push(other.to_owned()),
+            }
+        }
+        out.push("--no-cache".to_owned());
+        out
+    }
+
+    /// The exact command that resumes this run after an interruption or
+    /// a crash: the original invocation with the journal identity pinned
+    /// via `--resume`.
+    pub fn resume_command(&self, run_id: &str) -> String {
+        let bin = std::env::args().next().unwrap_or_else(|| "<bin>".into());
+        let mut out = vec![bin];
+        let mut args = self.raw.iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--resume" | "--run-id" => {
+                    args.next();
+                }
+                other => out.push(other.to_owned()),
+            }
+        }
+        out.push("--resume".to_owned());
+        out.push(run_id.to_owned());
+        out.join(" ")
     }
 
     /// Where the JSON twin goes: `--metrics-out` wins, otherwise
@@ -191,12 +333,32 @@ impl Options {
         let Some(path) = self.json_path(name) else {
             return;
         };
-        let manifest = self
+        let mut manifest = self
             .manifest(name)
             .config_entry("runner_jobs", report.workers)
             .config_entry("runner_ok", report.ok_count())
             .config_entry("runner_cached", report.cached_count())
             .config_entry("runner_failed", report.failed_count());
+        // Recovery counters appear only when the crash-safety machinery
+        // actually did something, so clean-run manifests are unchanged.
+        if report.replayed_count() > 0 {
+            manifest = manifest.config_entry("runner_replayed", report.replayed_count());
+        }
+        if report.recovered > 0 {
+            manifest = manifest.config_entry("runner_recovered", report.recovered);
+        }
+        if report.skipped_count() > 0 {
+            manifest = manifest.config_entry("runner_skipped", report.skipped_count());
+        }
+        if report.poisoned_count() > 0 {
+            manifest = manifest.config_entry("runner_poisoned", report.poisoned_count());
+        }
+        if report.backoff_ms() > 0.0 {
+            manifest = manifest.config_entry("runner_backoff_ms", report.backoff_ms() as u64);
+        }
+        if report.interrupted {
+            manifest = manifest.config_entry("runner_interrupted", 1u64);
+        }
         let doc = JsonValue::object([
             ("manifest", manifest.to_json()),
             ("results", results),
@@ -212,6 +374,59 @@ impl Options {
     }
 }
 
+/// Runs `spec`'s grid with crash-safety wired up from `opts`: the
+/// journalled, optionally process-isolated equivalent of
+/// [`cmpsim_core::grid::run_grid`].
+///
+/// In the hidden `__run-job` child mode this computes exactly one cell,
+/// prints the supervisor marker line, and **exits** — the caller's
+/// rendering code after this call never runs in a child.
+pub fn run_grid<F>(opts: &Options, spec: &GridSpec, f: F) -> RunReport
+where
+    F: Fn(WorkloadId) -> JsonValue + Send + Sync + Clone + 'static,
+{
+    if let Some(w) = opts.run_job {
+        run_child_cell(w, &|w| Ok(f(w)));
+    }
+    let base = child_base(opts);
+    grid::run_grid_supervised(
+        spec,
+        &opts.runner_grid(&spec.experiment),
+        base.as_deref(),
+        f,
+    )
+}
+
+/// [`run_grid`] for fallible cells: the crash-safe equivalent of
+/// [`cmpsim_core::grid::try_run_grid`]. A structured error in child mode
+/// is reported over the marker protocol (exit 0 — reporting a failed
+/// cell is a successful report), so the parent records it as
+/// `Errored`, not as a crash.
+pub fn try_run_grid<F>(opts: &Options, spec: &GridSpec, f: F) -> RunReport
+where
+    F: Fn(WorkloadId) -> Result<JsonValue, JobError> + Send + Sync + Clone + 'static,
+{
+    if let Some(w) = opts.run_job {
+        run_child_cell(w, &f);
+    }
+    let base = child_base(opts);
+    grid::try_run_grid_supervised(
+        spec,
+        &opts.runner_grid(&spec.experiment),
+        base.as_deref(),
+        f,
+    )
+}
+
+fn child_base(opts: &Options) -> Option<Vec<String>> {
+    (opts.isolate == IsolateMode::Process).then(|| opts.child_args())
+}
+
+fn run_child_cell(w: WorkloadId, f: &dyn Fn(WorkloadId) -> Result<JsonValue, JobError>) -> ! {
+    cmpsim_core::runner::emit_result(&f(w));
+    std::process::exit(0);
+}
+
 /// Standard grid-run epilogue: prints the batch summary (and every
 /// failure) to stderr, then exits non-zero if any job failed — after
 /// the surviving results have been rendered and written.
@@ -223,6 +438,21 @@ pub fn finish_runner(report: &RunReport) {
     if report.failed_count() > 0 {
         std::process::exit(1);
     }
+}
+
+/// [`finish_runner`] for a crash-safe grid run: an interrupted batch
+/// additionally prints the exact resume command before exiting
+/// non-zero.
+pub fn finish_grid(opts: &Options, report: &RunReport) {
+    if report.interrupted {
+        if let Some(run_id) = &report.run_id {
+            eprintln!(
+                "runner: interrupted — resume with: {}",
+                opts.resume_command(run_id)
+            );
+        }
+    }
+    finish_runner(report);
 }
 
 /// Parses a scale spec: `tiny`, `ci`, `paper`, or `1/N` with N a power
@@ -250,7 +480,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <bin> [--scale tiny|ci|paper|1/N] [--seed N] [--workloads A,B,C]\n\
          \x20      [--json] [--metrics-out FILE] [--jobs N] [--cache-dir DIR] [--no-cache]\n\
-         \x20      [--job-timeout SECONDS]\n\
+         \x20      [--job-timeout SECONDS] [--journal-dir DIR] [--run-id ID] [--resume ID]\n\
+         \x20      [--isolate inline|process] [--retries N]\n\
          workloads: SNP, SVM-RFE, MDS, SHOT, FIMI, VIEWTYPE, PLSA, RSEARCH"
     );
     std::process::exit(2);

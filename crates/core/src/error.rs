@@ -37,6 +37,15 @@ pub enum CoSimError {
         /// What was being waited for.
         detail: String,
     },
+    /// The run was interrupted before finishing — a graceful shutdown
+    /// drained the batch, or a resumed journal showed the cell never
+    /// completed. Unlike the other categories this is not the cell's
+    /// fault: re-running it (e.g. via `--resume`) is expected to
+    /// succeed.
+    Interrupted {
+        /// What interrupted the run and what is left to do.
+        detail: String,
+    },
 }
 
 impl CoSimError {
@@ -69,6 +78,13 @@ impl CoSimError {
         }
     }
 
+    /// An interrupted-run error.
+    pub fn interrupted(detail: impl Into<String>) -> Self {
+        CoSimError::Interrupted {
+            detail: detail.into(),
+        }
+    }
+
     /// The taxonomy category as a stable lowercase string — the value
     /// reported in job outcomes and telemetry labels.
     pub fn category(&self) -> &'static str {
@@ -77,6 +93,7 @@ impl CoSimError {
             CoSimError::Invariant { .. } => "invariant",
             CoSimError::Io { .. } => "io",
             CoSimError::Timeout { .. } => "timeout",
+            CoSimError::Interrupted { .. } => "interrupted",
         }
     }
 }
@@ -90,6 +107,7 @@ impl fmt::Display for CoSimError {
             }
             CoSimError::Io { detail } => write!(f, "i/o failure: {detail}"),
             CoSimError::Timeout { detail } => write!(f, "timed out: {detail}"),
+            CoSimError::Interrupted { detail } => write!(f, "interrupted: {detail}"),
         }
     }
 }
@@ -124,6 +142,13 @@ mod tests {
         assert_eq!(CoSimError::invariant("n", "x").category(), "invariant");
         assert_eq!(CoSimError::io("x").category(), "io");
         assert_eq!(CoSimError::timeout("x").category(), "timeout");
+        assert_eq!(CoSimError::interrupted("x").category(), "interrupted");
+    }
+
+    #[test]
+    fn interrupted_display_says_what_remains() {
+        let e = CoSimError::interrupted("shutdown drained 3 of 8 cells");
+        assert_eq!(e.to_string(), "interrupted: shutdown drained 3 of 8 cells");
     }
 
     #[test]

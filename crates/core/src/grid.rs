@@ -10,7 +10,9 @@
 //! so a warm re-run of an unchanged grid executes nothing and a config
 //! or version change invalidates exactly the affected cells.
 
-use cmpsim_runner::{ExperimentJob, JobError, JobKey, RunReport, Runner, RunnerConfig};
+use cmpsim_runner::{
+    ExperimentJob, JobError, JobKey, RunReport, Runner, RunnerConfig, CHILD_ENTRY,
+};
 use cmpsim_telemetry::JsonValue;
 use cmpsim_workloads::{Scale, WorkloadId};
 use std::fmt::Display;
@@ -78,12 +80,30 @@ pub fn run_grid<F>(spec: &GridSpec, cfg: &RunnerConfig, f: F) -> RunReport
 where
     F: Fn(WorkloadId) -> JsonValue + Send + Sync + Clone + 'static,
 {
+    run_grid_supervised(spec, cfg, None, f)
+}
+
+/// Like [`run_grid`], but each cell also carries the argv a re-exec'd
+/// child uses to recompute it under
+/// [`IsolateMode::Process`](cmpsim_runner::IsolateMode):
+/// `__run-job <WORKLOAD> <base args...>`. With `child_base == None` (or
+/// an inline runner config) this is exactly [`run_grid`].
+pub fn run_grid_supervised<F>(
+    spec: &GridSpec,
+    cfg: &RunnerConfig,
+    child_base: Option<&[String]>,
+    f: F,
+) -> RunReport
+where
+    F: Fn(WorkloadId) -> JsonValue + Send + Sync + Clone + 'static,
+{
     let jobs = spec
         .workloads
         .iter()
         .map(|&w| {
             let f = f.clone();
-            ExperimentJob::new(w.to_string(), spec.job_key(w), move || f(w))
+            let job = ExperimentJob::new(w.to_string(), spec.job_key(w), move || f(w));
+            attach_child_args(job, w, child_base)
         })
         .collect();
     Runner::new(cfg.clone()).run(jobs)
@@ -98,15 +118,56 @@ pub fn try_run_grid<F>(spec: &GridSpec, cfg: &RunnerConfig, f: F) -> RunReport
 where
     F: Fn(WorkloadId) -> Result<JsonValue, JobError> + Send + Sync + Clone + 'static,
 {
+    try_run_grid_supervised(spec, cfg, None, f)
+}
+
+/// [`try_run_grid`] with per-cell child argv for process isolation (see
+/// [`run_grid_supervised`]).
+pub fn try_run_grid_supervised<F>(
+    spec: &GridSpec,
+    cfg: &RunnerConfig,
+    child_base: Option<&[String]>,
+    f: F,
+) -> RunReport
+where
+    F: Fn(WorkloadId) -> Result<JsonValue, JobError> + Send + Sync + Clone + 'static,
+{
     let jobs = spec
         .workloads
         .iter()
         .map(|&w| {
             let f = f.clone();
-            ExperimentJob::try_new(w.to_string(), spec.job_key(w), move || f(w))
+            let job = ExperimentJob::try_new(w.to_string(), spec.job_key(w), move || f(w));
+            attach_child_args(job, w, child_base)
         })
         .collect();
     Runner::new(cfg.clone()).run(jobs)
+}
+
+fn attach_child_args(
+    job: ExperimentJob,
+    w: WorkloadId,
+    child_base: Option<&[String]>,
+) -> ExperimentJob {
+    match child_base {
+        None => job,
+        Some(base) => {
+            let mut args = vec![CHILD_ENTRY.to_owned(), w.to_string()];
+            args.extend(base.iter().cloned());
+            job.with_child_args(args)
+        }
+    }
+}
+
+/// A fresh journal run id for `experiment`: the experiment name plus
+/// wall-clock seconds and the process id — unique across repeated
+/// invocations, stable for the lifetime of one run, and legible in a
+/// journal directory listing (`fig4_scmp-1722950000-4242`).
+pub fn fresh_run_id(experiment: &str) -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    format!("{experiment}-{secs}-{}", std::process::id())
 }
 
 /// Renders a list as a compact comma-joined string — the conventional

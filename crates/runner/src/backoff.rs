@@ -1,0 +1,166 @@
+//! Deterministic exponential backoff between job attempts.
+//!
+//! A crashed or hung attempt is retried after a delay of
+//! `base * factor^(n)` (capped at `max`), where `n` counts the retries
+//! already spent. The schedule is a pure function of the policy and the
+//! attempt number — no clocks, no jitter — so a test can assert the
+//! exact delay sequence and a resumed run retries on the same schedule
+//! as the original.
+
+use std::time::Duration;
+
+/// How one job failure class is allowed to proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The attempt crashed: an in-process panic, or a supervised child
+    /// process that died (abort, OOM kill, stack overflow).
+    Crash,
+    /// The attempt blew through the watchdog deadline.
+    Hang,
+    /// The job returned a structured [`JobError`](crate::JobError) —
+    /// deterministic by contract, so not retried unless the policy
+    /// explicitly opts in.
+    Structured,
+}
+
+/// The retry/backoff policy of a batch.
+///
+/// This is the single authority on *whether* a failed attempt is
+/// retried and *how long* to wait first. Deterministic structured
+/// errors route through here too (see [`retry_structured`]
+/// (BackoffPolicy::retry_structured)) instead of being special-cased at
+/// the failure site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry (attempt 2).
+    pub base: Duration,
+    /// Multiplier applied per further retry.
+    pub factor: u32,
+    /// Upper bound on any single delay.
+    pub max: Duration,
+    /// Whether structured [`JobError`](crate::JobError)s are retried.
+    /// They are deterministic by contract (a pure job that errored once
+    /// errors identically again), so this defaults to `false`; enable it
+    /// only for jobs whose structured errors cover transient host
+    /// failures (e.g. `io`).
+    pub retry_structured: bool,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(25),
+            factor: 4,
+            max: Duration::from_secs(2),
+            retry_structured: false,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// A policy with no delays (retries are immediate). The schedule is
+    /// still deterministic — it is constantly zero.
+    pub fn immediate() -> Self {
+        BackoffPolicy {
+            base: Duration::ZERO,
+            ..BackoffPolicy::default()
+        }
+    }
+
+    /// The deterministic delay before attempt `attempt` (1-based; the
+    /// first attempt never waits): `base * factor^(attempt - 2)`,
+    /// saturating at [`max`](BackoffPolicy::max).
+    pub fn delay_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 || self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = attempt - 2;
+        // Saturate instead of overflowing: past the cap every delay is
+        // `max` anyway.
+        let scaled = self
+            .factor
+            .checked_pow(exp)
+            .and_then(|m| self.base.checked_mul(m))
+            .unwrap_or(self.max);
+        scaled.min(self.max)
+    }
+
+    /// Whether a failure of `class` on attempt `attempt` (1-based) may
+    /// be retried under a budget of `retries` extra attempts, and after
+    /// what delay. `None` means the failure is final.
+    pub fn next_delay(&self, class: FailureClass, attempt: u32, retries: u32) -> Option<Duration> {
+        if attempt > retries {
+            return None;
+        }
+        if class == FailureClass::Structured && !self.retry_structured {
+            return None;
+        }
+        Some(self.delay_before(attempt + 1))
+    }
+
+    /// The full delay schedule for a job allowed `retries` extra
+    /// attempts — one entry per retry, in order.
+    pub fn schedule(&self, retries: u32) -> Vec<Duration> {
+        (2..=retries + 1).map(|a| self.delay_before(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_geometrically_and_cap() {
+        let p = BackoffPolicy {
+            base: Duration::from_millis(10),
+            factor: 2,
+            max: Duration::from_millis(35),
+            retry_structured: false,
+        };
+        assert_eq!(p.delay_before(1), Duration::ZERO);
+        assert_eq!(p.delay_before(2), Duration::from_millis(10));
+        assert_eq!(p.delay_before(3), Duration::from_millis(20));
+        // 40ms would exceed the cap.
+        assert_eq!(p.delay_before(4), Duration::from_millis(35));
+        assert_eq!(
+            p.schedule(3),
+            [
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(35)
+            ]
+        );
+    }
+
+    #[test]
+    fn huge_attempt_numbers_saturate_instead_of_overflowing() {
+        let p = BackoffPolicy::default();
+        assert_eq!(p.delay_before(u32::MAX), p.max);
+    }
+
+    #[test]
+    fn structured_failures_are_final_unless_opted_in() {
+        let p = BackoffPolicy::default();
+        assert_eq!(p.next_delay(FailureClass::Structured, 1, 5), None);
+        let lenient = BackoffPolicy {
+            retry_structured: true,
+            ..p.clone()
+        };
+        assert_eq!(
+            lenient.next_delay(FailureClass::Structured, 1, 5),
+            Some(lenient.delay_before(2))
+        );
+        // Crashes retry until the budget runs out.
+        assert!(p.next_delay(FailureClass::Crash, 1, 1).is_some());
+        assert_eq!(p.next_delay(FailureClass::Crash, 2, 1), None);
+        assert!(p.next_delay(FailureClass::Hang, 1, 1).is_some());
+    }
+
+    #[test]
+    fn immediate_policy_never_sleeps() {
+        let p = BackoffPolicy::immediate();
+        for attempt in 1..6 {
+            assert_eq!(p.delay_before(attempt), Duration::ZERO);
+        }
+    }
+}

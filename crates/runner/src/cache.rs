@@ -16,8 +16,9 @@
 //! ```
 //!
 //! `len` and `fnv` form an integrity header over the canonical (compact)
-//! serialization of `result`: a lookup re-serializes the parsed result
-//! and verifies both, so an entry whose payload was truncated, bit-rotted,
+//! serialization of `result` (the [`crate::record`] codec, shared with
+//! the run journal): a lookup re-serializes the parsed result and
+//! verifies both, so an entry whose payload was truncated, bit-rotted,
 //! or hand-edited is **evicted** (the file is removed) and recomputed
 //! rather than trusted. Lookups also verify the stored key against the
 //! requested one, so a fingerprint collision degrades to a plain cache
@@ -26,7 +27,8 @@
 //! followed by a rename, so a killed run never leaves a torn entry
 //! behind.
 
-use crate::hash::{fnv1a64, JobKey};
+use crate::hash::JobKey;
+use crate::record;
 use cmpsim_telemetry::{parse, JsonValue};
 use std::path::{Path, PathBuf};
 
@@ -71,26 +73,13 @@ impl ResultCache {
         if doc.get("key").and_then(JsonValue::as_str) != Some(key.canonical().as_str()) {
             return None;
         }
-        match Self::validate(&doc) {
+        match record::verify(&doc, "result") {
             Some(result) => Some(result),
             None => {
                 let _ = std::fs::remove_file(&path);
                 None
             }
         }
-    }
-
-    /// Checks the integrity header of a parsed entry and returns the
-    /// verified result payload.
-    fn validate(doc: &JsonValue) -> Option<JsonValue> {
-        let len = doc.get("len")?.as_u64()?;
-        let fnv = doc.get("fnv")?.as_str()?;
-        let result = doc.get("result")?;
-        let body = result.to_json();
-        if body.len() as u64 != len || format!("{:016x}", fnv1a64(body.as_bytes())) != fnv {
-            return None;
-        }
-        Some(result.clone())
     }
 
     /// Stores `result` under `key`, atomically (temp file + rename).
@@ -104,16 +93,11 @@ impl ResultCache {
         let path = self.entry_path(key);
         let dir = path.parent().expect("entry path has a parent");
         std::fs::create_dir_all(dir)?;
-        let body = result.to_json();
-        let doc = JsonValue::object([
-            ("key", JsonValue::from(key.canonical())),
-            ("len", JsonValue::from(body.len() as u64)),
-            (
-                "fnv",
-                JsonValue::from(format!("{:016x}", fnv1a64(body.as_bytes()))),
-            ),
-            ("result", result.clone()),
-        ]);
+        let doc = record::seal(
+            vec![("key".to_owned(), JsonValue::from(key.canonical()))],
+            "result",
+            result,
+        );
         let tmp = dir.join(format!(
             "{}.tmp.{}",
             path.file_name().and_then(|n| n.to_str()).unwrap_or("entry"),

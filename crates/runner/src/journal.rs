@@ -1,0 +1,369 @@
+//! The write-ahead run journal: an append-only, fsync'd, checksummed
+//! record of every job's start, finish, and outcome.
+//!
+//! One journal file per run, `<dir>/<run-id>.jsonl`, one record per
+//! line. Each line is framed by the same length+FNV-1a codec as the
+//! result cache (see [`crate::record`]):
+//!
+//! ```json
+//! {"len":64,"fnv":"0a1b...","record":{"kind":"job_done","seq":3,...}}
+//! ```
+//!
+//! Record kinds, in the order a run emits them:
+//!
+//! * `run_start` — run id, batch size, whether this run resumed,
+//! * `job_start` — written **before** a cell executes (write-ahead:
+//!   a cell with a `job_start` but no `job_done` was in flight when the
+//!   process died and is re-enqueued on resume),
+//! * `job_done` — the cell's terminal [`JobOutcome`], including the
+//!   full result payload for `ok`/`cached` cells so a resumed run can
+//!   replay them without the result cache,
+//! * `interrupted` — a graceful shutdown drained the pool,
+//! * `run_end` — the batch finished.
+//!
+//! Every append is a single `write` of one `\n`-terminated line followed
+//! by `fdatasync`, so a SIGKILL can tear at most the final line. Replay
+//! verifies each line's checksum and stops at the first torn or corrupt
+//! record; [`RunJournal::open`] then truncates the file back to the
+//! verified prefix before appending, so the journal never grows a
+//! mid-file scar.
+
+use crate::pool::JobOutcome;
+use crate::record;
+use cmpsim_telemetry::{parse, JsonValue};
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Where a batch journals to, and whether it replays first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Directory holding the journal files.
+    pub dir: PathBuf,
+    /// This run's identity — the journal file stem, and what `--resume`
+    /// takes.
+    pub run_id: String,
+    /// Replay an existing journal for `run_id` before executing: cells
+    /// with a recorded terminal outcome are served from the journal,
+    /// in-flight ones are re-enqueued.
+    pub resume: bool,
+}
+
+impl JournalConfig {
+    /// A fresh (non-resuming) journal for `run_id` under `dir`.
+    pub fn new(dir: impl Into<PathBuf>, run_id: impl Into<String>) -> Self {
+        JournalConfig {
+            dir: dir.into(),
+            run_id: run_id.into(),
+            resume: false,
+        }
+    }
+
+    /// The same journal, replayed before running.
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// The journal file this configuration reads and appends.
+    pub fn path(&self) -> PathBuf {
+        self.dir.join(format!("{}.jsonl", self.run_id))
+    }
+}
+
+/// What replaying a journal recovered.
+#[derive(Debug, Clone, Default)]
+pub struct JournalReplay {
+    /// Terminal outcomes by canonical job key: these cells are served
+    /// without executing.
+    pub completed: HashMap<String, ReplayedJob>,
+    /// Canonical keys that started but never finished — the in-flight
+    /// cells a crash forfeited; they re-run.
+    pub in_flight: HashSet<String>,
+    /// Records whose checksum or framing failed; replay stopped there.
+    pub torn: usize,
+}
+
+/// One cell's journalled terminal outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedJob {
+    /// The cell's display label as recorded.
+    pub label: String,
+    /// The recorded outcome, payload included.
+    pub outcome: JobOutcome,
+    /// Execution attempts the original run spent.
+    pub attempts: u32,
+}
+
+/// The append side of the journal, shared across workers.
+#[derive(Debug)]
+pub struct RunJournal {
+    file: Mutex<File>,
+    path: PathBuf,
+}
+
+impl RunJournal {
+    /// Opens (and on resume, replays) the journal for `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; callers may run un-journalled after
+    /// a failed open, but should say so loudly — it forfeits
+    /// crash-safety.
+    pub fn open(cfg: &JournalConfig) -> std::io::Result<(RunJournal, JournalReplay)> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let path = cfg.path();
+        let (replay, valid_len) = if cfg.resume && path.exists() {
+            let text = std::fs::read_to_string(&path)?;
+            replay_text(&text)
+        } else {
+            (JournalReplay::default(), 0)
+        };
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&path)?;
+        // Resume: drop any torn final line so the next append starts a
+        // fresh record instead of extending the scar. Fresh run: a
+        // reused run id replaces its old journal outright.
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            RunJournal {
+                file: Mutex::new(file),
+                path,
+            },
+            replay,
+        ))
+    }
+
+    /// The journal file being appended.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one checksummed record line and syncs it to disk.
+    fn append(&self, body: JsonValue) {
+        let doc = record::seal(Vec::new(), "record", &body);
+        let mut line = doc.to_json();
+        line.push('\n');
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        // A failed append degrades durability, not correctness: warn and
+        // keep running (the batch itself is unaffected).
+        if let Err(e) = file
+            .write_all(line.as_bytes())
+            .and_then(|()| file.sync_data())
+        {
+            eprintln!("warning: journal append failed: {e}");
+        }
+    }
+
+    /// Records the batch header.
+    pub fn run_start(&self, run_id: &str, total: usize, resumed: usize) {
+        self.append(JsonValue::object([
+            ("kind", JsonValue::from("run_start")),
+            ("run_id", JsonValue::from(run_id)),
+            ("total", JsonValue::from(total)),
+            ("resumed", JsonValue::from(resumed)),
+        ]));
+    }
+
+    /// Write-ahead: records that cell `seq` is about to execute.
+    pub fn job_start(&self, seq: usize, key: &str, label: &str) {
+        self.append(JsonValue::object([
+            ("kind", JsonValue::from("job_start")),
+            ("seq", JsonValue::from(seq)),
+            ("key", JsonValue::from(key)),
+            ("label", JsonValue::from(label)),
+        ]));
+    }
+
+    /// Records cell `seq`'s terminal outcome (payload included).
+    pub fn job_done(
+        &self,
+        seq: usize,
+        key: &str,
+        label: &str,
+        outcome: &JobOutcome,
+        attempts: u32,
+    ) {
+        self.append(JsonValue::object([
+            ("kind", JsonValue::from("job_done")),
+            ("seq", JsonValue::from(seq)),
+            ("key", JsonValue::from(key)),
+            ("label", JsonValue::from(label)),
+            ("attempts", JsonValue::from(u64::from(attempts))),
+            ("outcome", outcome.to_json()),
+        ]));
+    }
+
+    /// Records a graceful shutdown: `done` cells finished, `skipped`
+    /// never started.
+    pub fn interrupted(&self, done: usize, skipped: usize) {
+        self.append(JsonValue::object([
+            ("kind", JsonValue::from("interrupted")),
+            ("done", JsonValue::from(done)),
+            ("skipped", JsonValue::from(skipped)),
+        ]));
+    }
+
+    /// Records batch completion.
+    pub fn run_end(&self, ok: usize, cached: usize, failed: usize) {
+        self.append(JsonValue::object([
+            ("kind", JsonValue::from("run_end")),
+            ("ok", JsonValue::from(ok)),
+            ("cached", JsonValue::from(cached)),
+            ("failed", JsonValue::from(failed)),
+        ]));
+    }
+}
+
+/// Replays journal text into the recovered state plus the byte length of
+/// the valid prefix (everything before the first torn record).
+fn replay_text(text: &str) -> (JournalReplay, u64) {
+    let mut replay = JournalReplay::default();
+    let mut valid_len = 0u64;
+    for line in text.split_inclusive('\n') {
+        let body = line.strip_suffix('\n').unwrap_or(line);
+        if body.is_empty() {
+            valid_len += line.len() as u64;
+            continue;
+        }
+        let Some(rec) = parse(body)
+            .ok()
+            .and_then(|doc| record::verify(&doc, "record"))
+        else {
+            // Torn or corrupt: trust only the prefix.
+            replay.torn += 1;
+            break;
+        };
+        apply_record(&mut replay, &rec);
+        valid_len += line.len() as u64;
+    }
+    (replay, valid_len)
+}
+
+fn apply_record(replay: &mut JournalReplay, rec: &JsonValue) {
+    let kind = rec.get("kind").and_then(JsonValue::as_str).unwrap_or("");
+    let key = rec.get("key").and_then(JsonValue::as_str);
+    match (kind, key) {
+        ("job_start", Some(key)) => {
+            replay.in_flight.insert(key.to_owned());
+        }
+        ("job_done", Some(key)) => {
+            let Some(outcome) = rec.get("outcome").and_then(JobOutcome::from_json) else {
+                return;
+            };
+            replay.in_flight.remove(key);
+            replay.completed.insert(
+                key.to_owned(),
+                ReplayedJob {
+                    label: rec
+                        .get("label")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("")
+                        .to_owned(),
+                    outcome,
+                    attempts: rec.get("attempts").and_then(JsonValue::as_u64).unwrap_or(0) as u32,
+                },
+            );
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cfg(tag: &str) -> JournalConfig {
+        let dir = std::env::temp_dir().join(format!("cmpsim_journal_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        JournalConfig::new(dir, "run1")
+    }
+
+    #[test]
+    fn journal_roundtrips_outcomes_through_replay() {
+        let cfg = temp_cfg("roundtrip");
+        let (j, replay) = RunJournal::open(&cfg).unwrap();
+        assert!(replay.completed.is_empty());
+        j.run_start("run1", 3, 0);
+        j.job_start(0, "k0", "FIMI");
+        j.job_done(0, "k0", "FIMI", &JobOutcome::Ok(JsonValue::U64(42)), 1);
+        j.job_start(1, "k1", "MDS");
+        j.job_done(
+            1,
+            "k1",
+            "MDS",
+            &JobOutcome::Errored {
+                category: "invariant".into(),
+                error: "drift".into(),
+            },
+            1,
+        );
+        j.job_start(2, "k2", "SHOT"); // in flight: no job_done
+        drop(j);
+
+        let (_, replay) = RunJournal::open(&cfg.clone().resuming()).unwrap();
+        assert_eq!(replay.completed.len(), 2);
+        assert_eq!(
+            replay.completed["k0"].outcome,
+            JobOutcome::Ok(JsonValue::U64(42))
+        );
+        assert!(matches!(
+            &replay.completed["k1"].outcome,
+            JobOutcome::Errored { category, .. } if category == "invariant"
+        ));
+        assert_eq!(replay.in_flight.iter().collect::<Vec<_>>(), ["k2"]);
+        assert_eq!(replay.torn, 0);
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_truncated() {
+        let cfg = temp_cfg("torn");
+        let (j, _) = RunJournal::open(&cfg).unwrap();
+        j.job_start(0, "k0", "A");
+        j.job_done(0, "k0", "A", &JobOutcome::Ok(JsonValue::Bool(true)), 1);
+        drop(j);
+        // Simulate a SIGKILL mid-append: a half-written final record.
+        let mut text = std::fs::read_to_string(cfg.path()).unwrap();
+        let intact_len = text.len() as u64;
+        text.push_str("{\"len\":999,\"fnv\":\"dead");
+        std::fs::write(cfg.path(), &text).unwrap();
+
+        let (j, replay) = RunJournal::open(&cfg.clone().resuming()).unwrap();
+        assert_eq!(replay.torn, 1);
+        assert_eq!(replay.completed.len(), 1, "intact prefix survives");
+        // The scar is gone and the journal appends cleanly again.
+        assert_eq!(
+            std::fs::metadata(cfg.path()).unwrap().len(),
+            intact_len,
+            "torn tail must be truncated"
+        );
+        j.job_start(1, "k1", "B");
+        drop(j);
+        let (_, replay) = RunJournal::open(&cfg.clone().resuming()).unwrap();
+        assert_eq!(replay.torn, 0);
+        assert!(replay.in_flight.contains("k1"));
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn fresh_open_ignores_existing_journal_unless_resuming() {
+        let cfg = temp_cfg("fresh");
+        let (j, _) = RunJournal::open(&cfg).unwrap();
+        j.job_done(0, "k0", "A", &JobOutcome::Ok(JsonValue::Null), 1);
+        drop(j);
+        let (_, replay) = RunJournal::open(&cfg).unwrap();
+        assert!(
+            replay.completed.is_empty(),
+            "non-resume open must not replay"
+        );
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+}

@@ -14,8 +14,17 @@
 //!   experiment, scale, seed, config fields, crate version), so warm
 //!   re-runs skip finished cells,
 //! * **fault isolation** — a panicking job is caught
-//!   (`catch_unwind`), retried a bounded number of times, and reported
-//!   as [`JobOutcome::Failed`] while the rest of the batch completes,
+//!   (`catch_unwind`), retried on a deterministic [`BackoffPolicy`]
+//!   schedule, and reported as [`JobOutcome::Failed`] while the rest of
+//!   the batch completes; with [`IsolateMode::Process`] each attempt
+//!   runs in a supervised child process (see [`supervisor`]), so aborts
+//!   and OOM kills are contained too and an unrecoverable cell is
+//!   quarantined as [`JobOutcome::Poisoned`],
+//! * **crash-safety** — an optional write-ahead [`journal`] records
+//!   every job start and outcome (fsync'd, checksummed with the same
+//!   [`record`] codec as the cache); a resumed run replays completed
+//!   cells and re-enqueues in-flight ones, and a [`shutdown`] flag wired
+//!   to SIGINT/SIGTERM drains the pool gracefully,
 //! * **deterministic ordering** — per-job results land in submission
 //!   order, so a `--jobs 8` run is byte-identical to `--jobs 1`,
 //! * **telemetry** — [`RunReport::export_metrics`] /
@@ -48,10 +57,21 @@
 //! assert_eq!(squares, [0, 1, 4, 9]); // submission order, not completion order
 //! ```
 
+pub mod backoff;
 pub mod cache;
 pub mod hash;
+pub mod journal;
 pub mod pool;
+pub mod record;
+pub mod shutdown;
+pub mod supervisor;
 
+pub use backoff::{BackoffPolicy, FailureClass};
 pub use cache::ResultCache;
 pub use hash::JobKey;
-pub use pool::{ExperimentJob, JobError, JobOutcome, JobReport, RunReport, Runner, RunnerConfig};
+pub use journal::{JournalConfig, JournalReplay, ReplayedJob, RunJournal};
+pub use pool::{
+    ExperimentJob, IsolateMode, JobError, JobOutcome, JobReport, RunReport, Runner, RunnerConfig,
+};
+pub use shutdown::ShutdownFlag;
+pub use supervisor::{emit_result, CHILD_ENTRY, RESULT_MARKER};

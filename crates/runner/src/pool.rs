@@ -11,9 +11,23 @@
 //! finished which job when. Each job closure is a self-contained,
 //! seeded computation, so a parallel run is byte-identical to a serial
 //! one.
+//!
+//! Crash-safety: with a [`JournalConfig`] the pool write-ahead-journals
+//! every job start and terminal outcome (fsync'd, checksummed — see
+//! [`crate::journal`]); a resumed batch replays completed cells from the
+//! journal and re-enqueues in-flight ones. With
+//! [`IsolateMode::Process`] each attempt runs in a supervised child
+//! process (see [`crate::supervisor`]), so aborts and OOM kills are
+//! contained, retried on the [`BackoffPolicy`] schedule, and quarantined
+//! as [`JobOutcome::Poisoned`]. A [`ShutdownFlag`] drains the pool:
+//! in-flight cells finish, queued ones are [`JobOutcome::Skipped`].
 
+use crate::backoff::{BackoffPolicy, FailureClass};
 use crate::cache::ResultCache;
 use crate::hash::JobKey;
+use crate::journal::{JournalConfig, JournalReplay, RunJournal};
+use crate::shutdown::ShutdownFlag;
+use crate::supervisor::{self, ChildAttempt};
 use cmpsim_telemetry::{JsonValue, Labels, MetricRegistry, SpanProfiler};
 use std::collections::VecDeque;
 use std::fmt;
@@ -24,44 +38,79 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Where a job attempt executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IsolateMode {
+    /// On the worker thread (panics are caught with `catch_unwind`).
+    #[default]
+    Inline,
+    /// In a supervised child process re-exec'd from the current binary
+    /// (jobs must carry [`ExperimentJob::with_child_args`]; jobs without
+    /// a child spec fall back to inline execution).
+    Process,
+}
+
+impl std::str::FromStr for IsolateMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "inline" => Ok(IsolateMode::Inline),
+            "process" => Ok(IsolateMode::Process),
+            other => Err(format!("unknown isolation mode `{other}`")),
+        }
+    }
+}
+
 /// How the pool runs a batch of jobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RunnerConfig {
     /// Worker threads; `0` means one per available CPU.
     pub workers: usize,
     /// Root of the content-addressed result cache; `None` disables
     /// caching entirely.
     pub cache_dir: Option<PathBuf>,
-    /// How many times a panicking or hung job is re-run before it is
-    /// reported as [`JobOutcome::Failed`] / [`JobOutcome::TimedOut`]
-    /// (`1` = one retry, two attempts total).
+    /// How many times a crashing or hung job is re-run before it is
+    /// reported as [`JobOutcome::Failed`] / [`JobOutcome::Poisoned`] /
+    /// [`JobOutcome::TimedOut`] (`1` = one retry, two attempts total).
     pub retries: u32,
     /// Emit a live `\r`-rewritten progress line on stderr.
     pub progress: bool,
-    /// Per-job watchdog deadline. `None` (the default) runs jobs inline
-    /// on the worker with no deadline; `Some(t)` runs each attempt on a
-    /// detached thread and gives up on it after `t`, so one hung cell
-    /// cannot stall the whole grid. An abandoned attempt's thread is
-    /// left to finish in the background (std threads cannot be killed);
-    /// its eventual result is discarded.
+    /// Per-job watchdog deadline. `None` (the default) runs jobs with no
+    /// deadline. Inline: `Some(t)` runs each attempt on a detached
+    /// thread and gives up on it after `t` (the thread is abandoned —
+    /// std threads cannot be killed). Process isolation: the child is
+    /// **killed** at the deadline, so nothing leaks.
     pub job_timeout: Option<Duration>,
+    /// Retry/backoff schedule for failed attempts (see
+    /// [`BackoffPolicy`]): deterministic exponential delays, and the
+    /// single authority on whether structured errors retry.
+    pub backoff: BackoffPolicy,
+    /// Where attempts execute (inline threads or supervised child
+    /// processes).
+    pub isolate: IsolateMode,
+    /// Write-ahead journal configuration; `None` runs un-journalled.
+    pub journal: Option<JournalConfig>,
+    /// Graceful-shutdown flag the pool polls between jobs (wire up
+    /// [`crate::shutdown::install`] for SIGINT/SIGTERM).
+    pub shutdown: Option<ShutdownFlag>,
 }
 
-impl Default for RunnerConfig {
-    fn default() -> Self {
+impl RunnerConfig {
+    /// The default single-worker configuration (used via `Default`).
+    pub fn single() -> Self {
         RunnerConfig {
             workers: 1,
-            cache_dir: None,
             retries: 1,
-            progress: false,
-            job_timeout: None,
+            ..RunnerConfig::default()
         }
     }
 }
 
 /// A structured, deterministic job failure: unlike a panic, it states
-/// which class of invariant broke, and it is not retried (a pure job
-/// that errored once will error identically again).
+/// which class of invariant broke. Whether it is retried is the
+/// [`BackoffPolicy`]'s call (by default it is not: a pure job that
+/// errored once will error identically again).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobError {
     /// Failure class, e.g. `protocol`, `invariant`, `io`, `config`.
@@ -96,6 +145,9 @@ pub struct ExperimentJob {
     /// Content-address of the result.
     pub key: JobKey,
     run: Box<dyn Fn() -> Result<JsonValue, JobError> + Send + Sync>,
+    /// Argv (after the program name) that re-computes this job in a
+    /// re-exec'd child under [`IsolateMode::Process`].
+    child_args: Option<Vec<String>>,
 }
 
 impl ExperimentJob {
@@ -110,7 +162,7 @@ impl ExperimentJob {
 
     /// Like [`new`](ExperimentJob::new), but the closure may fail with a
     /// structured [`JobError`] instead of panicking. Structured errors
-    /// are reported as [`JobOutcome::Errored`] and never retried.
+    /// are reported as [`JobOutcome::Errored`].
     pub fn try_new(
         label: impl Into<String>,
         key: JobKey,
@@ -120,7 +172,16 @@ impl ExperimentJob {
             label: label.into(),
             key,
             run: Box::new(run),
+            child_args: None,
         }
+    }
+
+    /// Declares how a child process recomputes this job: the current
+    /// executable is re-exec'd with exactly `args`. Required for
+    /// [`IsolateMode::Process`] to take effect on this job.
+    pub fn with_child_args(mut self, args: Vec<String>) -> Self {
+        self.child_args = Some(args);
+        self
     }
 }
 
@@ -129,6 +190,7 @@ impl std::fmt::Debug for ExperimentJob {
         f.debug_struct("ExperimentJob")
             .field("label", &self.label)
             .field("key", &self.key.canonical())
+            .field("child_args", &self.child_args)
             .finish_non_exhaustive()
     }
 }
@@ -140,24 +202,35 @@ pub enum JobOutcome {
     Ok(JsonValue),
     /// Served from the result cache without executing.
     Cached(JsonValue),
-    /// Panicked on every attempt; the rest of the batch still ran.
+    /// Crashed (in-process panic) on every attempt; the rest of the
+    /// batch still ran.
     Failed {
         /// Rendered panic payload of the last attempt.
         error: String,
     },
-    /// Returned a structured [`JobError`] (deterministic, not retried).
+    /// Returned a structured [`JobError`] (deterministic; retried only
+    /// if the [`BackoffPolicy`] opts in).
     Errored {
         /// The error's failure class (`protocol`, `invariant`, ...).
         category: String,
         /// The error's detail message.
         error: String,
     },
-    /// Hung past the watchdog deadline on every attempt; the attempt
-    /// threads were abandoned and the batch moved on.
+    /// Hung past the watchdog deadline on every attempt.
     TimedOut {
         /// What the watchdog observed (deadline, attempts).
         error: String,
     },
+    /// A supervised child process died (abort, OOM kill, stack
+    /// overflow) on every attempt: the cell is quarantined — journalled
+    /// as terminal, so a resumed run will not retry it either.
+    Poisoned {
+        /// The last attempt's crash report.
+        error: String,
+    },
+    /// Never started: a graceful shutdown drained the pool first. Not
+    /// journalled, so a resumed run executes it.
+    Skipped,
 }
 
 impl JobOutcome {
@@ -165,14 +238,12 @@ impl JobOutcome {
     pub fn payload(&self) -> Option<&JsonValue> {
         match self {
             JobOutcome::Ok(v) | JobOutcome::Cached(v) => Some(v),
-            JobOutcome::Failed { .. }
-            | JobOutcome::Errored { .. }
-            | JobOutcome::TimedOut { .. } => None,
+            _ => None,
         }
     }
 
     /// Short machine-readable kind: `ok`, `cached`, `failed`, `error`,
-    /// or `timeout`.
+    /// `timeout`, `poisoned`, or `skipped`.
     pub fn kind(&self) -> &'static str {
         match self {
             JobOutcome::Ok(_) => "ok",
@@ -180,6 +251,8 @@ impl JobOutcome {
             JobOutcome::Failed { .. } => "failed",
             JobOutcome::Errored { .. } => "error",
             JobOutcome::TimedOut { .. } => "timeout",
+            JobOutcome::Poisoned { .. } => "poisoned",
+            JobOutcome::Skipped => "skipped",
         }
     }
 
@@ -189,8 +262,56 @@ impl JobOutcome {
             JobOutcome::Ok(_) | JobOutcome::Cached(_) => None,
             JobOutcome::Failed { error }
             | JobOutcome::Errored { error, .. }
-            | JobOutcome::TimedOut { error } => Some(error),
+            | JobOutcome::TimedOut { error }
+            | JobOutcome::Poisoned { error } => Some(error),
+            JobOutcome::Skipped => Some("not started: shutdown requested"),
         }
+    }
+
+    /// The outcome as a self-contained JSON object — the form the run
+    /// journal records and replays.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![("kind".to_owned(), JsonValue::from(self.kind()))];
+        match self {
+            JobOutcome::Ok(v) | JobOutcome::Cached(v) => {
+                fields.push(("payload".to_owned(), v.clone()));
+            }
+            JobOutcome::Errored { category, error } => {
+                fields.push(("category".to_owned(), JsonValue::from(category.clone())));
+                fields.push(("error".to_owned(), JsonValue::from(error.clone())));
+            }
+            JobOutcome::Failed { error }
+            | JobOutcome::TimedOut { error }
+            | JobOutcome::Poisoned { error } => {
+                fields.push(("error".to_owned(), JsonValue::from(error.clone())));
+            }
+            JobOutcome::Skipped => {}
+        }
+        JsonValue::Object(fields)
+    }
+
+    /// Parses [`to_json`](JobOutcome::to_json)'s form back; `None` on an
+    /// unknown kind or missing fields (the journal record is then
+    /// ignored).
+    pub fn from_json(doc: &JsonValue) -> Option<JobOutcome> {
+        let error = || {
+            doc.get("error")
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+        };
+        Some(match doc.get("kind")?.as_str()? {
+            "ok" => JobOutcome::Ok(doc.get("payload")?.clone()),
+            "cached" => JobOutcome::Cached(doc.get("payload")?.clone()),
+            "failed" => JobOutcome::Failed { error: error()? },
+            "error" => JobOutcome::Errored {
+                category: doc.get("category")?.as_str()?.to_owned(),
+                error: error()?,
+            },
+            "timeout" => JobOutcome::TimedOut { error: error()? },
+            "poisoned" => JobOutcome::Poisoned { error: error()? },
+            "skipped" => JobOutcome::Skipped,
+            _ => return None,
+        })
     }
 }
 
@@ -201,10 +322,16 @@ pub struct JobReport {
     pub label: String,
     /// How it ended.
     pub outcome: JobOutcome,
-    /// Wall-clock time spent on this job (cache lookup + attempts).
+    /// Wall-clock time spent on this job (cache lookup + attempts +
+    /// backoff waits).
     pub wall_ms: f64,
-    /// Execution attempts (0 for a cache hit).
+    /// Execution attempts (0 for a cache hit or a journal replay).
     pub attempts: u32,
+    /// Served from the run journal of an interrupted run, without
+    /// executing.
+    pub replayed: bool,
+    /// Total deterministic backoff delay spent between attempts.
+    pub backoff_ms: f64,
 }
 
 /// The structured report of one batch: per-job outcomes in submission
@@ -217,32 +344,62 @@ pub struct RunReport {
     pub workers: usize,
     /// Wall-clock time of the whole batch.
     pub wall_ms: f64,
+    /// A graceful shutdown drained this batch before it finished.
+    pub interrupted: bool,
+    /// The journal run id, when journalling was active (what `--resume`
+    /// takes).
+    pub run_id: Option<String>,
+    /// Cells that were in flight when a previous run died and were
+    /// re-enqueued by this resume.
+    pub recovered: usize,
 }
 
 impl RunReport {
     /// Jobs executed this run.
     pub fn ok_count(&self) -> usize {
-        self.count(|o| matches!(o, JobOutcome::Ok(_)))
+        self.count(|j| matches!(j.outcome, JobOutcome::Ok(_)))
     }
 
     /// Jobs served from the cache.
     pub fn cached_count(&self) -> usize {
-        self.count(|o| matches!(o, JobOutcome::Cached(_)))
+        self.count(|j| matches!(j.outcome, JobOutcome::Cached(_)))
     }
 
-    /// Jobs that produced no payload: panicked every attempt, returned
-    /// a structured error, or hung past the watchdog deadline.
+    /// Jobs that produced no payload: crashed every attempt, returned a
+    /// structured error, hung past the deadline, were poisoned, or were
+    /// skipped by a shutdown.
     pub fn failed_count(&self) -> usize {
-        self.count(|o| o.error().is_some())
+        self.count(|j| j.outcome.error().is_some())
     }
 
     /// Jobs the watchdog gave up on.
     pub fn timed_out_count(&self) -> usize {
-        self.count(|o| matches!(o, JobOutcome::TimedOut { .. }))
+        self.count(|j| matches!(j.outcome, JobOutcome::TimedOut { .. }))
     }
 
-    fn count(&self, f: impl Fn(&JobOutcome) -> bool) -> usize {
-        self.jobs.iter().filter(|j| f(&j.outcome)).count()
+    /// Jobs quarantined after crashing a supervised child on every
+    /// attempt.
+    pub fn poisoned_count(&self) -> usize {
+        self.count(|j| matches!(j.outcome, JobOutcome::Poisoned { .. }))
+    }
+
+    /// Jobs a graceful shutdown prevented from starting.
+    pub fn skipped_count(&self) -> usize {
+        self.count(|j| matches!(j.outcome, JobOutcome::Skipped))
+    }
+
+    /// Jobs served from the run journal without executing.
+    pub fn replayed_count(&self) -> usize {
+        self.count(|j| j.replayed)
+    }
+
+    /// Total deterministic backoff delay the batch spent, in ms.
+    pub fn backoff_ms(&self) -> f64 {
+        self.jobs.iter().map(|j| j.backoff_ms).sum()
+    }
+
+    fn count(&self, f: impl Fn(&JobReport) -> bool) -> usize {
+        self.jobs.iter().filter(|j| f(j)).count()
     }
 
     /// Result payloads of the successful jobs, in submission order
@@ -261,8 +418,10 @@ impl RunReport {
 
     /// One-line human summary, e.g.
     /// `0 ok, 8 cached, 0 failed of 8 jobs (4 workers, 12.3 ms)`.
+    /// Replay/interruption details are appended only when present, so a
+    /// clean run's summary is byte-stable.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} ok, {} cached, {} failed of {} jobs ({} workers, {:.1} ms)",
             self.ok_count(),
             self.cached_count(),
@@ -270,12 +429,27 @@ impl RunReport {
             self.jobs.len(),
             self.workers,
             self.wall_ms
-        )
+        );
+        if self.replayed_count() > 0 {
+            s.push_str(&format!(
+                "; {} replayed from journal, {} in-flight recovered",
+                self.replayed_count(),
+                self.recovered
+            ));
+        }
+        if self.interrupted {
+            s.push_str(&format!(
+                "; interrupted — {} cells skipped",
+                self.skipped_count()
+            ));
+        }
+        s
     }
 
     /// Feeds batch counters and the per-job wall-time histogram into a
     /// telemetry registry (`runner_jobs{outcome=...}`,
-    /// `runner_job_micros`).
+    /// `runner_job_micros`, plus recovery/backoff counters when
+    /// nonzero).
     pub fn export_metrics(&self, reg: &mut MetricRegistry) {
         for j in &self.jobs {
             let labels = Labels::none().with("outcome", j.outcome.kind());
@@ -284,6 +458,23 @@ impl RunReport {
                 "runner_job_micros",
                 &Labels::none(),
                 (j.wall_ms * 1e3) as u64,
+            );
+        }
+        if self.replayed_count() > 0 {
+            reg.count(
+                "runner_replayed",
+                &Labels::none(),
+                self.replayed_count() as u64,
+            );
+        }
+        if self.recovered > 0 {
+            reg.count("runner_recovered", &Labels::none(), self.recovered as u64);
+        }
+        if self.backoff_ms() > 0.0 {
+            reg.count(
+                "runner_backoff_ms",
+                &Labels::none(),
+                self.backoff_ms() as u64,
             );
         }
     }
@@ -305,6 +496,11 @@ impl RunReport {
             ("ok", JsonValue::from(self.ok_count())),
             ("cached", JsonValue::from(self.cached_count())),
             ("failed", JsonValue::from(self.failed_count())),
+            ("replayed", JsonValue::from(self.replayed_count())),
+            ("skipped", JsonValue::from(self.skipped_count())),
+            ("poisoned", JsonValue::from(self.poisoned_count())),
+            ("recovered", JsonValue::from(self.recovered)),
+            ("interrupted", JsonValue::from(self.interrupted)),
             (
                 "jobs",
                 JsonValue::Array(
@@ -320,6 +516,13 @@ impl RunReport {
                                     JsonValue::from(u64::from(j.attempts)),
                                 ),
                             ];
+                            if j.replayed {
+                                fields.push(("replayed".to_owned(), JsonValue::Bool(true)));
+                            }
+                            if j.backoff_ms > 0.0 {
+                                fields
+                                    .push(("backoff_ms".to_owned(), JsonValue::F64(j.backoff_ms)));
+                            }
                             if let Some(error) = j.outcome.error() {
                                 fields.push(("error".to_owned(), JsonValue::from(error)));
                             }
@@ -371,7 +574,9 @@ impl Progress {
             JobOutcome::Cached(_) => &self.cached,
             JobOutcome::Failed { .. }
             | JobOutcome::Errored { .. }
-            | JobOutcome::TimedOut { .. } => &self.failed,
+            | JobOutcome::TimedOut { .. }
+            | JobOutcome::Poisoned { .. }
+            | JobOutcome::Skipped => &self.failed,
         }
         .fetch_add(1, Ordering::Relaxed);
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -402,9 +607,15 @@ impl Progress {
 }
 
 /// The worker pool itself.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Runner {
     cfg: RunnerConfig,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new(RunnerConfig::single())
+    }
 }
 
 impl Runner {
@@ -417,8 +628,11 @@ impl Runner {
     /// submission order.
     ///
     /// A job found in the cache is not executed ([`JobOutcome::Cached`]);
-    /// a job that panics is retried up to `retries` times and then
-    /// reported as [`JobOutcome::Failed`] without aborting the batch.
+    /// with a resuming journal, a job with a recorded terminal outcome
+    /// is replayed from it. A crashing job is retried on the backoff
+    /// schedule and then reported as [`JobOutcome::Failed`] (inline) or
+    /// [`JobOutcome::Poisoned`] (process isolation) without aborting the
+    /// batch.
     pub fn run(&self, jobs: Vec<ExperimentJob>) -> RunReport {
         let started = Instant::now();
         let total = jobs.len();
@@ -429,9 +643,40 @@ impl Runner {
         .min(total.max(1));
         let cache = self.cfg.cache_dir.as_ref().map(ResultCache::new);
 
+        // Open (and on resume, replay) the write-ahead journal. A failed
+        // open degrades to an un-journalled run — loudly, because it
+        // forfeits crash-safety.
+        let mut journal = None;
+        let mut replay = JournalReplay::default();
+        if let Some(jc) = &self.cfg.journal {
+            match RunJournal::open(jc) {
+                Ok((j, r)) => {
+                    journal = Some(j);
+                    replay = r;
+                }
+                Err(e) => eprintln!(
+                    "warning: running WITHOUT crash-safety — cannot open journal {}: {e}",
+                    jc.path().display()
+                ),
+            }
+        }
+        let run_id = self.cfg.journal.as_ref().map(|jc| jc.run_id.clone());
+
         // Jobs are shared via `Arc` so a watchdog attempt can outlive the
         // batch: an abandoned attempt thread holds its own reference.
         let jobs: Vec<Arc<ExperimentJob>> = jobs.into_iter().map(Arc::new).collect();
+        let keys: Vec<String> = jobs.iter().map(|j| j.key.canonical()).collect();
+        let recovered = keys
+            .iter()
+            .filter(|k| replay.in_flight.contains(k.as_str()))
+            .count();
+        if let Some(j) = &journal {
+            j.run_start(
+                run_id.as_deref().unwrap_or(""),
+                total,
+                replay.completed.len(),
+            );
+        }
 
         // Round-robin pre-distribution over per-worker deques.
         let queues: Vec<Mutex<VecDeque<usize>>> =
@@ -448,15 +693,58 @@ impl Runner {
         std::thread::scope(|scope| {
             for me in 0..workers {
                 let jobs = &jobs;
+                let keys = &keys;
                 let queues = &queues;
                 let slots = &slots;
                 let progress = &progress;
-                let cache = cache.as_ref();
-                let retries = self.cfg.retries;
-                let timeout = self.cfg.job_timeout;
+                let journal = journal.as_ref();
+                let replay = &replay;
+                let shutdown = self.cfg.shutdown.as_ref();
+                let ctx = ExecCtx {
+                    cache: cache.as_ref(),
+                    retries: self.cfg.retries,
+                    timeout: self.cfg.job_timeout,
+                    backoff: &self.cfg.backoff,
+                    isolate: self.cfg.isolate,
+                };
                 scope.spawn(move || {
                     while let Some(i) = next_job(queues, me) {
-                        let report = execute(&jobs[i], cache, retries, timeout);
+                        let job = &jobs[i];
+                        let key = keys[i].as_str();
+                        let report = if shutdown.is_some_and(ShutdownFlag::requested) {
+                            // Draining: finish nothing new, journal
+                            // nothing (the cell re-runs on resume).
+                            JobReport {
+                                label: job.label.clone(),
+                                outcome: JobOutcome::Skipped,
+                                wall_ms: 0.0,
+                                attempts: 0,
+                                replayed: false,
+                                backoff_ms: 0.0,
+                            }
+                        } else if let Some(done) = replay.completed.get(key) {
+                            // Completed in the journalled run: serve the
+                            // recorded outcome without executing.
+                            JobReport {
+                                label: job.label.clone(),
+                                outcome: done.outcome.clone(),
+                                wall_ms: 0.0,
+                                attempts: done.attempts,
+                                replayed: true,
+                                backoff_ms: 0.0,
+                            }
+                        } else {
+                            // Write-ahead: the start record marks this
+                            // cell in-flight until its outcome lands.
+                            if let Some(j) = journal {
+                                j.job_start(i, key, &job.label);
+                            }
+                            let report = execute(job, &ctx);
+                            if let Some(j) = journal {
+                                j.job_done(i, key, &job.label, &report.outcome, report.attempts);
+                            }
+                            report
+                        };
                         progress.update(&report.outcome);
                         *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
                     }
@@ -464,7 +752,7 @@ impl Runner {
             }
         });
 
-        RunReport {
+        let report = RunReport {
             jobs: slots
                 .into_iter()
                 .map(|s| {
@@ -475,7 +763,29 @@ impl Runner {
                 .collect(),
             workers,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            interrupted: self
+                .cfg
+                .shutdown
+                .as_ref()
+                .is_some_and(ShutdownFlag::requested),
+            run_id,
+            recovered,
+        };
+        if let Some(j) = &journal {
+            if report.interrupted {
+                j.interrupted(
+                    report.jobs.len() - report.skipped_count(),
+                    report.skipped_count(),
+                );
+            } else {
+                j.run_end(
+                    report.ok_count(),
+                    report.cached_count(),
+                    report.failed_count(),
+                );
+            }
         }
+        report
     }
 }
 
@@ -503,22 +813,54 @@ fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
     None
 }
 
-/// One attempt's result as the worker sees it: the closure finished
-/// (possibly by panicking), or the watchdog gave up waiting.
+/// Everything one attempt needs besides the job itself.
+struct ExecCtx<'a> {
+    cache: Option<&'a ResultCache>,
+    retries: u32,
+    timeout: Option<Duration>,
+    backoff: &'a BackoffPolicy,
+    isolate: IsolateMode,
+}
+
+/// One attempt's result, execution mode erased: inline panics and child
+/// process deaths both surface as [`Attempt::Crashed`].
 enum Attempt {
-    Finished(std::thread::Result<Result<JsonValue, JobError>>),
+    Ok(JsonValue),
+    Err(JobError),
+    Crashed(String),
     Hung,
 }
 
-/// Runs one attempt, inline or under a watchdog deadline.
+/// Runs one attempt — in a supervised child process if the mode and job
+/// allow it, otherwise inline (optionally under the watchdog deadline).
+fn attempt(job: &Arc<ExperimentJob>, ctx: &ExecCtx) -> Attempt {
+    if ctx.isolate == IsolateMode::Process {
+        if let Some(args) = &job.child_args {
+            return match supervisor::attempt(args, ctx.timeout) {
+                ChildAttempt::Ok(v) => Attempt::Ok(v),
+                ChildAttempt::Err(e) => Attempt::Err(e),
+                ChildAttempt::Crashed(m) => Attempt::Crashed(m),
+                ChildAttempt::Hung => Attempt::Hung,
+            };
+        }
+    }
+    inline_attempt(job, ctx.timeout)
+}
+
+/// Runs one inline attempt, optionally under a watchdog deadline.
 ///
 /// With a deadline, the attempt runs on a *detached* thread and the
 /// worker waits on a channel: if the deadline passes, the thread is
 /// abandoned (std threads cannot be killed) and its eventual result —
 /// sent into a channel nobody reads — is dropped.
-fn attempt(job: &Arc<ExperimentJob>, timeout: Option<Duration>) -> Attempt {
+fn inline_attempt(job: &Arc<ExperimentJob>, timeout: Option<Duration>) -> Attempt {
+    let fold = |caught: std::thread::Result<Result<JsonValue, JobError>>| match caught {
+        Ok(Ok(v)) => Attempt::Ok(v),
+        Ok(Err(e)) => Attempt::Err(e),
+        Err(payload) => Attempt::Crashed(panic_message(payload.as_ref())),
+    };
     let Some(deadline) = timeout else {
-        return Attempt::Finished(catch_unwind(AssertUnwindSafe(|| (job.run)())));
+        return fold(catch_unwind(AssertUnwindSafe(|| (job.run)())));
     };
     let (tx, rx) = mpsc::channel();
     let worker = Arc::clone(job);
@@ -528,69 +870,96 @@ fn attempt(job: &Arc<ExperimentJob>, timeout: Option<Duration>) -> Attempt {
             let _ = tx.send(catch_unwind(AssertUnwindSafe(|| (worker.run)())));
         });
     match spawned {
-        Err(e) => Attempt::Finished(Ok(Err(JobError::new(
+        Err(e) => Attempt::Err(JobError::new(
             "io",
             format!("cannot spawn watchdog thread: {e}"),
-        )))),
+        )),
         Ok(_handle) => match rx.recv_timeout(deadline) {
-            Ok(result) => Attempt::Finished(result),
+            Ok(result) => fold(result),
             Err(_) => Attempt::Hung,
         },
     }
 }
 
-fn execute(
-    job: &Arc<ExperimentJob>,
-    cache: Option<&ResultCache>,
-    retries: u32,
-    timeout: Option<Duration>,
-) -> JobReport {
+fn execute(job: &Arc<ExperimentJob>, ctx: &ExecCtx) -> JobReport {
     let started = Instant::now();
-    if let Some(c) = cache {
+    if let Some(c) = ctx.cache {
         if let Some(v) = c.lookup(&job.key) {
             return JobReport {
                 label: job.label.clone(),
                 outcome: JobOutcome::Cached(v),
                 wall_ms: started.elapsed().as_secs_f64() * 1e3,
                 attempts: 0,
+                replayed: false,
+                backoff_ms: 0.0,
             };
         }
     }
-    let mut attempts = 0;
+    let supervised = ctx.isolate == IsolateMode::Process && job.child_args.is_some();
+    let mut attempts = 0u32;
+    let mut backoff_ms = 0.0f64;
+    // Every failure class routes through the backoff policy: it decides
+    // both whether another attempt happens and how long to wait first
+    // (deterministic schedule — see `BackoffPolicy`). Structured errors
+    // are final under the default policy, but that is the policy's
+    // decision, not a special case here.
+    let retry_after = |class: FailureClass, attempts: u32, backoff_ms: &mut f64| -> bool {
+        match ctx.backoff.next_delay(class, attempts, ctx.retries) {
+            Some(delay) => {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                *backoff_ms += delay.as_secs_f64() * 1e3;
+                true
+            }
+            None => false,
+        }
+    };
     let outcome = loop {
         attempts += 1;
-        match attempt(job, timeout) {
-            Attempt::Finished(Ok(Ok(v))) => {
-                if let Some(c) = cache {
+        match attempt(job, ctx) {
+            Attempt::Ok(v) => {
+                if let Some(c) = ctx.cache {
                     if let Err(e) = c.store(&job.key, &v) {
                         eprintln!("warning: cannot cache result of {}: {e}", job.label);
                     }
                 }
                 break JobOutcome::Ok(v);
             }
-            // A structured error is deterministic — a pure job would
-            // fail identically on a retry, so report it immediately.
-            Attempt::Finished(Ok(Err(e))) => {
-                break JobOutcome::Errored {
-                    category: e.category,
-                    error: e.message,
-                };
+            Attempt::Err(e) => {
+                if !retry_after(FailureClass::Structured, attempts, &mut backoff_ms) {
+                    break JobOutcome::Errored {
+                        category: e.category,
+                        error: e.message,
+                    };
+                }
             }
-            Attempt::Finished(Err(payload)) => {
-                if attempts > retries {
-                    break JobOutcome::Failed {
-                        error: panic_message(payload.as_ref()),
+            Attempt::Crashed(error) => {
+                if !retry_after(FailureClass::Crash, attempts, &mut backoff_ms) {
+                    break if supervised {
+                        JobOutcome::Poisoned {
+                            error: format!("quarantined after {attempts} attempt(s): {error}"),
+                        }
+                    } else {
+                        JobOutcome::Failed { error }
                     };
                 }
             }
             Attempt::Hung => {
-                if attempts > retries {
-                    let ms = timeout.map_or(0, |t| t.as_millis());
+                if !retry_after(FailureClass::Hang, attempts, &mut backoff_ms) {
+                    let ms = ctx.timeout.map_or(0, |t| t.as_millis());
                     break JobOutcome::TimedOut {
-                        error: format!(
-                            "no result within {ms} ms on any of {attempts} attempt(s); \
-                             attempt thread(s) abandoned"
-                        ),
+                        error: if supervised {
+                            format!(
+                                "no result within {ms} ms on any of {attempts} attempt(s); \
+                                 child process(es) killed"
+                            )
+                        } else {
+                            format!(
+                                "no result within {ms} ms on any of {attempts} attempt(s); \
+                                 attempt thread(s) abandoned"
+                            )
+                        },
                     };
                 }
             }
@@ -601,6 +970,8 @@ fn execute(
         outcome,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
         attempts,
+        replayed: false,
+        backoff_ms,
     }
 }
 

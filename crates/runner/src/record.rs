@@ -1,0 +1,103 @@
+//! The checksummed-record codec shared by the result cache and the run
+//! journal.
+//!
+//! Both durable stores frame a JSON payload with the same integrity
+//! header: the byte length and 64-bit FNV-1a checksum of the payload's
+//! canonical (compact) serialization. A reader re-serializes the parsed
+//! payload and verifies both, so a truncated, bit-rotted, or hand-edited
+//! record is detected instead of trusted:
+//!
+//! ```json
+//! { "len": 123, "fnv": "90b1c5f6b1e3d2a4", "<field>": { ... } }
+//! ```
+//!
+//! The cache stores the payload under `result`, the journal under
+//! `record`; everything else about the framing is identical, which is
+//! what keeps the two formats mutually debuggable.
+
+use crate::hash::fnv1a64;
+use cmpsim_telemetry::JsonValue;
+
+/// The integrity header of `body` (a canonical compact serialization):
+/// its byte length and FNV-1a checksum as a fixed-width hex string.
+pub fn checksum(body: &str) -> (u64, String) {
+    (
+        body.len() as u64,
+        format!("{:016x}", fnv1a64(body.as_bytes())),
+    )
+}
+
+/// Appends the integrity header and the payload itself (under `field`)
+/// to an in-progress record's field list.
+pub fn seal_into(fields: &mut Vec<(String, JsonValue)>, field: &str, payload: &JsonValue) {
+    let (len, fnv) = checksum(&payload.to_json());
+    fields.push(("len".to_owned(), JsonValue::U64(len)));
+    fields.push(("fnv".to_owned(), JsonValue::from(fnv)));
+    fields.push((field.to_owned(), payload.clone()));
+}
+
+/// A sealed record holding `payload` under `field`, plus any leading
+/// identity fields (e.g. the cache entry's `key`).
+pub fn seal(head: Vec<(String, JsonValue)>, field: &str, payload: &JsonValue) -> JsonValue {
+    let mut fields = head;
+    seal_into(&mut fields, field, payload);
+    JsonValue::Object(fields)
+}
+
+/// Verifies a parsed record's integrity header against the payload
+/// stored under `field`, returning the verified payload.
+///
+/// `None` means the record must not be trusted: the header is missing,
+/// or the payload does not match its recorded length/checksum.
+pub fn verify(doc: &JsonValue, field: &str) -> Option<JsonValue> {
+    let len = doc.get("len")?.as_u64()?;
+    let fnv = doc.get("fnv")?.as_str()?;
+    let payload = doc.get(field)?;
+    let (got_len, got_fnv) = checksum(&payload.to_json());
+    if got_len != len || got_fnv != fnv {
+        return None;
+    }
+    Some(payload.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_then_verify_roundtrips() {
+        let payload = JsonValue::object([("mpki", JsonValue::F64(1.25))]);
+        let doc = seal(
+            vec![("key".to_owned(), JsonValue::from("experiment=x"))],
+            "result",
+            &payload,
+        );
+        assert_eq!(verify(&doc, "result"), Some(payload));
+        // The head field survives in place.
+        assert_eq!(
+            doc.get("key").and_then(JsonValue::as_str),
+            Some("experiment=x")
+        );
+    }
+
+    #[test]
+    fn tampered_payload_fails_verification() {
+        let doc = seal(Vec::new(), "record", &JsonValue::U64(7));
+        let tampered = cmpsim_telemetry::parse(&doc.to_json().replace('7', "9")).unwrap();
+        assert_eq!(verify(&tampered, "record"), None);
+    }
+
+    #[test]
+    fn missing_header_fails_verification() {
+        let doc = JsonValue::object([("record", JsonValue::U64(7))]);
+        assert_eq!(verify(&doc, "record"), None);
+    }
+
+    #[test]
+    fn checksum_matches_pinned_fnv() {
+        // Same pinned constants as the key fingerprint: silently changing
+        // the codec would orphan every cache entry and journal on disk.
+        let (len, fnv) = checksum("");
+        assert_eq!((len, fnv.as_str()), (0, "cbf29ce484222325"));
+    }
+}

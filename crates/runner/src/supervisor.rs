@@ -1,0 +1,208 @@
+//! Subprocess job supervision: `--isolate=process`.
+//!
+//! In process isolation, each attempt re-execs the current binary with a
+//! hidden `__run-job <WORKLOAD>` entrypoint instead of calling the job
+//! closure in-process. The child computes exactly one cell and prints
+//! its result as the final stdout line, framed by
+//! [`RESULT_MARKER`]:
+//!
+//! ```text
+//! __cmpsim_result__ {"ok":{...results_json payload...}}
+//! __cmpsim_result__ {"err":{"category":"invariant","message":"..."}}
+//! ```
+//!
+//! Anything the child printed before the marker (figure headers,
+//! progress notes) is ignored, so binaries need no output discipline in
+//! child mode. A child that dies without a marker — abort, OOM kill,
+//! stack overflow, segfault — is a *crash*: contained to that cell,
+//! retried on the [`BackoffPolicy`](crate::BackoffPolicy) schedule, and
+//! quarantined as [`JobOutcome::Poisoned`](crate::JobOutcome) when the
+//! attempt budget runs out. Unlike the in-process watchdog (which can
+//! only abandon a hung thread), a hung child is **killed** at the
+//! deadline, so process mode leaks nothing.
+
+use crate::pool::JobError;
+use cmpsim_telemetry::JsonValue;
+use std::io::Read;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Marker prefix of the one machine-readable stdout line a `__run-job`
+/// child emits.
+pub const RESULT_MARKER: &str = "__cmpsim_result__";
+
+/// The hidden argv token that routes a binary into single-cell child
+/// mode.
+pub const CHILD_ENTRY: &str = "__run-job";
+
+/// Child-side half of the protocol: prints `res` as the marker line.
+/// Call this as the last thing a `__run-job` entrypoint does, then exit
+/// 0 (a structured error is a *successful* report of a failed cell).
+pub fn emit_result(res: &Result<JsonValue, JobError>) {
+    let doc = match res {
+        Ok(v) => JsonValue::object([("ok", v.clone())]),
+        Err(e) => JsonValue::object([(
+            "err",
+            JsonValue::object([
+                ("category", JsonValue::from(e.category.as_str())),
+                ("message", JsonValue::from(e.message.as_str())),
+            ]),
+        )]),
+    };
+    println!("{RESULT_MARKER} {}", doc.to_json());
+}
+
+/// How one supervised attempt ended, as the parent sees it.
+#[derive(Debug)]
+pub(crate) enum ChildAttempt {
+    /// The child reported a result payload.
+    Ok(JsonValue),
+    /// The child reported a structured (deterministic) job error.
+    Err(JobError),
+    /// The child died without reporting: signal, abort, bad exit.
+    Crashed(String),
+    /// The child outlived the deadline and was killed.
+    Hung,
+}
+
+/// Runs one supervised attempt: spawns the current executable with
+/// `args`, waits (killing at `timeout` if set), and parses the marker
+/// line.
+pub(crate) fn attempt(args: &[String], timeout: Option<Duration>) -> ChildAttempt {
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => return ChildAttempt::Crashed(format!("cannot locate current executable: {e}")),
+    };
+    let mut child = match Command::new(exe)
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => return ChildAttempt::Crashed(format!("cannot spawn job process: {e}")),
+    };
+
+    // Drain both pipes on their own threads so a chatty child can never
+    // deadlock against a full pipe while we wait on it.
+    let stdout = child.stdout.take().map(drain);
+    let stderr = child.stderr.take().map(drain);
+
+    let deadline = timeout.map(|t| Instant::now() + t);
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    join(stdout);
+                    join(stderr);
+                    return ChildAttempt::Hung;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                return ChildAttempt::Crashed(format!("cannot wait for job process: {e}"));
+            }
+        }
+    };
+    let out = join(stdout);
+    let err = join(stderr);
+
+    // Trust the marker wherever it is: a child that reported and then
+    // crashed in teardown still produced its cell.
+    match parse_result(&out) {
+        Some(Ok(v)) => ChildAttempt::Ok(v),
+        Some(Err(e)) => ChildAttempt::Err(e),
+        None => ChildAttempt::Crashed(crash_message(&status.to_string(), &err)),
+    }
+}
+
+/// Parses the last marker line of a child's stdout.
+pub(crate) fn parse_result(stdout: &str) -> Option<Result<JsonValue, JobError>> {
+    let line = stdout
+        .lines()
+        .rev()
+        .find_map(|l| l.trim().strip_prefix(RESULT_MARKER))?;
+    let doc = cmpsim_telemetry::parse(line.trim()).ok()?;
+    if let Some(ok) = doc.get("ok") {
+        return Some(Ok(ok.clone()));
+    }
+    let err = doc.get("err")?;
+    Some(Err(JobError::new(
+        err.get("category").and_then(JsonValue::as_str)?,
+        err.get("message").and_then(JsonValue::as_str)?,
+    )))
+}
+
+fn crash_message(status: &str, stderr: &str) -> String {
+    let tail: String = {
+        let t = stderr.trim();
+        let start = t.len().saturating_sub(400);
+        // Don't split a UTF-8 sequence when trimming to the tail.
+        let start = (start..t.len())
+            .find(|&i| t.is_char_boundary(i))
+            .unwrap_or(t.len());
+        t[start..].to_owned()
+    };
+    if tail.is_empty() {
+        format!("job process died without a result ({status})")
+    } else {
+        format!("job process died without a result ({status}); stderr tail: {tail}")
+    }
+}
+
+fn drain(mut pipe: impl Read + Send + 'static) -> std::thread::JoinHandle<String> {
+    std::thread::spawn(move || {
+        let mut buf = String::new();
+        let _ = pipe.read_to_string(&mut buf);
+        buf
+    })
+}
+
+fn join(handle: Option<std::thread::JoinHandle<String>>) -> String {
+    handle.and_then(|h| h.join().ok()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_line_parses_after_noise() {
+        let out = format!(
+            "Figure 4: header noise\nplot rows...\n{RESULT_MARKER} {}\n",
+            "{\"ok\":{\"mpki\":1.5}}"
+        );
+        let parsed = parse_result(&out).unwrap().unwrap();
+        assert_eq!(parsed.get("mpki").and_then(JsonValue::as_f64), Some(1.5));
+    }
+
+    #[test]
+    fn structured_error_round_trips() {
+        let out = format!(
+            "{RESULT_MARKER} {}",
+            "{\"err\":{\"category\":\"invariant\",\"message\":\"llc drift\"}}"
+        );
+        let err = parse_result(&out).unwrap().unwrap_err();
+        assert_eq!(err.category, "invariant");
+        assert_eq!(err.message, "llc drift");
+    }
+
+    #[test]
+    fn missing_marker_is_a_crash() {
+        assert!(parse_result("no marker here\n").is_none());
+        assert!(parse_result("").is_none());
+    }
+
+    #[test]
+    fn crash_message_includes_stderr_tail() {
+        let m = crash_message("signal: 6 (SIGABRT)", "thread panicked: boom");
+        assert!(m.contains("SIGABRT"));
+        assert!(m.contains("boom"));
+        assert!(crash_message("exit status: 1", "").contains("without a result"));
+    }
+}
