@@ -23,8 +23,13 @@ fn main() {
         opts.seed,
         opts.workloads.clone(),
     );
+    let broker = opts.capture_broker();
+    let cell_broker = broker.clone();
     let report = run_grid(&opts, &spec, move |w| {
-        results_json::llc_organization_result(&study.run(w))
+        results_json::llc_organization_result(&match &cell_broker {
+            Some(b) => study.run_captured(b, w),
+            None => study.run(w),
+        })
     });
     let results: Vec<_> = report
         .payloads()
@@ -40,10 +45,11 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    opts.emit_json_runner(
+    opts.emit_json_traced(
         "ablation_llc_organization",
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
+        broker.map(|b| b.counters()),
     );
     finish_grid(&opts, &report);
 }

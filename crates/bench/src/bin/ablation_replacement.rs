@@ -25,8 +25,16 @@ fn main() {
         opts.workloads.clone(),
     )
     .param("policies", "LRU,PLRU,FIFO,RAND");
+    let broker = opts.capture_broker();
+    let cell_broker = broker.clone();
     let report = run_grid(&opts, &spec, move |w| {
-        results_json::replacement_sweep(w, &study.run(w))
+        results_json::replacement_sweep(
+            w,
+            &match &cell_broker {
+                Some(b) => study.run_captured(b, w),
+                None => study.run(w),
+            },
+        )
     });
     for (w, curves) in report
         .payloads()
@@ -48,10 +56,11 @@ fn main() {
         }
         println!("{}", t.render());
     }
-    opts.emit_json_runner(
+    opts.emit_json_traced(
         "ablation_replacement",
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
+        broker.map(|b| b.counters()),
     );
     finish_grid(&opts, &report);
 }

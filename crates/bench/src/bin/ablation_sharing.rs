@@ -21,18 +21,24 @@ fn main() {
         opts.seed,
         opts.workloads.clone(),
     );
+    let broker = opts.capture_broker();
+    let cell_broker = broker.clone();
     let report = run_grid(&opts, &spec, move |w| {
-        results_json::sharing_result(&study.run(w))
+        results_json::sharing_result(&match &cell_broker {
+            Some(b) => study.run_captured(b, w),
+            None => study.run(w),
+        })
     });
     let results: Vec<_> = report
         .payloads()
         .filter_map(results_json::parse_sharing_result)
         .collect();
     println!("{}", render_sharing(&results));
-    opts.emit_json_runner(
+    opts.emit_json_traced(
         "ablation_sharing",
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
+        broker.map(|b| b.counters()),
     );
     finish_grid(&opts, &report);
 }

@@ -10,7 +10,10 @@
 //!
 //! `grid` runs the cache-size sweep for one CMP class on the experiment
 //! runner: the per-workload cells fan out over `--jobs` workers and are
-//! served from the content-addressed result cache when unchanged.
+//! served from the content-addressed result cache when unchanged. Each
+//! cell captures its FSB stream once and replays it into every LLC size
+//! (`--trace-dir DIR` persists the streams content-addressed for later
+//! runs; `--no-replay` restores execute-per-configuration).
 //!
 //! `record`/`replay` capture the FSB transaction stream once and emulate
 //! it against any number of cache configurations afterwards — the same
@@ -26,12 +29,13 @@ use cmpsim_core::runner::{
     emit_result, shutdown, IsolateMode, JournalConfig, RunnerConfig, CHILD_ENTRY,
 };
 use cmpsim_core::tel::{write_json_file, JsonValue, RunManifest, SpanProfiler};
-use cmpsim_core::{telemetry, Scale, WorkloadId};
+use cmpsim_core::{telemetry, CaptureBroker, Scale, WorkloadId};
 use cmpsim_dragonhead::{Dragonhead, DragonheadConfig};
 use cmpsim_trace::file::{TraceReader, TraceWriter};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -52,6 +56,7 @@ fn main() {
                         [--cache-dir DIR] [--no-cache] [--json] [--metrics-out FILE]\n\
                         [--journal-dir DIR] [--run-id ID] [--resume ID]\n\
                         [--isolate inline|process] [--retries N]\n\
+                        [--trace-dir DIR] [--no-replay]\n\
                  record --workload NAME --cores N --out FILE [--scale S]\n\
                  replay --trace FILE [--llc SIZE] [--line N] [--json] [--metrics-out FILE]"
             );
@@ -82,6 +87,8 @@ struct Cli {
     resume: Option<String>,
     isolate: IsolateMode,
     retries: Option<u32>,
+    trace_dir: Option<PathBuf>,
+    no_replay: bool,
 }
 
 impl Cli {
@@ -145,6 +152,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--resume" => cli.resume = Some(val()?),
             "--isolate" => cli.isolate = val()?.parse()?,
             "--retries" => cli.retries = Some(val()?.parse().map_err(|_| "bad --retries")?),
+            "--trace-dir" => cli.trace_dir = Some(PathBuf::from(val()?)),
+            "--no-replay" => cli.no_replay = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -287,8 +296,13 @@ fn cmd_grid(args: &[String]) -> i32 {
         .chain(std::iter::once("--no-cache".to_owned()))
         .collect();
     let base = (cli.isolate == IsolateMode::Process).then_some(child_base.as_slice());
+    let broker = capture_broker(&cli);
+    let cell_broker = broker.clone();
     let report = run_grid_supervised(&spec, &runner, base, move |w| {
-        results_json::cache_size_curve(&study.run(w))
+        results_json::cache_size_curve(&match &cell_broker {
+            Some(b) => study.run_captured(b, w),
+            None => study.run(w),
+        })
     });
     let curves: Vec<_> = report
         .payloads()
@@ -321,6 +335,19 @@ fn cmd_grid(args: &[String]) -> i32 {
         }
         if report.interrupted {
             manifest = manifest.config_entry("runner_interrupted", 1u64);
+        }
+        // Capture-pipeline counters, likewise only when nonzero.
+        if let Some(b) = &broker {
+            let t = b.counters();
+            if t.captures > 0 {
+                manifest = manifest.config_entry("trace_captures", t.captures);
+            }
+            if t.memory_reuses > 0 {
+                manifest = manifest.config_entry("trace_reuses", t.memory_reuses);
+            }
+            if t.disk_loads > 0 {
+                manifest = manifest.config_entry("trace_disk_loads", t.disk_loads);
+            }
         }
         let doc = JsonValue::object([
             ("manifest", manifest.to_json()),
@@ -360,6 +387,18 @@ fn cmd_grid(args: &[String]) -> i32 {
         }
     }
     i32::from(report.failed_count() > 0)
+}
+
+/// The capture broker the grid flags describe: `None` under
+/// `--no-replay`, disk-backed under `--trace-dir`, in-memory otherwise.
+fn capture_broker(cli: &Cli) -> Option<Arc<CaptureBroker>> {
+    if cli.no_replay {
+        return None;
+    }
+    Some(Arc::new(match &cli.trace_dir {
+        Some(dir) => CaptureBroker::with_store(dir.clone()),
+        None => CaptureBroker::in_memory(),
+    }))
 }
 
 /// The journal configuration `grid` flags describe, or `None` when
@@ -427,7 +466,11 @@ fn cmd_child(args: &[String]) -> i32 {
         return fail("grid requires --cores 8, 16, or 32 (SCMP/MCMP/LCMP)");
     };
     let study = CacheSizeStudy::new(cli.scale, cmp, cli.seed);
-    emit_result(&Ok(results_json::cache_size_curve(&study.run(workload))));
+    let curve = match capture_broker(&cli) {
+        Some(b) => study.run_captured(&b, workload),
+        None => study.run(workload),
+    };
+    emit_result(&Ok(results_json::cache_size_curve(&curve)));
     0
 }
 

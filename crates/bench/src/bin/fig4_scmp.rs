@@ -17,8 +17,13 @@ fn main() {
     let spec = GridSpec::new("fig4_scmp", opts.scale, opts.seed, opts.workloads.clone())
         .param("cmp", CmpClass::Small)
         .param("line", 64);
+    let broker = opts.capture_broker();
+    let cell_broker = broker.clone();
     let report = run_grid(&opts, &spec, move |w| {
-        results_json::cache_size_curve(&study.run(w))
+        results_json::cache_size_curve(&match &cell_broker {
+            Some(b) => study.run_captured(b, w),
+            None => study.run(w),
+        })
     });
     let curves: Vec<_> = report
         .payloads()
@@ -42,10 +47,11 @@ fn main() {
             None => println!("  {:9} none (streaming)", c.workload.to_string()),
         }
     }
-    opts.emit_json_runner(
+    opts.emit_json_traced(
         "fig4_scmp",
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
+        broker.map(|b| b.counters()),
     );
     finish_grid(&opts, &report);
 }

@@ -17,18 +17,24 @@ fn main() {
     let spec = GridSpec::new("fig5_mcmp", opts.scale, opts.seed, opts.workloads.clone())
         .param("cmp", CmpClass::Medium)
         .param("line", 64);
+    let broker = opts.capture_broker();
+    let cell_broker = broker.clone();
     let report = run_grid(&opts, &spec, move |w| {
-        results_json::cache_size_curve(&study.run(w))
+        results_json::cache_size_curve(&match &cell_broker {
+            Some(b) => study.run_captured(b, w),
+            None => study.run(w),
+        })
     });
     let curves: Vec<_> = report
         .payloads()
         .filter_map(results_json::parse_cache_size_curve)
         .collect();
     println!("{}", render_cache_size_figure(&curves));
-    opts.emit_json_runner(
+    opts.emit_json_traced(
         "fig5_mcmp",
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
+        broker.map(|b| b.counters()),
     );
     finish_grid(&opts, &report);
 }

@@ -21,8 +21,13 @@ fn main() {
         opts.workloads.clone(),
     )
     .param("lines", join_list(&paper_line_sizes()));
+    let broker = opts.capture_broker();
+    let cell_broker = broker.clone();
     let report = run_grid(&opts, &spec, move |w| {
-        results_json::line_size_curve(&study.run(w))
+        results_json::line_size_curve(&match &cell_broker {
+            Some(b) => study.run_captured(b, w),
+            None => study.run(w),
+        })
     });
     let curves: Vec<_> = report
         .payloads()
@@ -38,10 +43,11 @@ fn main() {
             c.improvement_at(1024)
         );
     }
-    opts.emit_json_runner(
+    opts.emit_json_traced(
         "fig7_linesize",
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
+        broker.map(|b| b.counters()),
     );
     finish_grid(&opts, &report);
 }

@@ -21,8 +21,13 @@ fn main() {
         opts.workloads.clone(),
     )
     .param("prefetcher", "stride");
+    let broker = opts.capture_broker();
+    let cell_broker = broker.clone();
     let report = run_grid(&opts, &spec, move |w| {
-        results_json::prefetch_result(&study.run(w))
+        results_json::prefetch_result(&match &cell_broker {
+            Some(b) => study.run_captured(b, w),
+            None => study.run(w),
+        })
     });
     let results: Vec<_> = report
         .payloads()
@@ -34,10 +39,11 @@ fn main() {
          for VIEWTYPE/FIMI/PLSA/RSEARCH/SHOT/SVM-RFE, while SNP and MDS gain less in\n\
          parallel because demand misses already saturate the bus."
     );
-    opts.emit_json_runner(
+    opts.emit_json_traced(
         "fig8_prefetch",
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
+        broker.map(|b| b.counters()),
     );
     finish_grid(&opts, &report);
 }

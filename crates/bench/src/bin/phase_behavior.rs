@@ -21,23 +21,48 @@ fn main() {
         opts.seed,
         opts.workloads.clone(),
     );
+    let broker = opts.capture_broker();
+    let cell_broker = broker.clone();
     let report = run_grid(&opts, &spec, move |w| {
-        results_json::phase_entry(w, &study.run(w))
+        results_json::phase_entry(
+            w,
+            &match &cell_broker {
+                Some(b) => study.run_captured(b, w),
+                None => study.run(w),
+            },
+        )
     });
-    let mut t = TextTable::new(["Workload", "Samples", "Mean MPKI", "CoV", "Phases?"]);
+    let mut t = TextTable::new([
+        "Workload",
+        "Samples",
+        "Stalled",
+        "Mean MPKI",
+        "CoV",
+        "Phases?",
+    ]);
     for (w, series) in report
         .payloads()
         .filter_map(results_json::parse_phase_entry)
     {
-        let mean = if series.is_empty() {
+        // A memory-stalled interval (no instructions retired) has NaN
+        // MPKI; it is counted, not averaged — one stalled interval must
+        // not poison the mean of the whole series.
+        let finite: Vec<f64> = series
+            .iter()
+            .map(|p| p.interval_mpki)
+            .filter(|v| v.is_finite())
+            .collect();
+        let stalled = series.len() - finite.len();
+        let mean = if finite.is_empty() {
             0.0
         } else {
-            series.iter().map(|p| p.interval_mpki).sum::<f64>() / series.len() as f64
+            finite.iter().sum::<f64>() / finite.len() as f64
         };
         let cv = PhaseStudy::phase_variability(&series);
         t.row([
             w.to_string(),
             series.len().to_string(),
+            stalled.to_string(),
             format!("{mean:.3}"),
             format!("{cv:.2}"),
             if cv > 0.5 {
@@ -50,10 +75,11 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    opts.emit_json_runner(
+    opts.emit_json_traced(
         "phase_behavior",
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
+        broker.map(|b| b.counters()),
     );
     finish_grid(&opts, &report);
 }

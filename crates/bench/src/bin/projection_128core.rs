@@ -23,8 +23,16 @@ fn main() {
         opts.workloads.clone(),
     )
     .param("cores", join_list(&cores));
+    let broker = opts.capture_broker();
+    let cell_broker = broker.clone();
     let report = run_grid(&opts, &spec, move |w| {
-        results_json::projection_entry(w, &study.run(w, &cores))
+        results_json::projection_entry(
+            w,
+            &match &cell_broker {
+                Some(b) => study.run_captured(b, w, &cores),
+                None => study.run(w, &cores),
+            },
+        )
     });
     let mut t = TextTable::new(
         std::iter::once("Workload".to_owned()).chain(cores.iter().map(|c| format!("{c} cores"))),
@@ -39,10 +47,11 @@ fn main() {
         );
     }
     println!("{}", t.render());
-    opts.emit_json_runner(
+    opts.emit_json_traced(
         "projection_128core",
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
+        broker.map(|b| b.counters()),
     );
     finish_grid(&opts, &report);
 }

@@ -20,8 +20,13 @@ fn main() {
         opts.seed,
         opts.workloads.clone(),
     );
+    let broker = opts.capture_broker();
+    let cell_broker = broker.clone();
     let report = run_grid(&opts, &spec, move |w| {
-        results_json::table2_row(&study.run(w))
+        results_json::table2_row(&match &cell_broker {
+            Some(b) => study.run_captured(b, w),
+            None => study.run(w),
+        })
     });
     let rows: Vec<_> = report
         .payloads()
@@ -32,10 +37,11 @@ fn main() {
         "paper reference (measured on real hardware): IPC 0.06 (MDS) to 1.08 (PLSA);\n\
          %mem 42.3% (RSEARCH) to 83.1% (PLSA); DL2 MPKI 0.18 (PLSA) to 18.95 (MDS)."
     );
-    opts.emit_json_runner(
+    opts.emit_json_traced(
         "table2_characteristics",
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
+        broker.map(|b| b.counters()),
     );
     finish_grid(&opts, &report);
 }

@@ -28,7 +28,14 @@
 //! * `--isolate inline|process` — where grid cells execute; `process`
 //!   re-execs the binary per cell (hidden `__run-job` entrypoint) so
 //!   aborts and OOM kills are contained and retried,
-//! * `--retries N` — extra attempts for a crashed/hung cell (default 1).
+//! * `--retries N` — extra attempts for a crashed/hung cell (default 1),
+//! * `--trace-dir DIR` — persist captured FSB streams content-addressed
+//!   under `DIR`, so later runs (and other binaries sharing a platform
+//!   configuration) replay from disk instead of re-executing,
+//! * `--no-replay` — escape hatch: execute the co-simulation once per
+//!   grid cell, exactly as before capture-once/replay-many existed.
+//!   Output is byte-identical either way; this exists to measure the
+//!   speedup and to bisect any suspected replay divergence.
 //!
 //! The JSON twin carries a run manifest (producer, version, scale, seed,
 //! workloads, wall time) plus a `results` payload built by the
@@ -45,10 +52,12 @@ use cmpsim_core::grid::{self, GridSpec};
 use cmpsim_core::runner::{
     shutdown, IsolateMode, JobError, JournalConfig, RunReport, RunnerConfig, CHILD_ENTRY,
 };
+use cmpsim_core::{CaptureBroker, CaptureCounters};
 use cmpsim_telemetry::{JsonValue, RunManifest};
 use cmpsim_workloads::{Scale, WorkloadId};
 use std::io::IsTerminal as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 pub mod results_json;
@@ -83,6 +92,12 @@ pub struct Options {
     pub isolate: IsolateMode,
     /// Extra attempts for a crashed/hung cell; `None` = the default 1.
     pub retries: Option<u32>,
+    /// On-disk trace store root for captured FSB streams; `None` keeps
+    /// captures in memory only.
+    pub trace_dir: Option<PathBuf>,
+    /// Disable capture-once/replay-many: execute the co-simulation for
+    /// every grid cell (the pre-replay behavior).
+    pub no_replay: bool,
     /// Hidden child mode: compute exactly this one cell and print the
     /// supervisor marker line (`__run-job <WORKLOAD>`).
     pub run_job: Option<WorkloadId>,
@@ -108,6 +123,8 @@ impl Default for Options {
             resume: None,
             isolate: IsolateMode::Inline,
             retries: None,
+            trace_dir: None,
+            no_replay: false,
             run_job: None,
             raw: Vec::new(),
             started: Instant::now(),
@@ -182,6 +199,8 @@ impl Options {
                 "--retries" => {
                     opts.retries = Some(val()?.parse().map_err(|_| "bad --retries value")?);
                 }
+                "--trace-dir" => opts.trace_dir = Some(PathBuf::from(val()?)),
+                "--no-replay" => opts.no_replay = true,
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument `{other}`")),
             }
@@ -237,6 +256,20 @@ impl Options {
                 JournalConfig::new(dir, id)
             }
         })
+    }
+
+    /// The capture broker these options describe: `None` under
+    /// `--no-replay` (every cell executes the co-simulation itself),
+    /// disk-backed under `--trace-dir`, in-memory otherwise. Wrapped in
+    /// an [`Arc`] so grid-cell closures can share one broker.
+    pub fn capture_broker(&self) -> Option<Arc<CaptureBroker>> {
+        if self.no_replay {
+            return None;
+        }
+        Some(Arc::new(match &self.trace_dir {
+            Some(dir) => CaptureBroker::with_store(dir.clone()),
+            None => CaptureBroker::in_memory(),
+        }))
     }
 
     /// The argv a supervised child uses to recompute one cell (minus the
@@ -330,6 +363,22 @@ impl Options {
     /// manifest additionally records the runner counters, and the
     /// document carries the full per-job [`RunReport`] under `runner`.
     pub fn emit_json_runner(&self, name: &str, results: JsonValue, report: &RunReport) {
+        self.emit_json_traced(name, results, report, None);
+    }
+
+    /// Like [`emit_json_runner`](Options::emit_json_runner), but also
+    /// stamps the capture pipeline's counters into the manifest —
+    /// how many FSB streams were captured live, reused from memory, and
+    /// loaded from the `--trace-dir` store. Counters appear only when
+    /// nonzero, so `--no-replay` runs (which pass `None`) and runs where
+    /// nothing was captured produce the exact manifest they always did.
+    pub fn emit_json_traced(
+        &self,
+        name: &str,
+        results: JsonValue,
+        report: &RunReport,
+        trace: Option<CaptureCounters>,
+    ) {
         let Some(path) = self.json_path(name) else {
             return;
         };
@@ -358,6 +407,17 @@ impl Options {
         }
         if report.interrupted {
             manifest = manifest.config_entry("runner_interrupted", 1u64);
+        }
+        if let Some(t) = trace {
+            if t.captures > 0 {
+                manifest = manifest.config_entry("trace_captures", t.captures);
+            }
+            if t.memory_reuses > 0 {
+                manifest = manifest.config_entry("trace_reuses", t.memory_reuses);
+            }
+            if t.disk_loads > 0 {
+                manifest = manifest.config_entry("trace_disk_loads", t.disk_loads);
+            }
         }
         let doc = JsonValue::object([
             ("manifest", manifest.to_json()),
@@ -481,7 +541,7 @@ fn usage(err: &str) -> ! {
         "usage: <bin> [--scale tiny|ci|paper|1/N] [--seed N] [--workloads A,B,C]\n\
          \x20      [--json] [--metrics-out FILE] [--jobs N] [--cache-dir DIR] [--no-cache]\n\
          \x20      [--job-timeout SECONDS] [--journal-dir DIR] [--run-id ID] [--resume ID]\n\
-         \x20      [--isolate inline|process] [--retries N]\n\
+         \x20      [--isolate inline|process] [--retries N] [--trace-dir DIR] [--no-replay]\n\
          workloads: SNP, SVM-RFE, MDS, SHOT, FIMI, VIEWTYPE, PLSA, RSEARCH"
     );
     std::process::exit(2);
@@ -541,6 +601,37 @@ mod tests {
         let o = parse(&["--no-cache", "--cache-dir", "/tmp/c"]).unwrap();
         assert_eq!(o.cache_dir, Some(PathBuf::from("/tmp/c")));
         assert!(parse(&["--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn capture_flags_parse() {
+        // Default: replay on, in-memory broker.
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.trace_dir, None);
+        assert!(!o.no_replay);
+        let broker = o.capture_broker().expect("replay is the default");
+        assert!(broker.store().is_none());
+        // --trace-dir: disk-backed broker.
+        let o = parse(&["--trace-dir", "/tmp/t"]).unwrap();
+        assert_eq!(o.trace_dir, Some(PathBuf::from("/tmp/t")));
+        assert!(o.capture_broker().unwrap().store().is_some());
+        // --no-replay: no broker at all.
+        let o = parse(&["--no-replay", "--trace-dir", "/tmp/t"]).unwrap();
+        assert!(o.no_replay);
+        assert!(o.capture_broker().is_none());
+        assert!(parse(&["--trace-dir"]).unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn capture_flags_flow_to_children() {
+        // A supervised child must see the same capture configuration as
+        // its parent, so a process-isolated cell replays from the same
+        // on-disk store instead of silently re-executing.
+        let o = parse(&["--trace-dir", "/tmp/t", "--no-replay", "--jobs", "4"]).unwrap();
+        let child = o.child_args();
+        assert!(child.windows(2).any(|w| w == ["--trace-dir", "/tmp/t"]));
+        assert!(child.iter().any(|a| a == "--no-replay"));
+        assert!(!child.iter().any(|a| a == "--jobs"));
     }
 
     #[test]

@@ -348,6 +348,8 @@ pub fn parse_projection_entry(v: &JsonValue) -> Option<(WorkloadId, Vec<(usize, 
 /// workload, as parallel `cycles` / `interval_mpki` arrays (a long
 /// sampler series as one object per point would dominate the document).
 /// MPKI is rounded to 1e-6, which is far below the model's fidelity.
+/// A memory-stalled interval (zero instructions retired, NaN MPKI)
+/// serializes as JSON `null` and parses back as NaN.
 pub fn phase_entry(workload: WorkloadId, points: &[PhasePoint]) -> JsonValue {
     JsonValue::object([
         ("workload", JsonValue::from(workload.to_string())),
@@ -387,7 +389,12 @@ pub fn parse_phase_entry(v: &JsonValue) -> Option<(WorkloadId, Vec<PhasePoint>)>
         .map(|(c, m)| {
             Some(PhasePoint {
                 cycle: c.as_u64()?,
-                interval_mpki: m.as_f64()?,
+                // NaN has no JSON spelling; `phase_entry` wrote it as
+                // null, so null reads back as NaN — not as a lost point.
+                interval_mpki: match m {
+                    JsonValue::Null => f64::NAN,
+                    other => other.as_f64()?,
+                },
             })
         })
         .collect::<Option<_>>()?;
@@ -547,6 +554,30 @@ mod tests {
             parse_phase_entry(&phase_entry(WorkloadId::Snp, &phase)).unwrap(),
             (WorkloadId::Snp, phase)
         );
+    }
+
+    #[test]
+    fn memory_stalled_phase_interval_survives_the_json_twin() {
+        // A stalled interval's NaN MPKI has no JSON spelling: it writes
+        // as null and must read back as NaN, not vanish or become 0.
+        let phase = vec![
+            PhasePoint {
+                cycle: 50_000,
+                interval_mpki: f64::NAN,
+            },
+            PhasePoint {
+                cycle: 100_000,
+                interval_mpki: 1.25,
+            },
+        ];
+        let doc = phase_entry(WorkloadId::Fimi, &phase);
+        assert!(doc.to_json().contains("null"), "{}", doc.to_json());
+        let (w, parsed) = parse_phase_entry(&doc).unwrap();
+        assert_eq!(w, WorkloadId::Fimi);
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed[0].interval_mpki.is_nan());
+        assert_eq!(parsed[0].cycle, 50_000);
+        assert_eq!(parsed[1].interval_mpki, 1.25);
     }
 
     #[test]

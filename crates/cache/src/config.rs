@@ -35,6 +35,14 @@ pub enum ConfigError {
     },
     /// Associativity above the supported maximum of 64 ways.
     TooManyWays(u32),
+    /// A banked organization whose total size does not split into equal
+    /// banks.
+    UnevenBanks {
+        /// Total cache capacity in bytes.
+        size: u64,
+        /// Number of banks.
+        banks: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -51,6 +59,9 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::TooManyWays(w) => {
                 write!(f, "associativity {w} exceeds the supported maximum of 64")
+            }
+            ConfigError::UnevenBanks { size, banks } => {
+                write!(f, "size {size} does not divide evenly across {banks} banks")
             }
         }
     }

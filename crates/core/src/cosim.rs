@@ -1,5 +1,6 @@
 //! The SoftSDV ↔ Dragonhead binding.
 
+use crate::capture::{CaptureBroker, CapturedStream};
 use crate::error::CoSimError;
 use crate::validate::Validator;
 use cmpsim_cache::{CacheConfig, CacheStats, ConfigError, HierarchyConfig};
@@ -7,10 +8,13 @@ use cmpsim_dragonhead::{Dragonhead, DragonheadConfig, Sample};
 use cmpsim_faults::FaultInjector;
 use cmpsim_memsys::RunCounts;
 use cmpsim_prefetch::StrideConfig;
+use cmpsim_runner::JobKey;
 use cmpsim_softsdv::{FsbListener, HostNoiseConfig, PlatformConfig, RunSummary, VirtualPlatform};
 use cmpsim_telemetry::{Labels, MetricRegistry, SpanProfiler};
+use cmpsim_trace::file::TraceWriter;
 use cmpsim_trace::FsbTransaction;
-use cmpsim_workloads::Workload;
+use cmpsim_workloads::{Scale, Workload, WorkloadId};
+use std::sync::Arc;
 
 /// Full co-simulation configuration: the virtual platform plus the
 /// emulated LLC.
@@ -180,6 +184,32 @@ impl FsbListener for MultiSnoop<'_> {
     }
 }
 
+/// The tape deck: a listener that records the exact FSB stream in the
+/// compact trace encoding instead of (or before) emulating anything.
+struct Recorder {
+    writer: TraceWriter<Vec<u8>>,
+    /// Transactions whose address was not 64-byte aligned. The trace
+    /// codec works at 64-byte line granularity, so an unaligned address
+    /// would be silently truncated — a lossy capture. Every current
+    /// platform source is aligned (private lines are 64 B, host noise
+    /// is masked, message addresses are shift-aligned); this counter
+    /// turns a future regression into a loud capture-time failure
+    /// instead of a subtly wrong replay.
+    unaligned: u64,
+}
+
+impl FsbListener for Recorder {
+    #[inline]
+    fn transaction(&mut self, txn: &FsbTransaction) {
+        if !txn.addr.raw().is_multiple_of(64) {
+            self.unaligned += 1;
+        }
+        self.writer
+            .write(txn)
+            .expect("writing a trace to memory cannot fail");
+    }
+}
+
 /// A board behind a faulty channel: every platform transaction passes
 /// through the injector, which may drop, duplicate, reorder, or corrupt
 /// it before the board sees anything.
@@ -265,6 +295,147 @@ impl CoSimulation {
         boards
             .iter()
             .map(|dh| Self::report(run.clone(), dh))
+            .collect()
+    }
+
+    /// The content-addressed identity of the FSB stream this
+    /// configuration produces for `{workload, scale, seed}`.
+    ///
+    /// Only platform-side parameters participate: the emulated LLC, its
+    /// banks, the sample period, and the prefetcher all sit *behind*
+    /// the bus and cannot change what crosses it, so every cell of a
+    /// cache-size, line-size, or replacement sweep shares one key — the
+    /// fact the capture-once / replay-many pipeline rests on.
+    pub fn stream_key(&self, workload: WorkloadId, scale: Scale, seed: u64) -> JobKey {
+        JobKey::new("fsb-stream")
+            .field("version", env!("CARGO_PKG_VERSION"))
+            .field("workload", workload)
+            .field("scale", scale)
+            .field("seed", seed)
+            .field("cores", self.cfg.cores)
+            .field("hierarchy", format!("{:?}", self.cfg.hierarchy))
+            .field("noise", format!("{:?}", self.cfg.host_noise))
+    }
+
+    /// Runs the platform once with a recording listener on the bus,
+    /// returning the captured stream (no board is emulated).
+    pub fn capture(&self, workload: WorkloadId, scale: Scale, seed: u64) -> CapturedStream {
+        let mut spans = SpanProfiler::new();
+        self.capture_profiled(workload, scale, seed, &mut spans)
+    }
+
+    /// Like [`capture`](CoSimulation::capture), with wall-clock spans
+    /// for the build/record/seal stages.
+    pub fn capture_profiled(
+        &self,
+        workload: WorkloadId,
+        scale: Scale,
+        seed: u64,
+        spans: &mut SpanProfiler,
+    ) -> CapturedStream {
+        spans.start("capture");
+        spans.start("build");
+        let wl = workload.build(scale, seed);
+        let mut platform = VirtualPlatform::new(self.cfg.platform_config(), wl.as_ref());
+        let mut rec = Recorder {
+            writer: TraceWriter::new(Vec::new()).expect("writing a trace to memory cannot fail"),
+            unaligned: 0,
+        };
+        spans.end();
+        spans.start("record");
+        let run = platform.run(&mut rec);
+        spans.end();
+        spans.start("seal");
+        assert_eq!(
+            rec.writer.clamped(),
+            0,
+            "platform cycles are monotone; a clamped capture would not replay faithfully"
+        );
+        assert_eq!(
+            rec.unaligned, 0,
+            "platform emitted sub-line addresses; the line-granular trace \
+             codec would capture them lossily"
+        );
+        let transactions = rec.writer.count();
+        let bytes = rec
+            .writer
+            .finish()
+            .expect("writing a trace to memory cannot fail");
+        let key = self.stream_key(workload, scale, seed);
+        let stream = CapturedStream::new(&key, bytes, transactions, run);
+        spans.end();
+        spans.end();
+        stream
+    }
+
+    /// Returns the stream for `{workload, scale, seed}` via `broker`:
+    /// captured at most once per key per process, reused (from memory
+    /// or the broker's on-disk store) everywhere else.
+    pub fn captured(
+        &self,
+        broker: &CaptureBroker,
+        workload: WorkloadId,
+        scale: Scale,
+        seed: u64,
+    ) -> Arc<CapturedStream> {
+        broker.stream(&self.stream_key(workload, scale, seed), || {
+            self.capture(workload, scale, seed)
+        })
+    }
+
+    /// Replays a captured stream into this configuration's board,
+    /// producing a report bit-identical to [`run`](CoSimulation::run)
+    /// on the same `{workload, scale, seed}`.
+    pub fn replay(&self, stream: &CapturedStream) -> CoSimReport {
+        let mut spans = SpanProfiler::new();
+        self.replay_profiled(stream, &mut spans)
+    }
+
+    /// Like [`replay`](CoSimulation::replay), with wall-clock spans for
+    /// the build/simulate/report stages.
+    pub fn replay_profiled(
+        &self,
+        stream: &CapturedStream,
+        spans: &mut SpanProfiler,
+    ) -> CoSimReport {
+        spans.start("replay");
+        spans.start("build");
+        let mut dh = Dragonhead::new(self.cfg.dragonhead_config());
+        spans.end();
+        spans.start("simulate");
+        cmpsim_dragonhead::replay(
+            stream.iter(),
+            std::slice::from_mut(&mut dh),
+            stream.run().cycles,
+        )
+        .expect("captured platform cycles are monotone");
+        spans.end();
+        spans.start("report");
+        let report = Self::report(stream.run().clone(), &dh);
+        spans.end();
+        spans.end();
+        report
+    }
+
+    /// Replays a captured stream into one board per LLC in `llcs` —
+    /// the replay-side twin of [`run_sweep`](CoSimulation::run_sweep),
+    /// with the same report per configuration but no re-execution.
+    pub fn replay_sweep(&self, stream: &CapturedStream, llcs: &[CacheConfig]) -> Vec<CoSimReport> {
+        let mut boards: Vec<Dragonhead> = llcs
+            .iter()
+            .map(|&llc| {
+                let mut d = DragonheadConfig::new(llc);
+                d.banks = self.cfg.banks;
+                d.sample_period = self.cfg.sample_period;
+                d.prefetch = self.cfg.prefetch;
+                Dragonhead::new(d)
+            })
+            .collect();
+        cmpsim_dragonhead::replay(stream.iter(), &mut boards, stream.run().cycles)
+            .expect("captured platform cycles are monotone");
+        boards
+            .iter()
+            .map(|dh| Self::report(stream.run().clone(), dh))
             .collect()
     }
 
@@ -435,6 +606,88 @@ mod tests {
         for stage in ["cosim", "build", "simulate", "report"] {
             assert!(names.contains(&stage), "missing span {stage}");
         }
+    }
+
+    #[test]
+    fn replay_of_capture_matches_live_run() {
+        let mut cfg = CoSimConfig::new(2, 1 << 20).unwrap();
+        cfg.sample_period = 1000;
+        let sim = CoSimulation::new(cfg);
+        let wl = WorkloadId::Plsa.build(Scale::tiny(), 1);
+        let live = sim.run(wl.as_ref());
+
+        let stream = sim.capture(WorkloadId::Plsa, Scale::tiny(), 1);
+        assert_eq!(stream.run().instructions, live.run.instructions);
+        assert_eq!(stream.run().cycles, live.run.cycles);
+        let replayed = sim.replay(&stream);
+
+        assert_eq!(replayed.llc, live.llc);
+        assert_eq!(replayed.samples, live.samples);
+        assert_eq!(replayed.per_core_llc, live.per_core_llc);
+        assert_eq!(replayed.run.per_core, live.run.per_core);
+        assert_eq!(replayed.run.l1, live.run.l1);
+        assert_eq!(replayed.run.l2, live.run.l2);
+        assert_eq!(replayed.mpki.to_bits(), live.mpki.to_bits());
+        assert_eq!(replayed.llc_resident_lines, live.llc_resident_lines);
+    }
+
+    #[test]
+    fn replay_sweep_matches_run_sweep() {
+        let cfg = CoSimConfig::new(2, 1 << 20).unwrap();
+        let sim = CoSimulation::new(cfg);
+        let sizes: Vec<CacheConfig> = [1u64 << 18, 1 << 19, 1 << 20]
+            .iter()
+            .map(|&s| CacheConfig::lru(s, 64, 16).unwrap())
+            .collect();
+        let wl = WorkloadId::Viewtype.build(Scale::tiny(), 2);
+        let live = sim.run_sweep(wl.as_ref(), &sizes);
+        let stream = sim.capture(WorkloadId::Viewtype, Scale::tiny(), 2);
+        let replayed = sim.replay_sweep(&stream, &sizes);
+        assert_eq!(replayed.len(), live.len());
+        for (r, l) in replayed.iter().zip(&live) {
+            assert_eq!(r.llc, l.llc);
+            assert_eq!(r.samples, l.samples);
+            assert_eq!(r.per_core_llc, l.per_core_llc);
+            assert_eq!(r.mpki.to_bits(), l.mpki.to_bits());
+        }
+    }
+
+    #[test]
+    fn stream_key_ignores_board_side_parameters() {
+        let base = CoSimConfig::new(2, 1 << 20).unwrap();
+        let sim = CoSimulation::new(base);
+        let key = sim.stream_key(WorkloadId::Fimi, Scale::tiny(), 1);
+        // Board-side knobs (LLC geometry, banks, sampling, prefetch)
+        // cannot change what crosses the bus: same key.
+        let mut board_side = base.with_llc(CacheConfig::lru(1 << 22, 128, 8).unwrap());
+        board_side.banks = 8;
+        board_side.sample_period = 123;
+        let same = CoSimulation::new(board_side).stream_key(WorkloadId::Fimi, Scale::tiny(), 1);
+        assert_eq!(key.canonical(), same.canonical());
+        // Platform-side knobs do: different key.
+        let mut noisy = base;
+        noisy.host_noise = Some(HostNoiseConfig {
+            transactions_per_switch: 4,
+        });
+        let diff = CoSimulation::new(noisy).stream_key(WorkloadId::Fimi, Scale::tiny(), 1);
+        assert_ne!(key.canonical(), diff.canonical());
+        assert_ne!(
+            key.canonical(),
+            sim.stream_key(WorkloadId::Fimi, Scale::tiny(), 2)
+                .canonical()
+        );
+    }
+
+    #[test]
+    fn broker_reuses_one_capture_across_replays() {
+        let cfg = CoSimConfig::new(1, 1 << 20).unwrap();
+        let sim = CoSimulation::new(cfg);
+        let broker = crate::capture::CaptureBroker::in_memory();
+        let a = sim.captured(&broker, WorkloadId::Fimi, Scale::tiny(), 1);
+        let b = sim.captured(&broker, WorkloadId::Fimi, Scale::tiny(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        let counters = broker.counters();
+        assert_eq!((counters.captures, counters.memory_reuses), (1, 1));
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The paper's experiments, each reproducing one table or figure.
 
+use crate::capture::CaptureBroker;
 use crate::cosim::{CoSimConfig, CoSimReport, CoSimulation};
 use cmpsim_cache::{CacheConfig, HierarchyConfig, ReplacementPolicy};
-use cmpsim_dragonhead::DragonheadConfig;
+use cmpsim_dragonhead::{Dragonhead, DragonheadConfig, Sample};
 use cmpsim_memsys::{MachineConfig, RunCounts};
 use cmpsim_prefetch::StrideConfig;
+use cmpsim_softsdv::RunSummary;
 use cmpsim_workloads::{Scale, WorkloadId};
 use std::fmt;
 
@@ -195,9 +197,73 @@ impl CacheSizeStudy {
         }
     }
 
+    /// Like [`run`](CacheSizeStudy::run), but driven from a captured
+    /// stream obtained through `broker`: the workload executes at most
+    /// once per process — or not at all, when the broker's on-disk
+    /// store already holds the stream — and every size is a replay.
+    pub fn run_captured(&self, broker: &CaptureBroker, workload: WorkloadId) -> CacheSizeCurve {
+        self.run_with_sizes_captured(broker, workload, &paper_cache_sizes(self.scale))
+    }
+
+    /// Captured twin of
+    /// [`run_with_sizes`](CacheSizeStudy::run_with_sizes); the two
+    /// produce identical curves.
+    pub fn run_with_sizes_captured(
+        &self,
+        broker: &CaptureBroker,
+        workload: WorkloadId,
+        sizes: &[u64],
+    ) -> CacheSizeCurve {
+        let cfg = CoSimConfig::scaled(self.cmp.cores(), sizes[0], self.scale)
+            .expect("paper sizes are valid geometries");
+        let llcs: Vec<CacheConfig> = sizes
+            .iter()
+            .map(|&s| CacheConfig::lru(s, 64, 16).expect("paper sizes are valid"))
+            .collect();
+        let sim = CoSimulation::new(cfg);
+        let stream = sim.captured(broker, workload, self.scale, self.seed);
+        let reports = sim.replay_sweep(&stream, &llcs);
+        CacheSizeCurve {
+            workload,
+            cmp: self.cmp,
+            points: reports.iter().map(point_of).collect(),
+        }
+    }
+
+    /// Execute-per-cell baseline: one *full* co-simulation per size,
+    /// the way a single FPGA board forced the paper to measure. Exists
+    /// as the wall-clock baseline for the capture/replay speedup
+    /// recorded in `EXPERIMENTS.md`; produces the same curve as
+    /// [`run_with_sizes`](CacheSizeStudy::run_with_sizes).
+    pub fn run_each(&self, workload: WorkloadId, sizes: &[u64]) -> CacheSizeCurve {
+        let points = sizes
+            .iter()
+            .map(|&s| {
+                let wl = workload.build(self.scale, self.seed);
+                let cfg = CoSimConfig::scaled(self.cmp.cores(), s, self.scale)
+                    .expect("paper sizes are valid geometries");
+                let r = CoSimulation::new(cfg).run(wl.as_ref());
+                point_of(&r)
+            })
+            .collect();
+        CacheSizeCurve {
+            workload,
+            cmp: self.cmp,
+            points,
+        }
+    }
+
     /// Runs all eight workloads.
     pub fn run_all(&self) -> Vec<CacheSizeCurve> {
         WorkloadId::all().iter().map(|&w| self.run(w)).collect()
+    }
+
+    /// Captured twin of [`run_all`](CacheSizeStudy::run_all).
+    pub fn run_all_captured(&self, broker: &CaptureBroker) -> Vec<CacheSizeCurve> {
+        WorkloadId::all()
+            .iter()
+            .map(|&w| self.run_captured(broker, w))
+            .collect()
     }
 }
 
@@ -281,6 +347,26 @@ impl LineSizeStudy {
             .map(|&line| llc_config(size, line, 16).expect("paper line sizes clamp to valid"))
             .collect();
         let reports = CoSimulation::new(cfg).run_sweep(wl.as_ref(), &llcs);
+        Self::curve_of(workload, &reports)
+    }
+
+    /// Captured twin of [`run`](LineSizeStudy::run): one stream (shared
+    /// with every other study at this `{workload, cores, scale, seed}`)
+    /// drives one board per line size.
+    pub fn run_captured(&self, broker: &CaptureBroker, workload: WorkloadId) -> LineSizeCurve {
+        let size = self.scale.pow2_bytes(self.llc_paper_bytes, 64 << 10);
+        let cfg = CoSimConfig::scaled(self.cores, size, self.scale).expect("valid geometry");
+        let llcs: Vec<CacheConfig> = paper_line_sizes()
+            .iter()
+            .map(|&line| llc_config(size, line, 16).expect("paper line sizes clamp to valid"))
+            .collect();
+        let sim = CoSimulation::new(cfg);
+        let stream = sim.captured(broker, workload, self.scale, self.seed);
+        let reports = sim.replay_sweep(&stream, &llcs);
+        Self::curve_of(workload, &reports)
+    }
+
+    fn curve_of(workload: WorkloadId, reports: &[CoSimReport]) -> LineSizeCurve {
         LineSizeCurve {
             workload,
             points: reports
@@ -356,6 +442,62 @@ impl PrefetchStudy {
         }
     }
 
+    /// Captured twin of [`run`](PrefetchStudy::run): the serial and
+    /// parallel streams come from `broker`, and the off/on boards are
+    /// driven by replay instead of a second execution.
+    pub fn run_captured(&self, broker: &CaptureBroker, workload: WorkloadId) -> PrefetchResult {
+        let llc_bytes = self.scale.pow2_bytes(self.cache_paper_bytes, 16 << 10);
+        let (serial_speedup, _s_util) = self.speedup_captured(broker, workload, 1, llc_bytes);
+        let (parallel_speedup, parallel_utilization) =
+            self.speedup_captured(broker, workload, self.parallel_threads, llc_bytes);
+        PrefetchResult {
+            workload,
+            serial_speedup,
+            parallel_speedup,
+            parallel_utilization,
+        }
+    }
+
+    /// The off/on board pair both paths drive: one plain, one with an
+    /// era-accurate prefetcher — a small stream table (concurrent
+    /// parallel streams compete for entries, one of the reasons the
+    /// paper's parallel runs see different gains than serial ones),
+    /// conservative degree and distance.
+    fn board_pair(llc: CacheConfig) -> [Dragonhead; 2] {
+        let pf = StrideConfig {
+            table_entries: 64,
+            region_lines: 64,
+            degree: 1,
+            distance: 2,
+            train_threshold: 2,
+        };
+        [
+            Dragonhead::new(DragonheadConfig::new(llc)),
+            Dragonhead::new(DragonheadConfig::new(llc).with_prefetch(pf)),
+        ]
+    }
+
+    fn score(
+        &self,
+        run: &RunSummary,
+        off: &Dragonhead,
+        on: &Dragonhead,
+        threads: usize,
+    ) -> (f64, f64) {
+        let counts = |dh: &Dragonhead| RunCounts {
+            instructions: run.instructions,
+            l2_hits: run.l2.hits,
+            llc_hits: dh.stats().hits,
+            mem_fills: dh.stats().misses,
+            prefetch_fills: dh.prefetch_fills(),
+            mem_writebacks: dh.stats().writebacks + dh.writebacks_to_memory(),
+            threads: threads as u32,
+        };
+        let t_off = self.machine.evaluate(&counts(off));
+        let t_on = self.machine.evaluate(&counts(on));
+        (t_on.speedup_over(&t_off), t_on.utilization)
+    }
+
     fn speedup(&self, workload: WorkloadId, threads: usize, llc_bytes: u64) -> (f64, f64) {
         let wl = workload.build(self.scale, self.seed);
         let cfg = CoSimConfig::scaled(threads, llc_bytes, self.scale).expect("valid geometry");
@@ -368,43 +510,33 @@ impl PrefetchStudy {
             },
             wl.as_ref(),
         );
-        let mut off = cmpsim_dragonhead::Dragonhead::new(DragonheadConfig::new(llc));
-        // Era-accurate prefetcher: a small stream table (concurrent
-        // parallel streams compete for entries, one of the reasons the
-        // paper's parallel runs see different gains than serial ones),
-        // conservative degree and distance.
-        let pf = StrideConfig {
-            table_entries: 64,
-            region_lines: 64,
-            degree: 1,
-            distance: 2,
-            train_threshold: 2,
-        };
-        let mut on =
-            cmpsim_dragonhead::Dragonhead::new(DragonheadConfig::new(llc).with_prefetch(pf));
-        struct Pair<'a>(
-            &'a mut cmpsim_dragonhead::Dragonhead,
-            &'a mut cmpsim_dragonhead::Dragonhead,
-        );
+        let mut boards = Self::board_pair(llc);
+        struct Pair<'a>(&'a mut [Dragonhead; 2]);
         impl cmpsim_softsdv::FsbListener for Pair<'_> {
             fn transaction(&mut self, txn: &cmpsim_trace::FsbTransaction) {
-                self.0.observe(txn);
-                self.1.observe(txn);
+                self.0[0].observe(txn);
+                self.0[1].observe(txn);
             }
         }
-        let run = platform.run(&mut Pair(&mut off, &mut on));
-        let counts = |dh: &cmpsim_dragonhead::Dragonhead| RunCounts {
-            instructions: run.instructions,
-            l2_hits: run.l2.hits,
-            llc_hits: dh.stats().hits,
-            mem_fills: dh.stats().misses,
-            prefetch_fills: dh.prefetch_fills(),
-            mem_writebacks: dh.stats().writebacks + dh.writebacks_to_memory(),
-            threads: threads as u32,
-        };
-        let t_off = self.machine.evaluate(&counts(&off));
-        let t_on = self.machine.evaluate(&counts(&on));
-        (t_on.speedup_over(&t_off), t_on.utilization)
+        let run = platform.run(&mut Pair(&mut boards));
+        self.score(&run, &boards[0], &boards[1], threads)
+    }
+
+    fn speedup_captured(
+        &self,
+        broker: &CaptureBroker,
+        workload: WorkloadId,
+        threads: usize,
+        llc_bytes: u64,
+    ) -> (f64, f64) {
+        let cfg = CoSimConfig::scaled(threads, llc_bytes, self.scale).expect("valid geometry");
+        let llc = CacheConfig::lru(llc_bytes, 64, 16).expect("valid geometry");
+        let sim = CoSimulation::new(cfg);
+        let stream = sim.captured(broker, workload, self.scale, self.seed);
+        let mut boards = Self::board_pair(llc);
+        cmpsim_dragonhead::replay(stream.iter(), &mut boards, stream.run().cycles)
+            .expect("captured platform cycles are monotone");
+        self.score(stream.run(), &boards[0], &boards[1], threads)
     }
 
     /// Runs all eight workloads.
@@ -458,35 +590,51 @@ impl Table2Study {
         }
     }
 
+    fn config(&self) -> CoSimConfig {
+        let mut cfg = CoSimConfig::new(1, 1 << 20)
+            .expect("valid geometry")
+            .with_llc(CacheConfig::lru(1 << 20, 64, 16).expect("valid"));
+        cfg.hierarchy = HierarchyConfig::pentium4_scaled(self.scale);
+        cfg
+    }
+
     /// Characterizes one workload.
     pub fn run(&self, workload: WorkloadId) -> Table2Row {
         let wl = workload.build(self.scale, self.seed);
-        let cfg = CoSimConfig::new(1, 1 << 20)
-            .expect("valid geometry")
-            .with_llc(CacheConfig::lru(1 << 20, 64, 16).expect("valid"));
-        let mut cfg = cfg;
-        cfg.hierarchy = HierarchyConfig::pentium4_scaled(self.scale);
-        let r = CoSimulation::new(cfg).run(wl.as_ref());
+        let r = CoSimulation::new(self.config()).run(wl.as_ref());
+        self.row_of(workload, &r.run)
+    }
+
+    /// Captured twin of [`run`](Table2Study::run). Every Table 2 column
+    /// is platform-side, so this needs only the stream's run summary —
+    /// no board is even replayed.
+    pub fn run_captured(&self, broker: &CaptureBroker, workload: WorkloadId) -> Table2Row {
+        let sim = CoSimulation::new(self.config());
+        let stream = sim.captured(broker, workload, self.scale, self.seed);
+        self.row_of(workload, stream.run())
+    }
+
+    fn row_of(&self, workload: WorkloadId, run: &RunSummary) -> Table2Row {
         // The P4 has no LLC: memory traffic = DL2 misses.
         let counts = RunCounts {
-            instructions: r.run.instructions,
-            l2_hits: r.run.l2.hits,
+            instructions: run.instructions,
+            l2_hits: run.l2.hits,
             llc_hits: 0,
-            mem_fills: r.run.l2.misses,
+            mem_fills: run.l2.misses,
             prefetch_fills: 0,
-            mem_writebacks: r.run.l2.writebacks,
+            mem_writebacks: run.l2.writebacks,
             threads: 1,
         };
         let timing = self.machine.evaluate(&counts);
         Table2Row {
             workload,
             ipc: timing.ipc,
-            instructions: r.run.instructions,
-            memory_fraction: r.run.memory_fraction(),
-            read_fraction: r.run.loads as f64 / r.run.instructions.max(1) as f64,
-            dl1_apki: r.run.l1.apki(r.run.instructions),
-            dl1_mpki: r.run.l1.mpki(r.run.instructions),
-            dl2_mpki: r.run.l2.mpki(r.run.instructions),
+            instructions: run.instructions,
+            memory_fraction: run.memory_fraction(),
+            read_fraction: run.loads as f64 / run.instructions.max(1) as f64,
+            dl1_apki: run.l1.apki(run.instructions),
+            dl1_mpki: run.l1.mpki(run.instructions),
+            dl2_mpki: run.l2.mpki(run.instructions),
         }
     }
 
@@ -543,6 +691,25 @@ impl SharingStudy {
         };
         let single = misses(1);
         let eight = misses(8);
+        Self::result_of(workload, single, eight)
+    }
+
+    /// Captured twin of [`run`](SharingStudy::run). The two thread
+    /// counts are two *different* streams (thread count is
+    /// platform-side), but each is shared with every other study at the
+    /// same configuration.
+    pub fn run_captured(&self, broker: &CaptureBroker, workload: WorkloadId) -> SharingResult {
+        let llc = self.scale.pow2_bytes(self.llc_paper_bytes, 64 << 10);
+        let mpki = |threads: usize| {
+            let cfg = CoSimConfig::scaled(threads, llc, self.scale).expect("valid geometry");
+            let sim = CoSimulation::new(cfg);
+            let stream = sim.captured(broker, workload, self.scale, self.seed);
+            sim.replay(&stream).mpki
+        };
+        Self::result_of(workload, mpki(1), mpki(8))
+    }
+
+    fn result_of(workload: WorkloadId, single: f64, eight: f64) -> SharingResult {
         SharingResult {
             workload,
             miss_growth_8x: if single > 0.0 { eight / single } else { 1.0 },
@@ -600,6 +767,52 @@ impl ReplacementStudy {
         })
         .collect()
     }
+
+    /// Captured twin of [`run`](ReplacementStudy::run): replacement
+    /// policy is purely board-side, so all four policies (28 boards in
+    /// total) replay one stream.
+    pub fn run_captured(
+        &self,
+        broker: &CaptureBroker,
+        workload: WorkloadId,
+    ) -> Vec<(ReplacementPolicy, CacheSizeCurve)> {
+        let sizes = paper_cache_sizes(self.scale);
+        let cfg = CoSimConfig::scaled(CmpClass::Small.cores(), sizes[0], self.scale)
+            .expect("valid geometry");
+        let sim = CoSimulation::new(cfg);
+        let stream = sim.captured(broker, workload, self.scale, self.seed);
+        [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ]
+        .iter()
+        .map(|&policy| {
+            let llcs: Vec<CacheConfig> = sizes
+                .iter()
+                .map(|&s| {
+                    CacheConfig::builder()
+                        .size_bytes(s)
+                        .line_bytes(64)
+                        .associativity(16)
+                        .replacement(policy)
+                        .build()
+                        .expect("valid geometry")
+                })
+                .collect();
+            let reports = sim.replay_sweep(&stream, &llcs);
+            (
+                policy,
+                CacheSizeCurve {
+                    workload,
+                    cmp: CmpClass::Small,
+                    points: reports.iter().map(point_of).collect(),
+                },
+            )
+        })
+        .collect()
+    }
 }
 
 /// E-X3: thread-scaling projection beyond the paper's 32 cores (§4.3
@@ -634,6 +847,26 @@ impl ProjectionStudy {
                 let cfg = CoSimConfig::scaled(n, llc, self.scale).expect("valid geometry");
                 let r = CoSimulation::new(cfg).run(wl.as_ref());
                 (n, r.mpki)
+            })
+            .collect()
+    }
+
+    /// Captured twin of [`run`](ProjectionStudy::run): each core count
+    /// is its own stream (platform-side), replayed into the fixed LLC.
+    pub fn run_captured(
+        &self,
+        broker: &CaptureBroker,
+        workload: WorkloadId,
+        cores: &[usize],
+    ) -> Vec<(usize, f64)> {
+        let llc = self.scale.pow2_bytes(self.llc_paper_bytes, 64 << 10);
+        cores
+            .iter()
+            .map(|&n| {
+                let cfg = CoSimConfig::scaled(n, llc, self.scale).expect("valid geometry");
+                let sim = CoSimulation::new(cfg);
+                let stream = sim.captured(broker, workload, self.scale, self.seed);
+                (n, sim.replay(&stream).mpki)
             })
             .collect()
     }
@@ -696,9 +929,7 @@ impl LlcOrganizationStudy {
     /// Runs one workload under both organizations (one platform run,
     /// both organizations snooping the same bus).
     pub fn run(&self, workload: WorkloadId) -> LlcOrganizationResult {
-        use cmpsim_dragonhead::Dragonhead;
         let total = self.scale.pow2_bytes(self.llc_paper_bytes, 64 << 10);
-        let slice = (total / self.cores as u64).max(16 << 10);
         let wl = workload.build(self.scale, self.seed);
         let cfg = CoSimConfig::scaled(self.cores, total, self.scale).expect("valid geometry");
 
@@ -710,53 +941,88 @@ impl LlcOrganizationStudy {
             },
             wl.as_ref(),
         );
+        let mut router = self.router();
+        let run = platform.run(&mut router);
+        Self::result_of(workload, &router, run.instructions)
+    }
+
+    /// Captured twin of [`run`](LlcOrganizationStudy::run): the same
+    /// router walks the recorded stream instead of a live bus.
+    pub fn run_captured(
+        &self,
+        broker: &CaptureBroker,
+        workload: WorkloadId,
+    ) -> LlcOrganizationResult {
+        use cmpsim_softsdv::FsbListener as _;
+        let total = self.scale.pow2_bytes(self.llc_paper_bytes, 64 << 10);
+        let cfg = CoSimConfig::scaled(self.cores, total, self.scale).expect("valid geometry");
+        let sim = CoSimulation::new(cfg);
+        let stream = sim.captured(broker, workload, self.scale, self.seed);
+        let mut router = self.router();
+        for txn in stream.iter() {
+            router.transaction(&txn);
+        }
+        Self::result_of(workload, &router, stream.run().instructions)
+    }
+
+    fn router(&self) -> OrgRouter {
+        let total = self.scale.pow2_bytes(self.llc_paper_bytes, 64 << 10);
+        let slice = (total / self.cores as u64).max(16 << 10);
         let shared_cfg = llc_config(total, 64, 16).expect("scaled totals clamp to valid");
         let slice_cfg = llc_config(slice, 64, 16).expect("scaled slices clamp to valid");
-        let mut shared_board = Dragonhead::new(DragonheadConfig::new(shared_cfg));
-        // One private slice per core; each slice gets a full Dragonhead
-        // (its AF tracks the same core-id messages, and we route by the
-        // *attributed* core).
-        let mut slices: Vec<Dragonhead> = (0..self.cores)
-            .map(|_| Dragonhead::new(DragonheadConfig::new(slice_cfg)))
-            .collect();
-
-        struct Router<'a> {
-            shared: &'a mut Dragonhead,
-            slices: &'a mut [Dragonhead],
-            codec: cmpsim_trace::MessageCodec,
-            core: usize,
-        }
-        impl cmpsim_softsdv::FsbListener for Router<'_> {
-            fn transaction(&mut self, txn: &cmpsim_trace::FsbTransaction) {
-                self.shared.observe(txn);
-                if txn.is_message() {
-                    if let Ok(Some(cmpsim_trace::Message::CoreId(c))) = self.codec.decode(txn) {
-                        self.core = c as usize % self.slices.len();
-                    }
-                    // Every slice sees every control message.
-                    for s in self.slices.iter_mut() {
-                        s.observe(txn);
-                    }
-                } else {
-                    self.slices[self.core].observe(txn);
-                }
-            }
-        }
-        let run = platform.run(&mut Router {
-            shared: &mut shared_board,
-            slices: &mut slices,
+        OrgRouter {
+            shared: Dragonhead::new(DragonheadConfig::new(shared_cfg)),
+            // One private slice per core; each slice gets a full
+            // Dragonhead (its AF tracks the same core-id messages, and
+            // we route by the *attributed* core).
+            slices: (0..self.cores)
+                .map(|_| Dragonhead::new(DragonheadConfig::new(slice_cfg)))
+                .collect(),
             codec: cmpsim_trace::MessageCodec::new(),
             core: 0,
-        });
-        let private_misses: u64 = slices.iter().map(|s| s.stats().misses).sum();
+        }
+    }
+
+    fn result_of(
+        workload: WorkloadId,
+        router: &OrgRouter,
+        instructions: u64,
+    ) -> LlcOrganizationResult {
+        let private_misses: u64 = router.slices.iter().map(|s| s.stats().misses).sum();
         LlcOrganizationResult {
             workload,
-            shared_mpki: shared_board.stats().mpki(run.instructions),
+            shared_mpki: router.shared.stats().mpki(instructions),
             private_mpki: cmpsim_cache::CacheStats {
                 misses: private_misses,
                 ..Default::default()
             }
-            .mpki(run.instructions),
+            .mpki(instructions),
+        }
+    }
+}
+
+/// Both organizations on one bus: a shared board plus per-core private
+/// slices, with data traffic routed by the attributed core.
+struct OrgRouter {
+    shared: Dragonhead,
+    slices: Vec<Dragonhead>,
+    codec: cmpsim_trace::MessageCodec,
+    core: usize,
+}
+
+impl cmpsim_softsdv::FsbListener for OrgRouter {
+    fn transaction(&mut self, txn: &cmpsim_trace::FsbTransaction) {
+        self.shared.observe(txn);
+        if txn.is_message() {
+            if let Ok(Some(cmpsim_trace::Message::CoreId(c))) = self.codec.decode(txn) {
+                self.core = c as usize % self.slices.len();
+            }
+            // Every slice sees every control message.
+            for s in self.slices.iter_mut() {
+                s.observe(txn);
+            }
+        } else {
+            self.slices[self.core].observe(txn);
         }
     }
 }
@@ -802,17 +1068,34 @@ impl PhaseStudy {
         }
     }
 
+    fn config(&self) -> CoSimConfig {
+        let llc = self.scale.pow2_bytes(self.llc_paper_bytes, 64 << 10);
+        let mut cfg = CoSimConfig::scaled(self.cores, llc, self.scale).expect("valid geometry");
+        cfg.sample_period = self.sample_period;
+        cfg
+    }
+
     /// Runs one workload to completion and returns its MPKI-over-time
     /// series.
     pub fn run(&self, workload: WorkloadId) -> Vec<PhasePoint> {
-        let llc = self.scale.pow2_bytes(self.llc_paper_bytes, 64 << 10);
         let wl = workload.build(self.scale, self.seed);
-        let mut cfg = CoSimConfig::scaled(self.cores, llc, self.scale).expect("valid geometry");
-        cfg.sample_period = self.sample_period;
-        let r = CoSimulation::new(cfg).run(wl.as_ref());
-        let mut out = Vec::with_capacity(r.samples.len());
-        let mut prev = cmpsim_dragonhead::Sample::default();
-        for s in &r.samples {
+        let r = CoSimulation::new(self.config()).run(wl.as_ref());
+        Self::series_of(&r.samples)
+    }
+
+    /// Captured twin of [`run`](PhaseStudy::run): the sampler runs
+    /// during replay (sampling is board-side), so the series is
+    /// identical to the live one.
+    pub fn run_captured(&self, broker: &CaptureBroker, workload: WorkloadId) -> Vec<PhasePoint> {
+        let sim = CoSimulation::new(self.config());
+        let stream = sim.captured(broker, workload, self.scale, self.seed);
+        Self::series_of(&sim.replay(&stream).samples)
+    }
+
+    fn series_of(samples: &[Sample]) -> Vec<PhasePoint> {
+        let mut out = Vec::with_capacity(samples.len());
+        let mut prev = Sample::default();
+        for s in samples {
             out.push(PhasePoint {
                 cycle: s.cycle,
                 interval_mpki: s.interval_mpki(&prev),
@@ -1039,6 +1322,99 @@ mod tests {
         ];
         assert_eq!(PhaseStudy::phase_variability(&series), 0.0);
         assert_eq!(PhaseStudy::phase_variability(&[]), 0.0);
+    }
+
+    #[test]
+    fn captured_cache_size_curve_matches_direct_and_per_cell() {
+        let study = CacheSizeStudy::new(Scale::tiny(), CmpClass::Small, 1);
+        let direct = study.run_with_sizes(WorkloadId::SvmRfe, &TINY_SIZES);
+        let broker = CaptureBroker::in_memory();
+        let captured = study.run_with_sizes_captured(&broker, WorkloadId::SvmRfe, &TINY_SIZES);
+        assert_eq!(captured, direct, "replayed curve must be bit-identical");
+        assert_eq!(broker.counters().captures, 1);
+        // The execute-per-cell baseline (the `--no-replay` path at study
+        // level) produces the same curve too.
+        let per_cell = study.run_each(WorkloadId::SvmRfe, &TINY_SIZES);
+        assert_eq!(per_cell, direct);
+    }
+
+    #[test]
+    fn captured_studies_match_direct() {
+        let broker = CaptureBroker::in_memory();
+
+        let t2 = Table2Study::new(Scale::tiny(), 4);
+        assert_eq!(
+            t2.run_captured(&broker, WorkloadId::Plsa),
+            t2.run(WorkloadId::Plsa)
+        );
+
+        let org = LlcOrganizationStudy {
+            cores: 2,
+            ..LlcOrganizationStudy::new(Scale::tiny(), 8)
+        };
+        assert_eq!(
+            org.run_captured(&broker, WorkloadId::Shot),
+            org.run(WorkloadId::Shot)
+        );
+
+        let mut phase = PhaseStudy::new(Scale::tiny(), 6);
+        phase.cores = 2;
+        phase.sample_period = 5_000;
+        let live = phase.run(WorkloadId::Fimi);
+        let replayed = phase.run_captured(&broker, WorkloadId::Fimi);
+        assert_eq!(replayed.len(), live.len());
+        for (r, l) in replayed.iter().zip(&live) {
+            assert_eq!(r.cycle, l.cycle);
+            assert_eq!(r.interval_mpki.to_bits(), l.interval_mpki.to_bits());
+        }
+    }
+
+    #[test]
+    fn captured_prefetch_and_replacement_match_direct() {
+        let broker = CaptureBroker::in_memory();
+
+        let mut pf = PrefetchStudy::new(Scale::tiny(), 3);
+        pf.parallel_threads = 2;
+        assert_eq!(
+            pf.run_captured(&broker, WorkloadId::Shot),
+            pf.run(WorkloadId::Shot)
+        );
+
+        let rp = ReplacementStudy {
+            scale: Scale::tiny(),
+            seed: 2,
+        };
+        // The replacement ablation reuses one stream for all four
+        // policies: exactly one capture for this key.
+        let before = broker.counters().captures;
+        let captured = rp.run_captured(&broker, WorkloadId::Fimi);
+        assert_eq!(broker.counters().captures, before + 1);
+        let direct = rp.run(WorkloadId::Fimi);
+        assert_eq!(captured, direct);
+    }
+
+    #[test]
+    #[ignore = "wall-clock benchmark; run manually and record in EXPERIMENTS.md"]
+    fn replay_speedup_benchmark() {
+        use std::time::Instant;
+        let study = CacheSizeStudy::new(Scale::ci(), CmpClass::Small, 1);
+        let sizes = paper_cache_sizes(Scale::ci());
+        let t0 = Instant::now();
+        let per_cell = study.run_each(WorkloadId::Fimi, &sizes);
+        let t_each = t0.elapsed();
+        let broker = CaptureBroker::in_memory();
+        let t1 = Instant::now();
+        let replayed = study.run_with_sizes_captured(&broker, WorkloadId::Fimi, &sizes);
+        let t_replay = t1.elapsed();
+        assert_eq!(per_cell, replayed);
+        let speedup = t_each.as_secs_f64() / t_replay.as_secs_f64();
+        println!(
+            "execute-per-cell: {t_each:?}, capture+replay: {t_replay:?}, speedup {speedup:.2}x"
+        );
+        assert!(
+            speedup >= 2.0,
+            "capture/replay must beat execute-per-cell by 2x, got {speedup:.2}x"
+        );
     }
 
     #[test]

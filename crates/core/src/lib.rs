@@ -36,6 +36,7 @@
 //! # Ok::<(), cmpsim_cache::ConfigError>(())
 //! ```
 
+pub mod capture;
 pub mod cosim;
 pub mod error;
 pub mod experiment;
@@ -55,6 +56,7 @@ pub use cmpsim_telemetry as tel;
 pub use cmpsim_trace as trace;
 pub use cmpsim_workloads as workloads;
 
+pub use capture::{CaptureBroker, CaptureCounters, CapturedStream, TraceStore};
 pub use cmpsim_workloads::{Scale, WorkloadId};
 pub use cosim::{CoSimConfig, CoSimReport, CoSimulation};
 pub use error::CoSimError;

@@ -29,6 +29,12 @@ impl BankedCache {
         if banks == 0 {
             return Err(ConfigError::Zero("bank count"));
         }
+        if !cfg.size_bytes().is_multiple_of(u64::from(banks)) {
+            return Err(ConfigError::UnevenBanks {
+                size: cfg.size_bytes(),
+                banks,
+            });
+        }
         let per_bank = CacheConfig::builder()
             .size_bytes(cfg.size_bytes() / u64::from(banks))
             .line_bytes(cfg.line_bytes())
@@ -188,6 +194,22 @@ mod tests {
     fn zero_banks_rejected() {
         let cfg = CacheConfig::lru(1 << 20, 64, 16).unwrap();
         assert!(BankedCache::new(cfg, 0).is_err());
+    }
+
+    #[test]
+    fn uneven_bank_split_rejected() {
+        // 1 MiB across 3 banks would silently truncate to 3 × 349525 B;
+        // the doc promises a ConfigError instead.
+        let cfg = CacheConfig::lru(1 << 20, 64, 16).unwrap();
+        match BankedCache::new(cfg, 3) {
+            Err(ConfigError::UnevenBanks { size, banks }) => {
+                assert_eq!((size, banks), (1 << 20, 3));
+            }
+            other => panic!("expected UnevenBanks error, got {other:?}"),
+        }
+        // The error message names both offending quantities.
+        let msg = BankedCache::new(cfg, 3).unwrap_err().to_string();
+        assert!(msg.contains("1048576") && msg.contains("3 banks"), "{msg}");
     }
 
     #[test]

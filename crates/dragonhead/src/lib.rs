@@ -49,9 +49,11 @@
 pub mod af;
 pub mod cc;
 pub mod emulator;
+pub mod replay;
 pub mod sampler;
 
 pub use af::{AddressFilter, FilterOutcome, MAX_PLAUSIBLE_CORES};
 pub use cc::BankedCache;
 pub use emulator::{Dragonhead, DragonheadConfig};
+pub use replay::replay;
 pub use sampler::{Sample, Sampler, SamplerError};

@@ -41,11 +41,21 @@ pub struct Sample {
 impl Sample {
     /// Misses per 1000 instructions *in the interval* ending at `self`,
     /// given the previous sample.
+    ///
+    /// An interval that retired no instructions but still missed is a
+    /// memory-stalled interval, not a perfect one: it yields
+    /// [`f64::NAN`] so downstream renderers can mark it explicitly
+    /// instead of plotting 0 MPKI. A truly idle interval (no
+    /// instructions *and* no misses) stays `0.0`.
     pub fn interval_mpki(&self, prev: &Sample) -> f64 {
         let di = self.instructions.saturating_sub(prev.instructions);
         let dm = self.misses.saturating_sub(prev.misses);
         if di == 0 {
-            0.0
+            if dm == 0 {
+                0.0
+            } else {
+                f64::NAN
+            }
         } else {
             dm as f64 * 1000.0 / di as f64
         }
@@ -191,6 +201,28 @@ mod tests {
         };
         assert!((b.interval_mpki(&a) - 3.0).abs() < 1e-12);
         assert_eq!(a.interval_mpki(&a), 0.0);
+    }
+
+    #[test]
+    fn memory_stalled_interval_is_nan_not_zero() {
+        let a = Sample {
+            cycle: 100,
+            instructions: 1000,
+            accesses: 10,
+            misses: 2,
+        };
+        // No instructions retired, but the interval missed: a stalled
+        // interval must not render as 0 MPKI (perfect).
+        let stalled = Sample {
+            cycle: 200,
+            instructions: 1000,
+            accesses: 14,
+            misses: 6,
+        };
+        assert!(stalled.interval_mpki(&a).is_nan());
+        // Idle interval (no instructions, no misses) stays 0.0.
+        let idle = Sample { cycle: 200, ..a };
+        assert_eq!(idle.interval_mpki(&a), 0.0);
     }
 
     #[test]

@@ -72,7 +72,15 @@ impl Timeline {
             accesses: da,
             misses: dm,
             mpki: if di == 0 {
-                0.0
+                // Misses with no instructions retired is a memory-stalled
+                // interval: the rate is undefined, not zero. A truly idle
+                // interval (no misses either) stays at 0.0. NaN serializes
+                // as JSON `null` and CSV `NaN`.
+                if dm == 0 {
+                    0.0
+                } else {
+                    f64::NAN
+                }
             } else {
                 dm as f64 * 1000.0 / di as f64
             },
@@ -177,6 +185,21 @@ mod tests {
         assert_eq!(r.mpki, 0.0);
         assert_eq!(r.miss_ratio, 0.0);
         assert!(r.bus_utilization == 0.0);
+    }
+
+    #[test]
+    fn memory_stalled_interval_is_nan_not_zero() {
+        let mut t = Timeline::new();
+        t.push_cumulative(100, 1000, 10, 2);
+        // 50 more misses while not a single instruction retires: the
+        // interval is memory-stalled, and 0.0 would read as "no misses".
+        t.push_cumulative(200, 1000, 60, 52);
+        let r = t.records()[1];
+        assert_eq!(r.misses, 50);
+        assert!(r.mpki.is_nan(), "mpki {}", r.mpki);
+        // The undefined rate must survive both export formats.
+        assert!(t.to_json().to_json().contains("null"));
+        assert!(t.to_csv().lines().nth(2).unwrap().contains("NaN"));
     }
 
     #[test]

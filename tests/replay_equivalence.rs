@@ -1,0 +1,133 @@
+//! Tier-1 capture/replay equivalence guarantee: a figure binary must
+//! produce byte-identical stdout, identical JSON `results`, and
+//! identical journalled `job_done` records whether each grid cell
+//! replays one captured FSB stream into every LLC configuration (the
+//! default), re-executes the co-simulation per configuration
+//! (`--no-replay`), or replays streams loaded from an on-disk
+//! `--trace-dir` store written by an earlier run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmpsim-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Every run is `--no-cache`: the result cache must not mask whether
+/// capture/replay actually produced these bytes.
+fn run_fig4(extra: &[&str], metrics_out: &Path) -> Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig4_scmp"))
+        .args([
+            "--scale",
+            "tiny",
+            "--workloads",
+            "FIMI,SHOT",
+            "--seed",
+            "7",
+            "--no-cache",
+            "--metrics-out",
+        ])
+        .arg(metrics_out)
+        .args(extra)
+        .output()
+        .expect("spawn fig4_scmp");
+    assert!(
+        out.status.success(),
+        "fig4_scmp {extra:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn read_doc(path: &Path) -> cmpsim_telemetry::JsonValue {
+    let text = std::fs::read_to_string(path).expect("read json twin");
+    cmpsim_telemetry::parse(&text).expect("parse json twin")
+}
+
+fn counter(doc: &cmpsim_telemetry::JsonValue, key: &str) -> Option<u64> {
+    doc.get_path(&["manifest", "config", key])
+        .and_then(|v| v.as_u64())
+}
+
+/// The journalled `job_done` lines of run `id`, verbatim. Start/end
+/// records carry run identity; the terminal outcomes are what must not
+/// depend on the execution strategy.
+fn job_done_lines(journal_dir: &Path, id: &str) -> Vec<String> {
+    let text =
+        std::fs::read_to_string(journal_dir.join(format!("{id}.jsonl"))).expect("read journal");
+    text.lines()
+        .filter(|l| l.contains("\"job_done\""))
+        .map(|l| {
+            // The framing (len + checksum) and the record body are both
+            // deterministic; only the key may embed the run id — it does
+            // not, so the whole line is comparable after a sanity check.
+            assert!(!l.contains(id), "journal line embeds the run id: {l}");
+            l.to_owned()
+        })
+        .collect()
+}
+
+#[test]
+fn replayed_grid_matches_execute_per_cell() {
+    let dir = temp_dir("replay-eq");
+    let traces = dir.join("traces");
+    let journal = dir.join("journal");
+    let jflag = journal.to_str().unwrap().to_owned();
+
+    // The baseline: one full co-simulation per grid cell and LLC size,
+    // exactly the paper's single-FPGA methodology.
+    let executed = run_fig4(
+        &["--no-replay", "--journal-dir", &jflag, "--run-id", "exec"],
+        &dir.join("exec.json"),
+    );
+    // Capture-once/replay-many with the in-memory broker (the default).
+    let replayed = run_fig4(
+        &["--journal-dir", &jflag, "--run-id", "replay"],
+        &dir.join("replay.json"),
+    );
+    // Capture to an on-disk store, then replay a second run entirely
+    // from it.
+    let tflag = traces.to_str().unwrap().to_owned();
+    let cold = run_fig4(&["--trace-dir", &tflag], &dir.join("cold.json"));
+    let warm = run_fig4(&["--trace-dir", &tflag], &dir.join("warm.json"));
+
+    // Stdout is byte-identical across all four strategies.
+    assert_eq!(executed.stdout, replayed.stdout, "replay stdout differs");
+    assert_eq!(executed.stdout, cold.stdout, "cold-store stdout differs");
+    assert_eq!(executed.stdout, warm.stdout, "warm-store stdout differs");
+
+    // So is the JSON results payload.
+    let exec_doc = read_doc(&dir.join("exec.json"));
+    let results = exec_doc.get("results").expect("results key");
+    assert_eq!(results.as_array().map(<[_]>::len), Some(2));
+    for name in ["replay", "cold", "warm"] {
+        let doc = read_doc(&dir.join(format!("{name}.json")));
+        assert_eq!(Some(results), doc.get("results"), "{name} results differ");
+    }
+
+    // The manifest counters tell the strategies apart: --no-replay never
+    // captured; the in-memory and cold-store runs captured one stream
+    // per workload; the warm run captured nothing and loaded both from
+    // disk.
+    let replay_doc = read_doc(&dir.join("replay.json"));
+    let cold_doc = read_doc(&dir.join("cold.json"));
+    let warm_doc = read_doc(&dir.join("warm.json"));
+    assert_eq!(counter(&exec_doc, "trace_captures"), None);
+    assert_eq!(counter(&replay_doc, "trace_captures"), Some(2));
+    assert_eq!(counter(&replay_doc, "trace_disk_loads"), None);
+    assert_eq!(counter(&cold_doc, "trace_captures"), Some(2));
+    assert_eq!(counter(&warm_doc, "trace_captures"), None);
+    assert_eq!(counter(&warm_doc, "trace_disk_loads"), Some(2));
+
+    // And the write-ahead journal recorded byte-identical terminal
+    // outcomes for every cell.
+    let exec_journal = job_done_lines(&journal, "exec");
+    let replay_journal = job_done_lines(&journal, "replay");
+    assert_eq!(exec_journal.len(), 2);
+    assert_eq!(exec_journal, replay_journal, "journal outcomes differ");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
