@@ -40,5 +40,5 @@ fn main() {
         &report,
         broker.map(|b| b.counters()),
     );
-    finish_grid(&opts, &report);
+    finish_grid(&opts, &spec, &report);
 }

@@ -26,9 +26,13 @@ use cmpsim_core::experiment::{CacheSizeStudy, CmpClass};
 use cmpsim_core::grid::{self, run_grid_supervised, GridSpec};
 use cmpsim_core::report::{human_bytes, TextTable};
 use cmpsim_core::runner::{
-    emit_result, shutdown, IsolateMode, JournalConfig, RunnerConfig, CHILD_ENTRY,
+    child_trace_requested, emit_result, emit_trace, record, shutdown, IsolateMode, JournalConfig,
+    RunnerConfig, CHILD_ENTRY,
 };
-use cmpsim_core::tel::{write_json_file, JsonValue, RunManifest, SpanProfiler};
+use cmpsim_core::tel::trace::{self as ftrace, FlightRecorder, TraceSummary};
+use cmpsim_core::tel::{
+    chrome_trace, scrub_path, write_json_file, JsonValue, RunManifest, SpanProfiler,
+};
 use cmpsim_core::{telemetry, CaptureBroker, Scale, WorkloadId};
 use cmpsim_dragonhead::{Dragonhead, DragonheadConfig};
 use cmpsim_trace::file::{TraceReader, TraceWriter};
@@ -46,19 +50,22 @@ fn main() {
         Some("grid") => cmd_grid(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some(entry) if entry == CHILD_ENTRY => cmd_child(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cmpsim <list|run|grid|record|replay> [options]\n\
+                "usage: cmpsim <list|run|grid|record|replay|report> [options]\n\
                  run    --workload NAME --cores N [--llc SIZE] [--line N] [--scale S] [--prefetch]\n\
                         [--json] [--metrics-out FILE]\n\
                  grid   --cores 8|16|32 [--workloads A,B,C] [--scale S] [--seed N] [--jobs N]\n\
                         [--cache-dir DIR] [--no-cache] [--json] [--metrics-out FILE]\n\
                         [--journal-dir DIR] [--run-id ID] [--resume ID]\n\
                         [--isolate inline|process] [--retries N]\n\
-                        [--trace-dir DIR] [--no-replay]\n\
+                        [--trace-dir DIR] [--no-replay] [--trace-out FILE] [--quiet]\n\
                  record --workload NAME --cores N --out FILE [--scale S]\n\
-                 replay --trace FILE [--llc SIZE] [--line N] [--json] [--metrics-out FILE]"
+                 replay --trace FILE [--llc SIZE] [--line N] [--json] [--metrics-out FILE]\n\
+                 report <RUN-ID> [--journal-dir DIR] [--top K]\n\
+                 report --compare <RUN-A> <RUN-B> [--journal-dir DIR]"
             );
             2
         }
@@ -89,6 +96,8 @@ struct Cli {
     retries: Option<u32>,
     trace_dir: Option<PathBuf>,
     no_replay: bool,
+    trace_out: Option<PathBuf>,
+    quiet: bool,
 }
 
 impl Cli {
@@ -154,6 +163,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--retries" => cli.retries = Some(val()?.parse().map_err(|_| "bad --retries")?),
             "--trace-dir" => cli.trace_dir = Some(PathBuf::from(val()?)),
             "--no-replay" => cli.no_replay = true,
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(val()?)),
+            "--quiet" => cli.quiet = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -276,15 +287,20 @@ fn cmd_grid(args: &[String]) -> i32 {
         .param("cmp", cmp)
         .param("line", 64);
     let journal = journal_config(&cli);
+    // Record a timeline whenever someone will consume it: an explicit
+    // `--trace-out`, or a journalled run (JSONL sidecar for `report`).
+    let recorder =
+        (cli.trace_out.is_some() || journal.is_some()).then(cmpsim_core::tel::FlightRecorder::new);
     let runner = RunnerConfig {
         workers: cli.jobs,
         cache_dir: cli.cache_dir.clone(),
         retries: cli.retries.unwrap_or(1),
-        progress: std::io::IsTerminal::is_terminal(&std::io::stderr()),
+        progress: !cli.quiet && std::io::IsTerminal::is_terminal(&std::io::stderr()),
         job_timeout: None,
         isolate: cli.isolate,
         shutdown: journal.as_ref().map(|_| shutdown::install()),
         journal,
+        tracer: recorder.clone(),
         ..RunnerConfig::default()
     };
     // The base argv a supervised child recomputes one cell from:
@@ -309,6 +325,36 @@ fn cmd_grid(args: &[String]) -> i32 {
         .filter_map(results_json::parse_cache_size_curve)
         .collect();
     println!("{}", cmpsim_core::report::render_cache_size_figure(&curves));
+    if let Some(rec) = &recorder {
+        let events = rec.drain_sorted();
+        let lanes = rec.lane_names();
+        let dropped = rec.dropped();
+        let mut meta: Vec<(String, JsonValue)> = vec![
+            ("experiment".to_owned(), JsonValue::from("cmpsim_grid")),
+            ("seed".to_owned(), JsonValue::U64(cli.seed)),
+            ("workers".to_owned(), JsonValue::U64(report.workers as u64)),
+        ];
+        if let Some(run_id) = &report.run_id {
+            meta.push(("run_id".to_owned(), JsonValue::from(run_id.as_str())));
+        }
+        if let Some(path) = &cli.trace_out {
+            let doc = chrome_trace(&events, &lanes, &meta, dropped);
+            if let Err(e) = write_json_file(path, &doc) {
+                return fail(&format!("cannot write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        if let Some(run_id) = &report.run_id {
+            let path = cli
+                .journal_dir
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("results/journal"))
+                .join(format!("{run_id}.trace.jsonl"));
+            if let Err(e) = ftrace::write_jsonl(&path, &meta, &lanes, &events, dropped) {
+                return fail(&format!("cannot write {}: {e}", path.display()));
+            }
+        }
+    }
     if let Some(path) = cli.json_path("cmpsim_grid") {
         let mut manifest = RunManifest::new("cmpsim_grid", env!("CARGO_PKG_VERSION"))
             .with_workloads(cli.workloads.iter().copied())
@@ -362,7 +408,9 @@ fn cmd_grid(args: &[String]) -> i32 {
         }
         eprintln!("wrote {}", path.display());
     }
-    eprintln!("runner: {}", report.summary());
+    if !cli.quiet {
+        eprintln!("runner: {}", report.summary());
+    }
     for (label, error) in report.failures() {
         eprintln!("runner: job `{label}` failed: {error}");
     }
@@ -432,10 +480,10 @@ fn strip_parent_flags(args: &[String]) -> Vec<String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--jobs" | "--cache-dir" | "--metrics-out" | "--journal-dir" | "--run-id"
-            | "--resume" | "--isolate" | "--retries" | "--workloads" => {
+            | "--resume" | "--isolate" | "--retries" | "--workloads" | "--trace-out" => {
                 it.next();
             }
-            "--json" | "--no-cache" => {}
+            "--json" | "--no-cache" | "--quiet" => {}
             other => out.push(other.to_owned()),
         }
     }
@@ -466,11 +514,28 @@ fn cmd_child(args: &[String]) -> i32 {
         return fail("grid requires --cores 8, 16, or 32 (SCMP/MCMP/LCMP)");
     };
     let study = CacheSizeStudy::new(cli.scale, cmp, cli.seed);
-    let curve = match capture_broker(&cli) {
-        Some(b) => study.run_captured(&b, workload),
-        None => study.run(workload),
+    let compute = || {
+        Ok(results_json::cache_size_curve(
+            &match capture_broker(&cli) {
+                Some(b) => study.run_captured(&b, workload),
+                None => study.run(workload),
+            },
+        ))
     };
-    emit_result(&Ok(results_json::cache_size_curve(&curve)));
+    if child_trace_requested() {
+        // The supervisor is tracing: record this cell's spans and ship
+        // them over the marker protocol for grafting under the cell.
+        let rec = FlightRecorder::new();
+        let lane = rec.lane("child");
+        let res = {
+            let _ctx = ftrace::install(lane, "", 0);
+            compute()
+        };
+        emit_trace(&rec.drain_sorted(), rec.dropped());
+        emit_result(&res);
+    } else {
+        emit_result(&compute());
+    }
     0
 }
 
@@ -575,7 +640,7 @@ fn cmd_replay(args: &[String]) -> i32 {
         let mut metrics = cmpsim_core::tel::MetricRegistry::new();
         board.export_metrics(&mut metrics);
         let manifest = RunManifest::new("cmpsim_replay", env!("CARGO_PKG_VERSION"))
-            .config_entry("trace", path.as_str())
+            .config_entry("trace", scrub_path(path))
             .config_entry("llc_bytes", llc.size_bytes())
             .config_entry("llc_line_bytes", llc.line_bytes())
             .config_entry("transactions", n);
@@ -589,6 +654,266 @@ fn cmd_replay(args: &[String]) -> i32 {
         eprintln!("wrote {}", out.display());
     }
     0
+}
+
+/// One journalled run's loaded artifacts: the job outcomes from the
+/// journal and the aggregated timeline from the trace sidecar.
+struct RunData {
+    id: String,
+    /// `(label, outcome kind, attempts)` per `job_done` record.
+    cells_done: Vec<(String, String, u64)>,
+    summary: TraceSummary,
+    lanes: Vec<(u32, String)>,
+    has_trace: bool,
+}
+
+fn load_run(dir: &Path, id: &str) -> Result<RunData, String> {
+    let journal = dir.join(format!("{id}.jsonl"));
+    let trace = dir.join(format!("{id}.trace.jsonl"));
+    let mut cells_done = Vec::new();
+    let mut has_journal = false;
+    if let Ok(text) = std::fs::read_to_string(&journal) {
+        has_journal = true;
+        for line in text.lines() {
+            let Ok(doc) = cmpsim_core::tel::parse(line) else {
+                continue;
+            };
+            let Some(rec) = record::verify(&doc, "record") else {
+                continue;
+            };
+            if rec.get("kind").and_then(JsonValue::as_str) != Some("job_done") {
+                continue;
+            }
+            cells_done.push((
+                rec.get("label")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?")
+                    .to_owned(),
+                rec.get_path(&["outcome", "kind"])
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("?")
+                    .to_owned(),
+                rec.get("attempts").and_then(JsonValue::as_u64).unwrap_or(0),
+            ));
+        }
+    }
+    let (summary, lanes, has_trace) = match ftrace::read_jsonl(&trace) {
+        Ok(f) => (
+            TraceSummary::from_events(&f.events, f.dropped),
+            f.lanes,
+            true,
+        ),
+        Err(_) => (TraceSummary::from_events(&[], 0), Vec::new(), false),
+    };
+    if !has_journal && !has_trace {
+        return Err(format!(
+            "run `{id}` not found under {}: neither {}.jsonl nor {}.trace.jsonl exists",
+            dir.display(),
+            id,
+            id
+        ));
+    }
+    Ok(RunData {
+        id: id.to_owned(),
+        cells_done,
+        summary,
+        lanes,
+        has_trace,
+    })
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.2} ms", ns as f64 / 1e6)
+}
+
+/// Stage names sorted slowest-first (ties by name, for stable output).
+fn by_duration(stages: &[(String, u64)]) -> Vec<(String, u64)> {
+    let mut sorted = stages.to_vec();
+    sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    sorted
+}
+
+fn render_report(run: &RunData, top: usize) {
+    println!("run {}", run.id);
+    if !run.cells_done.is_empty() {
+        let mut by_kind: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for (_, kind, _) in &run.cells_done {
+            *by_kind.entry(kind).or_default() += 1;
+        }
+        let census: Vec<String> = by_kind.iter().map(|(k, n)| format!("{k} {n}")).collect();
+        println!(
+            "cells: {} done ({})",
+            run.cells_done.len(),
+            census.join(", ")
+        );
+        let retried: Vec<String> = run
+            .cells_done
+            .iter()
+            .filter(|(_, _, attempts)| *attempts > 1)
+            .map(|(label, kind, attempts)| format!("{label} x{attempts} ({kind})"))
+            .collect();
+        if !retried.is_empty() {
+            println!("retried cells: {}", retried.join(", "));
+        }
+    }
+    if !run.has_trace {
+        println!(
+            "no trace sidecar ({}.trace.jsonl): stage timings unavailable",
+            run.id
+        );
+        return;
+    }
+    let s = &run.summary;
+    println!("events: {} ({} dropped)", s.events, s.dropped);
+    println!("\nstage breakdown:");
+    let mut t = TextTable::new(["Stage", "Total"]);
+    for (name, ns) in by_duration(&s.stage_ns) {
+        t.row([name, ms(ns)]);
+    }
+    print!("{}", t.render());
+    if !s.cells.is_empty() {
+        println!("\nslowest cells (top {top}):");
+        let mut t = TextTable::new(["Cell", "Total", "Breakdown"]);
+        for c in s.cells.iter().take(top) {
+            let breakdown: Vec<String> = by_duration(&c.stages)
+                .iter()
+                .take(3)
+                .map(|(n, ns)| format!("{n} {}", ms(*ns)))
+                .collect();
+            t.row([c.label.clone(), ms(c.total_ns), breakdown.join(", ")]);
+        }
+        print!("{}", t.render());
+    }
+    if !s.markers.is_empty() {
+        let markers: Vec<String> = s.markers.iter().map(|(n, c)| format!("{n} {c}")).collect();
+        println!("\nmarkers: {}", markers.join(", "));
+    }
+    if s.journal_append.count > 0 {
+        let j = &s.journal_append;
+        println!(
+            "journal append: {} records, p50 {}, p90 {}, max {}",
+            j.count,
+            ms(j.p50_ns),
+            ms(j.p90_ns),
+            ms(j.max_ns)
+        );
+    }
+    if !s.utilization.is_empty() {
+        let util: Vec<String> = s
+            .utilization
+            .iter()
+            .map(|(lane, frac)| {
+                let name = run
+                    .lanes
+                    .iter()
+                    .find(|(id, _)| id == lane)
+                    .map_or_else(|| format!("lane-{lane}"), |(_, n)| n.clone());
+                format!("{name} {:.0}%", frac * 100.0)
+            })
+            .collect();
+        println!("utilization: {}", util.join(", "));
+    }
+}
+
+/// Cells per second, from the pool's `run` umbrella span.
+fn throughput(run: &RunData) -> Option<f64> {
+    let wall_ns = run.summary.stage_total_ns("run");
+    let cells = run.summary.cells.len();
+    (wall_ns > 0 && cells > 0).then(|| cells as f64 / (wall_ns as f64 / 1e9))
+}
+
+fn render_compare(a: &RunData, b: &RunData) {
+    println!("comparing {} vs {}", a.id, b.id);
+    let mut names: Vec<String> = a
+        .summary
+        .stage_ns
+        .iter()
+        .chain(b.summary.stage_ns.iter())
+        .map(|(n, _)| n.clone())
+        .collect();
+    names.sort();
+    names.dedup();
+    let mut t = TextTable::new(["Stage", a.id.as_str(), b.id.as_str(), "Delta"]);
+    for name in names {
+        let x = a.summary.stage_total_ns(&name);
+        let y = b.summary.stage_total_ns(&name);
+        let delta = if x > 0 {
+            format!("{:+.1}%", (y as f64 - x as f64) / x as f64 * 100.0)
+        } else {
+            "-".to_owned()
+        };
+        t.row([name, ms(x), ms(y), delta]);
+    }
+    print!("{}", t.render());
+    if let (Some(ta), Some(tb)) = (throughput(a), throughput(b)) {
+        println!(
+            "\nthroughput: {} {ta:.2} cells/s, {} {tb:.2} cells/s ({:.2}x)",
+            a.id,
+            b.id,
+            tb / ta
+        );
+    }
+}
+
+/// `cmpsim report <run-id>` / `cmpsim report --compare A B`: renders a
+/// journalled run's flight-recorder timeline — per-stage breakdowns,
+/// slowest cells, retry/poison census, journal-append latency — from
+/// the `<run-id>.jsonl` journal and `<run-id>.trace.jsonl` sidecar.
+fn cmd_report(args: &[String]) -> i32 {
+    let mut dir = PathBuf::from("results/journal");
+    let mut top = 5usize;
+    let mut compare = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        let val = |i: usize| {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {a}"))
+        };
+        match a {
+            "--journal-dir" => {
+                match val(i) {
+                    Ok(v) => dir = PathBuf::from(v),
+                    Err(e) => return fail(&e),
+                }
+                i += 1;
+            }
+            "--top" => {
+                match val(i).and_then(|v| v.parse().map_err(|_| "bad --top value".to_owned())) {
+                    Ok(v) => top = v,
+                    Err(e) => return fail(&e),
+                }
+                i += 1;
+            }
+            "--compare" => compare = true,
+            flag if flag.starts_with("--") => return fail(&format!("unknown option {flag}")),
+            id => ids.push(id.to_owned()),
+        }
+        i += 1;
+    }
+    if compare {
+        if ids.len() != 2 {
+            return fail("report --compare takes exactly two run ids");
+        }
+        let (a, b) = match (load_run(&dir, &ids[0]), load_run(&dir, &ids[1])) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => return fail(&e),
+        };
+        render_compare(&a, &b);
+        return 0;
+    }
+    if ids.len() != 1 {
+        return fail("report takes exactly one run id (or --compare A B)");
+    }
+    match load_run(&dir, &ids[0]) {
+        Ok(run) => {
+            render_report(&run, top);
+            0
+        }
+        Err(e) => fail(&e),
+    }
 }
 
 fn fail(msg: &str) -> i32 {

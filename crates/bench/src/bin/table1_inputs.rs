@@ -49,5 +49,5 @@ fn main() {
         JsonValue::Array(report.payloads().cloned().collect()),
         &report,
     );
-    finish_grid(&opts, &report);
+    finish_grid(&opts, &spec, &report);
 }

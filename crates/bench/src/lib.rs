@@ -53,6 +53,7 @@ use cmpsim_core::runner::{
     shutdown, IsolateMode, JobError, JournalConfig, RunReport, RunnerConfig, CHILD_ENTRY,
 };
 use cmpsim_core::{CaptureBroker, CaptureCounters};
+use cmpsim_telemetry::trace::{self as ftrace, FlightRecorder};
 use cmpsim_telemetry::{JsonValue, RunManifest};
 use cmpsim_workloads::{Scale, WorkloadId};
 use std::io::IsTerminal as _;
@@ -98,9 +99,19 @@ pub struct Options {
     /// Disable capture-once/replay-many: execute the co-simulation for
     /// every grid cell (the pre-replay behavior).
     pub no_replay: bool,
+    /// Chrome trace-event JSON output path (Perfetto-loadable); also
+    /// enables the flight recorder for this run.
+    pub trace_out: Option<PathBuf>,
+    /// Suppress the live progress line on stderr.
+    pub quiet: bool,
     /// Hidden child mode: compute exactly this one cell and print the
     /// supervisor marker line (`__run-job <WORKLOAD>`).
     pub run_job: Option<WorkloadId>,
+    /// The run's flight recorder; `Some` when `--trace-out` or
+    /// journalling asked for a timeline, never in child mode (children
+    /// record into their own recorder and ship events over the marker
+    /// protocol).
+    recorder: Option<Arc<FlightRecorder>>,
     /// The raw argument list as parsed — the base from which child argv
     /// is derived.
     raw: Vec<String>,
@@ -125,7 +136,10 @@ impl Default for Options {
             retries: None,
             trace_dir: None,
             no_replay: false,
+            trace_out: None,
+            quiet: false,
             run_job: None,
+            recorder: None,
             raw: Vec::new(),
             started: Instant::now(),
         }
@@ -201,11 +215,27 @@ impl Options {
                 }
                 "--trace-dir" => opts.trace_dir = Some(PathBuf::from(val()?)),
                 "--no-replay" => opts.no_replay = true,
+                "--trace-out" => opts.trace_out = Some(PathBuf::from(val()?)),
+                "--quiet" => opts.quiet = true,
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument `{other}`")),
             }
         }
+        // The recorder exists whenever someone will consume a timeline:
+        // an explicit `--trace-out`, or a journalled run (which gets the
+        // JSONL sidecar next to its journal). A child never records here
+        // — it ships events to its supervisor over the marker protocol.
+        let journalling =
+            opts.resume.is_some() || opts.journal_dir.is_some() || opts.run_id.is_some();
+        if opts.run_job.is_none() && (opts.trace_out.is_some() || journalling) {
+            opts.recorder = Some(FlightRecorder::new());
+        }
         Ok(opts)
+    }
+
+    /// The run's flight recorder, if tracing is enabled.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// The runner configuration these options describe. The live
@@ -216,9 +246,10 @@ impl Options {
             workers: self.jobs,
             cache_dir: self.cache_dir.clone(),
             retries: self.retries.unwrap_or(1),
-            progress: std::io::stderr().is_terminal(),
+            progress: !self.quiet && std::io::stderr().is_terminal(),
             job_timeout: self.job_timeout.map(std::time::Duration::from_secs),
             isolate: self.isolate,
+            tracer: self.recorder.clone(),
             ..RunnerConfig::default()
         }
     }
@@ -289,10 +320,11 @@ impl Options {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--jobs" | "--cache-dir" | "--metrics-out" | "--journal-dir" | "--run-id"
-                | "--resume" | "--isolate" | "--job-timeout" | "--retries" | "--workloads" => {
+                | "--resume" | "--isolate" | "--job-timeout" | "--retries" | "--workloads"
+                | "--trace-out" => {
                     args.next();
                 }
-                "--json" | "--no-cache" => {}
+                "--json" | "--no-cache" | "--quiet" => {}
                 other => out.push(other.to_owned()),
             }
         }
@@ -432,6 +464,57 @@ impl Options {
             }
         }
     }
+
+    /// Where a journalled run's JSONL trace sidecar lives: next to the
+    /// journal, as `<run-id>.trace.jsonl`.
+    pub fn trace_jsonl_path(&self, run_id: &str) -> PathBuf {
+        self.journal_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results/journal"))
+            .join(format!("{run_id}.trace.jsonl"))
+    }
+
+    /// Drains the flight recorder and exports the run's timeline: the
+    /// Chrome trace-event document to `--trace-out` (if given) and the
+    /// compact JSONL sidecar next to the journal (if the run was
+    /// journalled, so `cmpsim report <run-id>` can find it). A no-op
+    /// when tracing is off — untraced runs write nothing.
+    pub fn export_trace(&self, spec: &GridSpec, report: &RunReport) {
+        let Some(rec) = &self.recorder else {
+            return;
+        };
+        let events = rec.drain_sorted();
+        let lanes = rec.lane_names();
+        let dropped = rec.dropped();
+        let mut meta: Vec<(String, JsonValue)> = vec![
+            (
+                "experiment".to_owned(),
+                JsonValue::from(spec.experiment.as_str()),
+            ),
+            ("seed".to_owned(), JsonValue::U64(self.seed)),
+            ("workers".to_owned(), JsonValue::U64(report.workers as u64)),
+        ];
+        if let Some(run_id) = &report.run_id {
+            meta.push(("run_id".to_owned(), JsonValue::from(run_id.as_str())));
+        }
+        if let Some(path) = &self.trace_out {
+            let doc = cmpsim_telemetry::chrome_trace(&events, &lanes, &meta, dropped);
+            match cmpsim_telemetry::write_json_file(path, &doc) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(run_id) = &report.run_id {
+            let path = self.trace_jsonl_path(run_id);
+            if let Err(e) = ftrace::write_jsonl(&path, &meta, &lanes, &events, dropped) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Runs `spec`'s grid with crash-safety wired up from `opts`: the
@@ -483,15 +566,33 @@ fn child_base(opts: &Options) -> Option<Vec<String>> {
 }
 
 fn run_child_cell(w: WorkloadId, f: &dyn Fn(WorkloadId) -> Result<JsonValue, JobError>) -> ! {
-    cmpsim_core::runner::emit_result(&f(w));
+    use cmpsim_core::runner::{child_trace_requested, emit_result, emit_trace};
+    if child_trace_requested() {
+        // The supervisor is tracing: record this cell's spans into a
+        // fresh recorder and ship them over the marker protocol, where
+        // the parent grafts them under the cell's execute span.
+        let rec = FlightRecorder::new();
+        let lane = rec.lane("child");
+        let res = {
+            let _ctx = ftrace::install(lane, "", 0);
+            f(w)
+        };
+        emit_trace(&rec.drain_sorted(), rec.dropped());
+        emit_result(&res);
+    } else {
+        emit_result(&f(w));
+    }
     std::process::exit(0);
 }
 
 /// Standard grid-run epilogue: prints the batch summary (and every
 /// failure) to stderr, then exits non-zero if any job failed — after
-/// the surviving results have been rendered and written.
-pub fn finish_runner(report: &RunReport) {
-    eprintln!("runner: {}", report.summary());
+/// the surviving results have been rendered and written. `--quiet`
+/// drops the summary line; failures always print.
+pub fn finish_runner(report: &RunReport, quiet: bool) {
+    if !quiet {
+        eprintln!("runner: {}", report.summary());
+    }
     for (label, error) in report.failures() {
         eprintln!("runner: job `{label}` failed: {error}");
     }
@@ -500,10 +601,12 @@ pub fn finish_runner(report: &RunReport) {
     }
 }
 
-/// [`finish_runner`] for a crash-safe grid run: an interrupted batch
-/// additionally prints the exact resume command before exiting
-/// non-zero.
-pub fn finish_grid(opts: &Options, report: &RunReport) {
+/// [`finish_runner`] for a crash-safe grid run: exports the run's
+/// timeline (Chrome JSON under `--trace-out`, JSONL sidecar next to
+/// the journal), and an interrupted batch additionally prints the
+/// exact resume command before exiting non-zero.
+pub fn finish_grid(opts: &Options, spec: &GridSpec, report: &RunReport) {
+    opts.export_trace(spec, report);
     if report.interrupted {
         if let Some(run_id) = &report.run_id {
             eprintln!(
@@ -512,7 +615,7 @@ pub fn finish_grid(opts: &Options, report: &RunReport) {
             );
         }
     }
-    finish_runner(report);
+    finish_runner(report, opts.quiet);
 }
 
 /// Parses a scale spec: `tiny`, `ci`, `paper`, or `1/N` with N a power
@@ -542,6 +645,7 @@ fn usage(err: &str) -> ! {
          \x20      [--json] [--metrics-out FILE] [--jobs N] [--cache-dir DIR] [--no-cache]\n\
          \x20      [--job-timeout SECONDS] [--journal-dir DIR] [--run-id ID] [--resume ID]\n\
          \x20      [--isolate inline|process] [--retries N] [--trace-dir DIR] [--no-replay]\n\
+         \x20      [--trace-out FILE] [--quiet]\n\
          workloads: SNP, SVM-RFE, MDS, SHOT, FIMI, VIEWTYPE, PLSA, RSEARCH"
     );
     std::process::exit(2);

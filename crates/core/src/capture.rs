@@ -31,6 +31,7 @@
 use cmpsim_cache::CacheStats;
 use cmpsim_runner::{record, JobKey};
 use cmpsim_softsdv::{CoreSummary, RunSummary};
+use cmpsim_telemetry::trace as ftrace;
 use cmpsim_telemetry::{parse, JsonValue};
 use cmpsim_trace::file::TraceReader;
 use cmpsim_trace::FsbTransaction;
@@ -431,11 +432,17 @@ impl CaptureBroker {
         let mut guard = slot.lock().expect("capture slot poisoned");
         if let Some(stream) = guard.as_ref() {
             self.memory_reuses.fetch_add(1, Ordering::Relaxed);
+            ftrace::instant("trace-reuse", Vec::new());
             return Arc::clone(stream);
         }
         if let Some(store) = &self.store {
-            if let Some(loaded) = store.load(key) {
+            let loaded = {
+                let _t = ftrace::span("trace-load");
+                store.load(key)
+            };
+            if let Some(loaded) = loaded {
                 self.disk_loads.fetch_add(1, Ordering::Relaxed);
+                ftrace::instant("trace-disk-load", Vec::new());
                 let stream = Arc::new(loaded);
                 *guard = Some(Arc::clone(&stream));
                 return stream;

@@ -10,6 +10,7 @@ use cmpsim_memsys::RunCounts;
 use cmpsim_prefetch::StrideConfig;
 use cmpsim_runner::JobKey;
 use cmpsim_softsdv::{FsbListener, HostNoiseConfig, PlatformConfig, RunSummary, VirtualPlatform};
+use cmpsim_telemetry::trace as ftrace;
 use cmpsim_telemetry::{Labels, MetricRegistry, SpanProfiler};
 use cmpsim_trace::file::TraceWriter;
 use cmpsim_trace::FsbTransaction;
@@ -257,17 +258,24 @@ impl CoSimulation {
     /// Like [`run`](CoSimulation::run), but records wall-clock spans for
     /// the build/simulate/report stages into `spans`.
     pub fn run_profiled(&self, workload: &dyn Workload, spans: &mut SpanProfiler) -> CoSimReport {
+        let _t = ftrace::span("cosim");
         spans.start("cosim");
         spans.start("build");
+        let tb = ftrace::span("build");
         let mut platform = VirtualPlatform::new(self.cfg.platform_config(), workload);
         let mut dh = Dragonhead::new(self.cfg.dragonhead_config());
+        drop(tb);
         spans.end();
         spans.start("simulate");
+        let ts = ftrace::span("simulate");
         let run = platform.run(&mut Snoop(&mut dh));
+        drop(ts);
         spans.end();
         spans.start("report");
+        let tr = ftrace::span("report");
         dh.flush(run.cycles).expect("platform cycles are monotone");
         let report = Self::report(run, &dh);
+        drop(tr);
         spans.end();
         spans.end();
         report
@@ -277,6 +285,7 @@ impl CoSimulation {
     /// simultaneously (passive boards on one bus). Returns one report per
     /// LLC, in order.
     pub fn run_sweep(&self, workload: &dyn Workload, llcs: &[CacheConfig]) -> Vec<CoSimReport> {
+        let _t = ftrace::span("cosim");
         let mut platform = VirtualPlatform::new(self.cfg.platform_config(), workload);
         let mut boards: Vec<Dragonhead> = llcs
             .iter()
@@ -333,19 +342,25 @@ impl CoSimulation {
         seed: u64,
         spans: &mut SpanProfiler,
     ) -> CapturedStream {
+        let _t = ftrace::span("capture");
         spans.start("capture");
         spans.start("build");
+        let tb = ftrace::span("build");
         let wl = workload.build(scale, seed);
         let mut platform = VirtualPlatform::new(self.cfg.platform_config(), wl.as_ref());
         let mut rec = Recorder {
             writer: TraceWriter::new(Vec::new()).expect("writing a trace to memory cannot fail"),
             unaligned: 0,
         };
+        drop(tb);
         spans.end();
         spans.start("record");
+        let tr = ftrace::span("record");
         let run = platform.run(&mut rec);
+        drop(tr);
         spans.end();
         spans.start("seal");
+        let tl = ftrace::span("seal");
         assert_eq!(
             rec.writer.clamped(),
             0,
@@ -363,6 +378,7 @@ impl CoSimulation {
             .expect("writing a trace to memory cannot fail");
         let key = self.stream_key(workload, scale, seed);
         let stream = CapturedStream::new(&key, bytes, transactions, run);
+        drop(tl);
         spans.end();
         spans.end();
         stream
@@ -398,20 +414,27 @@ impl CoSimulation {
         stream: &CapturedStream,
         spans: &mut SpanProfiler,
     ) -> CoSimReport {
+        let _t = ftrace::span("replay");
         spans.start("replay");
         spans.start("build");
+        let tb = ftrace::span("build");
         let mut dh = Dragonhead::new(self.cfg.dragonhead_config());
+        drop(tb);
         spans.end();
         spans.start("simulate");
+        let ts = ftrace::span("simulate");
         cmpsim_dragonhead::replay(
             stream.iter(),
             std::slice::from_mut(&mut dh),
             stream.run().cycles,
         )
         .expect("captured platform cycles are monotone");
+        drop(ts);
         spans.end();
         spans.start("report");
+        let tr = ftrace::span("report");
         let report = Self::report(stream.run().clone(), &dh);
+        drop(tr);
         spans.end();
         spans.end();
         report
@@ -421,6 +444,7 @@ impl CoSimulation {
     /// the replay-side twin of [`run_sweep`](CoSimulation::run_sweep),
     /// with the same report per configuration but no re-execution.
     pub fn replay_sweep(&self, stream: &CapturedStream, llcs: &[CacheConfig]) -> Vec<CoSimReport> {
+        let _t = ftrace::span("replay");
         let mut boards: Vec<Dragonhead> = llcs
             .iter()
             .map(|&llc| {
@@ -450,12 +474,16 @@ impl CoSimulation {
     /// that fails self-validation; [`CoSimError::Protocol`] if the
     /// sampler clock ran backwards.
     pub fn run_checked(&self, workload: &dyn Workload) -> Result<CoSimReport, CoSimError> {
+        let _t = ftrace::span("cosim");
         let mut platform = VirtualPlatform::new(self.cfg.platform_config(), workload);
         let mut dh = Dragonhead::try_new(self.cfg.dragonhead_config())?;
         let run = platform.run(&mut Snoop(&mut dh));
         dh.flush(run.cycles)?;
         let report = Self::report(run, &dh);
-        Validator::new(self.cfg.sample_period).validate(&report)?;
+        {
+            let _v = ftrace::span("validate");
+            Validator::new(self.cfg.sample_period).validate(&report)?;
+        }
         Ok(report)
     }
 
@@ -479,6 +507,7 @@ impl CoSimulation {
         workload: &dyn Workload,
         injector: &mut dyn FaultInjector,
     ) -> Result<CoSimReport, CoSimError> {
+        let _t = ftrace::span("cosim");
         let mut platform = VirtualPlatform::new(self.cfg.platform_config(), workload);
         let mut dh = Dragonhead::try_new(self.cfg.dragonhead_config())?;
         let run = {
@@ -505,7 +534,10 @@ impl CoSimulation {
                 }
             }
         }
-        Validator::new(self.cfg.sample_period).validate(&report)?;
+        {
+            let _v = ftrace::span("validate");
+            Validator::new(self.cfg.sample_period).validate(&report)?;
+        }
         Ok(report)
     }
 

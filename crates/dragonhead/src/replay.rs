@@ -17,6 +17,7 @@
 
 use crate::emulator::Dragonhead;
 use crate::sampler::SamplerError;
+use cmpsim_telemetry::trace as ftrace;
 use cmpsim_trace::FsbTransaction;
 
 /// Drives every board in `boards` over `stream`, in order, then closes
@@ -38,6 +39,7 @@ pub fn replay<I>(
 where
     I: IntoIterator<Item = FsbTransaction>,
 {
+    let _t = ftrace::span("board-replay");
     let mut n = 0u64;
     for txn in stream {
         for board in boards.iter_mut() {

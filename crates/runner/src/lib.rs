@@ -74,4 +74,7 @@ pub use pool::{
     ExperimentJob, IsolateMode, JobError, JobOutcome, JobReport, RunReport, Runner, RunnerConfig,
 };
 pub use shutdown::ShutdownFlag;
-pub use supervisor::{emit_result, CHILD_ENTRY, RESULT_MARKER};
+pub use supervisor::{
+    child_trace_requested, emit_result, emit_trace, CHILD_ENTRY, CHILD_TRACE_ENV, RESULT_MARKER,
+    TRACE_MARKER,
+};

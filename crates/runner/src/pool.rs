@@ -28,6 +28,9 @@ use crate::hash::JobKey;
 use crate::journal::{JournalConfig, JournalReplay, RunJournal};
 use crate::shutdown::ShutdownFlag;
 use crate::supervisor::{self, ChildAttempt};
+use cmpsim_telemetry::trace::{
+    self as ftrace, EventKind, FlightRecorder, Lane, OpenSpan, TraceEvent,
+};
 use cmpsim_telemetry::{JsonValue, Labels, MetricRegistry, SpanProfiler};
 use std::collections::VecDeque;
 use std::fmt;
@@ -94,6 +97,10 @@ pub struct RunnerConfig {
     /// Graceful-shutdown flag the pool polls between jobs (wire up
     /// [`crate::shutdown::install`] for SIGINT/SIGTERM).
     pub shutdown: Option<ShutdownFlag>,
+    /// Flight recorder for span timelines (see
+    /// [`cmpsim_telemetry::trace`]); `None` — the default — runs
+    /// untraced, and every instrumentation site is a no-op.
+    pub tracer: Option<Arc<FlightRecorder>>,
 }
 
 impl RunnerConfig {
@@ -690,6 +697,26 @@ impl Runner {
         let slots: Vec<Mutex<Option<JobReport>>> = (0..total).map(|_| Mutex::new(None)).collect();
         let progress = Progress::new(total, self.cfg.progress);
 
+        // Flight-recorder lanes: one for the pool, one per worker.
+        // `None` everywhere when tracing is off — the worker loop then
+        // takes exactly the pre-tracing code path.
+        let tracer = self.cfg.tracer.clone();
+        let pool_lane = tracer.as_ref().map(|rec| rec.lane("pool"));
+        let worker_lanes: Option<Vec<Lane>> = tracer.as_ref().map(|rec| {
+            (0..workers)
+                .map(|w| rec.lane(&format!("worker-{w}")))
+                .collect()
+        });
+        let batch_start_ns = tracer.as_ref().map_or(0, |rec| rec.now_ns());
+        let run_span = pool_lane.as_ref().map(|lane| {
+            let mut s = lane.begin("run", "", 0);
+            s.arg("jobs", total as u64);
+            s.arg("workers", workers as u64);
+            s.arg("replayed", replay.completed.len() as u64);
+            s
+        });
+        let run_root = run_span.as_ref().map_or(0, OpenSpan::span_id);
+
         std::thread::scope(|scope| {
             for me in 0..workers {
                 let jobs = &jobs;
@@ -700,6 +727,7 @@ impl Runner {
                 let journal = journal.as_ref();
                 let replay = &replay;
                 let shutdown = self.cfg.shutdown.as_ref();
+                let lanes = worker_lanes.as_ref();
                 let ctx = ExecCtx {
                     cache: cache.as_ref(),
                     retries: self.cfg.retries,
@@ -708,12 +736,26 @@ impl Runner {
                     isolate: self.cfg.isolate,
                 };
                 scope.spawn(move || {
+                    let lane = lanes.map(|ls| ls[me].clone());
+                    let mut busy_ns = 0u64;
                     while let Some(i) = next_job(queues, me) {
                         let job = &jobs[i];
                         let key = keys[i].as_str();
+                        let tr = lane.as_ref().map(|lane| {
+                            let depth: usize = queues
+                                .iter()
+                                .map(|q| q.lock().unwrap_or_else(|e| e.into_inner()).len())
+                                .sum();
+                            lane.counter("queue_depth", "", depth as f64);
+                            CellTrace::begin(lane.clone(), &job.label, run_root, batch_start_ns)
+                        });
+                        let pickup_ns = lane.as_ref().map_or(0, |l| l.recorder().now_ns());
                         let report = if shutdown.is_some_and(ShutdownFlag::requested) {
                             // Draining: finish nothing new, journal
                             // nothing (the cell re-runs on resume).
+                            if let Some(t) = &tr {
+                                t.instant("skipped", Vec::new());
+                            }
                             JobReport {
                                 label: job.label.clone(),
                                 outcome: JobOutcome::Skipped,
@@ -725,6 +767,9 @@ impl Runner {
                         } else if let Some(done) = replay.completed.get(key) {
                             // Completed in the journalled run: serve the
                             // recorded outcome without executing.
+                            if let Some(t) = &tr {
+                                t.instant("journal-replayed", Vec::new());
+                            }
                             JobReport {
                                 label: job.label.clone(),
                                 outcome: done.outcome.clone(),
@@ -737,20 +782,35 @@ impl Runner {
                             // Write-ahead: the start record marks this
                             // cell in-flight until its outcome lands.
                             if let Some(j) = journal {
+                                let _s = tr.as_ref().map(|t| t.span("journal-append"));
                                 j.job_start(i, key, &job.label);
                             }
-                            let report = execute(job, &ctx);
+                            let report = execute(job, &ctx, tr.as_ref());
                             if let Some(j) = journal {
+                                let _s = tr.as_ref().map(|t| t.span("journal-append"));
                                 j.job_done(i, key, &job.label, &report.outcome, report.attempts);
                             }
                             report
                         };
+                        if let Some(t) = tr {
+                            busy_ns += t.lane.recorder().now_ns().saturating_sub(pickup_ns);
+                            t.finish(&report.outcome, report.attempts);
+                        }
                         progress.update(&report.outcome);
                         *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
+                    }
+                    // Utilization gauge: fraction of the batch this
+                    // worker spent on cells (cache lookups included).
+                    if let Some(lane) = &lane {
+                        let total_ns = lane.recorder().now_ns().saturating_sub(batch_start_ns);
+                        if total_ns > 0 {
+                            lane.counter("utilization", "", busy_ns as f64 / total_ns as f64);
+                        }
                     }
                 });
             }
         });
+        drop(run_span);
 
         let report = RunReport {
             jobs: slots
@@ -822,6 +882,71 @@ struct ExecCtx<'a> {
     isolate: IsolateMode,
 }
 
+/// Per-cell tracing scope: the umbrella `cell:<label>` span plus the
+/// synthetic queue-wait span (submission → pickup).
+struct CellTrace {
+    lane: Lane,
+    label: String,
+    cell_id: u64,
+    cell: Option<OpenSpan>,
+}
+
+impl CellTrace {
+    fn begin(lane: Lane, label: &str, run_root: u64, batch_start_ns: u64) -> CellTrace {
+        let pickup_ns = lane.recorder().now_ns();
+        let cell = lane.begin(
+            &format!("{}{label}", ftrace::CELL_SPAN_PREFIX),
+            label,
+            run_root,
+        );
+        let cell_id = cell.span_id();
+        // Queue wait: every job is submitted at batch start; the gap to
+        // pickup is time spent behind other cells.
+        lane.push(TraceEvent {
+            name: "queue-wait".to_owned(),
+            cell: label.to_owned(),
+            lane: 0,
+            id: lane.recorder().next_span_id(),
+            parent: cell_id,
+            ts_ns: batch_start_ns,
+            kind: EventKind::Span {
+                dur_ns: pickup_ns.saturating_sub(batch_start_ns),
+            },
+            args: Vec::new(),
+        });
+        CellTrace {
+            lane,
+            label: label.to_owned(),
+            cell_id,
+            cell: Some(cell),
+        }
+    }
+
+    fn span(&self, name: &str) -> OpenSpan {
+        self.lane.begin(name, &self.label, self.cell_id)
+    }
+
+    fn instant(&self, name: &str, args: Vec<(String, JsonValue)>) {
+        self.lane.instant(name, &self.label, self.cell_id, args);
+    }
+
+    fn finish(mut self, outcome: &JobOutcome, attempts: u32) {
+        if let Some(mut cell) = self.cell.take() {
+            cell.arg("outcome", outcome.kind());
+            cell.arg("attempts", u64::from(attempts));
+            cell.end();
+        }
+    }
+}
+
+fn failure_class_name(class: FailureClass) -> &'static str {
+    match class {
+        FailureClass::Structured => "structured",
+        FailureClass::Crash => "crash",
+        FailureClass::Hang => "hang",
+    }
+}
+
 /// One attempt's result, execution mode erased: inline panics and child
 /// process deaths both surface as [`Attempt::Crashed`].
 enum Attempt {
@@ -833,10 +958,35 @@ enum Attempt {
 
 /// Runs one attempt — in a supervised child process if the mode and job
 /// allow it, otherwise inline (optionally under the watchdog deadline).
-fn attempt(job: &Arc<ExperimentJob>, ctx: &ExecCtx) -> Attempt {
+/// With tracing on, the attempt runs under an `execute` span; a traced
+/// child's reported spans are grafted under it.
+fn attempt(job: &Arc<ExperimentJob>, ctx: &ExecCtx, tr: Option<&CellTrace>, n: u32) -> Attempt {
+    let mut span = tr.map(|t| {
+        let mut s = t.span("execute");
+        s.arg("attempt", u64::from(n));
+        s
+    });
     if ctx.isolate == IsolateMode::Process {
         if let Some(args) = &job.child_args {
-            return match supervisor::attempt(args, ctx.timeout) {
+            if let Some(s) = span.as_mut() {
+                s.arg("mode", "process");
+            }
+            // The child's clock starts at spawn; re-base its events to
+            // our clock's "now" so they land inside the execute span.
+            let base_ns = tr.map_or(0, |t| t.lane.recorder().now_ns());
+            let sup = supervisor::attempt(args, ctx.timeout, tr.is_some());
+            if let Some(t) = tr {
+                t.lane.recorder().add_dropped(sup.trace_dropped);
+                ftrace::graft(
+                    &t.lane,
+                    sup.trace,
+                    &t.label,
+                    span.as_ref().map_or(0, OpenSpan::span_id),
+                    base_ns,
+                    &[("proc", JsonValue::from("child"))],
+                );
+            }
+            return match sup.attempt {
                 ChildAttempt::Ok(v) => Attempt::Ok(v),
                 ChildAttempt::Err(e) => Attempt::Err(e),
                 ChildAttempt::Crashed(m) => Attempt::Crashed(m),
@@ -844,7 +994,17 @@ fn attempt(job: &Arc<ExperimentJob>, ctx: &ExecCtx) -> Attempt {
             };
         }
     }
-    inline_attempt(job, ctx.timeout)
+    if let Some(s) = span.as_mut() {
+        s.arg("mode", "inline");
+    }
+    let install = tr.map(|t| {
+        (
+            t.lane.clone(),
+            t.label.clone(),
+            span.as_ref().map_or(0, OpenSpan::span_id),
+        )
+    });
+    inline_attempt(job, ctx.timeout, install)
 }
 
 /// Runs one inline attempt, optionally under a watchdog deadline.
@@ -853,13 +1013,18 @@ fn attempt(job: &Arc<ExperimentJob>, ctx: &ExecCtx) -> Attempt {
 /// worker waits on a channel: if the deadline passes, the thread is
 /// abandoned (std threads cannot be killed) and its eventual result —
 /// sent into a channel nobody reads — is dropped.
-fn inline_attempt(job: &Arc<ExperimentJob>, timeout: Option<Duration>) -> Attempt {
+fn inline_attempt(
+    job: &Arc<ExperimentJob>,
+    timeout: Option<Duration>,
+    install: Option<(Lane, String, u64)>,
+) -> Attempt {
     let fold = |caught: std::thread::Result<Result<JsonValue, JobError>>| match caught {
         Ok(Ok(v)) => Attempt::Ok(v),
         Ok(Err(e)) => Attempt::Err(e),
         Err(payload) => Attempt::Crashed(panic_message(payload.as_ref())),
     };
     let Some(deadline) = timeout else {
+        let _ctx = install.map(|(lane, cell, root)| ftrace::install(lane, &cell, root));
         return fold(catch_unwind(AssertUnwindSafe(|| (job.run)())));
     };
     let (tx, rx) = mpsc::channel();
@@ -867,6 +1032,7 @@ fn inline_attempt(job: &Arc<ExperimentJob>, timeout: Option<Duration>) -> Attemp
     let spawned = std::thread::Builder::new()
         .name(format!("watchdog:{}", job.label))
         .spawn(move || {
+            let _ctx = install.map(|(lane, cell, root)| ftrace::install(lane, &cell, root));
             let _ = tx.send(catch_unwind(AssertUnwindSafe(|| (worker.run)())));
         });
     match spawned {
@@ -881,10 +1047,16 @@ fn inline_attempt(job: &Arc<ExperimentJob>, timeout: Option<Duration>) -> Attemp
     }
 }
 
-fn execute(job: &Arc<ExperimentJob>, ctx: &ExecCtx) -> JobReport {
+fn execute(job: &Arc<ExperimentJob>, ctx: &ExecCtx, tr: Option<&CellTrace>) -> JobReport {
     let started = Instant::now();
     if let Some(c) = ctx.cache {
-        if let Some(v) = c.lookup(&job.key) {
+        let lookup = tr.map(|t| t.span("cache-lookup"));
+        let hit = c.lookup(&job.key);
+        drop(lookup);
+        if let Some(v) = hit {
+            if let Some(t) = tr {
+                t.instant("cache-hit", Vec::new());
+            }
             return JobReport {
                 label: job.label.clone(),
                 outcome: JobOutcome::Cached(v),
@@ -893,6 +1065,9 @@ fn execute(job: &Arc<ExperimentJob>, ctx: &ExecCtx) -> JobReport {
                 replayed: false,
                 backoff_ms: 0.0,
             };
+        }
+        if let Some(t) = tr {
+            t.instant("cache-miss", Vec::new());
         }
     }
     let supervised = ctx.isolate == IsolateMode::Process && job.child_args.is_some();
@@ -906,6 +1081,22 @@ fn execute(job: &Arc<ExperimentJob>, ctx: &ExecCtx) -> JobReport {
     let retry_after = |class: FailureClass, attempts: u32, backoff_ms: &mut f64| -> bool {
         match ctx.backoff.next_delay(class, attempts, ctx.retries) {
             Some(delay) => {
+                if let Some(t) = tr {
+                    t.instant(
+                        "retry",
+                        vec![
+                            (
+                                "class".to_owned(),
+                                JsonValue::from(failure_class_name(class)),
+                            ),
+                            ("attempt".to_owned(), JsonValue::from(u64::from(attempts))),
+                            (
+                                "delay_ms".to_owned(),
+                                JsonValue::F64(delay.as_secs_f64() * 1e3),
+                            ),
+                        ],
+                    );
+                }
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
                 }
@@ -917,10 +1108,13 @@ fn execute(job: &Arc<ExperimentJob>, ctx: &ExecCtx) -> JobReport {
     };
     let outcome = loop {
         attempts += 1;
-        match attempt(job, ctx) {
+        match attempt(job, ctx, tr, attempts) {
             Attempt::Ok(v) => {
                 if let Some(c) = ctx.cache {
-                    if let Err(e) = c.store(&job.key, &v) {
+                    let store = tr.map(|t| t.span("cache-store"));
+                    let stored = c.store(&job.key, &v);
+                    drop(store);
+                    if let Err(e) = stored {
                         eprintln!("warning: cannot cache result of {}: {e}", job.label);
                     }
                 }
@@ -936,6 +1130,9 @@ fn execute(job: &Arc<ExperimentJob>, ctx: &ExecCtx) -> JobReport {
             }
             Attempt::Crashed(error) => {
                 if !retry_after(FailureClass::Crash, attempts, &mut backoff_ms) {
+                    if let Some(t) = tr {
+                        t.instant(if supervised { "poisoned" } else { "crashed" }, Vec::new());
+                    }
                     break if supervised {
                         JobOutcome::Poisoned {
                             error: format!("quarantined after {attempts} attempt(s): {error}"),
@@ -947,6 +1144,9 @@ fn execute(job: &Arc<ExperimentJob>, ctx: &ExecCtx) -> JobReport {
             }
             Attempt::Hung => {
                 if !retry_after(FailureClass::Hang, attempts, &mut backoff_ms) {
+                    if let Some(t) = tr {
+                        t.instant("timeout", Vec::new());
+                    }
                     let ms = ctx.timeout.map_or(0, |t| t.as_millis());
                     break JobOutcome::TimedOut {
                         error: if supervised {
@@ -982,5 +1182,108 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(n: u64) -> Vec<ExperimentJob> {
+        (0..n)
+            .map(|i| {
+                ExperimentJob::new(
+                    format!("cell{i}"),
+                    JobKey::new("trace-test").field("cell", i),
+                    move || JsonValue::U64(i),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn traced_run_records_cell_spans_and_gauges() {
+        let rec = FlightRecorder::new();
+        let report = Runner::new(RunnerConfig {
+            workers: 2,
+            tracer: Some(Arc::clone(&rec)),
+            ..RunnerConfig::default()
+        })
+        .run(jobs(4));
+        assert_eq!(report.ok_count(), 4);
+        let events = rec.drain_sorted();
+        let span_names: Vec<&str> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Span { .. }))
+            .map(|e| e.name.as_str())
+            .collect();
+        assert!(span_names.contains(&"run"));
+        for i in 0..4 {
+            let cell = format!("{}cell{i}", ftrace::CELL_SPAN_PREFIX);
+            assert!(span_names.contains(&cell.as_str()), "missing {cell}");
+        }
+        assert_eq!(span_names.iter().filter(|n| **n == "queue-wait").count(), 4);
+        assert_eq!(span_names.iter().filter(|n| **n == "execute").count(), 4);
+        // Every cell-scoped event carries its cell label, and the
+        // execute spans parent under their cell span.
+        let cells: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.name.starts_with(ftrace::CELL_SPAN_PREFIX))
+            .collect();
+        for exec in events.iter().filter(|e| e.name == "execute") {
+            let parent = cells.iter().find(|c| c.id == exec.parent).unwrap();
+            assert_eq!(parent.cell, exec.cell);
+        }
+        // Worker utilization gauges: one per worker lane.
+        let utils: Vec<&TraceEvent> = events.iter().filter(|e| e.name == "utilization").collect();
+        assert_eq!(utils.len(), 2);
+        assert!(utils.iter().all(
+            |u| matches!(u.kind, EventKind::Counter { value } if (0.0..=1.0).contains(&value))
+        ));
+        // Queue-depth samples landed too.
+        assert!(events.iter().any(|e| e.name == "queue_depth"));
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn untraced_run_report_is_identical_to_traced() {
+        // The recorder must observe, never perturb: job outcomes and
+        // ordering are identical with and without a tracer attached.
+        let traced = Runner::new(RunnerConfig {
+            workers: 2,
+            tracer: Some(FlightRecorder::new()),
+            ..RunnerConfig::default()
+        })
+        .run(jobs(6));
+        let untraced = Runner::new(RunnerConfig {
+            workers: 2,
+            ..RunnerConfig::default()
+        })
+        .run(jobs(6));
+        let payloads = |r: &RunReport| -> Vec<JsonValue> { r.payloads().cloned().collect() };
+        assert_eq!(payloads(&traced), payloads(&untraced));
+        assert_eq!(traced.ok_count(), untraced.ok_count());
+    }
+
+    #[test]
+    fn traced_failure_records_retry_markers() {
+        let rec = FlightRecorder::new();
+        let job = ExperimentJob::new(
+            "boom",
+            JobKey::new("trace-test").field("cell", "boom"),
+            || panic!("kaboom"),
+        );
+        let report = Runner::new(RunnerConfig {
+            workers: 1,
+            retries: 1,
+            tracer: Some(Arc::clone(&rec)),
+            ..RunnerConfig::default()
+        })
+        .run(vec![job]);
+        assert_eq!(report.failed_count(), 1);
+        let events = rec.drain_sorted();
+        assert_eq!(events.iter().filter(|e| e.name == "retry").count(), 1);
+        assert!(events.iter().any(|e| e.name == "crashed"));
+        assert_eq!(events.iter().filter(|e| e.name == "execute").count(), 2);
     }
 }

@@ -22,6 +22,7 @@
 //! deadline, so process mode leaks nothing.
 
 use crate::pool::JobError;
+use cmpsim_telemetry::trace::{events_to_json, TraceEvent};
 use cmpsim_telemetry::JsonValue;
 use std::io::Read;
 use std::process::{Command, Stdio};
@@ -30,6 +31,18 @@ use std::time::{Duration, Instant};
 /// Marker prefix of the one machine-readable stdout line a `__run-job`
 /// child emits.
 pub const RESULT_MARKER: &str = "__cmpsim_result__";
+
+/// Marker prefix of the optional flight-recorder line a traced child
+/// emits *before* its result: `__cmpsim_trace__ {"dropped":N,
+/// "events":[...]}`. The parent grafts these events under the cell's
+/// span so the whole grid — parent pool and child processes — renders
+/// as one timeline.
+pub const TRACE_MARKER: &str = "__cmpsim_trace__";
+
+/// Environment variable the supervisor sets on a child when the parent
+/// is tracing; a child entrypoint that sees it records its own spans
+/// and emits them via [`emit_trace`].
+pub const CHILD_TRACE_ENV: &str = "CMPSIM_CHILD_TRACE";
 
 /// The hidden argv token that routes a binary into single-cell child
 /// mode.
@@ -52,6 +65,21 @@ pub fn emit_result(res: &Result<JsonValue, JobError>) {
     println!("{RESULT_MARKER} {}", doc.to_json());
 }
 
+/// Child-side half of trace propagation: prints the recorded events as
+/// the trace marker line. Call before [`emit_result`] so the result
+/// stays the final line.
+pub fn emit_trace(events: &[TraceEvent], dropped: u64) {
+    println!(
+        "{TRACE_MARKER} {}",
+        events_to_json(events, dropped).to_json()
+    );
+}
+
+/// Whether the supervising parent asked this process to trace itself.
+pub fn child_trace_requested() -> bool {
+    std::env::var_os(CHILD_TRACE_ENV).is_some_and(|v| v == "1")
+}
+
 /// How one supervised attempt ended, as the parent sees it.
 #[derive(Debug)]
 pub(crate) enum ChildAttempt {
@@ -65,23 +93,60 @@ pub(crate) enum ChildAttempt {
     Hung,
 }
 
+/// One supervised attempt plus the trace events the child reported
+/// (empty unless the parent asked for tracing and the child complied).
+#[derive(Debug)]
+pub(crate) struct SupervisedAttempt {
+    pub attempt: ChildAttempt,
+    pub trace: Vec<TraceEvent>,
+    pub trace_dropped: u64,
+}
+
+impl SupervisedAttempt {
+    fn bare(attempt: ChildAttempt) -> SupervisedAttempt {
+        SupervisedAttempt {
+            attempt,
+            trace: Vec::new(),
+            trace_dropped: 0,
+        }
+    }
+}
+
 /// Runs one supervised attempt: spawns the current executable with
 /// `args`, waits (killing at `timeout` if set), and parses the marker
-/// line.
-pub(crate) fn attempt(args: &[String], timeout: Option<Duration>) -> ChildAttempt {
+/// line(s). With `trace` set, the child is asked (via
+/// [`CHILD_TRACE_ENV`]) to report its own spans.
+pub(crate) fn attempt(
+    args: &[String],
+    timeout: Option<Duration>,
+    trace: bool,
+) -> SupervisedAttempt {
     let exe = match std::env::current_exe() {
         Ok(p) => p,
-        Err(e) => return ChildAttempt::Crashed(format!("cannot locate current executable: {e}")),
+        Err(e) => {
+            return SupervisedAttempt::bare(ChildAttempt::Crashed(format!(
+                "cannot locate current executable: {e}"
+            )))
+        }
     };
-    let mut child = match Command::new(exe)
-        .args(args)
+    let mut cmd = Command::new(exe);
+    cmd.args(args)
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
-        .stderr(Stdio::piped())
-        .spawn()
-    {
+        .stderr(Stdio::piped());
+    if trace {
+        cmd.env(CHILD_TRACE_ENV, "1");
+    } else {
+        // Never inherit a stale request from our own environment.
+        cmd.env_remove(CHILD_TRACE_ENV);
+    }
+    let mut child = match cmd.spawn() {
         Ok(c) => c,
-        Err(e) => return ChildAttempt::Crashed(format!("cannot spawn job process: {e}")),
+        Err(e) => {
+            return SupervisedAttempt::bare(ChildAttempt::Crashed(format!(
+                "cannot spawn job process: {e}"
+            )))
+        }
     };
 
     // Drain both pipes on their own threads so a chatty child can never
@@ -99,13 +164,15 @@ pub(crate) fn attempt(args: &[String], timeout: Option<Duration>) -> ChildAttemp
                     let _ = child.wait();
                     join(stdout);
                     join(stderr);
-                    return ChildAttempt::Hung;
+                    return SupervisedAttempt::bare(ChildAttempt::Hung);
                 }
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(e) => {
                 let _ = child.kill();
-                return ChildAttempt::Crashed(format!("cannot wait for job process: {e}"));
+                return SupervisedAttempt::bare(ChildAttempt::Crashed(format!(
+                    "cannot wait for job process: {e}"
+                )));
             }
         }
     };
@@ -114,10 +181,16 @@ pub(crate) fn attempt(args: &[String], timeout: Option<Duration>) -> ChildAttemp
 
     // Trust the marker wherever it is: a child that reported and then
     // crashed in teardown still produced its cell.
-    match parse_result(&out) {
+    let attempt = match parse_result(&out) {
         Some(Ok(v)) => ChildAttempt::Ok(v),
         Some(Err(e)) => ChildAttempt::Err(e),
         None => ChildAttempt::Crashed(crash_message(&status.to_string(), &err)),
+    };
+    let (trace, trace_dropped) = parse_trace(&out).unwrap_or_default();
+    SupervisedAttempt {
+        attempt,
+        trace,
+        trace_dropped,
     }
 }
 
@@ -136,6 +209,16 @@ pub(crate) fn parse_result(stdout: &str) -> Option<Result<JsonValue, JobError>> 
         err.get("category").and_then(JsonValue::as_str)?,
         err.get("message").and_then(JsonValue::as_str)?,
     )))
+}
+
+/// Parses the last trace marker line of a child's stdout (if any).
+pub(crate) fn parse_trace(stdout: &str) -> Option<(Vec<TraceEvent>, u64)> {
+    let line = stdout
+        .lines()
+        .rev()
+        .find_map(|l| l.trim().strip_prefix(TRACE_MARKER))?;
+    let doc = cmpsim_telemetry::parse(line.trim()).ok()?;
+    cmpsim_telemetry::trace::events_from_json(&doc)
 }
 
 fn crash_message(status: &str, stderr: &str) -> String {
@@ -196,6 +279,31 @@ mod tests {
     fn missing_marker_is_a_crash() {
         assert!(parse_result("no marker here\n").is_none());
         assert!(parse_result("").is_none());
+    }
+
+    #[test]
+    fn trace_marker_parses_alongside_result() {
+        use cmpsim_telemetry::trace::{EventKind, TraceEvent};
+        let ev = TraceEvent {
+            name: "cosim".to_owned(),
+            cell: String::new(),
+            lane: 0,
+            id: 4,
+            parent: 0,
+            ts_ns: 1_000,
+            kind: EventKind::Span { dur_ns: 2_000 },
+            args: Vec::new(),
+        };
+        let out = format!(
+            "noise\n{TRACE_MARKER} {}\n{RESULT_MARKER} {}\n",
+            events_to_json(std::slice::from_ref(&ev), 5).to_json(),
+            "{\"ok\":{\"mpki\":1.5}}"
+        );
+        let (events, dropped) = parse_trace(&out).unwrap();
+        assert_eq!(events, [ev]);
+        assert_eq!(dropped, 5);
+        assert!(parse_result(&out).unwrap().is_ok());
+        assert!(parse_trace("just a result, no trace\n").is_none());
     }
 
     #[test]

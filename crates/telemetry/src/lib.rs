@@ -19,6 +19,9 @@
 //!   time) emitted next to every result,
 //! * [`JsonValue`] — a small JSON document model with serializer *and*
 //!   parser, plus CSV exporters on each component,
+//! * [`trace`] — the flight recorder: per-worker event lanes, causal
+//!   spans, and a Chrome-trace-event exporter ([`chrome`]) for
+//!   Perfetto timelines of whole grid runs,
 //! * [`TelemetryReport`] — the bundle of all of the above as one
 //!   document.
 //!
@@ -38,17 +41,21 @@
 //! ```
 
 pub mod bench;
+pub mod chrome;
 pub mod manifest;
 pub mod registry;
 pub mod spans;
 pub mod timeline;
+pub mod trace;
 pub mod value;
 
 pub use bench::{BenchHarness, BenchResult};
-pub use manifest::{RunManifest, SCHEMA_VERSION};
+pub use chrome::chrome_trace;
+pub use manifest::{scrub_path, RunManifest, SCHEMA_VERSION};
 pub use registry::{Histogram, Labels, Metric, MetricRegistry, MetricValue};
 pub use spans::{SpanProfiler, SpanRecord};
 pub use timeline::{IntervalRecord, Timeline};
+pub use trace::{FlightRecorder, Lane, TraceEvent, TraceSummary};
 pub use value::{parse, JsonParseError, JsonValue};
 
 use std::io::Write as _;

@@ -11,6 +11,33 @@ use crate::value::JsonValue;
 /// document layout changes incompatibly.
 pub const SCHEMA_VERSION: u32 = 1;
 
+/// Scrubs an absolute host path for inclusion in a manifest or trace:
+/// relative paths pass through unchanged; an absolute path under the
+/// current working directory becomes the relative remainder; any other
+/// absolute path is reduced to its basename. Keeps artifacts diffable
+/// across machines — a run on `/home/a` and one on `/home/b` emit the
+/// same provenance bytes.
+pub fn scrub_path(path: &str) -> String {
+    use std::path::Path;
+    if !Path::new(path).is_absolute() {
+        return path.to_owned();
+    }
+    if let Ok(cwd) = std::env::current_dir() {
+        if let Ok(rel) = Path::new(path).strip_prefix(&cwd) {
+            let rel = rel.to_string_lossy();
+            return if rel.is_empty() {
+                ".".to_owned()
+            } else {
+                rel.into_owned()
+            };
+        }
+    }
+    Path::new(path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_owned())
+}
+
 /// Provenance for one run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
@@ -120,6 +147,20 @@ mod tests {
         assert_eq!(m.config_value("llc_bytes").unwrap().as_u64(), Some(1 << 21));
         let parsed = crate::value::parse(&j.to_json_pretty()).unwrap();
         assert_eq!(parsed, j);
+    }
+
+    #[test]
+    fn scrub_path_keeps_relative_and_reduces_absolute() {
+        assert_eq!(scrub_path("results/journal"), "results/journal");
+        assert_eq!(scrub_path("./traces"), "./traces");
+        let cwd = std::env::current_dir().unwrap();
+        let inside = cwd.join("results/run.json");
+        assert_eq!(scrub_path(inside.to_str().unwrap()), "results/run.json");
+        assert_eq!(scrub_path(cwd.to_str().unwrap()), ".");
+        // Outside the working directory: basename only — no host
+        // identity leaks into the artifact.
+        let scrubbed = scrub_path("/definitely/not/under/cwd/store.bin");
+        assert_eq!(scrubbed, "store.bin");
     }
 
     #[test]

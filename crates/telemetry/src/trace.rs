@@ -1,0 +1,1056 @@
+//! Flight-recorder tracing: causal span timelines for a whole grid run.
+//!
+//! The paper could only report end-to-end wall-clock per experiment;
+//! this module records *where* that time goes. A [`FlightRecorder`]
+//! owns a set of per-worker **lanes** — each lane is an independently
+//! locked, bounded event buffer, so recording on one worker never
+//! contends with another — and allocates span ids from one atomic
+//! counter so parent/child edges are unambiguous across lanes and even
+//! across processes (child events are re-based and re-parented by
+//! [`graft`]).
+//!
+//! Overflow policy: each lane holds at most `capacity` events; once
+//! full, **new events are dropped** (the timeline keeps its oldest,
+//! causally-rooted prefix) and counted in a shared dropped-event
+//! counter that every exporter must surface — overflow is never silent.
+//!
+//! Recording is opt-in per thread: [`install`] binds a lane + cell
+//! label + root span to the current thread, and the free functions
+//! [`span`], [`instant`], and [`counter`] are no-ops when nothing is
+//! installed. Code paths instrumented with them are byte-identical in
+//! behavior when tracing is off.
+
+use crate::value::JsonValue;
+use std::cell::RefCell;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default per-lane event capacity (events beyond it are dropped and
+/// counted).
+pub const DEFAULT_LANE_CAPACITY: usize = 1 << 16;
+
+/// What one [`TraceEvent`] describes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A completed span with a duration.
+    Span {
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point-in-time marker (retry, cache hit, poison, ...).
+    Instant,
+    /// A sampled counter value (queue depth, utilization, ...).
+    Counter {
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+/// One recorded event: a span, an instant marker, or a counter sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (stage or marker, e.g. `execute`, `cache-hit`).
+    pub name: String,
+    /// Grid-cell label the event belongs to (empty for pool-level
+    /// events). Primary sort key on export, so traces are comparable
+    /// across `--jobs N`.
+    pub cell: String,
+    /// Recording lane id (one per worker, 0 = pool).
+    pub lane: u32,
+    /// Span id (0 for instants/counters).
+    pub id: u64,
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// Start time in nanoseconds since the recorder epoch.
+    pub ts_ns: u64,
+    /// Span / instant / counter payload.
+    pub kind: EventKind,
+    /// Free-form key/value annotations.
+    pub args: Vec<(String, JsonValue)>,
+}
+
+impl TraceEvent {
+    /// Duration in nanoseconds (0 for instants and counters).
+    pub fn dur_ns(&self) -> u64 {
+        match self.kind {
+            EventKind::Span { dur_ns } => dur_ns,
+            _ => 0,
+        }
+    }
+
+    /// Compact JSON form (used by the JSONL sidecar and the child
+    /// marker protocol).
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = Vec::new();
+        fields.push(("name".to_owned(), JsonValue::from(self.name.as_str())));
+        if !self.cell.is_empty() {
+            fields.push(("cell".to_owned(), JsonValue::from(self.cell.as_str())));
+        }
+        fields.push(("lane".to_owned(), JsonValue::U64(u64::from(self.lane))));
+        if self.id != 0 {
+            fields.push(("id".to_owned(), JsonValue::U64(self.id)));
+        }
+        if self.parent != 0 {
+            fields.push(("parent".to_owned(), JsonValue::U64(self.parent)));
+        }
+        fields.push(("ts_ns".to_owned(), JsonValue::U64(self.ts_ns)));
+        match self.kind {
+            EventKind::Span { dur_ns } => {
+                fields.push(("ph".to_owned(), JsonValue::from("span")));
+                fields.push(("dur_ns".to_owned(), JsonValue::U64(dur_ns)));
+            }
+            EventKind::Instant => fields.push(("ph".to_owned(), JsonValue::from("instant"))),
+            EventKind::Counter { value } => {
+                fields.push(("ph".to_owned(), JsonValue::from("counter")));
+                fields.push(("value".to_owned(), JsonValue::F64(value)));
+            }
+        }
+        if !self.args.is_empty() {
+            fields.push(("args".to_owned(), JsonValue::Object(self.args.clone())));
+        }
+        JsonValue::Object(fields)
+    }
+
+    /// Parses the compact JSON form back; `None` on shape mismatch.
+    pub fn from_json(doc: &JsonValue) -> Option<TraceEvent> {
+        let name = doc.get("name")?.as_str()?.to_owned();
+        let kind = match doc.get("ph")?.as_str()? {
+            "span" => EventKind::Span {
+                dur_ns: doc.get("dur_ns")?.as_u64()?,
+            },
+            "instant" => EventKind::Instant,
+            "counter" => EventKind::Counter {
+                value: doc.get("value")?.as_f64()?,
+            },
+            _ => return None,
+        };
+        let get_u64 = |k: &str| doc.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+        let args = match doc.get("args") {
+            Some(JsonValue::Object(fields)) => fields.clone(),
+            _ => Vec::new(),
+        };
+        Some(TraceEvent {
+            name,
+            cell: doc
+                .get("cell")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("")
+                .to_owned(),
+            lane: get_u64("lane") as u32,
+            id: get_u64("id"),
+            parent: get_u64("parent"),
+            ts_ns: get_u64("ts_ns"),
+            kind,
+            args,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct LaneShared {
+    name: String,
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+/// The shared flight recorder: epoch clock, span-id allocator, lane
+/// registry, and the dropped-event counter.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    epoch: Instant,
+    next_id: AtomicU64,
+    dropped: AtomicU64,
+    capacity: usize,
+    lanes: Mutex<Vec<LaneShared>>,
+}
+
+impl FlightRecorder {
+    /// A recorder with the default per-lane capacity.
+    pub fn new() -> Arc<FlightRecorder> {
+        FlightRecorder::with_capacity(DEFAULT_LANE_CAPACITY)
+    }
+
+    /// A recorder whose lanes each hold at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Arc<FlightRecorder> {
+        Arc::new(FlightRecorder {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            capacity,
+            lanes: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Registers a new lane named `name` (e.g. `worker-3`).
+    pub fn lane(self: &Arc<FlightRecorder>, name: &str) -> Lane {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let mut lanes = self.lanes.lock().unwrap();
+        let id = lanes.len() as u32;
+        lanes.push(LaneShared {
+            name: name.to_owned(),
+            events: Arc::clone(&events),
+        });
+        Lane {
+            rec: Arc::clone(self),
+            id,
+            events,
+        }
+    }
+
+    /// Nanoseconds since the recorder was created (monotonic).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Allocates a fresh span id (never 0).
+    pub fn next_span_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Events dropped so far because a lane was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Folds in events dropped by an external recorder (e.g. a child
+    /// process's count from its trace marker) so the exported total
+    /// stays honest.
+    pub fn add_dropped(&self, n: u64) {
+        self.dropped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Registered lanes as `(id, name)` pairs, in registration order.
+    pub fn lane_names(&self) -> Vec<(u32, String)> {
+        self.lanes
+            .lock()
+            .unwrap()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i as u32, l.name.clone()))
+            .collect()
+    }
+
+    /// Takes every recorded event, sorted by `(cell, ts_ns, id, name)`
+    /// so the export order does not depend on worker interleaving —
+    /// a `--jobs 8` trace has the same structure as `--jobs 1`.
+    pub fn drain_sorted(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = Vec::new();
+        for lane in self.lanes.lock().unwrap().iter() {
+            all.append(&mut lane.events.lock().unwrap());
+        }
+        all.sort_by(|a, b| {
+            (a.cell.as_str(), a.ts_ns, a.id, a.name.as_str()).cmp(&(
+                b.cell.as_str(),
+                b.ts_ns,
+                b.id,
+                b.name.as_str(),
+            ))
+        });
+        all
+    }
+}
+
+/// One recording lane: an independently locked bounded buffer bound to
+/// a recorder. Cloning shares the buffer.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    rec: Arc<FlightRecorder>,
+    id: u32,
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Lane {
+    /// The owning recorder.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.rec
+    }
+
+    /// This lane's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Records a fully formed event (the lane id is stamped here).
+    /// Dropped — and counted — when the lane is at capacity.
+    pub fn push(&self, mut ev: TraceEvent) {
+        ev.lane = self.id;
+        let mut events = self.events.lock().unwrap();
+        if events.len() >= self.rec.capacity {
+            self.rec.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            events.push(ev);
+        }
+    }
+
+    /// Opens a span; it records itself when ended or dropped.
+    pub fn begin(&self, name: &str, cell: &str, parent: u64) -> OpenSpan {
+        OpenSpan {
+            inner: Some(OpenInner {
+                lane: self.clone(),
+                name: name.to_owned(),
+                cell: cell.to_owned(),
+                id: self.rec.next_span_id(),
+                parent,
+                ts_ns: self.rec.now_ns(),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records an instant marker.
+    pub fn instant(&self, name: &str, cell: &str, parent: u64, args: Vec<(String, JsonValue)>) {
+        self.push(TraceEvent {
+            name: name.to_owned(),
+            cell: cell.to_owned(),
+            lane: self.id,
+            id: 0,
+            parent,
+            ts_ns: self.rec.now_ns(),
+            kind: EventKind::Instant,
+            args,
+        });
+    }
+
+    /// Records a counter sample.
+    pub fn counter(&self, name: &str, cell: &str, value: f64) {
+        self.push(TraceEvent {
+            name: name.to_owned(),
+            cell: cell.to_owned(),
+            lane: self.id,
+            id: 0,
+            parent: 0,
+            ts_ns: self.rec.now_ns(),
+            kind: EventKind::Counter { value },
+            args: Vec::new(),
+        });
+    }
+}
+
+#[derive(Debug)]
+struct OpenInner {
+    lane: Lane,
+    name: String,
+    cell: String,
+    id: u64,
+    parent: u64,
+    ts_ns: u64,
+    args: Vec<(String, JsonValue)>,
+}
+
+/// An in-flight span from [`Lane::begin`]; records itself on
+/// [`end`](OpenSpan::end) or drop.
+#[derive(Debug)]
+pub struct OpenSpan {
+    inner: Option<OpenInner>,
+}
+
+impl OpenSpan {
+    /// The span's id, for parenting children under it.
+    pub fn span_id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.id)
+    }
+
+    /// Attaches an annotation.
+    pub fn arg(&mut self, key: &str, value: impl Into<JsonValue>) {
+        if let Some(i) = self.inner.as_mut() {
+            i.args.push((key.to_owned(), value.into()));
+        }
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some(i) = self.inner.take() {
+            let dur_ns = i.lane.rec.now_ns().saturating_sub(i.ts_ns);
+            i.lane.push(TraceEvent {
+                name: i.name,
+                cell: i.cell,
+                lane: 0,
+                id: i.id,
+                parent: i.parent,
+                ts_ns: i.ts_ns,
+                kind: EventKind::Span { dur_ns },
+                args: i.args,
+            });
+        }
+    }
+}
+
+impl Drop for OpenSpan {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-local recording context
+// ---------------------------------------------------------------------
+
+struct ActiveCtx {
+    lane: Lane,
+    cell: String,
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ActiveCtx>> = const { RefCell::new(None) };
+}
+
+/// Binds `lane` + `cell` + `root` span to the current thread so the
+/// context-free [`span`]/[`instant`]/[`counter`] calls below record
+/// into it. The previous binding (if any) is restored when the guard
+/// drops.
+pub fn install(lane: Lane, cell: &str, root: u64) -> CtxGuard {
+    let prev = CTX.with(|c| {
+        c.borrow_mut().replace(ActiveCtx {
+            lane,
+            cell: cell.to_owned(),
+            stack: vec![root],
+        })
+    });
+    CtxGuard { prev }
+}
+
+/// Restores the previously installed context on drop (see [`install`]).
+pub struct CtxGuard {
+    prev: Option<ActiveCtx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CTX.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Whether a recording context is installed on this thread.
+pub fn active() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Opens a span under the current context; a silent no-op guard when no
+/// context is installed (the tracing-off fast path — no clock read, no
+/// allocation).
+pub fn span(name: &str) -> SpanGuard {
+    CTX.with(|c| {
+        let mut ctx = c.borrow_mut();
+        let Some(ctx) = ctx.as_mut() else {
+            return SpanGuard { active: None };
+        };
+        let id = ctx.lane.rec.next_span_id();
+        let parent = ctx.stack.last().copied().unwrap_or(0);
+        ctx.stack.push(id);
+        SpanGuard {
+            active: Some(ActiveSpan {
+                lane: ctx.lane.clone(),
+                name: name.to_owned(),
+                cell: ctx.cell.clone(),
+                id,
+                parent,
+                ts_ns: ctx.lane.rec.now_ns(),
+            }),
+        }
+    })
+}
+
+/// Records an instant marker under the current context; no-op without
+/// one.
+pub fn instant(name: &str, args: Vec<(String, JsonValue)>) {
+    CTX.with(|c| {
+        let ctx = c.borrow();
+        if let Some(ctx) = ctx.as_ref() {
+            let parent = ctx.stack.last().copied().unwrap_or(0);
+            ctx.lane.instant(name, &ctx.cell, parent, args);
+        }
+    });
+}
+
+/// Records a counter sample under the current context; no-op without
+/// one.
+pub fn counter(name: &str, value: f64) {
+    CTX.with(|c| {
+        let ctx = c.borrow();
+        if let Some(ctx) = ctx.as_ref() {
+            ctx.lane.counter(name, &ctx.cell, value);
+        }
+    });
+}
+
+struct ActiveSpan {
+    lane: Lane,
+    name: String,
+    cell: String,
+    id: u64,
+    parent: u64,
+    ts_ns: u64,
+}
+
+/// Guard from [`span`]; closes and records the span on drop.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(s) = self.active.take() else { return };
+        let dur_ns = s.lane.rec.now_ns().saturating_sub(s.ts_ns);
+        CTX.with(|c| {
+            let mut ctx = c.borrow_mut();
+            if let Some(ctx) = ctx.as_mut() {
+                if ctx.stack.last() == Some(&s.id) {
+                    ctx.stack.pop();
+                }
+            }
+        });
+        s.lane.push(TraceEvent {
+            name: s.name,
+            cell: s.cell,
+            lane: 0,
+            id: s.id,
+            parent: s.parent,
+            ts_ns: s.ts_ns,
+            kind: EventKind::Span { dur_ns },
+            args: Vec::new(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-process grafting and batch (de)serialization
+// ---------------------------------------------------------------------
+
+/// Serializes a batch of events (plus the dropped count) as one JSON
+/// object — the payload of the `__cmpsim_trace__` child marker line.
+pub fn events_to_json(events: &[TraceEvent], dropped: u64) -> JsonValue {
+    JsonValue::object([
+        ("dropped", JsonValue::U64(dropped)),
+        (
+            "events",
+            JsonValue::Array(events.iter().map(TraceEvent::to_json).collect()),
+        ),
+    ])
+}
+
+/// Parses a batch serialized by [`events_to_json`]; malformed events
+/// are skipped rather than failing the batch.
+pub fn events_from_json(doc: &JsonValue) -> Option<(Vec<TraceEvent>, u64)> {
+    let dropped = doc.get("dropped").and_then(JsonValue::as_u64).unwrap_or(0);
+    let events = doc
+        .get("events")?
+        .as_array()?
+        .iter()
+        .filter_map(TraceEvent::from_json)
+        .collect();
+    Some((events, dropped))
+}
+
+/// Grafts events recorded elsewhere (another thread's batch or a child
+/// process's marker payload) into `lane`: span ids are re-allocated
+/// from this recorder, root events are re-parented under `parent`,
+/// timestamps are re-based by `base_ts_ns` (the receiving clock's time
+/// when the remote recorder started), every event is stamped with
+/// `cell`, and `tag` annotations (e.g. `proc: child`) are appended.
+pub fn graft(
+    lane: &Lane,
+    events: Vec<TraceEvent>,
+    cell: &str,
+    parent: u64,
+    base_ts_ns: u64,
+    tag: &[(&str, JsonValue)],
+) {
+    let mut remap = std::collections::HashMap::new();
+    for ev in &events {
+        if ev.id != 0 {
+            remap.insert(ev.id, lane.recorder().next_span_id());
+        }
+    }
+    for mut ev in events {
+        ev.cell = cell.to_owned();
+        ev.ts_ns = ev.ts_ns.saturating_add(base_ts_ns);
+        ev.id = if ev.id == 0 { 0 } else { remap[&ev.id] };
+        ev.parent = match remap.get(&ev.parent) {
+            Some(new) => *new,
+            None => parent,
+        };
+        for (k, v) in tag {
+            ev.args.push(((*k).to_owned(), v.clone()));
+        }
+        lane.push(ev);
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSONL sidecar (written next to the journal)
+// ---------------------------------------------------------------------
+
+/// A parsed trace JSONL sidecar.
+#[derive(Debug)]
+pub struct TraceFile {
+    /// Header metadata (experiment, run id, workers, ...).
+    pub meta: JsonValue,
+    /// Registered lanes as `(id, name)` pairs.
+    pub lanes: Vec<(u32, String)>,
+    /// Every event, in the (sorted) order it was written.
+    pub events: Vec<TraceEvent>,
+    /// Dropped-event count at export time.
+    pub dropped: u64,
+}
+
+/// Writes the compact JSONL sidecar: one `trace_header` line, one line
+/// per event, one `trace_end` trailer carrying the totals.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_jsonl(
+    path: &Path,
+    meta: &[(String, JsonValue)],
+    lanes: &[(u32, String)],
+    events: &[TraceEvent],
+    dropped: u64,
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let header = JsonValue::object([
+        ("kind", JsonValue::from("trace_header")),
+        ("meta", JsonValue::Object(meta.to_vec())),
+        (
+            "lanes",
+            JsonValue::Array(
+                lanes
+                    .iter()
+                    .map(|(id, name)| {
+                        JsonValue::object([
+                            ("id", JsonValue::U64(u64::from(*id))),
+                            ("name", JsonValue::from(name.as_str())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    writeln!(out, "{}", header.to_json())?;
+    for ev in events {
+        writeln!(out, "{}", ev.to_json().to_json())?;
+    }
+    let trailer = JsonValue::object([
+        ("kind", JsonValue::from("trace_end")),
+        ("events", JsonValue::U64(events.len() as u64)),
+        ("dropped", JsonValue::U64(dropped)),
+    ]);
+    writeln!(out, "{}", trailer.to_json())?;
+    Ok(())
+}
+
+/// Reads a sidecar written by [`write_jsonl`]. Unparseable lines are
+/// skipped (a torn tail loses events, not the file).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn read_jsonl(path: &Path) -> std::io::Result<TraceFile> {
+    let text = std::fs::read_to_string(path)?;
+    let mut file = TraceFile {
+        meta: JsonValue::Object(Vec::new()),
+        lanes: Vec::new(),
+        events: Vec::new(),
+        dropped: 0,
+    };
+    for line in text.lines() {
+        let Ok(doc) = crate::value::parse(line) else {
+            continue;
+        };
+        match doc.get("kind").and_then(JsonValue::as_str) {
+            Some("trace_header") => {
+                if let Some(meta) = doc.get("meta") {
+                    file.meta = meta.clone();
+                }
+                if let Some(lanes) = doc.get("lanes").and_then(JsonValue::as_array) {
+                    for l in lanes {
+                        let (Some(id), Some(name)) = (
+                            l.get("id").and_then(JsonValue::as_u64),
+                            l.get("name").and_then(JsonValue::as_str),
+                        ) else {
+                            continue;
+                        };
+                        file.lanes.push((id as u32, name.to_owned()));
+                    }
+                }
+            }
+            Some("trace_end") => {
+                file.dropped = doc.get("dropped").and_then(JsonValue::as_u64).unwrap_or(0);
+            }
+            _ => {
+                if let Some(ev) = TraceEvent::from_json(&doc) {
+                    file.events.push(ev);
+                }
+            }
+        }
+    }
+    Ok(file)
+}
+
+// ---------------------------------------------------------------------
+// Aggregation (the data model behind `cmpsim report`)
+// ---------------------------------------------------------------------
+
+/// Latency statistics over one span name (e.g. `journal-append`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Number of spans observed.
+    pub count: usize,
+    /// Median duration in nanoseconds.
+    pub p50_ns: u64,
+    /// 90th-percentile duration in nanoseconds.
+    pub p90_ns: u64,
+    /// Maximum duration in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Computes stats from raw durations (empty input → all zeros).
+    pub fn from_durations(mut ns: Vec<u64>) -> LatencyStats {
+        if ns.is_empty() {
+            return LatencyStats::default();
+        }
+        ns.sort_unstable();
+        let n = ns.len();
+        LatencyStats {
+            count: n,
+            p50_ns: ns[(n - 1) / 2],
+            p90_ns: ns[(n - 1) * 9 / 10],
+            max_ns: ns[n - 1],
+        }
+    }
+}
+
+/// Per-cell rollup: total duration and per-stage sums.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// The cell label (workload name).
+    pub label: String,
+    /// Duration of the cell's umbrella span in nanoseconds.
+    pub total_ns: u64,
+    /// Summed span durations by name within this cell, sorted by name.
+    pub stages: Vec<(String, u64)>,
+}
+
+impl CellSummary {
+    /// Summed nanoseconds of stage `name` in this cell.
+    pub fn stage_ns(&self, name: &str) -> u64 {
+        self.stages
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, ns)| *ns)
+    }
+}
+
+/// Aggregated view of one run's trace, the data model behind
+/// `cmpsim report`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Summed span durations by name across the run, sorted by name.
+    /// Cell umbrella spans (`cell:*`) are excluded.
+    pub stage_ns: Vec<(String, u64)>,
+    /// Per-cell rollups, slowest first (ties broken by label).
+    pub cells: Vec<CellSummary>,
+    /// Journal append+fsync latency distribution.
+    pub journal_append: LatencyStats,
+    /// Worker utilization samples as `(lane, fraction)`.
+    pub utilization: Vec<(u32, f64)>,
+    /// Counts of instant markers by name, sorted by name.
+    pub markers: Vec<(String, u64)>,
+    /// Total events in the trace.
+    pub events: usize,
+    /// Events dropped at record time (never silent).
+    pub dropped: u64,
+}
+
+/// Name prefix of per-cell umbrella spans.
+pub const CELL_SPAN_PREFIX: &str = "cell:";
+
+impl TraceSummary {
+    /// Aggregates a run's events (as drained or read back from JSONL).
+    pub fn from_events(events: &[TraceEvent], dropped: u64) -> TraceSummary {
+        use std::collections::BTreeMap;
+        let mut stage_ns: BTreeMap<String, u64> = BTreeMap::new();
+        let mut cells: BTreeMap<String, (u64, BTreeMap<String, u64>)> = BTreeMap::new();
+        let mut appends: Vec<u64> = Vec::new();
+        let mut utilization: Vec<(u32, f64)> = Vec::new();
+        let mut markers: BTreeMap<String, u64> = BTreeMap::new();
+        for ev in events {
+            match ev.kind {
+                EventKind::Span { dur_ns } => {
+                    if let Some(label) = ev.name.strip_prefix(CELL_SPAN_PREFIX) {
+                        cells.entry(label.to_owned()).or_default().0 += dur_ns;
+                        continue;
+                    }
+                    *stage_ns.entry(ev.name.clone()).or_default() += dur_ns;
+                    if !ev.cell.is_empty() {
+                        *cells
+                            .entry(ev.cell.clone())
+                            .or_default()
+                            .1
+                            .entry(ev.name.clone())
+                            .or_default() += dur_ns;
+                    }
+                    if ev.name == "journal-append" {
+                        appends.push(dur_ns);
+                    }
+                }
+                EventKind::Instant => *markers.entry(ev.name.clone()).or_default() += 1,
+                EventKind::Counter { value } => {
+                    if ev.name == "utilization" {
+                        utilization.push((ev.lane, value));
+                    }
+                }
+            }
+        }
+        utilization.sort_by_key(|a| a.0);
+        let mut cells: Vec<CellSummary> = cells
+            .into_iter()
+            .map(|(label, (total_ns, stages))| CellSummary {
+                label,
+                total_ns,
+                stages: stages.into_iter().collect(),
+            })
+            .collect();
+        cells.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.label.cmp(&b.label)));
+        TraceSummary {
+            stage_ns: stage_ns.into_iter().collect(),
+            cells,
+            journal_append: LatencyStats::from_durations(appends),
+            utilization,
+            markers: markers.into_iter().collect(),
+            events: events.len(),
+            dropped,
+        }
+    }
+
+    /// Summed nanoseconds of stage `name` across the run.
+    pub fn stage_total_ns(&self, name: &str) -> u64 {
+        self.stage_ns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, ns)| *ns)
+    }
+
+    /// Count of instant marker `name` across the run.
+    pub fn marker_count(&self, name: &str) -> u64 {
+        self.markers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, c)| *c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, cell: &str, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_owned(),
+            cell: cell.to_owned(),
+            lane: 0,
+            id: 0,
+            parent: 0,
+            ts_ns: ts,
+            kind: EventKind::Span { dur_ns: dur },
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn event_roundtrips_through_json() {
+        let mut e = ev("execute", "FIMI", 123, 456);
+        e.id = 7;
+        e.parent = 3;
+        e.args.push(("attempt".to_owned(), JsonValue::U64(1)));
+        assert_eq!(TraceEvent::from_json(&e.to_json()), Some(e.clone()));
+        let i = TraceEvent {
+            kind: EventKind::Instant,
+            id: 0,
+            ..e.clone()
+        };
+        assert_eq!(TraceEvent::from_json(&i.to_json()), Some(i));
+        let c = TraceEvent {
+            kind: EventKind::Counter { value: 0.5 },
+            id: 0,
+            args: Vec::new(),
+            ..e
+        };
+        assert_eq!(TraceEvent::from_json(&c.to_json()), Some(c));
+    }
+
+    #[test]
+    fn lanes_allocate_distinct_span_ids() {
+        let rec = FlightRecorder::new();
+        let a = rec.lane("worker-0");
+        let b = rec.lane("worker-1");
+        let s1 = a.begin("x", "c", 0);
+        let s2 = b.begin("y", "c", s1.span_id());
+        assert_ne!(s1.span_id(), s2.span_id());
+        s2.end();
+        s1.end();
+        let events = rec.drain_sorted();
+        assert_eq!(events.len(), 2);
+        let y = events.iter().find(|e| e.name == "y").unwrap();
+        let x = events.iter().find(|e| e.name == "x").unwrap();
+        assert_eq!(y.parent, x.id);
+        assert_eq!(
+            rec.lane_names(),
+            [(0, "worker-0".into()), (1, "worker-1".into())]
+        );
+    }
+
+    #[test]
+    fn overflow_drops_new_events_and_counts_them() {
+        let rec = FlightRecorder::with_capacity(3);
+        let lane = rec.lane("w");
+        for i in 0..10 {
+            lane.instant(&format!("m{i}"), "", 0, Vec::new());
+        }
+        assert_eq!(rec.dropped(), 7);
+        let events = rec.drain_sorted();
+        assert_eq!(events.len(), 3);
+        // Oldest events survive: the buffer keeps its causal prefix.
+        assert_eq!(events[0].name, "m0");
+    }
+
+    #[test]
+    fn context_free_calls_are_noops_without_install() {
+        let _s = span("ignored");
+        instant("ignored", Vec::new());
+        counter("ignored", 1.0);
+        assert!(!active());
+    }
+
+    #[test]
+    fn installed_context_parents_nested_spans() {
+        let rec = FlightRecorder::new();
+        let lane = rec.lane("w");
+        let root = rec.next_span_id();
+        {
+            let _g = install(lane, "FIMI", root);
+            assert!(active());
+            let outer = span("cosim");
+            {
+                let _inner = span("simulate");
+                instant("tick", Vec::new());
+            }
+            drop(outer);
+        }
+        assert!(!active());
+        let events = rec.drain_sorted();
+        let outer = events.iter().find(|e| e.name == "cosim").unwrap();
+        let inner = events.iter().find(|e| e.name == "simulate").unwrap();
+        let tick = events.iter().find(|e| e.name == "tick").unwrap();
+        assert_eq!(outer.parent, root);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(tick.parent, inner.id);
+        assert!(events.iter().all(|e| e.cell == "FIMI"));
+    }
+
+    #[test]
+    fn graft_rebases_and_reparents_child_events() {
+        // "Child" recorder with its own id space.
+        let child = FlightRecorder::new();
+        let clane = child.lane("child");
+        let root = clane.begin("child-root", "", 0);
+        let root_id = root.span_id();
+        clane.instant("marker", "", root_id, Vec::new());
+        root.end();
+        let child_events = child.drain_sorted();
+        let payload = events_to_json(&child_events, 2);
+
+        // Parent recorder: graft under an existing cell span.
+        let parent = FlightRecorder::new();
+        let lane = parent.lane("worker-0");
+        let cell = lane.begin(&format!("{CELL_SPAN_PREFIX}FIMI"), "FIMI", 0);
+        let cell_id = cell.span_id();
+        let (events, dropped) = events_from_json(&payload).unwrap();
+        assert_eq!(dropped, 2);
+        graft(
+            &lane,
+            events,
+            "FIMI",
+            cell_id,
+            1_000_000,
+            &[("proc", JsonValue::from("child"))],
+        );
+        cell.end();
+        let all = parent.drain_sorted();
+        let groot = all.iter().find(|e| e.name == "child-root").unwrap();
+        let gmark = all.iter().find(|e| e.name == "marker").unwrap();
+        assert_eq!(groot.parent, cell_id, "child root parents under the cell");
+        assert_eq!(gmark.parent, groot.id, "intra-child edges survive remap");
+        assert!(groot.ts_ns >= 1_000_000);
+        assert_eq!(groot.cell, "FIMI");
+        assert!(groot
+            .args
+            .contains(&("proc".to_owned(), JsonValue::from("child"))));
+    }
+
+    #[test]
+    fn jsonl_roundtrips_events_and_dropped_count() {
+        let dir = std::env::temp_dir().join(format!("cmpsim-tracejsonl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("run.trace.jsonl");
+        let events = vec![ev("execute", "FIMI", 10, 20), ev("replay", "SHOT", 5, 7)];
+        let meta = vec![("experiment".to_owned(), JsonValue::from("fig4_scmp"))];
+        let lanes = vec![(0u32, "pool".to_owned()), (1, "worker-0".to_owned())];
+        write_jsonl(&path, &meta, &lanes, &events, 3).unwrap();
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back.events, events);
+        assert_eq!(back.dropped, 3);
+        assert_eq!(back.lanes, lanes);
+        assert_eq!(
+            back.meta.get("experiment").and_then(JsonValue::as_str),
+            Some("fig4_scmp")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_rolls_up_stages_cells_and_latency() {
+        let mut events = vec![
+            ev("cell:FIMI", "FIMI", 0, 100),
+            ev("execute", "FIMI", 1, 60),
+            ev("replay", "FIMI", 2, 30),
+            ev("cell:SHOT", "SHOT", 0, 300),
+            ev("execute", "SHOT", 1, 250),
+            ev("journal-append", "FIMI", 3, 10),
+            ev("journal-append", "SHOT", 4, 30),
+        ];
+        events.push(TraceEvent {
+            kind: EventKind::Instant,
+            ..ev("retry", "SHOT", 5, 0)
+        });
+        events.push(TraceEvent {
+            kind: EventKind::Counter { value: 0.75 },
+            lane: 2,
+            ..ev("utilization", "", 6, 0)
+        });
+        let s = TraceSummary::from_events(&events, 1);
+        assert_eq!(s.stage_total_ns("execute"), 310);
+        assert_eq!(s.stage_total_ns("replay"), 30);
+        assert_eq!(s.cells[0].label, "SHOT", "slowest cell first");
+        assert_eq!(s.cells[0].total_ns, 300);
+        assert_eq!(s.cells[1].stage_ns("execute"), 60);
+        assert_eq!(s.journal_append.count, 2);
+        assert_eq!(s.journal_append.max_ns, 30);
+        assert_eq!(s.marker_count("retry"), 1);
+        assert_eq!(s.utilization, [(2, 0.75)]);
+        assert_eq!(s.dropped, 1);
+    }
+}

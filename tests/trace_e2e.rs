@@ -1,0 +1,302 @@
+//! Flight-recorder tracing, end to end: a supervised grid run with
+//! `--trace-out` must produce a valid Chrome trace-event document in
+//! which every child-process span parents (transitively) under its
+//! grid-cell span; tracing must never change a run's stdout; and the
+//! trace's structural shape must be identical across `--jobs` counts,
+//! with the cell lifecycle shape surviving a warm (cached) re-run.
+//! `cmpsim report` renders the journalled timeline and `--compare`
+//! diffs two runs.
+
+use cmpsim_telemetry::JsonValue;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmpsim-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Runs `fig4_scmp` at tiny scale over `workloads` with `extra` flags,
+/// asserting success; returns (stdout, stderr).
+fn fig4(dir: &Path, workloads: &str, extra: &[&str]) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig4_scmp"))
+        .current_dir(dir)
+        .args(["--scale", "tiny", "--seed", "7", "--workloads", workloads])
+        .args(extra)
+        .output()
+        .expect("run fig4_scmp");
+    assert!(
+        out.status.success(),
+        "fig4_scmp failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("stdout is utf-8"),
+        String::from_utf8(out.stderr).expect("stderr is utf-8"),
+    )
+}
+
+fn read_chrome(path: &Path) -> JsonValue {
+    let text = std::fs::read_to_string(path).expect("read trace");
+    cmpsim_telemetry::parse(&text).expect("trace parses as JSON")
+}
+
+fn trace_events(doc: &JsonValue) -> &[JsonValue] {
+    doc.get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array")
+}
+
+fn arg_str<'a>(ev: &'a JsonValue, key: &str) -> Option<&'a str> {
+    ev.get_path(&["args", key]).and_then(JsonValue::as_str)
+}
+
+fn arg_u64(ev: &JsonValue, key: &str) -> Option<u64> {
+    ev.get_path(&["args", key]).and_then(JsonValue::as_u64)
+}
+
+fn name(ev: &JsonValue) -> &str {
+    ev.get("name").and_then(JsonValue::as_str).unwrap_or("")
+}
+
+fn ph(ev: &JsonValue) -> &str {
+    ev.get("ph").and_then(JsonValue::as_str).unwrap_or("")
+}
+
+/// The structural shape of a trace: per-event `(cell, ph, name, from
+/// child?)` tuples for spans and instants, sorted. Timestamps, span
+/// ids, lanes, and counters are excluded, so serial/parallel runs of
+/// the same grid produce the same shape.
+fn full_shape(doc: &JsonValue) -> Vec<(String, String, String, bool)> {
+    let mut shape: Vec<_> = trace_events(doc)
+        .iter()
+        .filter(|ev| matches!(ph(ev), "X" | "i"))
+        .map(|ev| {
+            (
+                arg_str(ev, "cell").unwrap_or("").to_owned(),
+                ph(ev).to_owned(),
+                name(ev).to_owned(),
+                arg_str(ev, "proc") == Some("child"),
+            )
+        })
+        .collect();
+    shape.sort();
+    shape
+}
+
+/// The cell-lifecycle subset of the shape: events every grid run emits
+/// for every cell regardless of whether the cell executed or was
+/// served from the result cache.
+fn lifecycle_shape(doc: &JsonValue) -> Vec<(String, String, String, bool)> {
+    full_shape(doc)
+        .into_iter()
+        .filter(|(_, _, name, _)| {
+            name.starts_with("cell:") || name == "queue-wait" || name == "cache-lookup"
+        })
+        .collect()
+}
+
+#[test]
+fn supervised_trace_parents_child_spans_under_cells() {
+    let dir = temp_dir("trace-e2e-supervised");
+    let trace = dir.join("trace.json");
+    fig4(
+        &dir,
+        "MDS",
+        &[
+            "--jobs",
+            "1",
+            "--isolate",
+            "process",
+            "--no-cache",
+            "--run-id",
+            "trace-e2e",
+            "--journal-dir",
+            "journal",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ],
+    );
+    let doc = read_chrome(&trace);
+    // The export is never silent about overflow.
+    assert_eq!(
+        doc.get_path(&["otherData", "dropped_events"])
+            .and_then(JsonValue::as_u64),
+        Some(0)
+    );
+
+    // Index every complete span by id, then require each child-process
+    // event to chain (via `parent`) to its cell umbrella span.
+    let mut spans: BTreeMap<u64, &JsonValue> = BTreeMap::new();
+    for ev in trace_events(&doc) {
+        if ph(ev) == "X" {
+            if let Some(id) = arg_u64(ev, "span") {
+                spans.insert(id, ev);
+            }
+        }
+    }
+    let child_events: Vec<&JsonValue> = trace_events(&doc)
+        .iter()
+        .filter(|ev| arg_str(ev, "proc") == Some("child"))
+        .collect();
+    assert!(
+        !child_events.is_empty(),
+        "a traced --isolate process run must graft child spans"
+    );
+    for ev in &child_events {
+        let mut cur = *ev;
+        let mut hops = 0;
+        loop {
+            if name(cur).starts_with("cell:") {
+                break;
+            }
+            let parent = arg_u64(cur, "parent").unwrap_or(0);
+            cur = spans.get(&parent).unwrap_or_else(|| {
+                panic!("child event `{}` does not chain to a cell span", name(ev))
+            });
+            hops += 1;
+            assert!(hops < 64, "parent chain cycle from `{}`", name(ev));
+        }
+        assert_eq!(
+            arg_str(cur, "cell"),
+            Some("MDS"),
+            "child event `{}` landed under the wrong cell",
+            name(ev)
+        );
+    }
+    // The child did real co-simulation work under the cell span.
+    assert!(
+        child_events.iter().any(|ev| name(ev) == "capture"),
+        "child trace should carry the capture span"
+    );
+
+    // The JSONL sidecar sits next to the journal and aggregates to the
+    // same stage totals `cmpsim report` renders.
+    let sidecar = dir.join("journal/trace-e2e.trace.jsonl");
+    let file = cmpsim_telemetry::trace::read_jsonl(&sidecar).expect("sidecar exists");
+    let summary = cmpsim_telemetry::trace::TraceSummary::from_events(&file.events, file.dropped);
+    assert!(summary.stage_total_ns("execute") > 0);
+    assert_eq!(summary.cells.len(), 1);
+    assert_eq!(summary.cells[0].label, "MDS");
+
+    // `cmpsim report` renders the journalled run; `--compare` diffs it.
+    let report = Command::new(env!("CARGO_BIN_EXE_cmpsim"))
+        .current_dir(&dir)
+        .args(["report", "trace-e2e", "--journal-dir", "journal"])
+        .output()
+        .expect("run cmpsim report");
+    assert!(
+        report.status.success(),
+        "cmpsim report failed: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let text = String::from_utf8(report.stdout).unwrap();
+    assert!(text.contains("stage breakdown:"), "{text}");
+    assert!(text.contains("execute"), "{text}");
+    assert!(text.contains("slowest cells"), "{text}");
+    assert!(text.contains("MDS"), "{text}");
+
+    let compare = Command::new(env!("CARGO_BIN_EXE_cmpsim"))
+        .current_dir(&dir)
+        .args([
+            "report",
+            "--compare",
+            "trace-e2e",
+            "trace-e2e",
+            "--journal-dir",
+            "journal",
+        ])
+        .output()
+        .expect("run cmpsim report --compare");
+    assert!(compare.status.success());
+    let text = String::from_utf8(compare.stdout).unwrap();
+    assert!(text.contains("comparing trace-e2e vs trace-e2e"), "{text}");
+    assert!(text.contains("throughput:"), "{text}");
+    assert!(text.contains("(1.00x)"), "{text}");
+}
+
+#[test]
+fn tracing_does_not_change_stdout() {
+    let dir = temp_dir("trace-e2e-identity");
+    let (plain, _) = fig4(&dir, "MDS", &["--no-cache"]);
+    let trace = dir.join("trace.json");
+    let (traced, err) = fig4(
+        &dir,
+        "MDS",
+        &["--no-cache", "--trace-out", trace.to_str().unwrap()],
+    );
+    assert_eq!(plain, traced, "enabling --trace-out must not change stdout");
+    assert!(err.contains("wrote"), "trace path note goes to stderr");
+    read_chrome(&trace); // and the trace itself is valid JSON
+
+    // `--quiet` silences stderr entirely on a clean run — no progress
+    // line, no batch summary — without touching stdout.
+    let (quiet, err) = fig4(&dir, "MDS", &["--no-cache", "--quiet"]);
+    assert_eq!(plain, quiet, "--quiet must not change stdout");
+    assert_eq!(err, "", "--quiet must silence stderr on a clean run");
+}
+
+#[test]
+fn trace_shape_is_identical_across_jobs_and_cache_state() {
+    let dir = temp_dir("trace-e2e-shape");
+    let serial = dir.join("serial.json");
+    let parallel = dir.join("parallel.json");
+    let warm = dir.join("warm.json");
+    fig4(
+        &dir,
+        "MDS,SHOT",
+        &[
+            "--jobs",
+            "1",
+            "--cache-dir",
+            "cache-serial",
+            "--trace-out",
+            serial.to_str().unwrap(),
+        ],
+    );
+    fig4(
+        &dir,
+        "MDS,SHOT",
+        &[
+            "--jobs",
+            "2",
+            "--cache-dir",
+            "cache-parallel",
+            "--trace-out",
+            parallel.to_str().unwrap(),
+        ],
+    );
+    // Warm: re-run over the serial run's cache — every cell is served
+    // from the result cache.
+    fig4(
+        &dir,
+        "MDS,SHOT",
+        &[
+            "--jobs",
+            "1",
+            "--cache-dir",
+            "cache-serial",
+            "--trace-out",
+            warm.to_str().unwrap(),
+        ],
+    );
+    let serial = read_chrome(&serial);
+    let parallel = read_chrome(&parallel);
+    let warm = read_chrome(&warm);
+    // Golden shape: a parallel cold run records structurally the same
+    // trace as a serial cold run — same cells, same spans, same
+    // markers; only timestamps, ids, and lane assignment differ.
+    assert_eq!(full_shape(&serial), full_shape(&parallel));
+    // A warm run skips execution, but the per-cell lifecycle (umbrella
+    // span, queue-wait, cache-lookup) is shape-identical.
+    assert_eq!(lifecycle_shape(&serial), lifecycle_shape(&warm));
+    // And the warm run visibly hit the cache instead of executing.
+    let hits = trace_events(&warm)
+        .iter()
+        .filter(|ev| name(ev) == "cache-hit")
+        .count();
+    assert_eq!(hits, 2, "both warm cells are served from the cache");
+}
