@@ -19,6 +19,13 @@
 //! it against any number of cache configurations afterwards — the same
 //! decoupling the FPGA rig offered (the bus trace does not depend on the
 //! emulated LLC because the emulator is passive).
+//!
+//! `serve`/`submit`/`status` turn the grid runner into a long-running
+//! service: `serve` starts a coordinator daemon that shards submitted
+//! cells over a supervised worker fleet against one shared result
+//! cache; `submit` sends a grid to it (same flags as `grid`, plus
+//! `--connect ADDR`) and renders byte-identical output from the
+//! streamed results; `status` prints the daemon's lifetime counters.
 
 use cmpsim_bench::{parse_scale, results_json};
 use cmpsim_core::cosim::{CoSimConfig, CoSimulation};
@@ -35,6 +42,7 @@ use cmpsim_core::tel::{
 };
 use cmpsim_core::{telemetry, CaptureBroker, Scale, WorkloadId};
 use cmpsim_dragonhead::{Dragonhead, DragonheadConfig};
+use cmpsim_service::{CellSpec, Coordinator, ServeConfig, Submission};
 use cmpsim_trace::file::{TraceReader, TraceWriter};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -51,10 +59,13 @@ fn main() {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
         Some(entry) if entry == CHILD_ENTRY => cmd_child(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cmpsim <list|run|grid|record|replay|report> [options]\n\
+                "usage: cmpsim <list|run|grid|record|replay|report|serve|submit|status> [options]\n\
                  run    --workload NAME --cores N [--llc SIZE] [--line N] [--scale S] [--prefetch]\n\
                         [--json] [--metrics-out FILE]\n\
                  grid   --cores 8|16|32 [--workloads A,B,C] [--scale S] [--seed N] [--jobs N]\n\
@@ -62,10 +73,16 @@ fn main() {
                         [--journal-dir DIR] [--run-id ID] [--resume ID]\n\
                         [--isolate inline|process] [--retries N]\n\
                         [--trace-dir DIR] [--no-replay] [--trace-out FILE] [--quiet]\n\
+                        [--connect ADDR]\n\
                  record --workload NAME --cores N --out FILE [--scale S]\n\
                  replay --trace FILE [--llc SIZE] [--line N] [--json] [--metrics-out FILE]\n\
                  report <RUN-ID> [--journal-dir DIR] [--top K]\n\
-                 report --compare <RUN-A> <RUN-B> [--journal-dir DIR]"
+                 report --compare <RUN-A> <RUN-B> [--journal-dir DIR]\n\
+                 serve  [--listen ADDR] [--workers N] [--cache-dir DIR] [--no-cache]\n\
+                        [--journal-dir DIR] [--retries N] [--job-timeout SECONDS]\n\
+                        [--port-file FILE] [--chaos-kill-label LABEL]\n\
+                 submit --connect ADDR <grid options>\n\
+                 status --connect ADDR"
             );
             2
         }
@@ -98,6 +115,7 @@ struct Cli {
     no_replay: bool,
     trace_out: Option<PathBuf>,
     quiet: bool,
+    connect: Option<String>,
 }
 
 impl Cli {
@@ -165,6 +183,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--no-replay" => cli.no_replay = true,
             "--trace-out" => cli.trace_out = Some(PathBuf::from(val()?)),
             "--quiet" => cli.quiet = true,
+            "--connect" => cli.connect = Some(val()?),
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -286,40 +305,53 @@ fn cmd_grid(args: &[String]) -> i32 {
     let spec = GridSpec::new("cmpsim_grid", cli.scale, cli.seed, cli.workloads.clone())
         .param("cmp", cmp)
         .param("line", 64);
-    let journal = journal_config(&cli);
-    // Record a timeline whenever someone will consume it: an explicit
-    // `--trace-out`, or a journalled run (JSONL sidecar for `report`).
-    let recorder =
-        (cli.trace_out.is_some() || journal.is_some()).then(cmpsim_core::tel::FlightRecorder::new);
-    let runner = RunnerConfig {
-        workers: cli.jobs,
-        cache_dir: cli.cache_dir.clone(),
-        retries: cli.retries.unwrap_or(1),
-        progress: !cli.quiet && std::io::IsTerminal::is_terminal(&std::io::stderr()),
-        job_timeout: None,
-        isolate: cli.isolate,
-        shutdown: journal.as_ref().map(|_| shutdown::install()),
-        journal,
-        tracer: recorder.clone(),
-        ..RunnerConfig::default()
-    };
-    // The base argv a supervised child recomputes one cell from:
-    // `cmpsim __run-job <W> grid <base>` — the original grid arguments
-    // minus every parent-only concern (the parent owns parallelism,
-    // caching, journalling, isolation, and output).
-    let child_base: Vec<String> = std::iter::once("grid".to_owned())
-        .chain(strip_parent_flags(args))
-        .chain(std::iter::once("--no-cache".to_owned()))
-        .collect();
-    let base = (cli.isolate == IsolateMode::Process).then_some(child_base.as_slice());
-    let broker = capture_broker(&cli);
-    let cell_broker = broker.clone();
-    let report = run_grid_supervised(&spec, &runner, base, move |w| {
-        results_json::cache_size_curve(&match &cell_broker {
-            Some(b) => study.run_captured(b, w),
-            None => study.run(w),
+    // In service-client mode the coordinator owns journalling, caching,
+    // isolation, and the trace sidecar — locally there is nothing to
+    // record and no broker to count.
+    let mut recorder = None;
+    let mut broker = None;
+    let report = if let Some(addr) = &cli.connect {
+        match service_submit(&cli, addr, &spec, args) {
+            Ok(report) => report,
+            Err(e) => return fail(&e),
+        }
+    } else {
+        let journal = journal_config(&cli);
+        // Record a timeline whenever someone will consume it: an
+        // explicit `--trace-out`, or a journalled run (JSONL sidecar
+        // for `report`).
+        recorder = (cli.trace_out.is_some() || journal.is_some())
+            .then(cmpsim_core::tel::FlightRecorder::new);
+        let runner = RunnerConfig {
+            workers: cli.jobs,
+            cache_dir: cli.cache_dir.clone(),
+            retries: cli.retries.unwrap_or(1),
+            progress: !cli.quiet,
+            job_timeout: None,
+            isolate: cli.isolate,
+            shutdown: journal.as_ref().map(|_| shutdown::install()),
+            journal,
+            tracer: recorder.clone(),
+            ..RunnerConfig::default()
+        };
+        // The base argv a supervised child recomputes one cell from:
+        // `cmpsim __run-job <W> grid <base>` — the original grid
+        // arguments minus every parent-only concern (the parent owns
+        // parallelism, caching, journalling, isolation, and output).
+        let child_base: Vec<String> = std::iter::once("grid".to_owned())
+            .chain(strip_parent_flags(args))
+            .chain(std::iter::once("--no-cache".to_owned()))
+            .collect();
+        let base = (cli.isolate == IsolateMode::Process).then_some(child_base.as_slice());
+        broker = capture_broker(&cli);
+        let cell_broker = broker.clone();
+        run_grid_supervised(&spec, &runner, base, move |w| {
+            results_json::cache_size_curve(&match &cell_broker {
+                Some(b) => study.run_captured(b, w),
+                None => study.run(w),
+            })
         })
-    });
+    };
     let curves: Vec<_> = report
         .payloads()
         .filter_map(results_json::parse_cache_size_curve)
@@ -480,7 +512,8 @@ fn strip_parent_flags(args: &[String]) -> Vec<String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--jobs" | "--cache-dir" | "--metrics-out" | "--journal-dir" | "--run-id"
-            | "--resume" | "--isolate" | "--retries" | "--workloads" | "--trace-out" => {
+            | "--resume" | "--isolate" | "--retries" | "--workloads" | "--trace-out"
+            | "--connect" => {
                 it.next();
             }
             "--json" | "--no-cache" | "--quiet" => {}
@@ -488,6 +521,148 @@ fn strip_parent_flags(args: &[String]) -> Vec<String> {
         }
     }
     out
+}
+
+/// Submits the grid the flags describe to a `cmpsim serve` coordinator
+/// and blocks until the streamed report is complete. Cells carry the
+/// exact `__run-job` argv a local `--isolate process` run would use and
+/// the same cache keys, so the daemon's shared cache and a local one
+/// address identical results — and the caller's rendering path prints
+/// byte-identical output from the returned report.
+fn service_submit(
+    cli: &Cli,
+    addr: &str,
+    spec: &GridSpec,
+    args: &[String],
+) -> Result<cmpsim_core::runner::RunReport, String> {
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot resolve the current executable: {e}"))?;
+    let base: Vec<String> = std::iter::once("grid".to_owned())
+        .chain(strip_parent_flags(args))
+        .chain(std::iter::once("--no-cache".to_owned()))
+        .collect();
+    let cells = spec
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(seq, &w)| {
+            let mut argv = vec![CHILD_ENTRY.to_owned(), w.to_string()];
+            argv.extend(base.iter().cloned());
+            CellSpec {
+                seq,
+                key: spec.job_key(w).canonical(),
+                label: w.to_string(),
+                args: argv,
+            }
+        })
+        .collect();
+    let sub = Submission {
+        exe,
+        experiment: spec.experiment.clone(),
+        run_id: cli.resume.clone().or_else(|| cli.run_id.clone()),
+        resume: cli.resume.is_some(),
+        cells,
+    };
+    let out = cmpsim_service::submit(addr, &sub)?;
+    if !cli.quiet {
+        eprintln!("service: run {} on {addr}", out.run_id);
+    }
+    Ok(out.report)
+}
+
+/// `cmpsim submit`: `cmpsim grid` executed on a coordinator. Exactly
+/// the grid flags plus a mandatory `--connect ADDR`.
+fn cmd_submit(args: &[String]) -> i32 {
+    if !args.iter().any(|a| a == "--connect") {
+        return fail("submit requires --connect ADDR (start one with `cmpsim serve`)");
+    }
+    cmd_grid(args)
+}
+
+/// `cmpsim serve`: run the coordinator daemon until SIGINT/SIGTERM.
+fn cmd_serve(args: &[String]) -> i32 {
+    let mut cfg = ServeConfig {
+        workers: 2,
+        cache_dir: Some(PathBuf::from("results/cache")),
+        ..ServeConfig::default()
+    };
+    let mut port_file: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {a}"))
+        };
+        let parsed: Result<(), String> = (|| {
+            match a.as_str() {
+                "--listen" => cfg.listen = val()?,
+                "--workers" => {
+                    cfg.workers = val()?.parse().map_err(|_| "bad --workers")?;
+                    if cfg.workers == 0 {
+                        cfg.workers = std::thread::available_parallelism().map_or(2, |n| n.get());
+                    }
+                }
+                "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(val()?)),
+                "--no-cache" => cfg.cache_dir = None,
+                "--journal-dir" => cfg.journal_dir = PathBuf::from(val()?),
+                "--retries" => cfg.retries = val()?.parse().map_err(|_| "bad --retries")?,
+                "--job-timeout" => {
+                    let secs: u64 = val()?.parse().map_err(|_| "bad --job-timeout")?;
+                    if secs == 0 {
+                        return Err("bad --job-timeout".to_owned());
+                    }
+                    cfg.job_timeout = Some(std::time::Duration::from_secs(secs));
+                }
+                "--chaos-kill-label" => cfg.chaos_kill_label = Some(val()?),
+                "--port-file" => port_file = Some(PathBuf::from(val()?)),
+                other => return Err(format!("unknown option {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            return fail(&e);
+        }
+    }
+    cfg.shutdown = Some(shutdown::install());
+    let coord = match Coordinator::bind(cfg) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("cannot bind: {e}")),
+    };
+    let addr = match coord.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(e) => return fail(&format!("cannot read the bound address: {e}")),
+    };
+    // The port file is how scripts and CI discover a `--listen :0`
+    // daemon's address without parsing logs.
+    if let Some(path) = &port_file {
+        if let Err(e) = std::fs::write(path, &addr) {
+            return fail(&format!("cannot write {}: {e}", path.display()));
+        }
+    }
+    eprintln!("cmpsim serve: listening on {addr}");
+    coord.run();
+    eprintln!("cmpsim serve: drained");
+    0
+}
+
+/// `cmpsim status --connect ADDR`: print the daemon's lifetime
+/// counters as pretty JSON.
+fn cmd_status(args: &[String]) -> i32 {
+    let cli = match parse(args) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let Some(addr) = &cli.connect else {
+        return fail("status requires --connect ADDR");
+    };
+    match cmpsim_service::status(addr) {
+        Ok(counters) => {
+            println!("{}", counters.to_json_pretty());
+            0
+        }
+        Err(e) => fail(&e),
+    }
 }
 
 /// Hidden single-cell child mode: `cmpsim __run-job <W> grid <args>`

@@ -35,7 +35,14 @@
 //! * `--no-replay` — escape hatch: execute the co-simulation once per
 //!   grid cell, exactly as before capture-once/replay-many existed.
 //!   Output is byte-identical either way; this exists to measure the
-//!   speedup and to bisect any suspected replay divergence.
+//!   speedup and to bisect any suspected replay divergence,
+//! * `--connect ADDR` — submit the grid to a running `cmpsim serve`
+//!   coordinator instead of executing locally: cells execute on the
+//!   daemon's worker fleet against its shared result cache, results
+//!   stream back, and the rendered output is byte-identical to a local
+//!   run. `--run-id`/`--resume` name the *server-side* journal; the
+//!   daemon owns journalling, caching, and the trace sidecar in this
+//!   mode.
 //!
 //! The JSON twin carries a run manifest (producer, version, scale, seed,
 //! workloads, wall time) plus a `results` payload built by the
@@ -53,10 +60,10 @@ use cmpsim_core::runner::{
     shutdown, IsolateMode, JobError, JournalConfig, RunReport, RunnerConfig, CHILD_ENTRY,
 };
 use cmpsim_core::{CaptureBroker, CaptureCounters};
+use cmpsim_service::{CellSpec, Submission};
 use cmpsim_telemetry::trace::{self as ftrace, FlightRecorder};
 use cmpsim_telemetry::{JsonValue, RunManifest};
 use cmpsim_workloads::{Scale, WorkloadId};
-use std::io::IsTerminal as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -104,6 +111,9 @@ pub struct Options {
     pub trace_out: Option<PathBuf>,
     /// Suppress the live progress line on stderr.
     pub quiet: bool,
+    /// Submit the grid to a `cmpsim serve` coordinator at this address
+    /// instead of executing locally.
+    pub connect: Option<String>,
     /// Hidden child mode: compute exactly this one cell and print the
     /// supervisor marker line (`__run-job <WORKLOAD>`).
     pub run_job: Option<WorkloadId>,
@@ -138,6 +148,7 @@ impl Default for Options {
             no_replay: false,
             trace_out: None,
             quiet: false,
+            connect: None,
             run_job: None,
             recorder: None,
             raw: Vec::new(),
@@ -217,6 +228,7 @@ impl Options {
                 "--no-replay" => opts.no_replay = true,
                 "--trace-out" => opts.trace_out = Some(PathBuf::from(val()?)),
                 "--quiet" => opts.quiet = true,
+                "--connect" => opts.connect = Some(val()?),
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown argument `{other}`")),
             }
@@ -224,10 +236,16 @@ impl Options {
         // The recorder exists whenever someone will consume a timeline:
         // an explicit `--trace-out`, or a journalled run (which gets the
         // JSONL sidecar next to its journal). A child never records here
-        // — it ships events to its supervisor over the marker protocol.
+        // — it ships events to its supervisor over the marker protocol —
+        // and neither does a service client: the coordinator records the
+        // run and writes the sidecar next to *its* journal (a client-side
+        // recorder would clobber it with an empty timeline).
         let journalling =
             opts.resume.is_some() || opts.journal_dir.is_some() || opts.run_id.is_some();
-        if opts.run_job.is_none() && (opts.trace_out.is_some() || journalling) {
+        if opts.run_job.is_none()
+            && opts.connect.is_none()
+            && (opts.trace_out.is_some() || journalling)
+        {
             opts.recorder = Some(FlightRecorder::new());
         }
         Ok(opts)
@@ -239,14 +257,15 @@ impl Options {
     }
 
     /// The runner configuration these options describe. The live
-    /// progress line is only drawn when stderr is a terminal, so
-    /// redirected runs (CI, tests) log clean lines.
+    /// progress line adapts to where stderr goes (carriage-return
+    /// updates on a terminal, one complete line per update into a
+    /// pipe), so only `--quiet` turns it off.
     pub fn runner(&self) -> RunnerConfig {
         RunnerConfig {
             workers: self.jobs,
             cache_dir: self.cache_dir.clone(),
             retries: self.retries.unwrap_or(1),
-            progress: !self.quiet && std::io::stderr().is_terminal(),
+            progress: !self.quiet,
             job_timeout: self.job_timeout.map(std::time::Duration::from_secs),
             isolate: self.isolate,
             tracer: self.recorder.clone(),
@@ -321,7 +340,7 @@ impl Options {
             match arg.as_str() {
                 "--jobs" | "--cache-dir" | "--metrics-out" | "--journal-dir" | "--run-id"
                 | "--resume" | "--isolate" | "--job-timeout" | "--retries" | "--workloads"
-                | "--trace-out" => {
+                | "--trace-out" | "--connect" => {
                     args.next();
                 }
                 "--json" | "--no-cache" | "--quiet" => {}
@@ -531,6 +550,9 @@ where
     if let Some(w) = opts.run_job {
         run_child_cell(w, &|w| Ok(f(w)));
     }
+    if let Some(addr) = &opts.connect {
+        return submit_grid(opts, addr, spec);
+    }
     let base = child_base(opts);
     grid::run_grid_supervised(
         spec,
@@ -552,6 +574,9 @@ where
     if let Some(w) = opts.run_job {
         run_child_cell(w, &f);
     }
+    if let Some(addr) = &opts.connect {
+        return submit_grid(opts, addr, spec);
+    }
     let base = child_base(opts);
     grid::try_run_grid_supervised(
         spec,
@@ -559,6 +584,57 @@ where
         base.as_deref(),
         f,
     )
+}
+
+/// Submits `spec`'s grid to the coordinator at `addr` and blocks until
+/// the streamed report is complete. The cells carry the exact
+/// `__run-job` argv a local process-isolated run would use, and the
+/// same cache keys — so the daemon's shared cache and a local cache
+/// interchangeably address the same results, and the caller renders
+/// byte-identical output from the returned report.
+pub fn submit_grid(opts: &Options, addr: &str, spec: &GridSpec) -> RunReport {
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("error: cannot resolve the current executable: {e}");
+            std::process::exit(1);
+        }
+    };
+    let base = opts.child_args();
+    let cells = spec
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(seq, &w)| {
+            let mut args = vec![CHILD_ENTRY.to_owned(), w.to_string()];
+            args.extend(base.iter().cloned());
+            CellSpec {
+                seq,
+                key: spec.job_key(w).canonical(),
+                label: w.to_string(),
+                args,
+            }
+        })
+        .collect();
+    let sub = Submission {
+        exe,
+        experiment: spec.experiment.clone(),
+        run_id: opts.resume.clone().or_else(|| opts.run_id.clone()),
+        resume: opts.resume.is_some(),
+        cells,
+    };
+    match cmpsim_service::submit(addr, &sub) {
+        Ok(out) => {
+            if !opts.quiet {
+                eprintln!("service: run {} on {addr}", out.run_id);
+            }
+            out.report
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn child_base(opts: &Options) -> Option<Vec<String>> {
@@ -645,7 +721,7 @@ fn usage(err: &str) -> ! {
          \x20      [--json] [--metrics-out FILE] [--jobs N] [--cache-dir DIR] [--no-cache]\n\
          \x20      [--job-timeout SECONDS] [--journal-dir DIR] [--run-id ID] [--resume ID]\n\
          \x20      [--isolate inline|process] [--retries N] [--trace-dir DIR] [--no-replay]\n\
-         \x20      [--trace-out FILE] [--quiet]\n\
+         \x20      [--trace-out FILE] [--quiet] [--connect ADDR]\n\
          workloads: SNP, SVM-RFE, MDS, SHOT, FIMI, VIEWTYPE, PLSA, RSEARCH"
     );
     std::process::exit(2);
@@ -724,6 +800,20 @@ mod tests {
         assert!(o.no_replay);
         assert!(o.capture_broker().is_none());
         assert!(parse(&["--trace-dir"]).unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn connect_parses_and_never_reaches_children() {
+        let o = parse(&["--connect", "127.0.0.1:7070", "--scale", "tiny"]).unwrap();
+        assert_eq!(o.connect.as_deref(), Some("127.0.0.1:7070"));
+        // A service client must not grow a local recorder even when the
+        // run is journalled — the coordinator owns the trace sidecar.
+        let o = parse(&["--connect", "127.0.0.1:7070", "--run-id", "x"]).unwrap();
+        assert!(o.recorder().is_none());
+        // A daemon worker's child must never try to reconnect.
+        let child = o.child_args();
+        assert!(!child.iter().any(|a| a == "--connect"));
+        assert!(parse(&["--connect"]).unwrap_err().contains("missing"));
     }
 
     #[test]

@@ -160,14 +160,15 @@ fn attach_child_args(
 }
 
 /// A fresh journal run id for `experiment`: the experiment name plus
-/// wall-clock seconds and the process id — unique across repeated
-/// invocations, stable for the lifetime of one run, and legible in a
-/// journal directory listing (`fig4_scmp-1722950000-4242`).
+/// wall-clock seconds, the process id, and a process-wide counter —
+/// unique even for simultaneous submissions (concurrent service
+/// clients, parallel tests), stable for the lifetime of one run, and
+/// legible in a journal directory listing
+/// (`fig4_scmp-1722950000-4242-0`). Delegates to
+/// [`cmpsim_runner::fresh_run_id`], which the grid service coordinator
+/// also uses, so batch and service runs mint ids from one sequence.
 pub fn fresh_run_id(experiment: &str) -> String {
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map_or(0, |d| d.as_secs());
-    format!("{experiment}-{secs}-{}", std::process::id())
+    cmpsim_runner::fresh_run_id(experiment)
 }
 
 /// Renders a list as a compact comma-joined string — the conventional

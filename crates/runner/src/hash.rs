@@ -61,6 +61,48 @@ impl JobKey {
     pub fn hex(&self) -> String {
         format!("{:016x}", self.fingerprint())
     }
+
+    /// Rebuilds a key from its [`canonical`](Self::canonical) rendering.
+    ///
+    /// The grid service ships canonical key strings over the wire; the
+    /// coordinator needs the structured key back to address the shared
+    /// result cache. Returns `None` on malformed input: a dangling
+    /// escape, a field without `=`, or an empty string.
+    pub fn from_canonical(s: &str) -> Option<JobKey> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut fields = Vec::new();
+        let mut key = String::new();
+        let mut value = String::new();
+        let mut in_value = false;
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => {
+                    let escaped = chars.next()?;
+                    if in_value { &mut value } else { &mut key }.push(escaped);
+                }
+                '=' if !in_value => in_value = true,
+                '=' => return None,
+                ';' => {
+                    if !in_value {
+                        return None;
+                    }
+                    fields.push((std::mem::take(&mut key), std::mem::take(&mut value)));
+                    in_value = false;
+                }
+                c => if in_value { &mut value } else { &mut key }.push(c),
+            }
+        }
+        // The final field has no `;` terminator; an input ending in `;`
+        // leaves an empty key with `in_value` unset and fails here.
+        if !in_value {
+            return None;
+        }
+        fields.push((key, value));
+        Some(JobKey { fields })
+    }
 }
 
 fn escape_into(out: &mut String, s: &str) {
@@ -118,5 +160,27 @@ mod tests {
         let plain = JobKey::new("x").field("a", "1").field("b", "2");
         assert_ne!(tricky.canonical(), plain.canonical());
         assert_eq!(tricky.canonical(), "experiment=x;a=1\\;b\\=2");
+    }
+
+    #[test]
+    fn from_canonical_round_trips() {
+        for key in [
+            JobKey::new("fig4_scmp")
+                .field("scale", "1/16")
+                .field("seed", 2007u64)
+                .field("workload", "FIMI"),
+            JobKey::new("x").field("a", "1;b=2").field("w\\e", "ir=d"),
+        ] {
+            let back = JobKey::from_canonical(&key.canonical()).unwrap();
+            assert_eq!(back, key);
+            assert_eq!(back.fingerprint(), key.fingerprint());
+        }
+    }
+
+    #[test]
+    fn from_canonical_rejects_malformed() {
+        for bad in ["", "novalue", "a=1;", "a=1;bare", "trailing\\", "a=1=2"] {
+            assert!(JobKey::from_canonical(bad).is_none(), "accepted {bad:?}");
+        }
     }
 }

@@ -73,6 +73,26 @@ impl JournalConfig {
     }
 }
 
+/// Mints a unique run id for `experiment`:
+/// `<experiment>-<unix-secs>-<pid>-<n>`.
+///
+/// The id is the journal file stem, so two runs minting the same id
+/// silently interleave their write-ahead logs. Wall-clock seconds alone
+/// collide for submissions in the same second; seconds+pid still
+/// collide for two submissions inside one process (a multi-client
+/// service coordinator, tests spawning concurrent sweeps). The trailing
+/// process-wide atomic counter makes the id unique per process, and the
+/// pid keeps it unique across concurrently running processes.
+pub fn fresh_run_id(experiment: &str) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("{experiment}-{secs}-{}-{n}", std::process::id())
+}
+
 /// What replaying a journal recovered.
 #[derive(Debug, Clone, Default)]
 pub struct JournalReplay {
@@ -284,6 +304,27 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("cmpsim_journal_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         JournalConfig::new(dir, "run1")
+    }
+
+    #[test]
+    fn concurrent_submissions_never_share_a_run_id() {
+        // Two submissions in the same process and second (the service
+        // coordinator's steady state) must journal to distinct files.
+        let ids: Vec<String> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| fresh_run_id("fig4_scmp")))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let unique: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len(), "colliding run ids: {ids:?}");
+        let paths: std::collections::HashSet<PathBuf> = ids
+            .iter()
+            .map(|id| JournalConfig::new("j", id.clone()).path())
+            .collect();
+        assert_eq!(paths.len(), ids.len(), "colliding journal paths");
     }
 
     #[test]

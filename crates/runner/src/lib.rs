@@ -69,12 +69,12 @@ pub mod supervisor;
 pub use backoff::{BackoffPolicy, FailureClass};
 pub use cache::ResultCache;
 pub use hash::JobKey;
-pub use journal::{JournalConfig, JournalReplay, ReplayedJob, RunJournal};
+pub use journal::{fresh_run_id, JournalConfig, JournalReplay, ReplayedJob, RunJournal};
 pub use pool::{
     ExperimentJob, IsolateMode, JobError, JobOutcome, JobReport, RunReport, Runner, RunnerConfig,
 };
 pub use shutdown::ShutdownFlag;
 pub use supervisor::{
-    child_trace_requested, emit_result, emit_trace, CHILD_ENTRY, CHILD_TRACE_ENV, RESULT_MARKER,
-    TRACE_MARKER,
+    child_trace_requested, emit_result, emit_trace, run_program, run_program_sabotaged,
+    ChildAttempt, SupervisedAttempt, CHILD_ENTRY, CHILD_TRACE_ENV, RESULT_MARKER, TRACE_MARKER,
 };

@@ -559,10 +559,17 @@ struct Progress {
     /// Serializes the `\r` line so two workers never interleave writes.
     line: Mutex<()>,
     enabled: bool,
+    /// Whether stderr is an interactive terminal. On a TTY the line is
+    /// `\r`-rewritten in place; on a pipe (service clients, CI logs,
+    /// `2>file`) each update is one newline-terminated, single-write
+    /// line so downstream readers see whole records, never a torn tail
+    /// of carriage returns.
+    tty: bool,
 }
 
 impl Progress {
     fn new(total: usize, enabled: bool) -> Self {
+        use std::io::IsTerminal;
         Progress {
             total,
             done: AtomicUsize::new(0),
@@ -572,6 +579,7 @@ impl Progress {
             started: Instant::now(),
             line: Mutex::new(()),
             enabled,
+            tty: std::io::stderr().is_terminal(),
         }
     }
 
@@ -596,19 +604,22 @@ impl Progress {
         } else {
             0.0
         };
-        let _guard = self.line.lock().unwrap_or_else(|e| e.into_inner());
-        let mut err = std::io::stderr().lock();
-        let _ = write!(
-            err,
-            "\r[{done}/{}] {} ok, {} cached, {} failed, eta {eta:.1}s   ",
+        let body = format!(
+            "[{done}/{}] {} ok, {} cached, {} failed, eta {eta:.1}s",
             self.total,
             self.ok.load(Ordering::Relaxed),
             self.cached.load(Ordering::Relaxed),
             self.failed.load(Ordering::Relaxed),
         );
-        if done == self.total {
-            let _ = writeln!(err);
-        }
+        let line = if self.tty {
+            let newline = if done == self.total { "\n" } else { "" };
+            format!("\r{body}   {newline}")
+        } else {
+            format!("{body}\n")
+        };
+        let _guard = self.line.lock().unwrap_or_else(|e| e.into_inner());
+        let mut err = std::io::stderr().lock();
+        let _ = err.write_all(line.as_bytes());
         let _ = err.flush();
     }
 }

@@ -25,6 +25,7 @@ use crate::pool::JobError;
 use cmpsim_telemetry::trace::{events_to_json, TraceEvent};
 use cmpsim_telemetry::JsonValue;
 use std::io::Read;
+use std::path::Path;
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
@@ -82,7 +83,7 @@ pub fn child_trace_requested() -> bool {
 
 /// How one supervised attempt ended, as the parent sees it.
 #[derive(Debug)]
-pub(crate) enum ChildAttempt {
+pub enum ChildAttempt {
     /// The child reported a result payload.
     Ok(JsonValue),
     /// The child reported a structured (deterministic) job error.
@@ -96,9 +97,12 @@ pub(crate) enum ChildAttempt {
 /// One supervised attempt plus the trace events the child reported
 /// (empty unless the parent asked for tracing and the child complied).
 #[derive(Debug)]
-pub(crate) struct SupervisedAttempt {
+pub struct SupervisedAttempt {
+    /// How the attempt ended.
     pub attempt: ChildAttempt,
+    /// Trace events the child shipped over the marker protocol.
     pub trace: Vec<TraceEvent>,
+    /// Events the child's own recorder dropped.
     pub trace_dropped: u64,
 }
 
@@ -129,6 +133,45 @@ pub(crate) fn attempt(
             )))
         }
     };
+    run_program_inner(&exe, args, timeout, trace, false)
+}
+
+/// Runs one supervised attempt of an arbitrary `program` speaking the
+/// [`RESULT_MARKER`] protocol. This is the building block the grid
+/// service uses to shard cells submitted by *other* binaries: the
+/// client transmits its own executable path and per-cell argv, and the
+/// coordinator supervises it exactly like a local `--isolate=process`
+/// child.
+pub fn run_program(
+    program: &Path,
+    args: &[String],
+    timeout: Option<Duration>,
+    trace: bool,
+) -> SupervisedAttempt {
+    run_program_inner(program, args, timeout, trace, false)
+}
+
+/// [`run_program`], except the child is SIGKILLed immediately after
+/// spawn, before it can report. The attempt therefore ends as a
+/// genuine [`ChildAttempt::Crashed`] — the chaos hook behind the
+/// service's `--chaos-kill-label`, exercising the crash/re-shard path
+/// with a real dead process rather than a simulated error.
+pub fn run_program_sabotaged(
+    program: &Path,
+    args: &[String],
+    timeout: Option<Duration>,
+    trace: bool,
+) -> SupervisedAttempt {
+    run_program_inner(program, args, timeout, trace, true)
+}
+
+fn run_program_inner(
+    exe: &Path,
+    args: &[String],
+    timeout: Option<Duration>,
+    trace: bool,
+    sabotage_kill: bool,
+) -> SupervisedAttempt {
     let mut cmd = Command::new(exe);
     cmd.args(args)
         .stdin(Stdio::null())
@@ -148,6 +191,9 @@ pub(crate) fn attempt(
             )))
         }
     };
+    if sabotage_kill {
+        let _ = child.kill();
+    }
 
     // Drain both pipes on their own threads so a chatty child can never
     // deadlock against a full pipe while we wait on it.

@@ -1,0 +1,164 @@
+//! The client half: submit a sweep, stream results, rebuild the
+//! [`RunReport`].
+//!
+//! [`submit`] connects, sends one framed [`Submission`], then reads
+//! `job_done` records as the coordinator streams them (in completion
+//! order) and reassembles them by `seq` into submission order — so the
+//! caller renders exactly what a local `cmpsim grid` run of the same
+//! spec would have rendered, byte for byte.
+
+use crate::proto::{self, Submission};
+use cmpsim_runner::{JobOutcome, JobReport, RunReport};
+use cmpsim_telemetry::JsonValue;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// What a finished submission came back with.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// The coordinator-side run id — what `--resume` takes.
+    pub run_id: String,
+    /// The reassembled report, jobs in submission order; feed it to
+    /// the same rendering path as a local run.
+    pub report: RunReport,
+}
+
+fn fail(context: &str, detail: impl std::fmt::Display) -> String {
+    format!("{context}: {detail}")
+}
+
+fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| fail(&format!("cannot connect to {addr}"), e))?;
+    let _ = stream.set_nodelay(true);
+    let read_half = stream
+        .try_clone()
+        .map_err(|e| fail("cannot clone socket", e))?;
+    Ok((stream, BufReader::new(read_half)))
+}
+
+/// Reads the next message, turning EOF and protocol noise into one
+/// error string.
+fn next_msg(reader: &mut BufReader<TcpStream>) -> Result<JsonValue, String> {
+    match proto::read_msg(reader) {
+        Ok(Some(msg)) => {
+            if let Some("error") = msg.get("kind").and_then(JsonValue::as_str) {
+                let detail = msg
+                    .get("message")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("unspecified");
+                return Err(fail("coordinator rejected the request", detail));
+            }
+            Ok(msg)
+        }
+        Ok(None) => Err("connection closed by the coordinator mid-run".to_owned()),
+        Err(e) => Err(fail("cannot read from the coordinator", e)),
+    }
+}
+
+/// Submits a sweep and blocks until its `run_end`, reassembling the
+/// streamed records into a [`RunReport`] in submission order.
+///
+/// # Errors
+///
+/// A human-readable message on connect/protocol failures, a rejected
+/// submission, or a connection lost mid-run (the run still completes
+/// server-side; resubmit with `resume` to collect it).
+pub fn submit(addr: &str, sub: &Submission) -> Result<SubmitOutcome, String> {
+    let start = Instant::now();
+    let (mut stream, mut reader) = connect(addr)?;
+    proto::write_msg(&mut stream, &sub.to_msg())
+        .map_err(|e| fail("cannot send the submission", e))?;
+
+    let accepted = next_msg(&mut reader)?;
+    if accepted.get("kind").and_then(JsonValue::as_str) != Some("accepted") {
+        return Err(fail("unexpected first reply", accepted.to_json()));
+    }
+    let run_id = accepted
+        .get("run_id")
+        .and_then(JsonValue::as_str)
+        .ok_or("accepted message lacks a run_id")?
+        .to_owned();
+    let workers = accepted
+        .get("workers")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(1) as usize;
+    let recovered = accepted
+        .get("recovered")
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0) as usize;
+
+    let mut jobs: Vec<Option<JobReport>> = (0..sub.cells.len()).map(|_| None).collect();
+    loop {
+        let msg = next_msg(&mut reader)?;
+        match msg.get("kind").and_then(JsonValue::as_str) {
+            Some("job_done") => {
+                let seq = msg
+                    .get("seq")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("job_done message lacks a seq")? as usize;
+                let slot = jobs
+                    .get_mut(seq)
+                    .ok_or_else(|| format!("job_done for unknown seq {seq}"))?;
+                let outcome = msg
+                    .get("outcome")
+                    .and_then(JobOutcome::from_json)
+                    .ok_or_else(|| format!("job_done for seq {seq} has a malformed outcome"))?;
+                *slot = Some(JobReport {
+                    label: msg
+                        .get("label")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or(&sub.cells[seq].label)
+                        .to_owned(),
+                    outcome,
+                    wall_ms: 0.0,
+                    attempts: msg.get("attempts").and_then(JsonValue::as_u64).unwrap_or(0) as u32,
+                    replayed: msg
+                        .get("replayed")
+                        .and_then(JsonValue::as_bool)
+                        .unwrap_or(false),
+                    backoff_ms: 0.0,
+                });
+            }
+            Some("run_end") => break,
+            other => return Err(format!("unexpected message kind {other:?} mid-run")),
+        }
+    }
+
+    let jobs = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(seq, j)| j.ok_or_else(|| format!("run ended without a result for seq {seq}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SubmitOutcome {
+        report: RunReport {
+            jobs,
+            workers,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            interrupted: false,
+            run_id: Some(run_id.clone()),
+            recovered,
+        },
+        run_id,
+    })
+}
+
+/// Asks a coordinator for its lifetime counters (the `status` reply).
+///
+/// # Errors
+///
+/// A human-readable message on connect/protocol failures.
+pub fn status(addr: &str) -> Result<JsonValue, String> {
+    let (mut stream, mut reader) = connect(addr)?;
+    proto::write_msg(
+        &mut stream,
+        &JsonValue::object([("kind", JsonValue::from("status"))]),
+    )
+    .map_err(|e| fail("cannot send the status request", e))?;
+    let reply = next_msg(&mut reader)?;
+    if reply.get("kind").and_then(JsonValue::as_str) != Some("counters") {
+        return Err(fail("unexpected status reply", reply.to_json()));
+    }
+    Ok(reply)
+}

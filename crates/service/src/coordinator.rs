@@ -1,0 +1,801 @@
+//! The coordinator daemon: accept loop, fair scheduler, worker fleet.
+//!
+//! One [`Coordinator`] owns a TCP listener, a fleet of worker threads
+//! (each supervising one child process at a time via
+//! [`cmpsim_runner::run_program`]), the shared content-addressed
+//! result cache, and a per-run write-ahead journal + flight recorder.
+//!
+//! **Scheduling** is round-robin across runs: the queue holds
+//! `(run, pending cells)` entries; a worker pops the front run, takes
+//! *one* cell, and pushes the run to the back. Concurrent sweeps
+//! therefore interleave cell-by-cell — a two-cell status probe is
+//! never starved behind a 64-cell paper-scale sweep.
+//!
+//! **Dedup** is two-layered. A cell whose key is already in the shared
+//! result cache streams back as `cached` without executing. A cell
+//! whose key is currently *executing* for another run joins that
+//! execution as a waiter: when the owner finishes, waiters receive the
+//! payload as `cached` (or the failure verbatim), so overlapping
+//! concurrent submissions execute each distinct cell exactly once.
+//!
+//! **Failure model**: a worker child that crashes (SIGKILL, abort,
+//! OOM) is retried on the run's [`BackoffPolicy`] schedule and
+//! quarantined as `poisoned` when the budget runs out — the cell
+//! re-shards transparently; the client just sees one `job_done`. A
+//! client that disconnects mid-sweep stops receiving records, but the
+//! run finishes and journals server-side, so `--resume` replays it. A
+//! coordinator crash leaves the journal; resubmitting with `resume`
+//! replays completed cells and re-executes in-flight ones.
+
+use crate::proto::{self, CellSpec, Submission};
+use cmpsim_runner::{
+    fresh_run_id, run_program, run_program_sabotaged, BackoffPolicy, ChildAttempt, FailureClass,
+    JobKey, JobOutcome, JournalConfig, ResultCache, RunJournal, ShutdownFlag,
+};
+use cmpsim_telemetry::trace::{self as ftrace, FlightRecorder, Lane};
+use cmpsim_telemetry::JsonValue;
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How the daemon runs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port `0` picks a free port (see
+    /// [`Coordinator::local_addr`]).
+    pub listen: String,
+    /// Worker threads — each supervises one child process at a time.
+    pub workers: usize,
+    /// Root of the shared content-addressed result cache; `None`
+    /// disables caching (dedup of *in-flight* work still applies).
+    pub cache_dir: Option<PathBuf>,
+    /// Directory for per-run journals and trace sidecars.
+    pub journal_dir: PathBuf,
+    /// Extra attempts for a crashed/hung cell.
+    pub retries: u32,
+    /// Per-cell watchdog deadline; the child is killed at it.
+    pub job_timeout: Option<Duration>,
+    /// Retry/backoff schedule for failed attempts.
+    pub backoff: BackoffPolicy,
+    /// Chaos hook: SIGKILL the first child spawned for a cell with
+    /// this label (once per daemon lifetime), so tests and CI exercise
+    /// the genuine crash/re-shard path.
+    pub chaos_kill_label: Option<String>,
+    /// Graceful-shutdown flag; when set, the accept loop stops and
+    /// workers drain.
+    pub shutdown: Option<ShutdownFlag>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            cache_dir: None,
+            journal_dir: PathBuf::from("results/journal"),
+            retries: 1,
+            job_timeout: None,
+            backoff: BackoffPolicy::default(),
+            chaos_kill_label: None,
+            shutdown: None,
+        }
+    }
+}
+
+/// Lifetime counters, exported over `status` and into the service
+/// trace lane.
+#[derive(Debug, Default)]
+struct Counters {
+    submissions: AtomicU64,
+    runs_completed: AtomicU64,
+    cells_total: AtomicU64,
+    executed: AtomicU64,
+    cache_hits: AtomicU64,
+    dedup_joins: AtomicU64,
+    replayed: AtomicU64,
+    crashes: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self, workers: usize) -> JsonValue {
+        let get = |a: &AtomicU64| JsonValue::U64(a.load(Ordering::Relaxed));
+        JsonValue::object([
+            ("kind", JsonValue::from("counters")),
+            ("workers", JsonValue::from(workers)),
+            ("submissions", get(&self.submissions)),
+            ("runs_completed", get(&self.runs_completed)),
+            ("cells_total", get(&self.cells_total)),
+            ("executed", get(&self.executed)),
+            ("cache_hits", get(&self.cache_hits)),
+            ("dedup_joins", get(&self.dedup_joins)),
+            ("replayed", get(&self.replayed)),
+            ("crashes", get(&self.crashes)),
+        ])
+    }
+}
+
+/// One accepted submission, shared between the scheduler and workers.
+struct Run {
+    id: String,
+    experiment: String,
+    exe: PathBuf,
+    cells: Vec<CellSpec>,
+    journal: RunJournal,
+    /// The client's write side; `None` once the client is gone (the
+    /// run still completes — `--resume` replays it).
+    client: Mutex<Option<TcpStream>>,
+    /// Pending (non-replayed) cells left; the run ends at zero.
+    remaining: AtomicUsize,
+    ok: AtomicUsize,
+    cached: AtomicUsize,
+    failed: AtomicUsize,
+    recorder: Arc<FlightRecorder>,
+    service_lane: Lane,
+    worker_lanes: Vec<Lane>,
+    trace_path: PathBuf,
+    workers: usize,
+}
+
+impl Run {
+    fn tally(&self, outcome: &JobOutcome) {
+        match outcome {
+            JobOutcome::Ok(_) => &self.ok,
+            JobOutcome::Cached(_) => &self.cached,
+            _ => &self.failed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Streams one message to the client; a failed write marks the
+    /// client gone and the computation carries on.
+    fn send(&self, body: &JsonValue) {
+        let mut client = self.client.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(stream) = client.as_mut() {
+            if proto::write_msg(stream, body).is_err() {
+                *client = None;
+            }
+        }
+    }
+
+    fn send_job_done(&self, cell: &CellSpec, outcome: &JobOutcome, attempts: u32, replayed: bool) {
+        let mut fields = vec![
+            ("kind".to_owned(), JsonValue::from("job_done")),
+            ("seq".to_owned(), JsonValue::from(cell.seq)),
+            ("key".to_owned(), JsonValue::from(cell.key.as_str())),
+            ("label".to_owned(), JsonValue::from(cell.label.as_str())),
+            ("attempts".to_owned(), JsonValue::from(u64::from(attempts))),
+            ("outcome".to_owned(), outcome.to_json()),
+        ];
+        if replayed {
+            fields.push(("replayed".to_owned(), JsonValue::Bool(true)));
+        }
+        self.send(&JsonValue::Object(fields));
+    }
+}
+
+/// State shared by the accept loop and the worker fleet.
+struct Shared {
+    cfg: ServeConfig,
+    cache: Option<ResultCache>,
+    sched: Mutex<Sched>,
+    work: Condvar,
+    counters: Counters,
+    chaos_armed: AtomicBool,
+}
+
+#[derive(Default)]
+struct Sched {
+    /// Fair rotation: a worker pops the front run, takes one cell,
+    /// pushes the run back.
+    queue: VecDeque<(Arc<Run>, VecDeque<usize>)>,
+    /// Canonical key → waiters joining the in-flight execution.
+    inflight: HashMap<String, Vec<(Arc<Run>, usize)>>,
+    draining: bool,
+}
+
+/// The daemon: bind, then [`run`](Coordinator::run) until shut down.
+pub struct Coordinator {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Coordinator {
+    /// Binds the listen socket (port `0` picks a free port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (address in use, permission).
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Coordinator> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let cache = cfg.cache_dir.clone().map(ResultCache::new);
+        Ok(Coordinator {
+            listener,
+            shared: Arc::new(Shared {
+                cfg,
+                cache,
+                sched: Mutex::new(Sched::default()),
+                work: Condvar::new(),
+                counters: Counters::default(),
+                chaos_armed: AtomicBool::new(true),
+            }),
+        })
+    }
+
+    /// The bound address — what clients `--connect` to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures (never expected post-bind).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until the shutdown flag fires (or forever without one):
+    /// accepts connections, spawns a handler thread per client, and
+    /// runs the worker fleet. Returns after a graceful drain.
+    pub fn run(&self) {
+        std::thread::scope(|s| {
+            for wid in 0..self.shared.cfg.workers.max(1) {
+                let shared = Arc::clone(&self.shared);
+                s.spawn(move || worker_loop(&shared, wid));
+            }
+            loop {
+                if self
+                    .shared
+                    .cfg
+                    .shutdown
+                    .as_ref()
+                    .is_some_and(ShutdownFlag::requested)
+                {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let shared = Arc::clone(&self.shared);
+                        s.spawn(move || handle_conn(&shared, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    Err(e) => {
+                        eprintln!("cmpsim serve: accept failed: {e}");
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                }
+            }
+            let mut sched = self.shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+            sched.draining = true;
+            drop(sched);
+            self.shared.work.notify_all();
+        });
+    }
+}
+
+/// One client connection: read the request line, dispatch.
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    let msg = match proto::read_msg(&mut reader) {
+        Ok(Some(msg)) => msg,
+        Ok(None) => return,
+        Err(e) => {
+            send_error(&mut write_half, &format!("bad request: {e}"));
+            return;
+        }
+    };
+    match msg.get("kind").and_then(JsonValue::as_str) {
+        Some("status") => {
+            let snapshot = shared.counters.snapshot(shared.cfg.workers.max(1));
+            let _ = proto::write_msg(&mut write_half, &snapshot);
+        }
+        Some("submit") => match Submission::from_msg(&msg) {
+            Some(sub) => {
+                if let Err(e) = register_submission(shared, write_half, sub) {
+                    eprintln!("cmpsim serve: submission rejected: {e}");
+                }
+            }
+            None => send_error(&mut write_half, "malformed submit message"),
+        },
+        other => send_error(&mut write_half, &format!("unknown request kind {other:?}")),
+    }
+}
+
+fn send_error(stream: &mut TcpStream, message: &str) {
+    let _ = proto::write_msg(
+        stream,
+        &JsonValue::object([
+            ("kind", JsonValue::from("error")),
+            ("message", JsonValue::from(message)),
+        ]),
+    );
+}
+
+/// Registers one submission: opens (and on resume, replays) its
+/// journal, streams replayed cells, and enqueues the rest.
+fn register_submission(
+    shared: &Shared,
+    mut stream: TcpStream,
+    sub: Submission,
+) -> std::io::Result<()> {
+    shared.counters.submissions.fetch_add(1, Ordering::Relaxed);
+    let run_id = sub
+        .run_id
+        .clone()
+        .unwrap_or_else(|| fresh_run_id(&sub.experiment));
+    let mut jc = JournalConfig::new(shared.cfg.journal_dir.clone(), run_id.clone());
+    if sub.resume {
+        jc = jc.resuming();
+    }
+    let (journal, replay) = match RunJournal::open(&jc) {
+        Ok(opened) => opened,
+        Err(e) => {
+            send_error(&mut stream, &format!("cannot open journal: {e}"));
+            return Err(e);
+        }
+    };
+
+    // Partition: cells with a journalled terminal outcome replay
+    // instantly; the rest execute (in-flight ones from a dead run are
+    // the `recovered` count, mirroring the batch pool).
+    let mut pending: VecDeque<usize> = VecDeque::new();
+    let mut replayed = Vec::new();
+    let mut recovered = 0usize;
+    for (i, cell) in sub.cells.iter().enumerate() {
+        match replay.completed.get(&cell.key) {
+            Some(done) => replayed.push((i, done.clone())),
+            None => {
+                if replay.in_flight.contains(&cell.key) {
+                    recovered += 1;
+                }
+                pending.push_back(i);
+            }
+        }
+    }
+    let total = sub.cells.len();
+    journal.run_start(&run_id, total, replayed.len());
+    shared
+        .counters
+        .cells_total
+        .fetch_add(total as u64, Ordering::Relaxed);
+
+    let workers = shared.cfg.workers.max(1);
+    proto::write_msg(
+        &mut stream,
+        &JsonValue::object([
+            ("kind", JsonValue::from("accepted")),
+            ("run_id", JsonValue::from(run_id.as_str())),
+            ("total", JsonValue::from(total)),
+            ("workers", JsonValue::from(workers)),
+            ("recovered", JsonValue::from(recovered)),
+        ]),
+    )?;
+
+    let recorder = FlightRecorder::new();
+    let service_lane = recorder.lane("service");
+    let worker_lanes = (0..workers)
+        .map(|i| recorder.lane(&format!("worker-{i}")))
+        .collect();
+    let trace_path = shared.cfg.journal_dir.join(format!("{run_id}.trace.jsonl"));
+    service_lane.instant(
+        "submit",
+        "",
+        0,
+        vec![
+            ("run_id".to_owned(), JsonValue::from(run_id.as_str())),
+            ("cells".to_owned(), JsonValue::from(total)),
+            ("replayed".to_owned(), JsonValue::from(replayed.len())),
+        ],
+    );
+    let run = Arc::new(Run {
+        id: run_id,
+        experiment: sub.experiment,
+        exe: sub.exe,
+        cells: sub.cells,
+        journal,
+        client: Mutex::new(Some(stream)),
+        remaining: AtomicUsize::new(pending.len()),
+        ok: AtomicUsize::new(0),
+        cached: AtomicUsize::new(0),
+        failed: AtomicUsize::new(0),
+        recorder,
+        service_lane,
+        worker_lanes,
+        trace_path,
+        workers,
+    });
+
+    for (seq, done) in replayed {
+        shared.counters.replayed.fetch_add(1, Ordering::Relaxed);
+        run.tally(&done.outcome);
+        run.send_job_done(&run.cells[seq], &done.outcome, done.attempts, true);
+    }
+
+    if run.remaining.load(Ordering::Acquire) == 0 {
+        finish_run(shared, &run);
+    } else {
+        let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+        sched.queue.push_back((run, pending));
+        drop(sched);
+        shared.work.notify_all();
+    }
+    Ok(())
+}
+
+/// One worker thread: pull a cell from the fair rotation, process it,
+/// repeat until drained.
+fn worker_loop(shared: &Shared, wid: usize) {
+    loop {
+        let popped = {
+            let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some((run, mut cells)) = sched.queue.pop_front() {
+                    let seq = cells.pop_front().expect("queued runs have cells");
+                    let depth: usize =
+                        cells.len() + sched.queue.iter().map(|(_, c)| c.len()).sum::<usize>();
+                    if !cells.is_empty() {
+                        sched.queue.push_back((Arc::clone(&run), cells));
+                    }
+                    break Some((run, seq, depth));
+                }
+                if sched.draining {
+                    break None;
+                }
+                sched = shared.work.wait(sched).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some((run, seq, depth)) = popped else {
+            return;
+        };
+        run.service_lane.counter("queue_depth", "", depth as f64);
+        process_cell(shared, &run, seq, wid);
+    }
+}
+
+/// Processes one cell end to end: journal, cache, dedup, supervised
+/// execution with retries, result streaming.
+fn process_cell(shared: &Shared, run: &Arc<Run>, seq: usize, wid: usize) {
+    let cell = &run.cells[seq];
+    let lane = &run.worker_lanes[wid];
+    let mut span = lane.begin("cell", &cell.label, 0);
+    span.arg("run", run.id.as_str());
+    run.journal.job_start(seq, &cell.key, &cell.label);
+
+    // Layer 1: the shared result cache (a finished cell from any
+    // client, this boot or an earlier one).
+    let key = JobKey::from_canonical(&cell.key);
+    if let (Some(cache), Some(key)) = (shared.cache.as_ref(), key.as_ref()) {
+        if let Some(payload) = cache.lookup(key) {
+            shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            span.arg("outcome", "cached");
+            finish_cell(shared, run, seq, &JobOutcome::Cached(payload), 0);
+            return;
+        }
+    }
+
+    // Layer 2: in-flight dedup — join an execution another run owns.
+    {
+        let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(waiters) = sched.inflight.get_mut(&cell.key) {
+            waiters.push((Arc::clone(run), seq));
+            shared.counters.dedup_joins.fetch_add(1, Ordering::Relaxed);
+            span.arg("outcome", "dedup_join");
+            return;
+        }
+        sched.inflight.insert(cell.key.clone(), Vec::new());
+    }
+
+    shared.counters.executed.fetch_add(1, Ordering::Relaxed);
+    let outcome = execute_cell(shared, run, cell, lane, &mut span, key.as_ref());
+    span.arg("outcome", outcome.0.kind());
+    finish_cell(shared, run, seq, &outcome.0, outcome.1);
+
+    // Resolve waiters: they receive the payload as a cache hit, or the
+    // failure verbatim.
+    let waiters = {
+        let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+        sched.inflight.remove(&cell.key).unwrap_or_default()
+    };
+    for (wrun, wseq) in waiters {
+        let shared_outcome = match outcome.0.payload() {
+            Some(v) => JobOutcome::Cached(v.clone()),
+            None => outcome.0.clone(),
+        };
+        finish_cell(shared, &wrun, wseq, &shared_outcome, 0);
+    }
+}
+
+/// The supervised retry loop for one owned cell. Returns the terminal
+/// outcome and the attempts spent.
+fn execute_cell(
+    shared: &Shared,
+    run: &Arc<Run>,
+    cell: &CellSpec,
+    lane: &Lane,
+    span: &mut ftrace::OpenSpan,
+    key: Option<&JobKey>,
+) -> (JobOutcome, u32) {
+    let policy = &shared.cfg.backoff;
+    let retries = shared.cfg.retries;
+    let mut attempt = 1u32;
+    loop {
+        // The chaos hook fires on the first matching dispatch only:
+        // the child is SIGKILLed right after spawn, producing a
+        // genuine crash that the retry loop re-shards.
+        let sabotage = shared.cfg.chaos_kill_label.as_deref() == Some(cell.label.as_str())
+            && shared.chaos_armed.swap(false, Ordering::SeqCst);
+        let mut exec = lane.begin("execute", &cell.label, span.span_id());
+        exec.arg("attempt", u64::from(attempt));
+        let base_ts = run.recorder.now_ns();
+        let res = if sabotage {
+            run_program_sabotaged(&run.exe, &cell.args, shared.cfg.job_timeout, true)
+        } else {
+            run_program(&run.exe, &cell.args, shared.cfg.job_timeout, true)
+        };
+        if !res.trace.is_empty() || res.trace_dropped > 0 {
+            run.recorder.add_dropped(res.trace_dropped);
+            ftrace::graft(lane, res.trace, &cell.label, exec.span_id(), base_ts, &[]);
+        }
+        drop(exec);
+        let (class, failure) = match res.attempt {
+            ChildAttempt::Ok(payload) => {
+                if let Some(cache) = shared.cache.as_ref() {
+                    if let Some(key) = key {
+                        if let Err(e) = cache.store(key, &payload) {
+                            eprintln!("cmpsim serve: cache store failed: {e}");
+                        }
+                    }
+                }
+                return (JobOutcome::Ok(payload), attempt);
+            }
+            ChildAttempt::Err(e) => (
+                FailureClass::Structured,
+                JobOutcome::Errored {
+                    category: e.category,
+                    error: e.message,
+                },
+            ),
+            ChildAttempt::Crashed(msg) => {
+                shared.counters.crashes.fetch_add(1, Ordering::Relaxed);
+                lane.instant(
+                    "worker_crash",
+                    &cell.label,
+                    span.span_id(),
+                    vec![("attempt".to_owned(), JsonValue::from(u64::from(attempt)))],
+                );
+                (FailureClass::Crash, JobOutcome::Poisoned { error: msg })
+            }
+            ChildAttempt::Hung => (
+                FailureClass::Hang,
+                JobOutcome::TimedOut {
+                    error: format!("job process exceeded its deadline ({attempt} attempts)"),
+                },
+            ),
+        };
+        match policy.next_delay(class, attempt, retries) {
+            Some(delay) => {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                attempt += 1;
+            }
+            None => return (failure, attempt),
+        }
+    }
+}
+
+/// Journals, tallies, and streams one cell's terminal outcome; the
+/// last cell closes out the run.
+fn finish_cell(shared: &Shared, run: &Arc<Run>, seq: usize, outcome: &JobOutcome, attempts: u32) {
+    let cell = &run.cells[seq];
+    run.journal
+        .job_done(seq, &cell.key, &cell.label, outcome, attempts);
+    run.tally(outcome);
+    run.send_job_done(cell, outcome, attempts, false);
+    if run.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        finish_run(shared, run);
+    }
+}
+
+/// Closes out a run: journal `run_end`, trace sidecar, the `run_end`
+/// message, and the client socket.
+fn finish_run(shared: &Shared, run: &Arc<Run>) {
+    let (ok, cached, failed) = (
+        run.ok.load(Ordering::Relaxed),
+        run.cached.load(Ordering::Relaxed),
+        run.failed.load(Ordering::Relaxed),
+    );
+    run.journal.run_end(ok, cached, failed);
+    let events = run.recorder.drain_sorted();
+    let lanes = run.recorder.lane_names();
+    let meta: Vec<(String, JsonValue)> = vec![
+        (
+            "experiment".to_owned(),
+            JsonValue::from(run.experiment.as_str()),
+        ),
+        ("run_id".to_owned(), JsonValue::from(run.id.as_str())),
+        ("workers".to_owned(), JsonValue::from(run.workers)),
+        ("service".to_owned(), JsonValue::Bool(true)),
+    ];
+    if let Err(e) = ftrace::write_jsonl(
+        &run.trace_path,
+        &meta,
+        &lanes,
+        &events,
+        run.recorder.dropped(),
+    ) {
+        eprintln!(
+            "cmpsim serve: cannot write {}: {e}",
+            run.trace_path.display()
+        );
+    }
+    run.send(&JsonValue::object([
+        ("kind", JsonValue::from("run_end")),
+        ("ok", JsonValue::from(ok)),
+        ("cached", JsonValue::from(cached)),
+        ("failed", JsonValue::from(failed)),
+    ]));
+    *run.client.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    shared
+        .counters
+        .runs_completed
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cmpsim_service_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A fake "experiment binary": `/bin/echo` printing the marker
+    /// line, so coordinator tests run without building cmpsim.
+    #[cfg(unix)]
+    fn echo_cell(seq: usize, tag: &str) -> CellSpec {
+        CellSpec {
+            seq,
+            key: format!("experiment=echo;cell={tag}"),
+            label: tag.to_owned(),
+            args: vec![format!(
+                "__cmpsim_result__ {{\"ok\":{{\"cell\":\"{tag}\"}}}}"
+            )],
+        }
+    }
+
+    #[cfg(unix)]
+    fn echo_submission(run_id: Option<String>, resume: bool, tags: &[&str]) -> Submission {
+        Submission {
+            exe: PathBuf::from("/bin/echo"),
+            experiment: "echo".to_owned(),
+            run_id,
+            resume,
+            cells: tags
+                .iter()
+                .enumerate()
+                .map(|(i, t)| echo_cell(i, t))
+                .collect(),
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn coordinator_runs_a_submission_end_to_end() {
+        let dir = temp_dir("e2e");
+        let shutdown = ShutdownFlag::default();
+        let coord = Coordinator::bind(ServeConfig {
+            workers: 2,
+            cache_dir: Some(dir.join("cache")),
+            journal_dir: dir.join("journal"),
+            shutdown: Some(shutdown.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = coord.local_addr().unwrap().to_string();
+        std::thread::scope(|s| {
+            s.spawn(|| coord.run());
+
+            let sub = echo_submission(None, false, &["a", "b", "c"]);
+            let out = client::submit(&addr, &sub).unwrap();
+            assert_eq!(out.report.ok_count(), 3);
+            assert_eq!(out.report.jobs[0].label, "a");
+            assert_eq!(
+                out.report.jobs[1]
+                    .outcome
+                    .payload()
+                    .and_then(|p| p.get("cell"))
+                    .and_then(JsonValue::as_str),
+                Some("b")
+            );
+
+            // Same cells again: all served from the shared cache.
+            let again = client::submit(&addr, &sub).unwrap();
+            assert_eq!(again.report.cached_count(), 3);
+
+            // Resuming the finished run replays it from the journal.
+            let resumed = client::submit(
+                &addr,
+                &echo_submission(Some(out.run_id.clone()), true, &["a", "b", "c"]),
+            )
+            .unwrap();
+            assert_eq!(resumed.report.replayed_count(), 3);
+            assert_eq!(resumed.report.recovered, 0);
+
+            let counters = client::status(&addr).unwrap();
+            assert_eq!(
+                counters.get("executed").and_then(JsonValue::as_u64),
+                Some(3),
+                "distinct cells execute exactly once: {}",
+                counters.to_json()
+            );
+            assert_eq!(
+                counters.get("replayed").and_then(JsonValue::as_u64),
+                Some(3)
+            );
+
+            // The run left report-able artifacts behind.
+            assert!(dir
+                .join("journal")
+                .join(format!("{}.jsonl", out.run_id))
+                .exists());
+            assert!(dir
+                .join("journal")
+                .join(format!("{}.trace.jsonl", out.run_id))
+                .exists());
+
+            shutdown.request();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn crashing_cell_is_quarantined_not_fatal() {
+        let dir = temp_dir("crash");
+        let shutdown = ShutdownFlag::default();
+        let coord = Coordinator::bind(ServeConfig {
+            workers: 1,
+            journal_dir: dir.join("journal"),
+            backoff: BackoffPolicy::immediate(),
+            shutdown: Some(shutdown.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = coord.local_addr().unwrap().to_string();
+        std::thread::scope(|s| {
+            s.spawn(|| coord.run());
+            // `/bin/echo` without a marker line: dies without reporting
+            // → crash → retried → poisoned. A healthy neighbour is
+            // unaffected.
+            let mut sub = echo_submission(None, false, &["healthy"]);
+            sub.cells.push(CellSpec {
+                seq: 1,
+                key: "experiment=echo;cell=bad".to_owned(),
+                label: "bad".to_owned(),
+                args: vec!["no marker here".to_owned()],
+            });
+            let out = client::submit(&addr, &sub).unwrap();
+            assert_eq!(out.report.ok_count(), 1);
+            assert_eq!(out.report.poisoned_count(), 1);
+            assert_eq!(
+                out.report.jobs[1].attempts, 2,
+                "one retry before quarantine"
+            );
+            shutdown.request();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

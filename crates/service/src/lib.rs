@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! `cmpsim-service` — the coordinator/worker grid service.
+//!
+//! The paper's experiment grids are embarrassingly shardable, but the
+//! batch runner only parallelizes within one process tree. This crate
+//! promotes it into a long-running service, the same shape as the
+//! emulation infrastructure the original study submitted jobs *to*:
+//!
+//! * a **coordinator daemon** ([`Coordinator`]) listens on a TCP
+//!   socket, accepts grid submissions as framed messages (the
+//!   [`proto`] wire format reuses the length+FNV-1a record codec the
+//!   result cache and run journal already share), and shards cells to
+//!   a fleet of supervised worker processes,
+//! * the coordinator **owns the shared content-addressed result
+//!   cache**, so concurrent client sweeps dedup against each other: a
+//!   cell computed for client A is a cache hit — or an in-flight join
+//!   — for client B, and executes exactly once,
+//! * scheduling is **fair across clients**: runs take turns handing
+//!   one cell at a time to idle workers, so a small sweep is never
+//!   starved behind a big one,
+//! * every submission is **journalled server-side** with the same
+//!   write-ahead [`RunJournal`](cmpsim_runner::RunJournal) as a local
+//!   run, so `--resume` and poisoned-cell quarantine survive the
+//!   network hop (and a client that vanishes mid-sweep forfeits
+//!   nothing — the run completes and is resumable),
+//! * per-run **flight-recorder telemetry** (worker lanes, queue-depth
+//!   counters, dedup markers) lands in the standard
+//!   `<run-id>.trace.jsonl` sidecar, so `cmpsim report` works on
+//!   service runs exactly as on batch runs.
+//!
+//! The [`client`] half turns a submission's streamed `job_done`
+//! records back into a [`RunReport`](cmpsim_runner::RunReport) in
+//! submission order, so a client renders byte-identical stdout/JSON to
+//! a local run of the same spec.
+
+pub mod client;
+pub mod coordinator;
+pub mod proto;
+
+pub use client::{status, submit, SubmitOutcome};
+pub use coordinator::{Coordinator, ServeConfig};
+pub use proto::{CellSpec, Submission};

@@ -1,0 +1,259 @@
+//! The wire protocol: newline-delimited JSON messages framed by the
+//! length+FNV-1a record codec.
+//!
+//! Every message is one `\n`-terminated line holding a sealed record
+//! whose payload lives under `msg` — the same integrity framing the
+//! result cache (`result`) and run journal (`record`) use, so all
+//! three formats stay mutually debuggable and a torn or corrupted line
+//! is detected instead of trusted:
+//!
+//! ```json
+//! {"len":123,"fnv":"90b1c5f6b1e3d2a4","msg":{"kind":"job_done",...}}
+//! ```
+//!
+//! Client → coordinator:
+//!
+//! * `submit` — an executable path, experiment name, run identity
+//!   (fresh or `--resume`), and the cell list ([`Submission`]),
+//! * `status` — ask for the coordinator's lifetime counters.
+//!
+//! Coordinator → client:
+//!
+//! * `accepted` — the run id (what `--resume` takes), cell total,
+//!   worker-fleet size, and recovered in-flight count,
+//! * `job_done` — one cell's terminal outcome, streamed as it lands
+//!   (the journal record, payload included; order is arbitrary — the
+//!   client reassembles by `seq`),
+//! * `run_end` — the sweep finished,
+//! * `counters` — the `status` reply,
+//! * `error` — the request was rejected; the connection closes.
+
+use cmpsim_runner::record;
+use cmpsim_telemetry::JsonValue;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+/// The field a sealed wire message stores its payload under.
+pub const MSG_FIELD: &str = "msg";
+
+fn invalid(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+/// Writes one framed message line and flushes it.
+///
+/// # Errors
+///
+/// Propagates socket write errors; the peer is then gone.
+pub fn write_msg(w: &mut impl Write, body: &JsonValue) -> std::io::Result<()> {
+    let doc = record::seal(Vec::new(), MSG_FIELD, body);
+    let mut line = doc.to_json();
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Reads the next framed message line; `Ok(None)` is a clean EOF.
+///
+/// # Errors
+///
+/// Socket read errors, and `InvalidData` for a line that does not
+/// parse or fails its checksum — a peer speaking something else.
+pub fn read_msg(r: &mut impl BufRead) -> std::io::Result<Option<JsonValue>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let doc = cmpsim_telemetry::parse(line.trim())
+        .map_err(|e| invalid(format!("unparseable message: {e}")))?;
+    match record::verify(&doc, MSG_FIELD) {
+        Some(msg) => Ok(Some(msg)),
+        None => Err(invalid("message failed checksum verification".to_owned())),
+    }
+}
+
+/// One grid cell as submitted over the wire: its submission index, the
+/// canonical cache key, the display label, and the argv a worker
+/// process recomputes it with (after the executable path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Submission index — the client reassembles results by this.
+    pub seq: usize,
+    /// Canonical [`JobKey`](cmpsim_runner::JobKey) rendering; the
+    /// coordinator rebuilds the structured key from it to address the
+    /// shared result cache and to dedup in-flight work.
+    pub key: String,
+    /// Display label (progress, journal, failure summary).
+    pub label: String,
+    /// Argv after the program name, e.g.
+    /// `["__run-job", "FIMI", "grid", "--cores", "8", "--no-cache"]`.
+    pub args: Vec<String>,
+}
+
+impl CellSpec {
+    /// The cell as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("seq", JsonValue::from(self.seq)),
+            ("key", JsonValue::from(self.key.as_str())),
+            ("label", JsonValue::from(self.label.as_str())),
+            (
+                "args",
+                JsonValue::Array(
+                    self.args
+                        .iter()
+                        .map(|a| JsonValue::from(a.as_str()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses [`to_json`](CellSpec::to_json)'s form back.
+    pub fn from_json(doc: &JsonValue) -> Option<CellSpec> {
+        Some(CellSpec {
+            seq: doc.get("seq")?.as_u64()? as usize,
+            key: doc.get("key")?.as_str()?.to_owned(),
+            label: doc.get("label")?.as_str()?.to_owned(),
+            args: doc
+                .get("args")?
+                .as_array()?
+                .iter()
+                .map(|a| a.as_str().map(str::to_owned))
+                .collect::<Option<_>>()?,
+        })
+    }
+}
+
+/// One grid submission: which executable recomputes the cells, under
+/// which run identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Submission {
+    /// The client's executable; workers re-exec it per cell with the
+    /// cell's argv (the supervisor marker protocol is binary-agnostic,
+    /// so any figure binary can be a service client).
+    pub exe: PathBuf,
+    /// Experiment name — used when minting a fresh run id.
+    pub experiment: String,
+    /// Explicit run id (`--run-id`, or the id being resumed); `None`
+    /// lets the coordinator mint a collision-proof one.
+    pub run_id: Option<String>,
+    /// Replay the server-side journal for `run_id` first: completed
+    /// cells stream back instantly as `replayed`, in-flight ones
+    /// re-execute.
+    pub resume: bool,
+    /// The cells, in the client's submission order.
+    pub cells: Vec<CellSpec>,
+}
+
+impl Submission {
+    /// The full `submit` message.
+    pub fn to_msg(&self) -> JsonValue {
+        let mut fields = vec![
+            ("kind".to_owned(), JsonValue::from("submit")),
+            (
+                "exe".to_owned(),
+                JsonValue::from(self.exe.to_string_lossy().into_owned()),
+            ),
+            (
+                "experiment".to_owned(),
+                JsonValue::from(self.experiment.as_str()),
+            ),
+            ("resume".to_owned(), JsonValue::Bool(self.resume)),
+            (
+                "cells".to_owned(),
+                JsonValue::Array(self.cells.iter().map(CellSpec::to_json).collect()),
+            ),
+        ];
+        if let Some(id) = &self.run_id {
+            fields.push(("run_id".to_owned(), JsonValue::from(id.as_str())));
+        }
+        JsonValue::Object(fields)
+    }
+
+    /// Parses a `submit` message body back.
+    pub fn from_msg(doc: &JsonValue) -> Option<Submission> {
+        Some(Submission {
+            exe: PathBuf::from(doc.get("exe")?.as_str()?),
+            experiment: doc.get("experiment")?.as_str()?.to_owned(),
+            run_id: doc
+                .get("run_id")
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned),
+            resume: doc
+                .get("resume")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
+            cells: doc
+                .get("cells")?
+                .as_array()?
+                .iter()
+                .map(CellSpec::from_json)
+                .collect::<Option<_>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn sample() -> Submission {
+        Submission {
+            exe: PathBuf::from("/usr/bin/cmpsim"),
+            experiment: "cmpsim_grid".to_owned(),
+            run_id: Some("cmpsim_grid-1-2-3".to_owned()),
+            resume: true,
+            cells: vec![
+                CellSpec {
+                    seq: 0,
+                    key: "experiment=cmpsim_grid;workload=FIMI".to_owned(),
+                    label: "FIMI".to_owned(),
+                    args: vec!["__run-job".into(), "FIMI".into(), "grid".into()],
+                },
+                CellSpec {
+                    seq: 1,
+                    key: "experiment=cmpsim_grid;workload=MDS".to_owned(),
+                    label: "MDS".to_owned(),
+                    args: vec!["__run-job".into(), "MDS".into(), "grid".into()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn submission_round_trips_through_the_framed_codec() {
+        let sub = sample();
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &sub.to_msg()).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let msg = read_msg(&mut reader).unwrap().expect("one message");
+        assert_eq!(msg.get("kind").and_then(JsonValue::as_str), Some("submit"));
+        assert_eq!(Submission::from_msg(&msg), Some(sub));
+        // EOF after the single message.
+        assert!(read_msg(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn tampered_frame_is_rejected() {
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &sample().to_msg()).unwrap();
+        let tampered = String::from_utf8(wire).unwrap().replace("FIMI", "FAKE");
+        let mut reader = BufReader::new(tampered.as_bytes());
+        let err = read_msg(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn fresh_submission_omits_run_id() {
+        let sub = Submission {
+            run_id: None,
+            resume: false,
+            ..sample()
+        };
+        let msg = sub.to_msg();
+        assert!(msg.get("run_id").is_none());
+        assert_eq!(Submission::from_msg(&msg), Some(sub));
+    }
+}

@@ -1,0 +1,274 @@
+//! The grid service, end to end: `cmpsim submit` through a `cmpsim
+//! serve` coordinator must render byte-identical stdout and results
+//! JSON to a local `cmpsim grid` run of the same spec — including when
+//! a worker child is SIGKILL'd mid-sweep (the daemon's chaos hook) and
+//! when the client resumes a finished run through the daemon. Two
+//! concurrent clients with overlapping grids must execute each
+//! distinct cell exactly once between them.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cmpsim-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn cmpsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cmpsim"))
+}
+
+const GRID_FLAGS: &[&str] = &["--cores", "8", "--scale", "tiny", "--seed", "7"];
+
+/// A local (serverless) grid run — the byte-identity reference.
+fn local_grid(workloads: &str, metrics_out: &Path) -> std::process::Output {
+    let out = cmpsim()
+        .arg("grid")
+        .args(GRID_FLAGS)
+        .args(["--workloads", workloads, "--no-cache", "--metrics-out"])
+        .arg(metrics_out)
+        .output()
+        .expect("spawn local grid");
+    assert!(
+        out.status.success(),
+        "local grid failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// Starts a coordinator with `--listen 127.0.0.1:0` and waits for its
+/// port file; returns the daemon process and its bound address.
+fn start_daemon(dir: &Path, extra: &[&str]) -> (Child, String) {
+    let port_file = dir.join("port");
+    let daemon = cmpsim()
+        .args(["serve", "--listen", "127.0.0.1:0", "--workers", "2"])
+        .args(["--cache-dir"])
+        .arg(dir.join("cache"))
+        .args(["--journal-dir"])
+        .arg(dir.join("journal"))
+        .args(["--port-file"])
+        .arg(&port_file)
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cmpsim serve");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(addr) = std::fs::read_to_string(&port_file) {
+            if !addr.is_empty() {
+                break addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon did not write its port file in time"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    (daemon, addr)
+}
+
+fn submit_cmd(addr: &str, workloads: &str, metrics_out: &Path, extra: &[&str]) -> Command {
+    let mut cmd = cmpsim();
+    cmd.arg("submit")
+        .args(["--connect", addr])
+        .args(GRID_FLAGS)
+        .args(["--workloads", workloads, "--metrics-out"])
+        .arg(metrics_out)
+        .args(extra);
+    cmd
+}
+
+fn read_doc(path: &Path) -> cmpsim_telemetry::JsonValue {
+    let text = std::fs::read_to_string(path).expect("read json twin");
+    cmpsim_telemetry::parse(&text).expect("parse json twin")
+}
+
+fn runner_counter(doc: &cmpsim_telemetry::JsonValue, key: &str) -> u64 {
+    doc.get_path(&["runner", key])
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("runner.{key} missing"))
+}
+
+/// One job object from the twin's `runner.jobs`, by label.
+fn job<'a>(doc: &'a cmpsim_telemetry::JsonValue, label: &str) -> &'a cmpsim_telemetry::JsonValue {
+    doc.get_path(&["runner", "jobs"])
+        .and_then(|j| j.as_array())
+        .and_then(|jobs| {
+            jobs.iter()
+                .find(|j| j.get("label").and_then(|l| l.as_str()) == Some(label))
+        })
+        .unwrap_or_else(|| panic!("no runner job labelled {label}"))
+}
+
+#[test]
+fn submit_matches_local_grid_through_worker_crash_and_resume() {
+    let dir = temp_dir("service-submit");
+    let baseline = local_grid("FIMI,SHOT,MDS", &dir.join("base.json"));
+
+    // The daemon SIGKILLs the first worker child dispatched for SHOT —
+    // a genuine mid-sweep crash the retry machinery must absorb.
+    let (mut daemon, addr) = start_daemon(&dir, &["--retries", "2", "--chaos-kill-label", "SHOT"]);
+
+    let submitted = submit_cmd(
+        &addr,
+        "FIMI,SHOT,MDS",
+        &dir.join("sub.json"),
+        &["--run-id", "svc1"],
+    )
+    .output()
+    .expect("spawn cmpsim submit");
+    assert!(
+        submitted.status.success(),
+        "submit failed:\n{}",
+        String::from_utf8_lossy(&submitted.stderr)
+    );
+    assert_eq!(
+        baseline.stdout, submitted.stdout,
+        "service stdout differs from the local grid run"
+    );
+    let base_doc = read_doc(&dir.join("base.json"));
+    let sub_doc = read_doc(&dir.join("sub.json"));
+    assert_eq!(
+        base_doc.get("results"),
+        sub_doc.get("results"),
+        "service results JSON differs from the local grid run"
+    );
+    // The chaos kill really happened: SHOT took more than one attempt
+    // and still produced the right answer.
+    let shot = job(&sub_doc, "SHOT");
+    assert!(
+        shot.get("attempts").and_then(|a| a.as_u64()).unwrap_or(0) >= 2,
+        "SHOT was not retried after the chaos kill: {}",
+        shot.to_json()
+    );
+    assert_eq!(shot.get("outcome").and_then(|o| o.as_str()), Some("ok"));
+    assert_eq!(runner_counter(&sub_doc, "failed"), 0);
+
+    // Resuming the same run id through the daemon replays every cell
+    // from the server-side journal — and still renders the same bytes.
+    let resumed = submit_cmd(
+        &addr,
+        "FIMI,SHOT,MDS",
+        &dir.join("res.json"),
+        &["--resume", "svc1"],
+    )
+    .output()
+    .expect("spawn resumed submit");
+    assert!(
+        resumed.status.success(),
+        "resumed submit failed:\n{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        baseline.stdout, resumed.stdout,
+        "resumed service stdout differs from the local grid run"
+    );
+    let res_doc = read_doc(&dir.join("res.json"));
+    assert_eq!(base_doc.get("results"), res_doc.get("results"));
+    assert_eq!(runner_counter(&res_doc, "replayed"), 3);
+
+    // The daemon journalled and traced the run where `cmpsim report`
+    // looks for it.
+    let report = cmpsim()
+        .args(["report", "svc1", "--journal-dir"])
+        .arg(dir.join("journal"))
+        .output()
+        .expect("spawn cmpsim report");
+    assert!(
+        report.status.success(),
+        "report on the service run failed:\n{}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let report_text = String::from_utf8_lossy(&report.stdout);
+    assert!(report_text.contains("run svc1"), "{report_text}");
+    assert!(report_text.contains("cells: 3 done"), "{report_text}");
+
+    daemon.kill().expect("stop daemon");
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_clients_with_overlapping_grids_execute_shared_cells_once() {
+    let dir = temp_dir("service-dedup");
+    let base_a = local_grid("FIMI,SHOT,MDS", &dir.join("base_a.json"));
+    let base_b = local_grid("SHOT,MDS,PLSA", &dir.join("base_b.json"));
+
+    let (mut daemon, addr) = start_daemon(&dir, &[]);
+
+    // Two clients in flight at once, overlapping on SHOT and MDS.
+    let client_a = submit_cmd(&addr, "FIMI,SHOT,MDS", &dir.join("a.json"), &[])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn client A");
+    let client_b = submit_cmd(&addr, "SHOT,MDS,PLSA", &dir.join("b.json"), &[])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn client B");
+    let out_a = client_a.wait_with_output().expect("wait for client A");
+    let out_b = client_b.wait_with_output().expect("wait for client B");
+    assert!(
+        out_a.status.success(),
+        "client A failed:\n{}",
+        String::from_utf8_lossy(&out_a.stderr)
+    );
+    assert!(
+        out_b.status.success(),
+        "client B failed:\n{}",
+        String::from_utf8_lossy(&out_b.stderr)
+    );
+
+    // Both clients rendered exactly what a local run would have.
+    assert_eq!(base_a.stdout, out_a.stdout, "client A stdout differs");
+    assert_eq!(base_b.stdout, out_b.stdout, "client B stdout differs");
+    assert_eq!(
+        read_doc(&dir.join("base_a.json")).get("results"),
+        read_doc(&dir.join("a.json")).get("results")
+    );
+    assert_eq!(
+        read_doc(&dir.join("base_b.json")).get("results"),
+        read_doc(&dir.join("b.json")).get("results")
+    );
+
+    // The coordinator's counters prove the dedup: 6 cells were
+    // submitted, 4 were distinct, and the 2 overlapping ones were
+    // served from the shared cache or joined in flight.
+    let status = cmpsim()
+        .args(["status", "--connect", &addr])
+        .output()
+        .expect("spawn cmpsim status");
+    assert!(
+        status.status.success(),
+        "status failed:\n{}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let counters =
+        cmpsim_telemetry::parse(&String::from_utf8_lossy(&status.stdout)).expect("parse status");
+    let get = |key: &str| {
+        counters
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("counter {key} missing: {}", counters.to_json()))
+    };
+    assert_eq!(get("cells_total"), 6);
+    assert_eq!(get("executed"), 4, "a shared cell executed twice");
+    assert_eq!(
+        get("cache_hits") + get("dedup_joins"),
+        2,
+        "overlapping cells were not deduplicated: {}",
+        counters.to_json()
+    );
+    assert_eq!(get("runs_completed"), 2);
+
+    daemon.kill().expect("stop daemon");
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
