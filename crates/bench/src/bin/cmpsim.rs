@@ -42,7 +42,7 @@ use cmpsim_core::tel::{
 };
 use cmpsim_core::{telemetry, CaptureBroker, Scale, WorkloadId};
 use cmpsim_dragonhead::{Dragonhead, DragonheadConfig};
-use cmpsim_service::{CellSpec, Coordinator, ServeConfig, Submission};
+use cmpsim_service::{AgentConfig, CellSpec, Coordinator, ServeConfig, Submission};
 use cmpsim_trace::file::{TraceReader, TraceWriter};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -62,10 +62,11 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
+        Some("agent") => cmd_agent(&args[1..]),
         Some(entry) if entry == CHILD_ENTRY => cmd_child(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cmpsim <list|run|grid|record|replay|report|serve|submit|status> [options]\n\
+                "usage: cmpsim <list|run|grid|record|replay|report|serve|submit|status|agent> [options]\n\
                  run    --workload NAME --cores N [--llc SIZE] [--line N] [--scale S] [--prefetch]\n\
                         [--json] [--metrics-out FILE]\n\
                  grid   --cores 8|16|32 [--workloads A,B,C] [--scale S] [--seed N] [--jobs N]\n\
@@ -78,11 +79,12 @@ fn main() {
                  replay --trace FILE [--llc SIZE] [--line N] [--json] [--metrics-out FILE]\n\
                  report <RUN-ID> [--journal-dir DIR] [--top K]\n\
                  report --compare <RUN-A> <RUN-B> [--journal-dir DIR]\n\
-                 serve  [--listen ADDR] [--workers N] [--cache-dir DIR] [--no-cache]\n\
-                        [--journal-dir DIR] [--retries N] [--job-timeout SECONDS]\n\
-                        [--port-file FILE] [--chaos-kill-label LABEL]\n\
+                 serve  [--listen ADDR] [--workers N] [--agents-only] [--cache-dir DIR]\n\
+                        [--no-cache] [--journal-dir DIR] [--retries N] [--job-timeout SECONDS]\n\
+                        [--heartbeat-ms N] [--port-file FILE] [--chaos-kill-label LABEL]\n\
                  submit --connect ADDR <grid options>\n\
-                 status --connect ADDR"
+                 status --connect ADDR\n\
+                 agent  --connect ADDR [--slots N] [--chaos-exit-label LABEL]"
             );
             2
         }
@@ -603,6 +605,9 @@ fn cmd_serve(args: &[String]) -> i32 {
                         cfg.workers = std::thread::available_parallelism().map_or(2, |n| n.get());
                     }
                 }
+                // Schedule-only coordinator: every cell executes on a
+                // remote `cmpsim agent`.
+                "--agents-only" => cfg.workers = 0,
                 "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(val()?)),
                 "--no-cache" => cfg.cache_dir = None,
                 "--journal-dir" => cfg.journal_dir = PathBuf::from(val()?),
@@ -615,6 +620,13 @@ fn cmd_serve(args: &[String]) -> i32 {
                     cfg.job_timeout = Some(std::time::Duration::from_secs(secs));
                 }
                 "--chaos-kill-label" => cfg.chaos_kill_label = Some(val()?),
+                "--heartbeat-ms" => {
+                    let ms: u64 = val()?.parse().map_err(|_| "bad --heartbeat-ms")?;
+                    if ms == 0 {
+                        return Err("bad --heartbeat-ms".to_owned());
+                    }
+                    cfg.heartbeat = std::time::Duration::from_millis(ms);
+                }
                 "--port-file" => port_file = Some(PathBuf::from(val()?)),
                 other => return Err(format!("unknown option {other}")),
             }
@@ -659,6 +671,50 @@ fn cmd_status(args: &[String]) -> i32 {
     match cmpsim_service::status(addr) {
         Ok(counters) => {
             println!("{}", counters.to_json_pretty());
+            0
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+/// `cmpsim agent --connect ADDR`: a remote worker process. Dials the
+/// coordinator, registers over the versioned handshake, and executes
+/// dispatched cells under the process supervisor until drained or the
+/// coordinator is lost.
+fn cmd_agent(args: &[String]) -> i32 {
+    let mut cfg = AgentConfig::default();
+    let mut connect: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {a}"))
+        };
+        let parsed: Result<(), String> = (|| {
+            match a.as_str() {
+                "--connect" => connect = Some(val()?),
+                "--slots" => cfg.slots = val()?.parse().map_err(|_| "bad --slots")?,
+                "--chaos-exit-label" => cfg.chaos_exit_label = Some(val()?),
+                other => return Err(format!("unknown option {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            return fail(&e);
+        }
+    }
+    let Some(connect) = connect else {
+        return fail("agent requires --connect ADDR (start one with `cmpsim serve`)");
+    };
+    cfg.connect = connect;
+    cfg.shutdown = Some(shutdown::install());
+    match cmpsim_service::run_agent(&cfg) {
+        Ok(report) => {
+            eprintln!(
+                "cmpsim agent: drained (agent {}, {} cells done)",
+                report.agent_id, report.cells_done
+            );
             0
         }
         Err(e) => fail(&e),

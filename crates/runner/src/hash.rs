@@ -126,6 +126,38 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// The FNV-1a fingerprint of a file's contents as a fixed-width hex
+/// string, computed in streaming 64 KiB chunks (a release binary is
+/// tens of megabytes; never load it whole).
+///
+/// The grid service hashes the coordinator's and every agent's own
+/// executable with this at startup: two fleet members whose binaries
+/// hash differently would compute cells with different code, so the
+/// handshake rejects the mismatch up front.
+///
+/// # Errors
+///
+/// Propagates filesystem errors opening or reading `path`.
+pub fn file_fingerprint(path: &std::path::Path) -> std::io::Result<String> {
+    use std::io::Read;
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut file = std::fs::File::open(path)?;
+    let mut buf = [0u8; 64 << 10];
+    let mut h = OFFSET;
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        for &b in &buf[..n] {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    Ok(format!("{h:016x}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,324 @@
+//! The remote worker agent: dial a coordinator, pull cells, run them
+//! under the process supervisor, stream results back.
+//!
+//! One agent is one process on one host. It registers over a versioned
+//! handshake — protocol version, FNV-1a fingerprint of its own
+//! executable, and a slot count — and the coordinator rejects any
+//! mismatch up front with a structured error naming both sides, so a
+//! stale build can never silently compute cells with different code.
+//!
+//! After the welcome, the agent runs two loops:
+//!
+//! * a **heartbeat thread** sends `heartbeat` messages on the
+//!   coordinator-assigned cadence, each listing the lease ids the
+//!   agent currently holds — that single message renews every lease,
+//!   so a slow cell is indistinguishable from a healthy one and only
+//!   real silence (crash, partition, SIGKILL) triggers a reclaim,
+//! * the **main reader** takes `dispatch` messages and spawns one job
+//!   thread per cell (up to `slots` — the coordinator never
+//!   over-dispatches, it decrements its free-slot count per lease).
+//!   Each job runs the dispatched executable under
+//!   [`cmpsim_runner::run_program`] — the same crash/hang supervision
+//!   as a local worker — and ships the raw [`ChildAttempt`] back;
+//!   retry policy, backoff, and poison escalation stay entirely
+//!   coordinator-side.
+//!
+//! On `drain` the agent stops accepting work, finishes in-flight
+//! cells, and exits cleanly. On a lost coordinator (EOF or three
+//! silent heartbeat intervals) it exits with an error; in-flight work
+//! is moot — the coordinator has already reclaimed the leases.
+
+use crate::proto::{self, AgentHello, Dispatch, MsgReader, PROTOCOL_VERSION};
+use cmpsim_runner::{file_fingerprint, run_program, ChildAttempt, ShutdownFlag};
+use cmpsim_telemetry::JsonValue;
+use std::collections::HashSet;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Write deadline on the agent socket.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Read deadline while waiting for the welcome.
+const HANDSHAKE_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Dial timeout.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How an agent runs.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Coordinator address (`host:port`).
+    pub connect: String,
+    /// Concurrent cell slots; `0` means one per available CPU.
+    pub slots: usize,
+    /// Chaos hook: abort the whole agent process the first time a cell
+    /// with this label is dispatched to it — the CI smoke test's
+    /// simulated node loss.
+    pub chaos_exit_label: Option<String>,
+    /// Graceful-shutdown flag (SIGINT/SIGTERM).
+    pub shutdown: Option<ShutdownFlag>,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            connect: "127.0.0.1:0".to_owned(),
+            slots: 0,
+            chaos_exit_label: None,
+            shutdown: None,
+        }
+    }
+}
+
+/// What a finished agent session reports.
+#[derive(Debug)]
+pub struct AgentReport {
+    /// The coordinator-assigned agent id.
+    pub agent_id: u64,
+    /// Cells this agent completed (any outcome).
+    pub cells_done: u64,
+}
+
+/// Shared between the main reader, the heartbeat thread, and job
+/// threads.
+struct AgentState {
+    /// Lease ids currently held — the heartbeat renews exactly these.
+    leases: Mutex<HashSet<u64>>,
+    /// The socket's write half; results and heartbeats serialize here.
+    writer: Mutex<TcpStream>,
+    done: AtomicU64,
+    stop: AtomicBool,
+}
+
+fn fail(context: &str, detail: impl std::fmt::Display) -> String {
+    format!("{context}: {detail}")
+}
+
+/// Resolves the executable to run for a dispatch: the coordinator's
+/// path if it exists on this host, else this agent's own executable
+/// when the file names match — the handshake already proved the builds
+/// are byte-identical, so the local copy computes the same thing even
+/// when install paths differ across hosts.
+fn resolve_exe(dispatched: &Path) -> Option<PathBuf> {
+    if dispatched.exists() {
+        return Some(dispatched.to_path_buf());
+    }
+    let own = std::env::current_exe().ok()?;
+    (own.file_name() == dispatched.file_name()).then_some(own)
+}
+
+fn send(state: &AgentState, msg: &JsonValue) -> std::io::Result<()> {
+    let mut w = state.writer.lock().unwrap_or_else(|e| e.into_inner());
+    proto::write_msg(&mut *w, msg)
+}
+
+/// Runs one dispatched cell and ships its result.
+fn run_dispatch(state: &AgentState, d: &Dispatch) {
+    let timeout = d.timeout_ms.map(Duration::from_millis);
+    let attempt = match resolve_exe(&d.exe) {
+        Some(exe) => run_program(&exe, &d.args, timeout, false).attempt,
+        None => ChildAttempt::Crashed(format!(
+            "executable {} not found on agent host",
+            d.exe.display()
+        )),
+    };
+    let msg = JsonValue::object([
+        ("kind", JsonValue::from("cell_result")),
+        ("lease", JsonValue::from(d.lease)),
+        ("result", proto::attempt_to_json(&attempt)),
+    ]);
+    state
+        .leases
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&d.lease);
+    if send(state, &msg).is_ok() {
+        state.done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Dials the coordinator and works until drained, shut down, or the
+/// coordinator is lost.
+///
+/// # Errors
+///
+/// A human-readable message on connect/handshake failures (including a
+/// structured rejection — version or binary mismatch) or a coordinator
+/// lost mid-session.
+pub fn run_agent(cfg: &AgentConfig) -> Result<AgentReport, String> {
+    let own_exe = std::env::current_exe().map_err(|e| fail("cannot locate own executable", e))?;
+    let binary = file_fingerprint(&own_exe).map_err(|e| fail("cannot hash own executable", e))?;
+    let slots = if cfg.slots == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        cfg.slots
+    };
+
+    let addr = cfg
+        .connect
+        .to_socket_addrs()
+        .map_err(|e| fail(&format!("cannot resolve {}", cfg.connect), e))?
+        .next()
+        .ok_or_else(|| format!("{} resolves to no address", cfg.connect))?;
+    let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)
+        .map_err(|e| fail(&format!("cannot connect to {}", cfg.connect), e))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(HANDSHAKE_READ_TIMEOUT));
+    let mut reader = MsgReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| fail("cannot clone socket", e))?,
+    );
+    let writer = stream
+        .try_clone()
+        .map_err(|e| fail("cannot clone socket", e))?;
+
+    let hello = AgentHello {
+        protocol: PROTOCOL_VERSION,
+        binary,
+        version: env!("CARGO_PKG_VERSION").to_owned(),
+        slots,
+        pid: std::process::id(),
+    };
+    {
+        let mut s = &stream;
+        proto::write_msg(&mut s, &hello.to_msg()).map_err(|e| fail("cannot send hello", e))?;
+    }
+    let welcome = match reader.next() {
+        Ok(Some(msg)) => msg,
+        Ok(None) => return Err("coordinator closed the connection during handshake".to_owned()),
+        Err(e) => return Err(fail("handshake read failed", e)),
+    };
+    match welcome.get("kind").and_then(JsonValue::as_str) {
+        Some("agent_welcome") => {}
+        Some("error") => {
+            let detail = welcome
+                .get("message")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("unspecified");
+            return Err(fail("coordinator rejected this agent", detail));
+        }
+        other => return Err(format!("unexpected handshake reply kind {other:?}")),
+    }
+    let agent_id = welcome
+        .get("agent_id")
+        .and_then(JsonValue::as_u64)
+        .ok_or("agent_welcome lacks an agent_id")?;
+    let heartbeat = Duration::from_millis(
+        welcome
+            .get("heartbeat_ms")
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(2000)
+            .max(50),
+    );
+    // From here, block on reads for at most one heartbeat interval so
+    // shutdown and coordinator-silence checks run on that cadence.
+    let _ = stream.set_read_timeout(Some(heartbeat));
+
+    let state = Arc::new(AgentState {
+        leases: Mutex::new(HashSet::new()),
+        writer: Mutex::new(writer),
+        done: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+    });
+
+    let beater = {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(heartbeat);
+            if state.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let leases: Vec<JsonValue> = state
+                .leases
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|&id| JsonValue::from(id))
+                .collect();
+            let beat = JsonValue::object([
+                ("kind", JsonValue::from("heartbeat")),
+                ("leases", JsonValue::Array(leases)),
+            ]);
+            if send(&state, &beat).is_err() {
+                return;
+            }
+        })
+    };
+
+    let outcome = std::thread::scope(|s| {
+        let mut last_rx = Instant::now();
+        let mut draining = false;
+        loop {
+            if cfg.shutdown.as_ref().is_some_and(ShutdownFlag::requested) {
+                break Ok(());
+            }
+            match reader.next() {
+                Ok(Some(msg)) => {
+                    last_rx = Instant::now();
+                    match msg.get("kind").and_then(JsonValue::as_str) {
+                        Some("dispatch") => match Dispatch::from_msg(&msg) {
+                            Some(d) => {
+                                if cfg.chaos_exit_label.as_deref() == Some(d.label.as_str()) {
+                                    // Simulated node loss: no goodbye,
+                                    // no result — the lease must be
+                                    // reclaimed the hard way.
+                                    std::process::abort();
+                                }
+                                state
+                                    .leases
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .insert(d.lease);
+                                let state = Arc::clone(&state);
+                                s.spawn(move || run_dispatch(&state, &d));
+                            }
+                            None => eprintln!("cmpsim agent: malformed dispatch ignored"),
+                        },
+                        Some("heartbeat_ack") => {}
+                        Some("drain") => {
+                            draining = true;
+                            break Ok(());
+                        }
+                        other => {
+                            eprintln!("cmpsim agent: unexpected message kind {other:?} ignored");
+                        }
+                    }
+                }
+                Ok(None) => break Err("coordinator closed the connection".to_owned()),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if last_rx.elapsed() > heartbeat * 3 {
+                        break Err(format!(
+                            "coordinator unresponsive for {} ms",
+                            last_rx.elapsed().as_millis()
+                        ));
+                    }
+                }
+                Err(e) => break Err(fail("read from coordinator failed", e)),
+            }
+        }
+        .map(|()| draining)
+    });
+    // The scope already joined all job threads, so every accepted cell
+    // has shipped its result (drain) or is moot (lost coordinator).
+    state.stop.store(true, Ordering::Release);
+    {
+        let w = state.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.shutdown(std::net::Shutdown::Both);
+    }
+    let _ = beater.join();
+    outcome?;
+    Ok(AgentReport {
+        agent_id,
+        cells_done: state.done.load(Ordering::Relaxed),
+    })
+}

@@ -6,13 +6,25 @@
 //! order) and reassembles them by `seq` into submission order — so the
 //! caller renders exactly what a local `cmpsim grid` run of the same
 //! spec would have rendered, byte for byte.
+//!
+//! Every client socket carries deadlines: writes time out at 10 s, and
+//! reads at 60 s — the coordinator pings live runs on its heartbeat
+//! cadence, so a minute of silence means the daemon is wedged or gone,
+//! not merely busy with a long cell.
 
-use crate::proto::{self, Submission};
+use crate::proto::{self, MsgReader, Submission, PROTOCOL_VERSION};
 use cmpsim_runner::{JobOutcome, JobReport, RunReport};
 use cmpsim_telemetry::JsonValue;
-use std::io::BufReader;
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Write deadline on the client socket.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Read deadline on the client socket. The coordinator's keepalive
+/// pings arrive every heartbeat interval (seconds), so this only trips
+/// when the daemon is actually unresponsive.
+const READ_TIMEOUT: Duration = Duration::from_secs(60);
 
 /// What a finished submission came back with.
 #[derive(Debug)]
@@ -28,32 +40,49 @@ fn fail(context: &str, detail: impl std::fmt::Display) -> String {
     format!("{context}: {detail}")
 }
 
-fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+fn connect(addr: &str) -> Result<(TcpStream, MsgReader<TcpStream>), String> {
     let stream =
         TcpStream::connect(addr).map_err(|e| fail(&format!("cannot connect to {addr}"), e))?;
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let read_half = stream
         .try_clone()
         .map_err(|e| fail("cannot clone socket", e))?;
-    Ok((stream, BufReader::new(read_half)))
+    Ok((stream, MsgReader::new(read_half)))
 }
 
-/// Reads the next message, turning EOF and protocol noise into one
-/// error string.
-fn next_msg(reader: &mut BufReader<TcpStream>) -> Result<JsonValue, String> {
-    match proto::read_msg(reader) {
-        Ok(Some(msg)) => {
-            if let Some("error") = msg.get("kind").and_then(JsonValue::as_str) {
-                let detail = msg
-                    .get("message")
-                    .and_then(JsonValue::as_str)
-                    .unwrap_or("unspecified");
-                return Err(fail("coordinator rejected the request", detail));
+/// Reads the next message, turning EOF, deadlines, and protocol noise
+/// into one error string. Keepalive `ping` messages are swallowed —
+/// they exist only to reset the read deadline.
+fn next_msg(reader: &mut MsgReader<TcpStream>) -> Result<JsonValue, String> {
+    loop {
+        match reader.next() {
+            Ok(Some(msg)) => match msg.get("kind").and_then(JsonValue::as_str) {
+                Some("ping") => continue,
+                Some("error") => {
+                    let detail = msg
+                        .get("message")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("unspecified");
+                    return Err(fail("coordinator rejected the request", detail));
+                }
+                _ => return Ok(msg),
+            },
+            Ok(None) => return Err("connection closed by the coordinator mid-run".to_owned()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(format!(
+                    "coordinator went silent for {}s (read deadline)",
+                    READ_TIMEOUT.as_secs()
+                ));
             }
-            Ok(msg)
+            Err(e) => return Err(fail("cannot read from the coordinator", e)),
         }
-        Ok(None) => Err("connection closed by the coordinator mid-run".to_owned()),
-        Err(e) => Err(fail("cannot read from the coordinator", e)),
     }
 }
 
@@ -144,7 +173,8 @@ pub fn submit(addr: &str, sub: &Submission) -> Result<SubmitOutcome, String> {
     })
 }
 
-/// Asks a coordinator for its lifetime counters (the `status` reply).
+/// Asks a coordinator for its lifetime counters and fleet listing (the
+/// `status` reply).
 ///
 /// # Errors
 ///
@@ -153,7 +183,10 @@ pub fn status(addr: &str) -> Result<JsonValue, String> {
     let (mut stream, mut reader) = connect(addr)?;
     proto::write_msg(
         &mut stream,
-        &JsonValue::object([("kind", JsonValue::from("status"))]),
+        &JsonValue::object([
+            ("kind", JsonValue::from("status")),
+            ("protocol", JsonValue::from(PROTOCOL_VERSION)),
+        ]),
     )
     .map_err(|e| fail("cannot send the status request", e))?;
     let reply = next_msg(&mut reader)?;

@@ -1,15 +1,20 @@
-//! The coordinator daemon: accept loop, fair scheduler, worker fleet.
+//! The coordinator daemon: accept loop, fair scheduler, worker fleet,
+//! and the lease table for remote agents.
 //!
-//! One [`Coordinator`] owns a TCP listener, a fleet of worker threads
-//! (each supervising one child process at a time via
+//! One [`Coordinator`] owns a TCP listener, a fleet of local worker
+//! threads (each supervising one child process at a time via
 //! [`cmpsim_runner::run_program`]), the shared content-addressed
 //! result cache, and a per-run write-ahead journal + flight recorder.
+//! Remote [`agents`](crate::agent) dial in over the same listener,
+//! register over a versioned handshake (protocol version + binary
+//! fingerprint + slot count), and pull cells alongside the local
+//! workers.
 //!
 //! **Scheduling** is round-robin across runs: the queue holds
-//! `(run, pending cells)` entries; a worker pops the front run, takes
-//! *one* cell, and pushes the run to the back. Concurrent sweeps
-//! therefore interleave cell-by-cell — a two-cell status probe is
-//! never starved behind a 64-cell paper-scale sweep.
+//! `(run, pending cells)` entries; a worker (or agent feeder) pops the
+//! front run, takes *one* due cell, and pushes the run to the back.
+//! Concurrent sweeps therefore interleave cell-by-cell — a two-cell
+//! status probe is never starved behind a 64-cell paper-scale sweep.
 //!
 //! **Dedup** is two-layered. A cell whose key is already in the shared
 //! result cache streams back as `cached` without executing. A cell
@@ -17,6 +22,17 @@
 //! execution as a waiter: when the owner finishes, waiters receive the
 //! payload as `cached` (or the failure verbatim), so overlapping
 //! concurrent submissions execute each distinct cell exactly once.
+//!
+//! **Leases**: every cell dispatched to an agent carries a lease.
+//! Agents renew their leases by heartbeat; an agent that disconnects
+//! or goes silent past the lease TTL (3× the heartbeat interval) is
+//! *reclaimed* — its in-flight cells re-enter the queue as crash-class
+//! retries, bounded by the same [`BackoffPolicy`] budget as local
+//! crashes, so a cell that kills every agent is quarantined as
+//! `poisoned`, not retried forever. The lease table is the single
+//! finishing authority: a dead agent's last-gasp result and a
+//! reclaimed re-run race on removing the lease, exactly one wins, and
+//! the journal gets exactly one `job_done` per cell.
 //!
 //! **Failure model**: a worker child that crashes (SIGKILL, abort,
 //! OOM) is retried on the run's [`BackoffPolicy`] schedule and
@@ -26,21 +42,39 @@
 //! run finishes and journals server-side, so `--resume` replays it. A
 //! coordinator crash leaves the journal; resubmitting with `resume`
 //! replays completed cells and re-executes in-flight ones.
+//!
+//! Every socket carries read/write deadlines, so a hung or half-open
+//! peer can never wedge the accept loop, a worker, or an agent session
+//! indefinitely.
 
-use crate::proto::{self, CellSpec, Submission};
+use crate::proto::{self, AgentHello, CellSpec, Dispatch, Submission, PROTOCOL_VERSION};
 use cmpsim_runner::{
-    fresh_run_id, run_program, run_program_sabotaged, BackoffPolicy, ChildAttempt, FailureClass,
-    JobKey, JobOutcome, JournalConfig, ResultCache, RunJournal, ShutdownFlag,
+    file_fingerprint, fresh_run_id, run_program, run_program_sabotaged, BackoffPolicy,
+    ChildAttempt, FailureClass, JobKey, JobOutcome, JournalConfig, ResultCache, RunJournal,
+    ShutdownFlag,
 };
 use cmpsim_telemetry::trace::{self as ftrace, FlightRecorder, Lane};
 use cmpsim_telemetry::JsonValue;
-use std::collections::{HashMap, VecDeque};
-use std::io::BufReader;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+/// Write deadline on every coordinator-side socket: a peer that cannot
+/// absorb a message within this is treated as gone.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Read deadline while waiting for a connection's first request.
+const HANDSHAKE_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A lease outlives this many missed heartbeats before reclaim.
+const LEASE_TTL_BEATS: u32 = 3;
+
+fn lease_ttl(cfg: &ServeConfig) -> Duration {
+    cfg.heartbeat * LEASE_TTL_BEATS
+}
 
 /// How the daemon runs.
 #[derive(Debug, Clone)]
@@ -48,7 +82,9 @@ pub struct ServeConfig {
     /// Listen address; port `0` picks a free port (see
     /// [`Coordinator::local_addr`]).
     pub listen: String,
-    /// Worker threads — each supervises one child process at a time.
+    /// Local worker threads — each supervises one child process at a
+    /// time. Zero is valid: an agents-only coordinator schedules but
+    /// never executes.
     pub workers: usize,
     /// Root of the shared content-addressed result cache; `None`
     /// disables caching (dedup of *in-flight* work still applies).
@@ -65,6 +101,9 @@ pub struct ServeConfig {
     /// this label (once per daemon lifetime), so tests and CI exercise
     /// the genuine crash/re-shard path.
     pub chaos_kill_label: Option<String>,
+    /// Heartbeat interval agents must beat at; a lease is reclaimed
+    /// after [`LEASE_TTL_BEATS`] silent intervals.
+    pub heartbeat: Duration,
     /// Graceful-shutdown flag; when set, the accept loop stops and
     /// workers drain.
     pub shutdown: Option<ShutdownFlag>,
@@ -81,6 +120,7 @@ impl Default for ServeConfig {
             job_timeout: None,
             backoff: BackoffPolicy::default(),
             chaos_kill_label: None,
+            heartbeat: Duration::from_secs(2),
             shutdown: None,
         }
     }
@@ -98,6 +138,10 @@ struct Counters {
     dedup_joins: AtomicU64,
     replayed: AtomicU64,
     crashes: AtomicU64,
+    agents_joined: AtomicU64,
+    agents_lost: AtomicU64,
+    cells_reclaimed: AtomicU64,
+    stale_results: AtomicU64,
 }
 
 impl Counters {
@@ -114,6 +158,10 @@ impl Counters {
             ("dedup_joins", get(&self.dedup_joins)),
             ("replayed", get(&self.replayed)),
             ("crashes", get(&self.crashes)),
+            ("agents_joined", get(&self.agents_joined)),
+            ("agents_lost", get(&self.agents_lost)),
+            ("cells_reclaimed", get(&self.cells_reclaimed)),
+            ("stale_results", get(&self.stale_results)),
         ])
     }
 }
@@ -177,7 +225,65 @@ impl Run {
     }
 }
 
-/// State shared by the accept loop and the worker fleet.
+/// One pending cell in the fair rotation.
+struct Pending {
+    seq: usize,
+    /// Attempts already consumed (0 for a fresh cell); the next
+    /// dispatch is attempt `attempt + 1`.
+    attempt: u32,
+    /// An owned cell already holds the in-flight slot and has
+    /// journalled its `job_start` — it re-entered the queue through a
+    /// reclaim or retry, so claiming is skipped.
+    owned: bool,
+    /// Backoff gate: not schedulable before this instant.
+    not_before: Option<Instant>,
+}
+
+impl Pending {
+    fn fresh(seq: usize) -> Pending {
+        Pending {
+            seq,
+            attempt: 0,
+            owned: false,
+            not_before: None,
+        }
+    }
+
+    fn due(&self, now: Instant) -> bool {
+        self.not_before.is_none_or(|t| t <= now)
+    }
+}
+
+/// One connected remote agent.
+struct Agent {
+    id: u64,
+    pid: u32,
+    slots: usize,
+    /// Slots not currently holding a lease.
+    free: AtomicUsize,
+    /// Cells whose results this agent delivered.
+    done: AtomicU64,
+    /// Set exactly once, by whichever path declares the agent dead
+    /// (or drained) first.
+    gone: AtomicBool,
+    last_beat: Mutex<Instant>,
+    /// The canonical write path — dispatches and heartbeat acks are
+    /// serialized through it.
+    writer: Mutex<TcpStream>,
+}
+
+/// One dispatched cell awaiting its agent's result.
+struct Lease {
+    run: Arc<Run>,
+    seq: usize,
+    /// Attempts consumed *before* this dispatch.
+    attempt: u32,
+    agent: u64,
+    expires: Instant,
+}
+
+/// State shared by the accept loop, the worker fleet, and agent
+/// sessions.
 struct Shared {
     cfg: ServeConfig,
     cache: Option<ResultCache>,
@@ -185,16 +291,92 @@ struct Shared {
     work: Condvar,
     counters: Counters,
     chaos_armed: AtomicBool,
+    /// Connected agents by id.
+    agents: Mutex<HashMap<u64, Arc<Agent>>>,
+    /// Outstanding leases by lease id — the single finishing
+    /// authority for agent-dispatched cells.
+    leases: Mutex<HashMap<u64, Lease>>,
+    next_agent_id: AtomicU64,
+    next_lease_id: AtomicU64,
+    /// Live runs, for the keepalive pinger.
+    runs: Mutex<Vec<Weak<Run>>>,
+    /// FNV-1a fingerprint of this coordinator's own executable; agent
+    /// handshakes must match it (`None` if the binary could not be
+    /// hashed — the check is then skipped).
+    binary: Option<String>,
 }
 
 #[derive(Default)]
 struct Sched {
     /// Fair rotation: a worker pops the front run, takes one cell,
     /// pushes the run back.
-    queue: VecDeque<(Arc<Run>, VecDeque<usize>)>,
+    queue: VecDeque<(Arc<Run>, VecDeque<Pending>)>,
     /// Canonical key → waiters joining the in-flight execution.
     inflight: HashMap<String, Vec<(Arc<Run>, usize)>>,
     draining: bool,
+}
+
+/// What a scheduler poll produced.
+enum Popped {
+    /// A due cell, plus the queue depth left behind (for the trace
+    /// counter).
+    Cell(Arc<Run>, Pending, usize),
+    /// Only backoff-gated cells exist; the soonest is due in this long.
+    Wait(Duration),
+    /// Queue empty and the daemon is draining.
+    Drained,
+    /// Queue empty; wait for work.
+    Empty,
+}
+
+/// Pops one due cell from the fair rotation, preserving round-robin
+/// order across runs.
+fn try_pop(sched: &mut Sched, now: Instant) -> Popped {
+    let rounds = sched.queue.len();
+    let mut soonest: Option<Instant> = None;
+    for _ in 0..rounds {
+        let (run, mut cells) = sched.queue.pop_front().expect("queue length checked");
+        if let Some(pos) = cells.iter().position(|p| p.due(now)) {
+            let pending = cells.remove(pos).expect("position from iter");
+            let depth: usize =
+                cells.len() + sched.queue.iter().map(|(_, c)| c.len()).sum::<usize>();
+            if !cells.is_empty() {
+                sched.queue.push_back((Arc::clone(&run), cells));
+            }
+            return Popped::Cell(run, pending, depth);
+        }
+        let run_soonest = cells.iter().filter_map(|p| p.not_before).min();
+        soonest = match (soonest, run_soonest) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        sched.queue.push_back((run, cells));
+    }
+    if let Some(t) = soonest {
+        return Popped::Wait(
+            t.saturating_duration_since(now)
+                .max(Duration::from_millis(1)),
+        );
+    }
+    if sched.draining {
+        Popped::Drained
+    } else {
+        Popped::Empty
+    }
+}
+
+/// Re-enqueues one cell (appending to the run's existing queue entry
+/// if it still has one) and wakes the fleet.
+fn enqueue(shared: &Shared, run: &Arc<Run>, pending: Pending) {
+    let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+    match sched.queue.iter_mut().find(|(r, _)| Arc::ptr_eq(r, run)) {
+        Some((_, cells)) => cells.push_back(pending),
+        None => sched
+            .queue
+            .push_back((Arc::clone(run), VecDeque::from([pending]))),
+    }
+    drop(sched);
+    shared.work.notify_all();
 }
 
 /// The daemon: bind, then [`run`](Coordinator::run) until shut down.
@@ -213,6 +395,9 @@ impl Coordinator {
         let listener = TcpListener::bind(&cfg.listen)?;
         listener.set_nonblocking(true)?;
         let cache = cfg.cache_dir.clone().map(ResultCache::new);
+        let binary = std::env::current_exe()
+            .ok()
+            .and_then(|p| file_fingerprint(&p).ok());
         Ok(Coordinator {
             listener,
             shared: Arc::new(Shared {
@@ -222,6 +407,12 @@ impl Coordinator {
                 work: Condvar::new(),
                 counters: Counters::default(),
                 chaos_armed: AtomicBool::new(true),
+                agents: Mutex::new(HashMap::new()),
+                leases: Mutex::new(HashMap::new()),
+                next_agent_id: AtomicU64::new(0),
+                next_lease_id: AtomicU64::new(0),
+                runs: Mutex::new(Vec::new()),
+                binary,
             }),
         })
     }
@@ -237,12 +428,17 @@ impl Coordinator {
 
     /// Serves until the shutdown flag fires (or forever without one):
     /// accepts connections, spawns a handler thread per client, and
-    /// runs the worker fleet. Returns after a graceful drain.
+    /// runs the worker fleet plus the lease reaper. Returns after a
+    /// graceful drain.
     pub fn run(&self) {
         std::thread::scope(|s| {
-            for wid in 0..self.shared.cfg.workers.max(1) {
+            for wid in 0..self.shared.cfg.workers {
                 let shared = Arc::clone(&self.shared);
                 s.spawn(move || worker_loop(&shared, wid));
+            }
+            {
+                let shared = Arc::clone(&self.shared);
+                s.spawn(move || reaper_loop(&shared));
             }
             loop {
                 if self
@@ -277,14 +473,16 @@ impl Coordinator {
 }
 
 /// One client connection: read the request line, dispatch.
-fn handle_conn(shared: &Shared, stream: TcpStream) {
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(HANDSHAKE_READ_TIMEOUT));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let mut reader = proto::MsgReader::new(read_half);
     let mut write_half = stream;
-    let msg = match proto::read_msg(&mut reader) {
+    let msg = match reader.next() {
         Ok(Some(msg)) => msg,
         Ok(None) => return,
         Err(e) => {
@@ -292,10 +490,23 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             return;
         }
     };
+    let peer_protocol = msg.get("protocol").and_then(JsonValue::as_u64);
+    if peer_protocol != Some(PROTOCOL_VERSION) {
+        send_error(
+            &mut write_half,
+            &format!(
+                "protocol mismatch: coordinator speaks v{PROTOCOL_VERSION}, peer sent {}",
+                match peer_protocol {
+                    Some(v) => format!("v{v}"),
+                    None => "no version".to_owned(),
+                }
+            ),
+        );
+        return;
+    }
     match msg.get("kind").and_then(JsonValue::as_str) {
         Some("status") => {
-            let snapshot = shared.counters.snapshot(shared.cfg.workers.max(1));
-            let _ = proto::write_msg(&mut write_half, &snapshot);
+            let _ = proto::write_msg(&mut write_half, &status_snapshot(shared));
         }
         Some("submit") => match Submission::from_msg(&msg) {
             Some(sub) => {
@@ -304,6 +515,10 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
                 }
             }
             None => send_error(&mut write_half, "malformed submit message"),
+        },
+        Some("agent_hello") => match AgentHello::from_msg(&msg) {
+            Some(hello) => run_agent_session(shared, reader, write_half, hello),
+            None => send_error(&mut write_half, "malformed agent_hello message"),
         },
         other => send_error(&mut write_half, &format!("unknown request kind {other:?}")),
     }
@@ -319,10 +534,53 @@ fn send_error(stream: &mut TcpStream, message: &str) {
     );
 }
 
+/// The `status` reply: lifetime counters plus one row per connected
+/// agent.
+fn status_snapshot(shared: &Shared) -> JsonValue {
+    let mut snap = shared.counters.snapshot(shared.cfg.workers);
+    let mut rows: Vec<(u64, JsonValue)> = {
+        let agents = shared.agents.lock().unwrap_or_else(|e| e.into_inner());
+        agents
+            .values()
+            .map(|a| {
+                let free = a.free.load(Ordering::Relaxed).min(a.slots);
+                let beat_ms = a
+                    .last_beat
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .elapsed()
+                    .as_millis() as u64;
+                (
+                    a.id,
+                    JsonValue::object([
+                        ("id", JsonValue::from(a.id)),
+                        ("pid", JsonValue::from(u64::from(a.pid))),
+                        ("slots", JsonValue::from(a.slots)),
+                        ("in_flight", JsonValue::from(a.slots - free)),
+                        ("last_heartbeat_ms", JsonValue::from(beat_ms)),
+                        (
+                            "cells_done",
+                            JsonValue::from(a.done.load(Ordering::Relaxed)),
+                        ),
+                    ]),
+                )
+            })
+            .collect()
+    };
+    rows.sort_by_key(|(id, _)| *id);
+    if let JsonValue::Object(fields) = &mut snap {
+        fields.push((
+            "agents".to_owned(),
+            JsonValue::Array(rows.into_iter().map(|(_, v)| v).collect()),
+        ));
+    }
+    snap
+}
+
 /// Registers one submission: opens (and on resume, replays) its
 /// journal, streams replayed cells, and enqueues the rest.
 fn register_submission(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     mut stream: TcpStream,
     sub: Submission,
 ) -> std::io::Result<()> {
@@ -346,7 +604,7 @@ fn register_submission(
     // Partition: cells with a journalled terminal outcome replay
     // instantly; the rest execute (in-flight ones from a dead run are
     // the `recovered` count, mirroring the batch pool).
-    let mut pending: VecDeque<usize> = VecDeque::new();
+    let mut pending: VecDeque<Pending> = VecDeque::new();
     let mut replayed = Vec::new();
     let mut recovered = 0usize;
     for (i, cell) in sub.cells.iter().enumerate() {
@@ -356,7 +614,7 @@ fn register_submission(
                 if replay.in_flight.contains(&cell.key) {
                     recovered += 1;
                 }
-                pending.push_back(i);
+                pending.push_back(Pending::fresh(i));
             }
         }
     }
@@ -367,7 +625,7 @@ fn register_submission(
         .cells_total
         .fetch_add(total as u64, Ordering::Relaxed);
 
-    let workers = shared.cfg.workers.max(1);
+    let workers = shared.cfg.workers;
     proto::write_msg(
         &mut stream,
         &JsonValue::object([
@@ -412,6 +670,11 @@ fn register_submission(
         trace_path,
         workers,
     });
+    {
+        let mut runs = shared.runs.lock().unwrap_or_else(|e| e.into_inner());
+        runs.retain(|w| w.strong_count() > 0);
+        runs.push(Arc::downgrade(&run));
+    }
 
     for (seq, done) in replayed {
         shared.counters.replayed.fetch_add(1, Ordering::Relaxed);
@@ -433,40 +696,45 @@ fn register_submission(
 /// One worker thread: pull a cell from the fair rotation, process it,
 /// repeat until drained.
 fn worker_loop(shared: &Shared, wid: usize) {
+    let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
     loop {
-        let popped = {
-            let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
-            loop {
-                if let Some((run, mut cells)) = sched.queue.pop_front() {
-                    let seq = cells.pop_front().expect("queued runs have cells");
-                    let depth: usize =
-                        cells.len() + sched.queue.iter().map(|(_, c)| c.len()).sum::<usize>();
-                    if !cells.is_empty() {
-                        sched.queue.push_back((Arc::clone(&run), cells));
-                    }
-                    break Some((run, seq, depth));
-                }
-                if sched.draining {
-                    break None;
-                }
+        match try_pop(&mut sched, Instant::now()) {
+            Popped::Cell(run, pending, depth) => {
+                drop(sched);
+                run.service_lane.counter("queue_depth", "", depth as f64);
+                process_cell(shared, &run, pending, wid);
+                sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+            }
+            Popped::Wait(d) => {
+                sched = shared
+                    .work
+                    .wait_timeout(sched, d)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+            Popped::Empty => {
                 sched = shared.work.wait(sched).unwrap_or_else(|e| e.into_inner());
             }
-        };
-        let Some((run, seq, depth)) = popped else {
-            return;
-        };
-        run.service_lane.counter("queue_depth", "", depth as f64);
-        process_cell(shared, &run, seq, wid);
+            Popped::Drained => return,
+        }
     }
 }
 
-/// Processes one cell end to end: journal, cache, dedup, supervised
-/// execution with retries, result streaming.
-fn process_cell(shared: &Shared, run: &Arc<Run>, seq: usize, wid: usize) {
+/// How claiming a cell resolved.
+enum Claim {
+    /// Served from the cache (or otherwise finished) — nothing to run.
+    Finished,
+    /// Joined another run's in-flight execution as a waiter.
+    Joined,
+    /// This caller owns the execution.
+    Own,
+}
+
+/// Claims one fresh cell: journal its start, then cache lookup, then
+/// in-flight dedup. Returns [`Claim::Own`] with the in-flight slot
+/// held.
+fn claim(shared: &Shared, run: &Arc<Run>, seq: usize) -> Claim {
     let cell = &run.cells[seq];
-    let lane = &run.worker_lanes[wid];
-    let mut span = lane.begin("cell", &cell.label, 0);
-    span.arg("run", run.id.as_str());
     run.journal.job_start(seq, &cell.key, &cell.label);
 
     // Layer 1: the shared result cache (a finished cell from any
@@ -475,9 +743,8 @@ fn process_cell(shared: &Shared, run: &Arc<Run>, seq: usize, wid: usize) {
     if let (Some(cache), Some(key)) = (shared.cache.as_ref(), key.as_ref()) {
         if let Some(payload) = cache.lookup(key) {
             shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            span.arg("outcome", "cached");
             finish_cell(shared, run, seq, &JobOutcome::Cached(payload), 0);
-            return;
+            return Claim::Finished;
         }
     }
 
@@ -487,16 +754,34 @@ fn process_cell(shared: &Shared, run: &Arc<Run>, seq: usize, wid: usize) {
         if let Some(waiters) = sched.inflight.get_mut(&cell.key) {
             waiters.push((Arc::clone(run), seq));
             shared.counters.dedup_joins.fetch_add(1, Ordering::Relaxed);
-            span.arg("outcome", "dedup_join");
-            return;
+            return Claim::Joined;
         }
         sched.inflight.insert(cell.key.clone(), Vec::new());
     }
-
     shared.counters.executed.fetch_add(1, Ordering::Relaxed);
-    let outcome = execute_cell(shared, run, cell, lane, &mut span, key.as_ref());
-    span.arg("outcome", outcome.0.kind());
-    finish_cell(shared, run, seq, &outcome.0, outcome.1);
+    Claim::Own
+}
+
+/// Completes an owned cell: store the payload, journal + stream the
+/// outcome, and resolve any dedup waiters.
+fn complete_owned(
+    shared: &Shared,
+    run: &Arc<Run>,
+    seq: usize,
+    outcome: &JobOutcome,
+    attempts: u32,
+) {
+    let cell = &run.cells[seq];
+    if let JobOutcome::Ok(payload) = outcome {
+        if let Some(cache) = shared.cache.as_ref() {
+            if let Some(key) = JobKey::from_canonical(&cell.key) {
+                if let Err(e) = cache.store(&key, payload) {
+                    eprintln!("cmpsim serve: cache store failed: {e}");
+                }
+            }
+        }
+    }
+    finish_cell(shared, run, seq, outcome, attempts);
 
     // Resolve waiters: they receive the payload as a cache hit, or the
     // failure verbatim.
@@ -505,12 +790,71 @@ fn process_cell(shared: &Shared, run: &Arc<Run>, seq: usize, wid: usize) {
         sched.inflight.remove(&cell.key).unwrap_or_default()
     };
     for (wrun, wseq) in waiters {
-        let shared_outcome = match outcome.0.payload() {
+        let shared_outcome = match outcome.payload() {
             Some(v) => JobOutcome::Cached(v.clone()),
-            None => outcome.0.clone(),
+            None => outcome.clone(),
         };
         finish_cell(shared, &wrun, wseq, &shared_outcome, 0);
     }
+}
+
+/// A failed attempt either re-enters the queue (backoff-gated, still
+/// owned) or completes with the failure when the budget is spent.
+fn retry_or_complete(
+    shared: &Shared,
+    run: &Arc<Run>,
+    seq: usize,
+    class: FailureClass,
+    failure: JobOutcome,
+    attempt: u32,
+) {
+    match shared
+        .cfg
+        .backoff
+        .next_delay(class, attempt, shared.cfg.retries)
+    {
+        Some(delay) => {
+            let not_before = (!delay.is_zero()).then(|| Instant::now() + delay);
+            enqueue(
+                shared,
+                run,
+                Pending {
+                    seq,
+                    attempt,
+                    owned: true,
+                    not_before,
+                },
+            );
+        }
+        None => complete_owned(shared, run, seq, &failure, attempt),
+    }
+}
+
+/// Processes one cell on a local worker: claim (unless re-owned), then
+/// the supervised retry loop.
+fn process_cell(shared: &Shared, run: &Arc<Run>, pending: Pending, wid: usize) {
+    let seq = pending.seq;
+    let cell = &run.cells[seq];
+    let lane = &run.worker_lanes[wid];
+    let mut span = lane.begin("cell", &cell.label, 0);
+    span.arg("run", run.id.as_str());
+
+    if !pending.owned {
+        match claim(shared, run, seq) {
+            Claim::Finished => {
+                span.arg("outcome", "cached");
+                return;
+            }
+            Claim::Joined => {
+                span.arg("outcome", "dedup_join");
+                return;
+            }
+            Claim::Own => {}
+        }
+    }
+    let (outcome, attempts) = execute_cell(shared, run, cell, lane, &mut span, pending.attempt + 1);
+    span.arg("outcome", outcome.kind());
+    complete_owned(shared, run, seq, &outcome, attempts);
 }
 
 /// The supervised retry loop for one owned cell. Returns the terminal
@@ -521,11 +865,11 @@ fn execute_cell(
     cell: &CellSpec,
     lane: &Lane,
     span: &mut ftrace::OpenSpan,
-    key: Option<&JobKey>,
+    start_attempt: u32,
 ) -> (JobOutcome, u32) {
     let policy = &shared.cfg.backoff;
     let retries = shared.cfg.retries;
-    let mut attempt = 1u32;
+    let mut attempt = start_attempt.max(1);
     loop {
         // The chaos hook fires on the first matching dispatch only:
         // the child is SIGKILLed right after spawn, producing a
@@ -546,16 +890,7 @@ fn execute_cell(
         }
         drop(exec);
         let (class, failure) = match res.attempt {
-            ChildAttempt::Ok(payload) => {
-                if let Some(cache) = shared.cache.as_ref() {
-                    if let Some(key) = key {
-                        if let Err(e) = cache.store(key, &payload) {
-                            eprintln!("cmpsim serve: cache store failed: {e}");
-                        }
-                    }
-                }
-                return (JobOutcome::Ok(payload), attempt);
-            }
+            ChildAttempt::Ok(payload) => return (JobOutcome::Ok(payload), attempt),
             ChildAttempt::Err(e) => (
                 FailureClass::Structured,
                 JobOutcome::Errored {
@@ -648,6 +983,516 @@ fn finish_run(shared: &Shared, run: &Arc<Run>) {
         .counters
         .runs_completed
         .fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Agent sessions
+// ---------------------------------------------------------------------
+
+/// Validates an agent handshake, registers the agent, and runs its
+/// reader until disconnect/drain.
+fn run_agent_session(
+    shared: &Arc<Shared>,
+    mut reader: proto::MsgReader<TcpStream>,
+    mut stream: TcpStream,
+    hello: AgentHello,
+) {
+    if let Some(expected) = shared.binary.as_deref() {
+        if hello.binary != expected {
+            send_error(
+                &mut stream,
+                &format!(
+                    "binary mismatch: coordinator runs fingerprint {expected} \
+                     (v{}), agent offered {} (v{}) — fleet members must run \
+                     identical builds",
+                    env!("CARGO_PKG_VERSION"),
+                    hello.binary,
+                    hello.version,
+                ),
+            );
+            return;
+        }
+    }
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let id = shared.next_agent_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let agent = Arc::new(Agent {
+        id,
+        pid: hello.pid,
+        slots: hello.slots.max(1),
+        free: AtomicUsize::new(hello.slots.max(1)),
+        done: AtomicU64::new(0),
+        gone: AtomicBool::new(false),
+        last_beat: Mutex::new(Instant::now()),
+        writer: Mutex::new(writer),
+    });
+    if proto::write_msg(
+        &mut stream,
+        &JsonValue::object([
+            ("kind", JsonValue::from("agent_welcome")),
+            ("agent_id", JsonValue::from(id)),
+            (
+                "heartbeat_ms",
+                JsonValue::from(shared.cfg.heartbeat.as_millis() as u64),
+            ),
+        ]),
+    )
+    .is_err()
+    {
+        return;
+    }
+    shared
+        .agents
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(id, Arc::clone(&agent));
+    shared
+        .counters
+        .agents_joined
+        .fetch_add(1, Ordering::Relaxed);
+
+    // From here on, silence past the lease TTL means the agent is
+    // dead — the heartbeat cadence guarantees traffic sooner.
+    let _ = stream.set_read_timeout(Some(lease_ttl(&shared.cfg)));
+    {
+        let shared = Arc::clone(shared);
+        let agent = Arc::clone(&agent);
+        std::thread::spawn(move || agent_feeder(&shared, &agent));
+    }
+    agent_reader(shared, &agent, &mut reader);
+}
+
+/// The per-agent reader: heartbeats renew leases, `cell_result`
+/// messages finish (or retry) dispatched cells. Exits into
+/// [`reclaim_agent`] on disconnect, timeout, or drain.
+fn agent_reader(
+    shared: &Arc<Shared>,
+    agent: &Arc<Agent>,
+    reader: &mut proto::MsgReader<TcpStream>,
+) {
+    let reason = loop {
+        if agent.gone.load(Ordering::Acquire) {
+            break "connection closed".to_owned();
+        }
+        match reader.next() {
+            Ok(Some(msg)) => {
+                *agent.last_beat.lock().unwrap_or_else(|e| e.into_inner()) = Instant::now();
+                match msg.get("kind").and_then(JsonValue::as_str) {
+                    Some("heartbeat") => {
+                        let ttl = lease_ttl(&shared.cfg);
+                        let now = Instant::now();
+                        if let Some(ids) = msg.get("leases").and_then(JsonValue::as_array) {
+                            let mut leases =
+                                shared.leases.lock().unwrap_or_else(|e| e.into_inner());
+                            for id in ids.iter().filter_map(JsonValue::as_u64) {
+                                if let Some(l) = leases.get_mut(&id) {
+                                    if l.agent == agent.id {
+                                        l.expires = now + ttl;
+                                    }
+                                }
+                            }
+                        }
+                        let ack = JsonValue::object([("kind", JsonValue::from("heartbeat_ack"))]);
+                        let mut w = agent.writer.lock().unwrap_or_else(|e| e.into_inner());
+                        if proto::write_msg(&mut *w, &ack).is_err() {
+                            break "heartbeat ack write failed".to_owned();
+                        }
+                    }
+                    Some("cell_result") => handle_cell_result(shared, agent, &msg),
+                    other => {
+                        eprintln!("cmpsim serve: agent {} sent {other:?}; ignored", agent.id);
+                    }
+                }
+            }
+            Ok(None) => break "connection closed".to_owned(),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                break "missed heartbeats".to_owned();
+            }
+            Err(e) => break format!("read failed: {e}"),
+        }
+    };
+    reclaim_agent(shared, agent, &reason);
+}
+
+/// The per-agent feeder: waits for a free slot and a due cell, claims
+/// it, and dispatches it under a fresh lease. Exits when the agent is
+/// gone or the daemon drains.
+fn agent_feeder(shared: &Arc<Shared>, agent: &Arc<Agent>) {
+    let poll = Duration::from_millis(250);
+    loop {
+        let popped = {
+            let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if agent.gone.load(Ordering::Acquire) || sched.draining {
+                    break None;
+                }
+                if agent.free.load(Ordering::Acquire) == 0 {
+                    sched = shared
+                        .work
+                        .wait_timeout(sched, poll)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                    continue;
+                }
+                match try_pop(&mut sched, Instant::now()) {
+                    Popped::Cell(run, pending, depth) => break Some((run, pending, depth)),
+                    Popped::Wait(d) => {
+                        sched = shared
+                            .work
+                            .wait_timeout(sched, d.min(poll))
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                    Popped::Drained => break None,
+                    Popped::Empty => {
+                        sched = shared
+                            .work
+                            .wait_timeout(sched, poll)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                }
+            }
+        };
+        let Some((run, pending, depth)) = popped else {
+            return;
+        };
+        run.service_lane.counter("queue_depth", "", depth as f64);
+        dispatch_to_agent(shared, agent, &run, pending);
+    }
+}
+
+/// Claims one cell for an agent and ships it under a fresh lease; a
+/// failed write re-enqueues the cell (still owned, no attempt burned)
+/// and reclaims the agent.
+fn dispatch_to_agent(shared: &Arc<Shared>, agent: &Arc<Agent>, run: &Arc<Run>, pending: Pending) {
+    let seq = pending.seq;
+    if !pending.owned {
+        match claim(shared, run, seq) {
+            Claim::Finished | Claim::Joined => return,
+            Claim::Own => {}
+        }
+    }
+    let cell = &run.cells[seq];
+    let lease_id = shared.next_lease_id.fetch_add(1, Ordering::Relaxed) + 1;
+    shared
+        .leases
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(
+            lease_id,
+            Lease {
+                run: Arc::clone(run),
+                seq,
+                attempt: pending.attempt,
+                agent: agent.id,
+                expires: Instant::now() + lease_ttl(&shared.cfg),
+            },
+        );
+    agent.free.fetch_sub(1, Ordering::AcqRel);
+    run.service_lane.instant(
+        "dispatch",
+        &cell.label,
+        0,
+        vec![
+            ("agent".to_owned(), JsonValue::from(agent.id)),
+            ("lease".to_owned(), JsonValue::from(lease_id)),
+            (
+                "attempt".to_owned(),
+                JsonValue::from(u64::from(pending.attempt + 1)),
+            ),
+        ],
+    );
+    let msg = Dispatch {
+        lease: lease_id,
+        exe: run.exe.clone(),
+        key: cell.key.clone(),
+        label: cell.label.clone(),
+        args: cell.args.clone(),
+        timeout_ms: shared.cfg.job_timeout.map(|t| t.as_millis() as u64),
+    }
+    .to_msg();
+    let sent = {
+        let mut w = agent.writer.lock().unwrap_or_else(|e| e.into_inner());
+        proto::write_msg(&mut *w, &msg).is_ok()
+    };
+    if !sent {
+        shared
+            .leases
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&lease_id);
+        agent.free.fetch_add(1, Ordering::AcqRel);
+        // The cell never left: back in the queue with no attempt
+        // consumed, ownership intact.
+        enqueue(
+            shared,
+            run,
+            Pending {
+                seq,
+                attempt: pending.attempt,
+                owned: true,
+                not_before: None,
+            },
+        );
+        reclaim_agent(shared, agent, "dispatch write failed");
+    }
+}
+
+/// One agent-reported attempt outcome. Removing the lease is the
+/// single finishing authority: a result whose lease was already
+/// reclaimed is stale and dropped entirely.
+fn handle_cell_result(shared: &Arc<Shared>, agent: &Arc<Agent>, msg: &JsonValue) {
+    let lease_id = msg.get("lease").and_then(JsonValue::as_u64);
+    let res = msg.get("result").and_then(proto::attempt_from_json);
+    let (Some(lease_id), Some(res)) = (lease_id, res) else {
+        eprintln!(
+            "cmpsim serve: agent {} sent a malformed cell_result; ignored",
+            agent.id
+        );
+        return;
+    };
+    agent.free.fetch_add(1, Ordering::AcqRel);
+    agent.done.fetch_add(1, Ordering::Relaxed);
+    let lease = shared
+        .leases
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&lease_id);
+    let Some(lease) = lease else {
+        // Already reclaimed (and possibly re-run): the cache/journal
+        // already converged on one entry; this late result is noise.
+        shared
+            .counters
+            .stale_results
+            .fetch_add(1, Ordering::Relaxed);
+        shared.work.notify_all();
+        return;
+    };
+    let run = lease.run;
+    let seq = lease.seq;
+    let attempt = lease.attempt + 1;
+    let cell = &run.cells[seq];
+    run.service_lane.instant(
+        "cell_result",
+        &cell.label,
+        0,
+        vec![
+            ("agent".to_owned(), JsonValue::from(agent.id)),
+            ("lease".to_owned(), JsonValue::from(lease_id)),
+            (
+                "kind".to_owned(),
+                JsonValue::from(match &res {
+                    ChildAttempt::Ok(_) => "ok",
+                    ChildAttempt::Err(_) => "err",
+                    ChildAttempt::Crashed(_) => "crashed",
+                    ChildAttempt::Hung => "hung",
+                }),
+            ),
+        ],
+    );
+    match res {
+        ChildAttempt::Ok(payload) => {
+            complete_owned(shared, &run, seq, &JobOutcome::Ok(payload), attempt);
+        }
+        ChildAttempt::Err(e) => retry_or_complete(
+            shared,
+            &run,
+            seq,
+            FailureClass::Structured,
+            JobOutcome::Errored {
+                category: e.category,
+                error: e.message,
+            },
+            attempt,
+        ),
+        ChildAttempt::Crashed(m) => {
+            shared.counters.crashes.fetch_add(1, Ordering::Relaxed);
+            retry_or_complete(
+                shared,
+                &run,
+                seq,
+                FailureClass::Crash,
+                JobOutcome::Poisoned { error: m },
+                attempt,
+            );
+        }
+        ChildAttempt::Hung => retry_or_complete(
+            shared,
+            &run,
+            seq,
+            FailureClass::Hang,
+            JobOutcome::TimedOut {
+                error: format!("job process exceeded its deadline ({attempt} attempts)"),
+            },
+            attempt,
+        ),
+    }
+    shared.work.notify_all();
+}
+
+/// Declares an agent dead (or drained): deregisters it, shuts its
+/// socket, and re-enqueues every lease it held as a crash-class retry.
+fn reclaim_agent(shared: &Arc<Shared>, agent: &Arc<Agent>, reason: &str) {
+    if agent.gone.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared
+        .agents
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&agent.id);
+    let draining = shared
+        .sched
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .draining;
+    if !draining {
+        shared.counters.agents_lost.fetch_add(1, Ordering::Relaxed);
+    }
+    {
+        let w = agent.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.shutdown(std::net::Shutdown::Both);
+    }
+    let mine: Vec<(u64, Lease)> = {
+        let mut leases = shared.leases.lock().unwrap_or_else(|e| e.into_inner());
+        let ids: Vec<u64> = leases
+            .iter()
+            .filter(|(_, l)| l.agent == agent.id)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.into_iter()
+            .filter_map(|id| leases.remove(&id).map(|l| (id, l)))
+            .collect()
+    };
+    for (lease_id, lease) in mine {
+        reclaim_lease(shared, agent.id, lease_id, lease, reason);
+    }
+    shared.work.notify_all();
+}
+
+/// Re-enqueues (or poisons) one reclaimed lease.
+fn reclaim_lease(shared: &Shared, agent_id: u64, lease_id: u64, lease: Lease, reason: &str) {
+    shared
+        .counters
+        .cells_reclaimed
+        .fetch_add(1, Ordering::Relaxed);
+    let cell = &lease.run.cells[lease.seq];
+    lease.run.service_lane.instant(
+        "cell_reclaimed",
+        &cell.label,
+        0,
+        vec![
+            ("agent".to_owned(), JsonValue::from(agent_id)),
+            ("lease".to_owned(), JsonValue::from(lease_id)),
+            ("reason".to_owned(), JsonValue::from(reason)),
+        ],
+    );
+    retry_or_complete(
+        shared,
+        &lease.run,
+        lease.seq,
+        FailureClass::Crash,
+        JobOutcome::Poisoned {
+            error: format!("agent {agent_id} lost mid-cell: {reason}"),
+        },
+        lease.attempt + 1,
+    );
+}
+
+/// The reaper + pinger: expires silent agents' leases, keeps live
+/// clients' sockets warm, and broadcasts `drain` at shutdown.
+fn reaper_loop(shared: &Arc<Shared>) {
+    let tick = (shared.cfg.heartbeat / 2).min(Duration::from_millis(250));
+    let mut last_ping = Instant::now();
+    loop {
+        {
+            let sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+            if sched.draining {
+                break;
+            }
+            let _ = shared
+                .work
+                .wait_timeout(sched, tick)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        let now = Instant::now();
+
+        // Expired leases: a listed lease is renewed by every heartbeat,
+        // so expiry means the whole agent went silent — reclaim it. An
+        // orphan lease (its agent already deregistered, e.g. inserted
+        // by a feeder racing a reclaim) is reclaimed directly.
+        let expired: Vec<(u64, u64)> = {
+            let leases = shared.leases.lock().unwrap_or_else(|e| e.into_inner());
+            leases
+                .iter()
+                .filter(|(_, l)| l.expires <= now)
+                .map(|(id, l)| (*id, l.agent))
+                .collect()
+        };
+        let mut reclaimed_agents: HashSet<u64> = HashSet::new();
+        for (lease_id, agent_id) in expired {
+            let agent = shared
+                .agents
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(&agent_id)
+                .cloned();
+            match agent {
+                Some(agent) => {
+                    if reclaimed_agents.insert(agent_id) {
+                        reclaim_agent(shared, &agent, "missed heartbeats");
+                    }
+                }
+                None => {
+                    let lease = shared
+                        .leases
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(&lease_id);
+                    if let Some(lease) = lease {
+                        reclaim_lease(shared, agent_id, lease_id, lease, "agent already gone");
+                        shared.work.notify_all();
+                    }
+                }
+            }
+        }
+
+        // Keepalive pings let clients hold a read deadline without
+        // tripping it during long cells.
+        if now.duration_since(last_ping) >= shared.cfg.heartbeat {
+            last_ping = now;
+            let ping = JsonValue::object([("kind", JsonValue::from("ping"))]);
+            let runs = shared.runs.lock().unwrap_or_else(|e| e.into_inner());
+            for run in runs.iter().filter_map(Weak::upgrade) {
+                if run.remaining.load(Ordering::Acquire) > 0 {
+                    run.send(&ping);
+                }
+            }
+        }
+    }
+
+    // Drain: tell every agent to exit cleanly and unblock its reader.
+    let agents: Vec<Arc<Agent>> = shared
+        .agents
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .values()
+        .cloned()
+        .collect();
+    let drain = JsonValue::object([("kind", JsonValue::from("drain"))]);
+    for agent in agents {
+        let w = agent.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let mut stream = &*w;
+        let _ = proto::write_msg(&mut stream, &drain);
+        let _ = w.shutdown(std::net::Shutdown::Both);
+    }
 }
 
 #[cfg(test)]
@@ -745,6 +1590,15 @@ mod tests {
                 counters.get("replayed").and_then(JsonValue::as_u64),
                 Some(3)
             );
+            // No agents connected: the fleet listing is present and
+            // empty.
+            assert_eq!(
+                counters
+                    .get("agents")
+                    .and_then(JsonValue::as_array)
+                    .map(<[JsonValue]>::len),
+                Some(0)
+            );
 
             // The run left report-able artifacts behind.
             assert!(dir
@@ -793,6 +1647,285 @@ mod tests {
             assert_eq!(
                 out.report.jobs[1].attempts, 2,
                 "one retry before quarantine"
+            );
+            shutdown.request();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A raw-socket stand-in for `cmpsim agent`: handshakes with the
+    /// coordinator's own (test binary) fingerprint, so the binary check
+    /// passes, and hands control back with the welcome consumed.
+    fn fake_agent(addr: SocketAddr, slots: usize) -> (TcpStream, proto::MsgReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let hello = AgentHello {
+            protocol: PROTOCOL_VERSION,
+            binary: file_fingerprint(&std::env::current_exe().unwrap()).unwrap(),
+            version: env!("CARGO_PKG_VERSION").to_owned(),
+            slots,
+            pid: std::process::id(),
+        };
+        let mut w = &stream;
+        proto::write_msg(&mut w, &hello.to_msg()).unwrap();
+        let mut reader = proto::MsgReader::new(stream.try_clone().unwrap());
+        let welcome = reader.next().unwrap().expect("a welcome");
+        assert_eq!(
+            welcome.get("kind").and_then(JsonValue::as_str),
+            Some("agent_welcome"),
+            "handshake rejected: {}",
+            welcome.to_json()
+        );
+        (stream, reader)
+    }
+
+    fn next_dispatch(reader: &mut proto::MsgReader<TcpStream>) -> JsonValue {
+        loop {
+            let msg = reader.next().unwrap().expect("a message");
+            if msg.get("kind").and_then(JsonValue::as_str) == Some("dispatch") {
+                return msg;
+            }
+        }
+    }
+
+    fn agents_only_config(dir: &std::path::Path, shutdown: &ShutdownFlag) -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            retries: 0,
+            journal_dir: dir.join("journal"),
+            backoff: BackoffPolicy::immediate(),
+            heartbeat: Duration::from_millis(100),
+            shutdown: Some(shutdown.clone()),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn agents_only_coordinator_runs_cells_on_an_agent() {
+        let dir = temp_dir("agent_ok");
+        let shutdown = ShutdownFlag::default();
+        let coord = Coordinator::bind(agents_only_config(&dir, &shutdown)).unwrap();
+        let addr = coord.local_addr().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| coord.run());
+            let agent = s.spawn(move || {
+                let (stream, mut reader) = fake_agent(addr, 2);
+                // Answer one dispatch with a crafted success.
+                let d = next_dispatch(&mut reader);
+                let lease = d.get("lease").and_then(JsonValue::as_u64).unwrap();
+                let result = proto::attempt_to_json(&ChildAttempt::Ok(JsonValue::object([(
+                    "cell",
+                    JsonValue::from("remote"),
+                )])));
+                let mut w = &stream;
+                proto::write_msg(
+                    &mut w,
+                    &JsonValue::object([
+                        ("kind", JsonValue::from("cell_result")),
+                        ("lease", JsonValue::from(lease)),
+                        ("result", result),
+                    ]),
+                )
+                .unwrap();
+                // Hold the connection until the run is over.
+                let _ = reader.next();
+            });
+
+            let out =
+                client::submit(&addr.to_string(), &echo_submission(None, false, &["a"])).unwrap();
+            assert_eq!(out.report.ok_count(), 1);
+            assert_eq!(
+                out.report.jobs[0]
+                    .outcome
+                    .payload()
+                    .and_then(|p| p.get("cell"))
+                    .and_then(JsonValue::as_str),
+                Some("remote"),
+                "the agent's payload reached the client"
+            );
+            let counters = client::status(&addr.to_string()).unwrap();
+            assert_eq!(
+                counters.get("agents_joined").and_then(JsonValue::as_u64),
+                Some(1)
+            );
+            assert_eq!(
+                counters.get("cells_reclaimed").and_then(JsonValue::as_u64),
+                Some(0)
+            );
+            shutdown.request();
+            agent.join().unwrap();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn disconnected_agents_cells_are_reclaimed_to_poison() {
+        let dir = temp_dir("agent_lost");
+        let shutdown = ShutdownFlag::default();
+        let coord = Coordinator::bind(agents_only_config(&dir, &shutdown)).unwrap();
+        let addr = coord.local_addr().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| coord.run());
+            s.spawn(move || {
+                let (stream, mut reader) = fake_agent(addr, 1);
+                // Take the dispatch, then die without a word.
+                let _ = next_dispatch(&mut reader);
+                drop(stream);
+            });
+
+            // retries: 0, no other executor → the reclaimed cell is
+            // quarantined, and the client still gets its one job_done.
+            let out =
+                client::submit(&addr.to_string(), &echo_submission(None, false, &["a"])).unwrap();
+            assert_eq!(out.report.poisoned_count(), 1);
+            let err = out.report.jobs[0].outcome.to_json().to_json();
+            assert!(
+                err.contains("lost mid-cell"),
+                "poison names the loss: {err}"
+            );
+            let counters = client::status(&addr.to_string()).unwrap();
+            assert_eq!(
+                counters.get("cells_reclaimed").and_then(JsonValue::as_u64),
+                Some(1)
+            );
+            assert_eq!(
+                counters.get("agents_lost").and_then(JsonValue::as_u64),
+                Some(1)
+            );
+            shutdown.request();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn silent_agent_misses_heartbeats_and_is_reclaimed() {
+        let dir = temp_dir("agent_silent");
+        let shutdown = ShutdownFlag::default();
+        let coord = Coordinator::bind(agents_only_config(&dir, &shutdown)).unwrap();
+        let addr = coord.local_addr().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| coord.run());
+            let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+            s.spawn(move || {
+                let (stream, mut reader) = fake_agent(addr, 1);
+                // Take the dispatch, then go silent — no heartbeats, no
+                // result, socket held open (a wedged host, not a dead
+                // one).
+                let _ = next_dispatch(&mut reader);
+                let _ = done_rx.recv_timeout(Duration::from_secs(30));
+                drop(stream);
+            });
+
+            let out =
+                client::submit(&addr.to_string(), &echo_submission(None, false, &["a"])).unwrap();
+            assert_eq!(out.report.poisoned_count(), 1);
+            let err = out.report.jobs[0].outcome.to_json().to_json();
+            assert!(
+                err.contains("missed heartbeats"),
+                "poison names the silence: {err}"
+            );
+            let counters = client::status(&addr.to_string()).unwrap();
+            assert_eq!(
+                counters.get("agents_lost").and_then(JsonValue::as_u64),
+                Some(1)
+            );
+            let _ = done_tx.send(());
+            shutdown.request();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_protocol_version_gets_a_structured_error() {
+        let dir = temp_dir("proto_reject");
+        let shutdown = ShutdownFlag::default();
+        let coord = Coordinator::bind(ServeConfig {
+            workers: 0,
+            journal_dir: dir.join("journal"),
+            shutdown: Some(shutdown.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| coord.run());
+
+            // A hello from the future: protocol version 999.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let hello = JsonValue::object([
+                ("kind", JsonValue::from("agent_hello")),
+                ("protocol", JsonValue::from(999u64)),
+                ("binary", JsonValue::from("0000000000000000")),
+                ("version", JsonValue::from("9.9.9")),
+                ("slots", JsonValue::from(1u64)),
+                ("pid", JsonValue::from(1u64)),
+            ]);
+            proto::write_msg(&mut stream, &hello).unwrap();
+            let mut reader = proto::MsgReader::new(stream.try_clone().unwrap());
+            let reply = reader.next().unwrap().expect("an error reply");
+            assert_eq!(reply.get("kind").and_then(JsonValue::as_str), Some("error"));
+            let detail = reply
+                .get("message")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default();
+            assert!(detail.contains("v999"), "names the peer version: {detail}");
+            assert!(
+                detail.contains(&format!("v{PROTOCOL_VERSION}")),
+                "names the coordinator version: {detail}"
+            );
+
+            shutdown.request();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_binary_fingerprint_gets_a_structured_error() {
+        let dir = temp_dir("binary_reject");
+        let shutdown = ShutdownFlag::default();
+        let coord = Coordinator::bind(ServeConfig {
+            workers: 0,
+            journal_dir: dir.join("journal"),
+            shutdown: Some(shutdown.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| coord.run());
+
+            let hello = AgentHello {
+                protocol: PROTOCOL_VERSION,
+                binary: "1111111111111111".to_owned(),
+                version: "0.0.1".to_owned(),
+                slots: 1,
+                pid: 1,
+            };
+            let mut stream = TcpStream::connect(addr).unwrap();
+            proto::write_msg(&mut stream, &hello.to_msg()).unwrap();
+            let mut reader = proto::MsgReader::new(stream.try_clone().unwrap());
+            let reply = reader.next().unwrap().expect("an error reply");
+            assert_eq!(reply.get("kind").and_then(JsonValue::as_str), Some("error"));
+            let detail = reply
+                .get("message")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default();
+            assert!(
+                detail.contains("1111111111111111"),
+                "names the agent fingerprint: {detail}"
+            );
+            assert!(detail.contains("binary mismatch"), "{detail}");
+
+            // No agent joined.
+            let counters = client::status(&addr.to_string()).unwrap();
+            assert_eq!(
+                counters.get("agents_joined").and_then(JsonValue::as_u64),
+                Some(0)
             );
             shutdown.request();
         });

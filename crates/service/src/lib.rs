@@ -29,15 +29,25 @@
 //!   `<run-id>.trace.jsonl` sidecar, so `cmpsim report` works on
 //!   service runs exactly as on batch runs.
 //!
+//! * **remote agents** ([`agent`]) dial the same socket from other
+//!   hosts, register over a versioned handshake (protocol version +
+//!   binary fingerprint + slot count), and pull cells under leases
+//!   renewed by heartbeat; a dead or silent agent's in-flight cells
+//!   are reclaimed and re-enqueued under the same backoff/poison
+//!   budget as local crashes, and the cache + journal keep the
+//!   rerun idempotent.
+//!
 //! The [`client`] half turns a submission's streamed `job_done`
 //! records back into a [`RunReport`](cmpsim_runner::RunReport) in
 //! submission order, so a client renders byte-identical stdout/JSON to
 //! a local run of the same spec.
 
+pub mod agent;
 pub mod client;
 pub mod coordinator;
 pub mod proto;
 
+pub use agent::{run_agent, AgentConfig, AgentReport};
 pub use client::{status, submit, SubmitOutcome};
 pub use coordinator::{Coordinator, ServeConfig};
 pub use proto::{CellSpec, Submission};

@@ -26,15 +26,51 @@
 //!   client reassembles by `seq`),
 //! * `run_end` — the sweep finished,
 //! * `counters` — the `status` reply,
+//! * `ping` — idle keepalive while cells compute (clients skip it),
 //! * `error` — the request was rejected; the connection closes.
+//!
+//! Agent → coordinator (a remote worker dialing in):
+//!
+//! * `agent_hello` — the versioned handshake ([`AgentHello`]):
+//!   protocol version, the FNV-1a fingerprint of the agent's own
+//!   executable, crate version, and slot count. A mismatch gets a
+//!   structured `error` naming both sides, never a mid-stream decode
+//!   failure,
+//! * `cell_result` — one dispatched cell's attempt outcome
+//!   ([`attempt_to_json`]), tagged with its lease id,
+//! * `heartbeat` — liveness plus the lease ids the agent still holds;
+//!   renews those leases.
+//!
+//! Coordinator → agent:
+//!
+//! * `agent_welcome` — the assigned agent id and the heartbeat
+//!   interval the coordinator expects,
+//! * `dispatch` — one leased cell ([`Dispatch`]): lease id,
+//!   executable, cache key, label, argv, and timeout,
+//! * `heartbeat_ack` — heartbeat reply (the agent's liveness check on
+//!   the coordinator),
+//! * `drain` — the coordinator is shutting down; finish nothing new
+//!   and exit cleanly.
 
 use cmpsim_runner::record;
+use cmpsim_runner::{ChildAttempt, JobError};
 use cmpsim_telemetry::JsonValue;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 use std::path::PathBuf;
 
 /// The field a sealed wire message stores its payload under.
 pub const MSG_FIELD: &str = "msg";
+
+/// The wire protocol version. Bumped whenever a message shape changes
+/// incompatibly; both the submit path and the agent handshake carry it
+/// so a mixed-version fleet fails fast with a structured error instead
+/// of a decode failure mid-sweep.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// Upper bound on one framed line. A frame that grows past this without
+/// a newline is a peer speaking something else (or garbage), not a
+/// legitimate message.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
 fn invalid(message: String) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, message)
@@ -69,6 +105,234 @@ pub fn read_msg(r: &mut impl BufRead) -> std::io::Result<Option<JsonValue>> {
     match record::verify(&doc, MSG_FIELD) {
         Some(msg) => Ok(Some(msg)),
         None => Err(invalid("message failed checksum verification".to_owned())),
+    }
+}
+
+/// An incremental message reader that survives read timeouts.
+///
+/// `BufReader::read_line` discards partially-read bytes when the
+/// underlying socket returns `WouldBlock`/`TimedOut`, which makes
+/// read deadlines unusable mid-stream. This reader keeps its own
+/// buffer: a timeout surfaces as the error it is, the partial frame
+/// stays buffered, and the caller simply calls [`next`](Self::next)
+/// again after deciding the peer is still live.
+pub struct MsgReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already scanned for a newline (no need to rescan
+    /// them when another chunk arrives).
+    searched: usize,
+}
+
+impl<R: Read> MsgReader<R> {
+    /// Wraps a byte stream (typically a `TcpStream` with a read
+    /// deadline set).
+    pub fn new(inner: R) -> MsgReader<R> {
+        MsgReader {
+            inner,
+            buf: Vec::new(),
+            searched: 0,
+        }
+    }
+
+    /// Reads the next framed message. `Ok(None)` is a clean EOF at a
+    /// frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// * `WouldBlock`/`TimedOut` — the socket deadline expired; the
+    ///   partial frame is preserved and a retry resumes where it left
+    ///   off,
+    /// * `InvalidData` — a line that fails to parse or verify, a frame
+    ///   over [`MAX_FRAME_BYTES`], or an EOF mid-frame,
+    /// * other socket errors, verbatim.
+    // Deliberately mirrors `Iterator::next` naming; the io::Result
+    // return type keeps it off the trait.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> std::io::Result<Option<JsonValue>> {
+        loop {
+            if let Some(pos) = self.buf[self.searched..].iter().position(|&b| b == b'\n') {
+                let end = self.searched + pos;
+                let line: Vec<u8> = self.buf.drain(..=end).collect();
+                self.searched = 0;
+                let text = std::str::from_utf8(&line[..line.len() - 1])
+                    .map_err(|e| invalid(format!("message is not UTF-8: {e}")))?;
+                if text.trim().is_empty() {
+                    continue;
+                }
+                let doc = cmpsim_telemetry::parse(text.trim())
+                    .map_err(|e| invalid(format!("unparseable message: {e}")))?;
+                return match record::verify(&doc, MSG_FIELD) {
+                    Some(msg) => Ok(Some(msg)),
+                    None => Err(invalid("message failed checksum verification".to_owned())),
+                };
+            }
+            self.searched = self.buf.len();
+            if self.buf.len() > MAX_FRAME_BYTES {
+                return Err(invalid(format!(
+                    "frame exceeds {MAX_FRAME_BYTES} bytes without a newline"
+                )));
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(invalid("connection closed mid-frame".to_owned()))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// The agent side of the versioned handshake: everything the
+/// coordinator needs to decide this process may compute cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentHello {
+    /// [`PROTOCOL_VERSION`] as the agent speaks it.
+    pub protocol: u64,
+    /// FNV-1a fingerprint of the agent's own executable
+    /// ([`cmpsim_runner::file_fingerprint`]). Cells are computed by
+    /// re-exec'ing this binary, so fleet members must run identical
+    /// builds or results would silently diverge.
+    pub binary: String,
+    /// Human-readable crate version, for the mismatch error message.
+    pub version: String,
+    /// Concurrent cells this agent will run.
+    pub slots: usize,
+    /// The agent's OS pid (diagnostics in `cmpsim status`).
+    pub pid: u32,
+}
+
+impl AgentHello {
+    /// The full `agent_hello` message.
+    pub fn to_msg(&self) -> JsonValue {
+        JsonValue::object([
+            ("kind", JsonValue::from("agent_hello")),
+            ("protocol", JsonValue::from(self.protocol)),
+            ("binary", JsonValue::from(self.binary.as_str())),
+            ("version", JsonValue::from(self.version.as_str())),
+            ("slots", JsonValue::from(self.slots)),
+            ("pid", JsonValue::from(u64::from(self.pid))),
+        ])
+    }
+
+    /// Parses an `agent_hello` body back.
+    pub fn from_msg(doc: &JsonValue) -> Option<AgentHello> {
+        Some(AgentHello {
+            protocol: doc.get("protocol")?.as_u64()?,
+            binary: doc.get("binary")?.as_str()?.to_owned(),
+            version: doc.get("version")?.as_str()?.to_owned(),
+            slots: doc.get("slots")?.as_u64()? as usize,
+            pid: doc.get("pid")?.as_u64()? as u32,
+        })
+    }
+}
+
+/// One leased cell, coordinator → agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dispatch {
+    /// The lease id: every `cell_result` and `heartbeat` names it, and
+    /// the coordinator reclaims it if this agent goes quiet.
+    pub lease: u64,
+    /// The executable that recomputes the cell (the *submitting
+    /// client's* binary path; see [`Submission::exe`]).
+    pub exe: PathBuf,
+    /// Canonical cache key (diagnostics; the coordinator owns cache
+    /// and journal, the agent only computes).
+    pub key: String,
+    /// Display label.
+    pub label: String,
+    /// Argv after the program name.
+    pub args: Vec<String>,
+    /// Per-attempt deadline, if the coordinator enforces one.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Dispatch {
+    /// The full `dispatch` message.
+    pub fn to_msg(&self) -> JsonValue {
+        let mut fields = vec![
+            ("kind".to_owned(), JsonValue::from("dispatch")),
+            ("lease".to_owned(), JsonValue::from(self.lease)),
+            (
+                "exe".to_owned(),
+                JsonValue::from(self.exe.to_string_lossy().into_owned()),
+            ),
+            ("key".to_owned(), JsonValue::from(self.key.as_str())),
+            ("label".to_owned(), JsonValue::from(self.label.as_str())),
+            (
+                "args".to_owned(),
+                JsonValue::Array(
+                    self.args
+                        .iter()
+                        .map(|a| JsonValue::from(a.as_str()))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(ms) = self.timeout_ms {
+            fields.push(("timeout_ms".to_owned(), JsonValue::from(ms)));
+        }
+        JsonValue::Object(fields)
+    }
+
+    /// Parses a `dispatch` body back.
+    pub fn from_msg(doc: &JsonValue) -> Option<Dispatch> {
+        Some(Dispatch {
+            lease: doc.get("lease")?.as_u64()?,
+            exe: PathBuf::from(doc.get("exe")?.as_str()?),
+            key: doc.get("key")?.as_str()?.to_owned(),
+            label: doc.get("label")?.as_str()?.to_owned(),
+            args: doc
+                .get("args")?
+                .as_array()?
+                .iter()
+                .map(|a| a.as_str().map(str::to_owned))
+                .collect::<Option<_>>()?,
+            timeout_ms: doc.get("timeout_ms").and_then(JsonValue::as_u64),
+        })
+    }
+}
+
+/// Serializes one [`ChildAttempt`] for a `cell_result` message.
+pub fn attempt_to_json(attempt: &ChildAttempt) -> JsonValue {
+    match attempt {
+        ChildAttempt::Ok(payload) => JsonValue::object([
+            ("kind", JsonValue::from("ok")),
+            ("payload", payload.clone()),
+        ]),
+        ChildAttempt::Err(e) => JsonValue::object([
+            ("kind", JsonValue::from("err")),
+            ("category", JsonValue::from(e.category.as_str())),
+            ("message", JsonValue::from(e.message.as_str())),
+        ]),
+        ChildAttempt::Crashed(msg) => JsonValue::object([
+            ("kind", JsonValue::from("crashed")),
+            ("message", JsonValue::from(msg.as_str())),
+        ]),
+        ChildAttempt::Hung => JsonValue::object([("kind", JsonValue::from("hung"))]),
+    }
+}
+
+/// Parses [`attempt_to_json`]'s form back.
+pub fn attempt_from_json(doc: &JsonValue) -> Option<ChildAttempt> {
+    match doc.get("kind")?.as_str()? {
+        "ok" => Some(ChildAttempt::Ok(doc.get("payload")?.clone())),
+        "err" => Some(ChildAttempt::Err(JobError::new(
+            doc.get("category")?.as_str()?,
+            doc.get("message")?.as_str()?,
+        ))),
+        "crashed" => Some(ChildAttempt::Crashed(
+            doc.get("message")?.as_str()?.to_owned(),
+        )),
+        "hung" => Some(ChildAttempt::Hung),
+        _ => None,
     }
 }
 
@@ -151,6 +415,7 @@ impl Submission {
     pub fn to_msg(&self) -> JsonValue {
         let mut fields = vec![
             ("kind".to_owned(), JsonValue::from("submit")),
+            ("protocol".to_owned(), JsonValue::from(PROTOCOL_VERSION)),
             (
                 "exe".to_owned(),
                 JsonValue::from(self.exe.to_string_lossy().into_owned()),
@@ -255,5 +520,117 @@ mod tests {
         let msg = sub.to_msg();
         assert!(msg.get("run_id").is_none());
         assert_eq!(Submission::from_msg(&msg), Some(sub));
+    }
+
+    #[test]
+    fn submission_carries_the_protocol_version() {
+        let msg = sample().to_msg();
+        assert_eq!(
+            msg.get("protocol").and_then(JsonValue::as_u64),
+            Some(PROTOCOL_VERSION)
+        );
+    }
+
+    #[test]
+    fn agent_hello_and_dispatch_round_trip() {
+        let hello = AgentHello {
+            protocol: PROTOCOL_VERSION,
+            binary: "deadbeefcafef00d".to_owned(),
+            version: "0.1.0".to_owned(),
+            slots: 4,
+            pid: 4242,
+        };
+        let msg = hello.to_msg();
+        assert_eq!(
+            msg.get("kind").and_then(JsonValue::as_str),
+            Some("agent_hello")
+        );
+        assert_eq!(AgentHello::from_msg(&msg), Some(hello));
+
+        let dispatch = Dispatch {
+            lease: 7,
+            exe: PathBuf::from("/usr/bin/cmpsim"),
+            key: "experiment=grid;workload=FIMI".to_owned(),
+            label: "FIMI".to_owned(),
+            args: vec!["__run-job".into(), "FIMI".into()],
+            timeout_ms: Some(30_000),
+        };
+        assert_eq!(Dispatch::from_msg(&dispatch.to_msg()), Some(dispatch));
+        let untimed = Dispatch {
+            timeout_ms: None,
+            ..Dispatch::from_msg(
+                &Dispatch {
+                    lease: 8,
+                    exe: PathBuf::from("/x"),
+                    key: "k=v".to_owned(),
+                    label: "L".to_owned(),
+                    args: vec![],
+                    timeout_ms: None,
+                }
+                .to_msg(),
+            )
+            .unwrap()
+        };
+        assert_eq!(untimed.timeout_ms, None);
+    }
+
+    #[test]
+    fn attempt_outcomes_round_trip() {
+        use cmpsim_runner::{ChildAttempt, JobError};
+        let cases = [
+            ChildAttempt::Ok(JsonValue::object([("mpki", JsonValue::F64(1.5))])),
+            ChildAttempt::Err(JobError::new("invariant", "llc drift")),
+            ChildAttempt::Crashed("signal: 9 (SIGKILL)".to_owned()),
+            ChildAttempt::Hung,
+        ];
+        for case in &cases {
+            let back = attempt_from_json(&attempt_to_json(case)).expect("round trip");
+            assert_eq!(
+                attempt_to_json(&back).to_json(),
+                attempt_to_json(case).to_json()
+            );
+        }
+        assert!(
+            attempt_from_json(&JsonValue::object([("kind", JsonValue::from("martian"))])).is_none()
+        );
+    }
+
+    #[test]
+    fn msg_reader_reassembles_split_frames() {
+        // A reader fed one byte at a time must still produce every
+        // message intact — this is the property that makes read
+        // deadlines safe (a timeout mid-frame loses nothing).
+        struct OneByte<'a>(&'a [u8]);
+        impl std::io::Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.0.split_first() {
+                    Some((&b, rest)) => {
+                        self.0 = rest;
+                        buf[0] = b;
+                        Ok(1)
+                    }
+                    None => Ok(0),
+                }
+            }
+        }
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &sample().to_msg()).unwrap();
+        write_msg(&mut wire, &JsonValue::object([("kind", "ping".into())])).unwrap();
+        let mut reader = MsgReader::new(OneByte(&wire));
+        let first = reader.next().unwrap().expect("first message");
+        assert_eq!(Submission::from_msg(&first), Some(sample()));
+        let second = reader.next().unwrap().expect("second message");
+        assert_eq!(second.get("kind").and_then(JsonValue::as_str), Some("ping"));
+        assert!(reader.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn msg_reader_flags_eof_mid_frame() {
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &sample().to_msg()).unwrap();
+        wire.pop(); // lose the trailing newline: a torn final frame
+        let mut reader = MsgReader::new(wire.as_slice());
+        let err = reader.next().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

@@ -1,0 +1,187 @@
+//! Property tests for the wire codec: torn, truncated, and bit-flipped
+//! frames must surface as clean protocol errors — never a panic, and
+//! never a silently different message.
+//!
+//! Same spirit as the chaos harness in `tests/chaos.rs`: a
+//! deterministic PCG32 drives the corruption, so every failure
+//! reproduces from its seed.
+
+use cmpsim_service::proto::{self, MsgReader};
+use cmpsim_telemetry::JsonValue;
+use cmpsim_trace::Pcg32;
+
+const ROUNDS: u64 = 300;
+
+/// A random but valid protocol-shaped message.
+fn random_msg(rng: &mut Pcg32) -> JsonValue {
+    let mut fields = vec![(
+        "kind".to_owned(),
+        JsonValue::from(match rng.next_u32() % 4 {
+            0 => "dispatch",
+            1 => "cell_result",
+            2 => "heartbeat",
+            _ => "job_done",
+        }),
+    )];
+    for i in 0..(rng.next_u32() % 6) {
+        let value = match rng.next_u32() % 4 {
+            0 => JsonValue::U64(rng.next_u64()),
+            1 => JsonValue::Bool(rng.next_u32().is_multiple_of(2)),
+            2 => JsonValue::from(random_text(rng)),
+            _ => JsonValue::Array(
+                (0..rng.next_u32() % 4)
+                    .map(|_| JsonValue::U64(rng.next_u64()))
+                    .collect(),
+            ),
+        };
+        fields.push((format!("f{i}"), value));
+    }
+    JsonValue::Object(fields)
+}
+
+/// Random text exercising escapes, separators, and multi-byte UTF-8.
+fn random_text(rng: &mut Pcg32) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '\n', '\t', '{', '}', ':', ',', 'µ', '→', '☃',
+    ];
+    (0..rng.next_u32() % 12)
+        .map(|_| ALPHABET[rng.next_u32() as usize % ALPHABET.len()])
+        .collect()
+}
+
+/// Frames `msgs` exactly as `write_msg` would.
+fn frame(msgs: &[JsonValue]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for msg in msgs {
+        proto::write_msg(&mut wire, msg).expect("Vec write cannot fail");
+    }
+    wire
+}
+
+/// Reads the stream to its end: the messages recovered before the
+/// first error, and whether an error stopped the read.
+fn drain(wire: &[u8]) -> (Vec<JsonValue>, Option<std::io::Error>) {
+    let mut reader = MsgReader::new(wire);
+    let mut out = Vec::new();
+    loop {
+        match reader.next() {
+            Ok(Some(msg)) => out.push(msg),
+            Ok(None) => return (out, None),
+            Err(e) => return (out, Some(e)),
+        }
+    }
+}
+
+#[test]
+fn intact_frames_round_trip() {
+    let mut rng = Pcg32::seed(0xC0DEC);
+    for round in 0..ROUNDS {
+        let msgs: Vec<JsonValue> = (0..1 + rng.next_u32() % 5)
+            .map(|_| random_msg(&mut rng))
+            .collect();
+        let (read, err) = drain(&frame(&msgs));
+        assert!(
+            err.is_none(),
+            "round {round}: clean stream errored: {err:?}"
+        );
+        let want: Vec<String> = msgs.iter().map(JsonValue::to_json).collect();
+        let got: Vec<String> = read.iter().map(JsonValue::to_json).collect();
+        assert_eq!(got, want, "round {round}: clean stream was altered");
+    }
+}
+
+#[test]
+fn truncated_streams_error_cleanly_never_panic() {
+    let mut rng = Pcg32::seed(0x7A0B5);
+    for round in 0..ROUNDS {
+        let msgs: Vec<JsonValue> = (0..1 + rng.next_u32() % 4)
+            .map(|_| random_msg(&mut rng))
+            .collect();
+        let wire = frame(&msgs);
+        let cut = rng.next_u64() as usize % wire.len();
+        let (read, err) = drain(&wire[..cut]);
+        // Whole frames before the cut survive verbatim; the torn tail
+        // is either absent (cut on a boundary) or a clean error.
+        assert!(read.len() <= msgs.len(), "round {round}: invented messages");
+        for (got, want) in read.iter().zip(&msgs) {
+            assert_eq!(
+                got.to_json(),
+                want.to_json(),
+                "round {round}: truncation altered an earlier frame"
+            );
+        }
+        if read.len() < msgs.len() && err.is_none() {
+            // A clean EOF is only legitimate when the cut removed
+            // trailing frames exactly at a newline boundary.
+            assert_eq!(
+                cut,
+                frame(&msgs[..read.len()]).len(),
+                "round {round}: mid-frame truncation passed silently (cut at {cut})"
+            );
+        }
+        if let Some(e) = err {
+            assert_eq!(
+                e.kind(),
+                std::io::ErrorKind::InvalidData,
+                "round {round}: torn frame surfaced as {e:?}, not a protocol error"
+            );
+        }
+    }
+}
+
+#[test]
+fn bit_flips_are_rejected_never_misread() {
+    let mut rng = Pcg32::seed(0xB17F11);
+    for round in 0..ROUNDS {
+        let msgs: Vec<JsonValue> = (0..1 + rng.next_u32() % 4)
+            .map(|_| random_msg(&mut rng))
+            .collect();
+        let mut wire = frame(&msgs);
+        let pos = rng.next_u64() as usize % wire.len();
+        let bit = 1u8 << (rng.next_u32() % 8);
+        wire[pos] ^= bit;
+        let (read, err) = drain(&wire);
+        // The checksum makes a silently *different* message impossible:
+        // every recovered message is byte-identical to an original, in
+        // order, and a recovery shortfall is always an explicit error.
+        assert!(read.len() <= msgs.len(), "round {round}: invented messages");
+        for (got, want) in read.iter().zip(&msgs) {
+            assert_eq!(
+                got.to_json(),
+                want.to_json(),
+                "round {round}: bit flip at {pos} produced a different message"
+            );
+        }
+        if read.len() < msgs.len() {
+            let e = err.unwrap_or_else(|| {
+                panic!("round {round}: flip at {pos} lost a frame with no error")
+            });
+            assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "round {round}");
+        }
+    }
+}
+
+#[test]
+fn spliced_and_garbage_frames_error_cleanly() {
+    let mut rng = Pcg32::seed(0x5711CE);
+    for _ in 0..ROUNDS {
+        let a = frame(&[random_msg(&mut rng)]);
+        let b = frame(&[random_msg(&mut rng)]);
+        // A torn write: the head of one frame, the tail of another.
+        let mut wire = a[..rng.next_u64() as usize % a.len()].to_vec();
+        wire.extend_from_slice(&b[b.len() - (rng.next_u64() as usize % b.len())..]);
+        wire.push(b'\n');
+        // Plus some outright garbage lines, including invalid UTF-8.
+        for _ in 0..rng.next_u32() % 3 {
+            wire.extend((0..rng.next_u32() % 24).map(|_| rng.next_u32() as u8));
+            wire.push(b'\n');
+        }
+        let mut reader = MsgReader::new(wire.as_slice());
+        for _ in 0..=wire.len() {
+            match reader.next() {
+                Ok(Some(_)) | Err(_) => {} // both are acceptable; no panic is the property
+                Ok(None) => break,
+            }
+        }
+    }
+}

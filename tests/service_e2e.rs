@@ -4,7 +4,11 @@
 //! a worker child is SIGKILL'd mid-sweep (the daemon's chaos hook) and
 //! when the client resumes a finished run through the daemon. Two
 //! concurrent clients with overlapping grids must execute each
-//! distinct cell exactly once between them.
+//! distinct cell exactly once between them. And with remote agents
+//! attached to an agents-only coordinator, SIGKILLing one agent
+//! mid-sweep must reclaim its leased cells onto the survivor with
+//! byte-identical output and exactly one `job_done` per cell in the
+//! journal.
 
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -189,6 +193,165 @@ fn submit_matches_local_grid_through_worker_crash_and_resume() {
     assert!(report_text.contains("run svc1"), "{report_text}");
     assert!(report_text.contains("cells: 3 done"), "{report_text}");
 
+    daemon.kill().expect("stop daemon");
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Starts a `cmpsim agent` dialing `addr`.
+fn start_agent(addr: &str, extra: &[&str]) -> Child {
+    cmpsim()
+        .args(["agent", "--connect", addr])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cmpsim agent")
+}
+
+/// One parsed `cmpsim status` reply.
+fn status_doc(addr: &str) -> cmpsim_telemetry::JsonValue {
+    let out = cmpsim()
+        .args(["status", "--connect", addr])
+        .output()
+        .expect("spawn cmpsim status");
+    assert!(
+        out.status.success(),
+        "status failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    cmpsim_telemetry::parse(&String::from_utf8_lossy(&out.stdout)).expect("parse status")
+}
+
+fn status_counter(doc: &cmpsim_telemetry::JsonValue, key: &str) -> u64 {
+    doc.get(key)
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("counter {key} missing: {}", doc.to_json()))
+}
+
+/// Polls `probe` until it yields, or panics after 120 s.
+fn wait_for<T>(what: &str, mut probe: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Some(v) = probe() {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn multi_agent_sweep_survives_sigkill_of_one_agent() {
+    let dir = temp_dir("service-agents");
+    const WORKLOADS: &str = "SNP,SVM-RFE,RSEARCH,FIMI,PLSA,MDS,SHOT,VIEWTYPE";
+    let baseline = local_grid(WORKLOADS, &dir.join("base.json"));
+
+    // An agents-only coordinator: every cell must travel to a remote
+    // agent — there are no local workers to fall back on.
+    let (mut daemon, addr) = start_daemon(
+        &dir,
+        &["--agents-only", "--heartbeat-ms", "300", "--retries", "2"],
+    );
+    let mut agent_a = start_agent(&addr, &["--slots", "2"]);
+    let mut agent_b = start_agent(&addr, &["--slots", "2"]);
+    wait_for("both agents to register", || {
+        (status_doc(&addr)
+            .get("agents")
+            .and_then(|a| a.as_array())
+            .map_or(0, <[cmpsim_telemetry::JsonValue]>::len)
+            == 2)
+            .then_some(())
+    });
+
+    let submit = submit_cmd(
+        &addr,
+        WORKLOADS,
+        &dir.join("sub.json"),
+        &["--run-id", "svcma"],
+    )
+    .stdout(Stdio::piped())
+    .stderr(Stdio::piped())
+    .spawn()
+    .expect("spawn background submit");
+
+    // Catch an agent holding leases mid-sweep and SIGKILL it — the
+    // busiest one, so the reclaim path has real work to do.
+    let victim_pid = wait_for("an agent to hold in-flight cells", || {
+        status_doc(&addr)
+            .get("agents")
+            .and_then(|a| a.as_array())
+            .and_then(|rows| {
+                rows.iter()
+                    .filter(|r| r.get("in_flight").and_then(|v| v.as_u64()).unwrap_or(0) > 0)
+                    .max_by_key(|r| r.get("in_flight").and_then(|v| v.as_u64()).unwrap_or(0))
+                    .and_then(|r| r.get("pid").and_then(|v| v.as_u64()))
+            })
+    });
+    let victim = if victim_pid == u64::from(agent_a.id()) {
+        &mut agent_a
+    } else {
+        assert_eq!(victim_pid, u64::from(agent_b.id()), "unknown agent pid");
+        &mut agent_b
+    };
+    victim.kill().expect("SIGKILL the busy agent");
+    let _ = victim.wait();
+
+    // The survivor absorbs the reclaimed cells and the run completes
+    // with byte-identical output to a local, single-process grid.
+    let submitted = submit.wait_with_output().expect("wait for submit");
+    assert!(
+        submitted.status.success(),
+        "submit through the agent fleet failed:\n{}",
+        String::from_utf8_lossy(&submitted.stderr)
+    );
+    assert_eq!(
+        baseline.stdout, submitted.stdout,
+        "fleet stdout differs from the local grid run"
+    );
+    assert_eq!(
+        read_doc(&dir.join("base.json")).get("results"),
+        read_doc(&dir.join("sub.json")).get("results"),
+        "fleet results JSON differs from the local grid run"
+    );
+
+    // The counters tell the story: two joined, one lost, its cells
+    // reclaimed, and nothing ran locally.
+    let counters = status_doc(&addr);
+    assert_eq!(status_counter(&counters, "agents_joined"), 2);
+    assert_eq!(status_counter(&counters, "agents_lost"), 1);
+    assert!(
+        status_counter(&counters, "cells_reclaimed") >= 1,
+        "the killed agent held no leases: {}",
+        counters.to_json()
+    );
+    assert_eq!(status_counter(&counters, "workers"), 0);
+
+    // The journal converged on exactly one job_done per cell — the
+    // dead agent's cells were re-run, not duplicated.
+    let journal = std::fs::read_to_string(dir.join("journal").join("svcma.jsonl"))
+        .expect("read the run journal");
+    let mut done_keys = std::collections::HashMap::<String, usize>::new();
+    for line in journal.lines() {
+        let rec = cmpsim_telemetry::parse(line).expect("parse journal line");
+        if rec.get_path(&["record", "kind"]).and_then(|k| k.as_str()) == Some("job_done") {
+            let key = rec
+                .get_path(&["record", "key"])
+                .and_then(|k| k.as_str())
+                .expect("job_done has a key")
+                .to_owned();
+            *done_keys.entry(key).or_default() += 1;
+        }
+    }
+    assert_eq!(done_keys.len(), 8, "one journal entry per distinct cell");
+    for (key, count) in &done_keys {
+        assert_eq!(*count, 1, "cell {key} journalled {count} job_done records");
+    }
+
+    let _ = agent_a.kill();
+    let _ = agent_b.kill();
+    let _ = agent_a.wait();
+    let _ = agent_b.wait();
     daemon.kill().expect("stop daemon");
     let _ = daemon.wait();
     let _ = std::fs::remove_dir_all(&dir);
