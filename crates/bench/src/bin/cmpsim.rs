@@ -82,9 +82,10 @@ fn main() {
                  serve  [--listen ADDR] [--workers N] [--agents-only] [--cache-dir DIR]\n\
                         [--no-cache] [--journal-dir DIR] [--retries N] [--job-timeout SECONDS]\n\
                         [--heartbeat-ms N] [--port-file FILE] [--chaos-kill-label LABEL]\n\
+                        [--chaos-crash-label LABEL]\n\
                  submit --connect ADDR <grid options>\n\
-                 status --connect ADDR\n\
-                 agent  --connect ADDR [--slots N] [--chaos-exit-label LABEL]"
+                 status --connect ADDR [--json]\n\
+                 agent  --connect ADDR [--slots N] [--chaos-exit-label LABEL] [--no-redial]"
             );
             2
         }
@@ -620,6 +621,7 @@ fn cmd_serve(args: &[String]) -> i32 {
                     cfg.job_timeout = Some(std::time::Duration::from_secs(secs));
                 }
                 "--chaos-kill-label" => cfg.chaos_kill_label = Some(val()?),
+                "--chaos-crash-label" => cfg.chaos_crash_label = Some(val()?),
                 "--heartbeat-ms" => {
                     let ms: u64 = val()?.parse().map_err(|_| "bad --heartbeat-ms")?;
                     if ms == 0 {
@@ -659,7 +661,8 @@ fn cmd_serve(args: &[String]) -> i32 {
 }
 
 /// `cmpsim status --connect ADDR`: print the daemon's lifetime
-/// counters as pretty JSON.
+/// counters as pretty JSON (or one machine-parsable line with
+/// `--json`, for scripts and CI assertions).
 fn cmd_status(args: &[String]) -> i32 {
     let cli = match parse(args) {
         Ok(c) => c,
@@ -670,7 +673,11 @@ fn cmd_status(args: &[String]) -> i32 {
     };
     match cmpsim_service::status(addr) {
         Ok(counters) => {
-            println!("{}", counters.to_json_pretty());
+            if cli.json {
+                println!("{}", counters.to_json());
+            } else {
+                println!("{}", counters.to_json_pretty());
+            }
             0
         }
         Err(e) => fail(&e),
@@ -679,8 +686,9 @@ fn cmd_status(args: &[String]) -> i32 {
 
 /// `cmpsim agent --connect ADDR`: a remote worker process. Dials the
 /// coordinator, registers over the versioned handshake, and executes
-/// dispatched cells under the process supervisor until drained or the
-/// coordinator is lost.
+/// dispatched cells under the process supervisor until drained,
+/// redialing a lost coordinator with capped backoff (unless
+/// `--no-redial`).
 fn cmd_agent(args: &[String]) -> i32 {
     let mut cfg = AgentConfig::default();
     let mut connect: Option<String> = None;
@@ -696,6 +704,9 @@ fn cmd_agent(args: &[String]) -> i32 {
                 "--connect" => connect = Some(val()?),
                 "--slots" => cfg.slots = val()?.parse().map_err(|_| "bad --slots")?,
                 "--chaos-exit-label" => cfg.chaos_exit_label = Some(val()?),
+                // Exit on the first lost coordinator instead of
+                // redialing — for scripts that manage the fleet.
+                "--no-redial" => cfg.redial = false,
                 other => return Err(format!("unknown option {other}")),
             }
             Ok(())

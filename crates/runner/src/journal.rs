@@ -35,6 +35,7 @@ use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Where a batch journals to, and whether it replays first.
@@ -73,24 +74,54 @@ impl JournalConfig {
     }
 }
 
+/// A per-process random nonce, minted once at first use.
+///
+/// Seeded from the wall-clock nanosecond counter, the pid, and a static's
+/// address (ASLR entropy), then mixed through the splitmix64 finalizer so
+/// every bit depends on every input bit. Two processes — including a
+/// restarted daemon that inherited its predecessor's pid — agree on this
+/// value only with negligible probability.
+pub fn process_nonce() -> u64 {
+    use std::sync::OnceLock;
+    static NONCE: OnceLock<u64> = OnceLock::new();
+    *NONCE.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        let aslr = &NONCE as *const _ as u64;
+        let mut x = nanos ^ (u64::from(std::process::id()) << 32) ^ aslr.rotate_left(17);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x
+    })
+}
+
 /// Mints a unique run id for `experiment`:
-/// `<experiment>-<unix-secs>-<pid>-<n>`.
+/// `<experiment>-<unix-secs>-<pid>-<nonce>-<n>`.
 ///
 /// The id is the journal file stem, so two runs minting the same id
 /// silently interleave their write-ahead logs. Wall-clock seconds alone
 /// collide for submissions in the same second; seconds+pid still
 /// collide for two submissions inside one process (a multi-client
-/// service coordinator, tests spawning concurrent sweeps). The trailing
-/// process-wide atomic counter makes the id unique per process, and the
-/// pid keeps it unique across concurrently running processes.
+/// service coordinator, tests spawning concurrent sweeps); and even
+/// seconds+pid+counter collide for a daemon restarted into a recycled
+/// pid within the same second — so a [`process_nonce`] component makes
+/// the id unique across process incarnations too. The trailing
+/// process-wide atomic counter makes it unique per process.
 pub fn fresh_run_id(experiment: &str) -> String {
-    use std::sync::atomic::{AtomicU64, Ordering};
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    format!("{experiment}-{secs}-{}-{n}", std::process::id())
+    format!(
+        "{experiment}-{secs}-{}-{:08x}-{n}",
+        std::process::id(),
+        process_nonce() as u32
+    )
 }
 
 /// What replaying a journal recovered.
@@ -104,6 +135,16 @@ pub struct JournalReplay {
     pub in_flight: HashSet<String>,
     /// Records whose checksum or framing failed; replay stopped there.
     pub torn: usize,
+    /// Highest record-stream sequence (`rseq`) among replayed
+    /// `job_done` records; appends resume numbering after it.
+    pub max_rseq: u64,
+    /// The journal saw a `run_end`: the run finished, nothing is
+    /// recoverable beyond the record of it.
+    pub ended: bool,
+    /// The raw body of the last `submission` record, if the writer
+    /// journalled one (the service coordinator does, so a restarted
+    /// daemon can rebuild the run without the client).
+    pub submission: Option<JsonValue>,
 }
 
 /// One cell's journalled terminal outcome.
@@ -115,6 +156,9 @@ pub struct ReplayedJob {
     pub outcome: JobOutcome,
     /// Execution attempts the original run spent.
     pub attempts: u32,
+    /// Record-stream sequence assigned when the outcome was journalled
+    /// (`0` for records written before rseq tracking existed).
+    pub rseq: u64,
 }
 
 /// The append side of the journal, shared across workers.
@@ -122,6 +166,13 @@ pub struct ReplayedJob {
 pub struct RunJournal {
     file: Mutex<File>,
     path: PathBuf,
+    /// The last record-stream sequence handed out by
+    /// [`job_done_tracked`](Self::job_done_tracked).
+    next_rseq: AtomicU64,
+    /// Appends that failed (disk full, I/O error). Non-zero means the
+    /// journal is an incomplete record of the run — still readable, no
+    /// longer trustworthy for resume.
+    append_failures: AtomicU64,
 }
 
 impl RunJournal {
@@ -150,12 +201,16 @@ impl RunJournal {
         // Resume: drop any torn final line so the next append starts a
         // fresh record instead of extending the scar. Fresh run: a
         // reused run id replaces its old journal outright.
-        file.set_len(valid_len)?;
+        if file.metadata()?.len() != valid_len {
+            file.set_len(valid_len)?;
+        }
         file.seek(SeekFrom::End(0))?;
         Ok((
             RunJournal {
                 file: Mutex::new(file),
                 path,
+                next_rseq: AtomicU64::new(replay.max_rseq),
+                append_failures: AtomicU64::new(0),
             },
             replay,
         ))
@@ -172,14 +227,39 @@ impl RunJournal {
         let mut line = doc.to_json();
         line.push('\n');
         let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-        // A failed append degrades durability, not correctness: warn and
-        // keep running (the batch itself is unaffected).
+        // A failed append degrades durability, not correctness: warn,
+        // count it, and keep running (the batch itself is unaffected) —
+        // callers check `degraded()` to downgrade the run to
+        // non-resumable instead of aborting.
         if let Err(e) = file
             .write_all(line.as_bytes())
             .and_then(|()| file.sync_data())
         {
-            eprintln!("warning: journal append failed: {e}");
+            self.append_failures.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "warning: journal append failed ({}): {e}",
+                self.path.display()
+            );
         }
+    }
+
+    /// Appends an arbitrary extra record (e.g. the service
+    /// coordinator's `submission` record). Replay surfaces unknown
+    /// kinds it cares about and ignores the rest, so writers may extend
+    /// the journal without breaking older readers.
+    pub fn append_record(&self, body: JsonValue) {
+        self.append(body);
+    }
+
+    /// `true` once any append has failed: the journal no longer holds a
+    /// complete record of the run and must not be trusted for resume.
+    pub fn degraded(&self) -> bool {
+        self.append_failures.load(Ordering::Relaxed) > 0
+    }
+
+    /// How many appends have failed so far.
+    pub fn append_failures(&self) -> u64 {
+        self.append_failures.load(Ordering::Relaxed)
     }
 
     /// Records the batch header.
@@ -219,6 +299,36 @@ impl RunJournal {
             ("attempts", JsonValue::from(u64::from(attempts))),
             ("outcome", outcome.to_json()),
         ]));
+    }
+
+    /// Like [`job_done`](Self::job_done), but stamps the record with
+    /// the next record-stream sequence (`rseq`) and returns it.
+    ///
+    /// `rseq` totally orders a run's `job_done` records, which is what
+    /// lets a disconnected client reattach with "give me everything
+    /// after N". Callers that stream records to a client must serialize
+    /// this call with the send (the coordinator holds a per-run emit
+    /// lock), so the rseq order, the journal order, and the wire order
+    /// all agree.
+    pub fn job_done_tracked(
+        &self,
+        seq: usize,
+        key: &str,
+        label: &str,
+        outcome: &JobOutcome,
+        attempts: u32,
+    ) -> u64 {
+        let rseq = self.next_rseq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.append(JsonValue::object([
+            ("kind", JsonValue::from("job_done")),
+            ("rseq", JsonValue::from(rseq)),
+            ("seq", JsonValue::from(seq)),
+            ("key", JsonValue::from(key)),
+            ("label", JsonValue::from(label)),
+            ("attempts", JsonValue::from(u64::from(attempts))),
+            ("outcome", outcome.to_json()),
+        ]));
+        rseq
     }
 
     /// Records a graceful shutdown: `done` cells finished, `skipped`
@@ -278,6 +388,8 @@ fn apply_record(replay: &mut JournalReplay, rec: &JsonValue) {
             let Some(outcome) = rec.get("outcome").and_then(JobOutcome::from_json) else {
                 return;
             };
+            let rseq = rec.get("rseq").and_then(JsonValue::as_u64).unwrap_or(0);
+            replay.max_rseq = replay.max_rseq.max(rseq);
             replay.in_flight.remove(key);
             replay.completed.insert(
                 key.to_owned(),
@@ -289,9 +401,12 @@ fn apply_record(replay: &mut JournalReplay, rec: &JsonValue) {
                         .to_owned(),
                     outcome,
                     attempts: rec.get("attempts").and_then(JsonValue::as_u64).unwrap_or(0) as u32,
+                    rseq,
                 },
             );
         }
+        ("submission", _) => replay.submission = Some(rec.clone()),
+        ("run_end", _) => replay.ended = true,
         _ => {}
     }
 }
@@ -392,6 +507,75 @@ mod tests {
         assert_eq!(replay.torn, 0);
         assert!(replay.in_flight.contains("k1"));
         let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn tracked_job_dones_number_the_record_stream_across_reopens() {
+        let cfg = temp_cfg("rseq");
+        let (j, _) = RunJournal::open(&cfg).unwrap();
+        j.append_record(JsonValue::object([
+            ("kind", JsonValue::from("submission")),
+            ("exe", JsonValue::from("/bin/echo")),
+        ]));
+        assert_eq!(
+            j.job_done_tracked(0, "k0", "A", &JobOutcome::Ok(JsonValue::U64(1)), 1),
+            1
+        );
+        assert_eq!(
+            j.job_done_tracked(1, "k1", "B", &JobOutcome::Ok(JsonValue::U64(2)), 1),
+            2
+        );
+        drop(j);
+
+        let (j, replay) = RunJournal::open(&cfg.clone().resuming()).unwrap();
+        assert_eq!(replay.max_rseq, 2);
+        assert_eq!(replay.completed["k0"].rseq, 1);
+        assert_eq!(replay.completed["k1"].rseq, 2);
+        assert!(!replay.ended, "no run_end journalled yet");
+        let sub = replay
+            .submission
+            .expect("submission record survives replay");
+        assert_eq!(
+            sub.get("exe").and_then(JsonValue::as_str),
+            Some("/bin/echo")
+        );
+        // Numbering resumes after the replayed maximum — a restarted
+        // coordinator never reissues an rseq.
+        assert_eq!(
+            j.job_done_tracked(2, "k2", "C", &JobOutcome::Ok(JsonValue::U64(3)), 1),
+            3
+        );
+        j.run_end(3, 0, 0);
+        drop(j);
+        let (_, replay) = RunJournal::open(&cfg.clone().resuming()).unwrap();
+        assert!(replay.ended);
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn append_failure_degrades_the_journal_without_panicking() {
+        // `/dev/full` fails every write with ENOSPC — the disk-full
+        // case the daemon must survive.
+        let Ok(file) = OpenOptions::new().write(true).open("/dev/full") else {
+            return; // environment without /dev/full: nothing to test
+        };
+        let j = RunJournal {
+            file: Mutex::new(file),
+            path: PathBuf::from("/dev/full"),
+            next_rseq: AtomicU64::new(0),
+            append_failures: AtomicU64::new(0),
+        };
+        assert!(!j.degraded());
+        j.job_start(0, "k0", "A");
+        // rseq numbering still advances: the in-memory stream stays
+        // coherent even when durability is gone.
+        assert_eq!(
+            j.job_done_tracked(0, "k0", "A", &JobOutcome::Ok(JsonValue::Null), 1),
+            1
+        );
+        assert!(j.degraded(), "failed appends must mark the journal");
+        assert_eq!(j.append_failures(), 2);
     }
 
     #[test]

@@ -69,7 +69,9 @@ pub mod supervisor;
 pub use backoff::{BackoffPolicy, FailureClass};
 pub use cache::ResultCache;
 pub use hash::{file_fingerprint, JobKey};
-pub use journal::{fresh_run_id, JournalConfig, JournalReplay, ReplayedJob, RunJournal};
+pub use journal::{
+    fresh_run_id, process_nonce, JournalConfig, JournalReplay, ReplayedJob, RunJournal,
+};
 pub use pool::{
     ExperimentJob, IsolateMode, JobError, JobOutcome, JobReport, RunReport, Runner, RunnerConfig,
 };

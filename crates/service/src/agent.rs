@@ -25,8 +25,18 @@
 //!
 //! On `drain` the agent stops accepting work, finishes in-flight
 //! cells, and exits cleanly. On a lost coordinator (EOF or three
-//! silent heartbeat intervals) it exits with an error; in-flight work
-//! is moot — the coordinator has already reclaimed the leases.
+//! silent heartbeat intervals) it finishes its in-flight cells, stashes
+//! any results it could not ship, and **redials** on a capped
+//! exponential backoff (250 ms doubling to 10 s) — the fleet needs no
+//! operator action across a coordinator restart. After the new
+//! welcome it re-reports the stashed results; their old-incarnation
+//! lease ids miss the new lease table, so the coordinator settles them
+//! as `stale_results` while its own journal replay / re-execution
+//! converges on exactly one `job_done` per cell. Only a *structured
+//! rejection* (protocol or binary mismatch) is fatal: redialing cannot
+//! fix a wrong build. `redial: false` restores the old
+//! exit-on-first-loss behavior for scripts that manage the fleet
+//! themselves.
 
 use crate::proto::{self, AgentHello, Dispatch, MsgReader, PROTOCOL_VERSION};
 use cmpsim_runner::{file_fingerprint, run_program, ChildAttempt, ShutdownFlag};
@@ -47,6 +57,13 @@ const HANDSHAKE_READ_TIMEOUT: Duration = Duration::from_secs(30);
 /// Dial timeout.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// First redial delay after a lost coordinator; doubles per failed
+/// attempt up to [`REDIAL_CAP`].
+const REDIAL_BASE: Duration = Duration::from_millis(250);
+
+/// Ceiling on the redial backoff.
+const REDIAL_CAP: Duration = Duration::from_secs(10);
+
 /// How an agent runs.
 #[derive(Debug, Clone)]
 pub struct AgentConfig {
@@ -60,6 +77,10 @@ pub struct AgentConfig {
     pub chaos_exit_label: Option<String>,
     /// Graceful-shutdown flag (SIGINT/SIGTERM).
     pub shutdown: Option<ShutdownFlag>,
+    /// Redial a lost coordinator (capped exponential backoff) instead
+    /// of exiting with an error. Structured rejections — version or
+    /// binary mismatch — are always fatal regardless.
+    pub redial: bool,
 }
 
 impl Default for AgentConfig {
@@ -69,6 +90,7 @@ impl Default for AgentConfig {
             slots: 0,
             chaos_exit_label: None,
             shutdown: None,
+            redial: true,
         }
     }
 }
@@ -83,7 +105,7 @@ pub struct AgentReport {
 }
 
 /// Shared between the main reader, the heartbeat thread, and job
-/// threads.
+/// threads — one per dialed session.
 struct AgentState {
     /// Lease ids currently held — the heartbeat renews exactly these.
     leases: Mutex<HashSet<u64>>,
@@ -91,6 +113,12 @@ struct AgentState {
     writer: Mutex<TcpStream>,
     done: AtomicU64,
     stop: AtomicBool,
+    /// Set when the reader declares the coordinator lost: in-flight
+    /// jobs stash their results instead of writing to a dead socket.
+    dead: AtomicBool,
+    /// Results that could not be shipped — carried *across* sessions
+    /// and re-reported after the next welcome.
+    unsent: Arc<Mutex<Vec<JsonValue>>>,
 }
 
 fn fail(context: &str, detail: impl std::fmt::Display) -> String {
@@ -135,19 +163,61 @@ fn run_dispatch(state: &AgentState, d: &Dispatch) {
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .remove(&d.lease);
-    if send(state, &msg).is_ok() {
+    if !state.dead.load(Ordering::Acquire) && send(state, &msg).is_ok() {
         state.done.fetch_add(1, Ordering::Relaxed);
+    } else {
+        // Coordinator gone mid-cell: keep the result and re-report it
+        // on the next session (it resolves as stale there, but costs
+        // nothing and closes the race where the lease still lives).
+        state
+            .unsent
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(msg);
     }
 }
 
-/// Dials the coordinator and works until drained, shut down, or the
-/// coordinator is lost.
+/// How one dialed session ended.
+enum SessionEnd {
+    /// The coordinator drained us (or shutdown was requested): done.
+    Drained,
+    /// The coordinator vanished mid-session; redial may help.
+    Lost(String),
+}
+
+/// One session's accounting.
+struct SessionReport {
+    agent_id: u64,
+    cells_done: u64,
+    end: SessionEnd,
+}
+
+/// Why a session never got going.
+enum SessionErr {
+    /// A deliberate, structured refusal (protocol/binary mismatch) —
+    /// redialing cannot fix a wrong build.
+    Fatal(String),
+    /// Connect/handshake plumbing failed; the coordinator may simply
+    /// not be back yet.
+    Connect(String),
+}
+
+/// The redial delay after `step` consecutive failures: capped
+/// exponential, 250 ms → 10 s.
+fn redial_delay(step: u32) -> Duration {
+    REDIAL_BASE
+        .saturating_mul(1u32 << step.min(8))
+        .min(REDIAL_CAP)
+}
+
+/// Dials the coordinator and works until drained or shut down,
+/// redialing across coordinator restarts (unless `cfg.redial` is off).
 ///
 /// # Errors
 ///
-/// A human-readable message on connect/handshake failures (including a
-/// structured rejection — version or binary mismatch) or a coordinator
-/// lost mid-session.
+/// A human-readable message on a structured rejection (version or
+/// binary mismatch — never retried), or, with `redial: false`, on the
+/// first connect failure or lost coordinator.
 pub fn run_agent(cfg: &AgentConfig) -> Result<AgentReport, String> {
     let own_exe = std::env::current_exe().map_err(|e| fail("cannot locate own executable", e))?;
     let binary = file_fingerprint(&own_exe).map_err(|e| fail("cannot hash own executable", e))?;
@@ -157,41 +227,109 @@ pub fn run_agent(cfg: &AgentConfig) -> Result<AgentReport, String> {
         cfg.slots
     };
 
+    let unsent: Arc<Mutex<Vec<JsonValue>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut total_done = 0u64;
+    let mut last_agent_id = 0u64;
+    let mut backoff_step = 0u32;
+    loop {
+        if cfg.shutdown.as_ref().is_some_and(ShutdownFlag::requested) {
+            return Ok(AgentReport {
+                agent_id: last_agent_id,
+                cells_done: total_done,
+            });
+        }
+        let detail = match run_session(cfg, &binary, slots, &unsent) {
+            Ok(session) => {
+                last_agent_id = session.agent_id;
+                total_done += session.cells_done;
+                match session.end {
+                    SessionEnd::Drained => {
+                        return Ok(AgentReport {
+                            agent_id: last_agent_id,
+                            cells_done: total_done,
+                        });
+                    }
+                    // A welcomed session proves the address and build
+                    // are right: restart the backoff clock.
+                    SessionEnd::Lost(detail) => {
+                        backoff_step = 0;
+                        detail
+                    }
+                }
+            }
+            Err(SessionErr::Fatal(msg)) => return Err(msg),
+            Err(SessionErr::Connect(msg)) => msg,
+        };
+        if !cfg.redial {
+            return Err(detail);
+        }
+        let delay = redial_delay(backoff_step);
+        backoff_step = backoff_step.saturating_add(1);
+        eprintln!(
+            "cmpsim agent: {detail}; redialing in {} ms",
+            delay.as_millis()
+        );
+        // Sleep in small slices so SIGTERM still exits promptly.
+        let until = Instant::now() + delay;
+        while Instant::now() < until {
+            if cfg.shutdown.as_ref().is_some_and(ShutdownFlag::requested) {
+                return Ok(AgentReport {
+                    agent_id: last_agent_id,
+                    cells_done: total_done,
+                });
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+/// One dial-to-disconnect session against the coordinator.
+fn run_session(
+    cfg: &AgentConfig,
+    binary: &str,
+    slots: usize,
+    unsent: &Arc<Mutex<Vec<JsonValue>>>,
+) -> Result<SessionReport, SessionErr> {
     let addr = cfg
         .connect
         .to_socket_addrs()
-        .map_err(|e| fail(&format!("cannot resolve {}", cfg.connect), e))?
+        .map_err(|e| SessionErr::Connect(fail(&format!("cannot resolve {}", cfg.connect), e)))?
         .next()
-        .ok_or_else(|| format!("{} resolves to no address", cfg.connect))?;
+        .ok_or_else(|| SessionErr::Connect(format!("{} resolves to no address", cfg.connect)))?;
     let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)
-        .map_err(|e| fail(&format!("cannot connect to {}", cfg.connect), e))?;
+        .map_err(|e| SessionErr::Connect(fail(&format!("cannot connect to {}", cfg.connect), e)))?;
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let _ = stream.set_read_timeout(Some(HANDSHAKE_READ_TIMEOUT));
     let mut reader = MsgReader::new(
         stream
             .try_clone()
-            .map_err(|e| fail("cannot clone socket", e))?,
+            .map_err(|e| SessionErr::Connect(fail("cannot clone socket", e)))?,
     );
     let writer = stream
         .try_clone()
-        .map_err(|e| fail("cannot clone socket", e))?;
+        .map_err(|e| SessionErr::Connect(fail("cannot clone socket", e)))?;
 
     let hello = AgentHello {
         protocol: PROTOCOL_VERSION,
-        binary,
+        binary: binary.to_owned(),
         version: env!("CARGO_PKG_VERSION").to_owned(),
         slots,
         pid: std::process::id(),
     };
     {
         let mut s = &stream;
-        proto::write_msg(&mut s, &hello.to_msg()).map_err(|e| fail("cannot send hello", e))?;
+        proto::write_msg(&mut s, &hello.to_msg())
+            .map_err(|e| SessionErr::Connect(fail("cannot send hello", e)))?;
     }
     let welcome = match reader.next() {
         Ok(Some(msg)) => msg,
-        Ok(None) => return Err("coordinator closed the connection during handshake".to_owned()),
-        Err(e) => return Err(fail("handshake read failed", e)),
+        Ok(None) => {
+            return Err(SessionErr::Connect(
+                "coordinator closed the connection during handshake".to_owned(),
+            ));
+        }
+        Err(e) => return Err(SessionErr::Connect(fail("handshake read failed", e))),
     };
     match welcome.get("kind").and_then(JsonValue::as_str) {
         Some("agent_welcome") => {}
@@ -200,14 +338,21 @@ pub fn run_agent(cfg: &AgentConfig) -> Result<AgentReport, String> {
                 .get("message")
                 .and_then(JsonValue::as_str)
                 .unwrap_or("unspecified");
-            return Err(fail("coordinator rejected this agent", detail));
+            return Err(SessionErr::Fatal(fail(
+                "coordinator rejected this agent",
+                detail,
+            )));
         }
-        other => return Err(format!("unexpected handshake reply kind {other:?}")),
+        other => {
+            return Err(SessionErr::Fatal(format!(
+                "unexpected handshake reply kind {other:?}"
+            )));
+        }
     }
     let agent_id = welcome
         .get("agent_id")
         .and_then(JsonValue::as_u64)
-        .ok_or("agent_welcome lacks an agent_id")?;
+        .ok_or_else(|| SessionErr::Fatal("agent_welcome lacks an agent_id".to_owned()))?;
     let heartbeat = Duration::from_millis(
         welcome
             .get("heartbeat_ms")
@@ -224,7 +369,41 @@ pub fn run_agent(cfg: &AgentConfig) -> Result<AgentReport, String> {
         writer: Mutex::new(writer),
         done: AtomicU64::new(0),
         stop: AtomicBool::new(false),
+        dead: AtomicBool::new(false),
+        unsent: Arc::clone(unsent),
     });
+
+    // Re-report results finished during a previous session's outage.
+    // Their lease ids belong to a dead incarnation, so the coordinator
+    // settles them through its lease table (usually as stale results)
+    // — idempotent either way, and it closes the window where the old
+    // lease still lives on a restarted-in-place coordinator.
+    {
+        let stash: Vec<JsonValue> =
+            std::mem::take(&mut *state.unsent.lock().unwrap_or_else(|e| e.into_inner()));
+        if !stash.is_empty() {
+            eprintln!(
+                "cmpsim agent: re-reporting {} result(s) held across the outage",
+                stash.len()
+            );
+        }
+        for (i, msg) in stash.iter().enumerate() {
+            if send(&state, msg).is_err() {
+                // Lost again already: keep the remainder for next time.
+                state
+                    .unsent
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(stash[i..].iter().cloned());
+                return Ok(SessionReport {
+                    agent_id,
+                    cells_done: 0,
+                    end: SessionEnd::Lost("coordinator lost during re-report".to_owned()),
+                });
+            }
+            state.done.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 
     let beater = {
         let state = Arc::clone(&state);
@@ -253,7 +432,7 @@ pub fn run_agent(cfg: &AgentConfig) -> Result<AgentReport, String> {
     let outcome = std::thread::scope(|s| {
         let mut last_rx = Instant::now();
         let mut draining = false;
-        loop {
+        let result = loop {
             if cfg.shutdown.as_ref().is_some_and(ShutdownFlag::requested) {
                 break Ok(());
             }
@@ -305,20 +484,33 @@ pub fn run_agent(cfg: &AgentConfig) -> Result<AgentReport, String> {
                 }
                 Err(e) => break Err(fail("read from coordinator failed", e)),
             }
+        };
+        if result.is_err() {
+            // Declare the session dead *before* the scope joins the
+            // job threads, so cells still finishing stash their
+            // results for the next session instead of writing into a
+            // dead socket (where the write can falsely succeed).
+            state.dead.store(true, Ordering::Release);
+            let w = state.writer.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = w.shutdown(std::net::Shutdown::Both);
         }
-        .map(|()| draining)
+        result.map(|()| draining)
     });
     // The scope already joined all job threads, so every accepted cell
-    // has shipped its result (drain) or is moot (lost coordinator).
+    // has shipped its result (drain) or stashed it (lost coordinator).
     state.stop.store(true, Ordering::Release);
     {
         let w = state.writer.lock().unwrap_or_else(|e| e.into_inner());
         let _ = w.shutdown(std::net::Shutdown::Both);
     }
     let _ = beater.join();
-    outcome?;
-    Ok(AgentReport {
+    let end = match outcome {
+        Ok(_drained) => SessionEnd::Drained,
+        Err(detail) => SessionEnd::Lost(detail),
+    };
+    Ok(SessionReport {
         agent_id,
         cells_done: state.done.load(Ordering::Relaxed),
+        end,
     })
 }

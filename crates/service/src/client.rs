@@ -11,8 +11,19 @@
 //! reads at 60 s — the coordinator pings live runs on its heartbeat
 //! cadence, so a minute of silence means the daemon is wedged or gone,
 //! not merely busy with a long cell.
+//!
+//! A connection lost mid-run does not fail the sweep: every `job_done`
+//! carries a per-run record sequence (`rseq`), the client remembers the
+//! highest one it has applied, and on loss it **reattaches** — redials
+//! (with backoff, up to a ~60 s budget, riding out a coordinator
+//! restart) and sends `attach {run_id, after_seq}`; the coordinator
+//! replays the records the client missed from its journal and splices
+//! the connection back into the live stream. Replayed and live records
+//! fill the same seq-indexed slots, so the reassembled report — and
+//! therefore stdout and the results JSON — is byte-identical to an
+//! uninterrupted run.
 
-use crate::proto::{self, MsgReader, Submission, PROTOCOL_VERSION};
+use crate::proto::{self, Attach, MsgReader, Submission, PROTOCOL_VERSION};
 use cmpsim_runner::{JobOutcome, JobReport, RunReport};
 use cmpsim_telemetry::JsonValue;
 use std::net::TcpStream;
@@ -25,6 +36,10 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 /// pings arrive every heartbeat interval (seconds), so this only trips
 /// when the daemon is actually unresponsive.
 const READ_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Total time the client keeps trying to reattach after losing its
+/// connection — generous enough to ride out a daemon restart.
+const REATTACH_BUDGET: Duration = Duration::from_secs(60);
 
 /// What a finished submission came back with.
 #[derive(Debug)]
@@ -119,17 +134,78 @@ pub fn submit(addr: &str, sub: &Submission) -> Result<SubmitOutcome, String> {
         .unwrap_or(0) as usize;
 
     let mut jobs: Vec<Option<JobReport>> = (0..sub.cells.len()).map(|_| None).collect();
+    let mut max_rseq = 0u64;
     loop {
-        let msg = next_msg(&mut reader)?;
+        match stream_records(&mut reader, sub, &mut jobs, &mut max_rseq)? {
+            StreamEnd::Ended => break,
+            StreamEnd::Lost(detail) => {
+                eprintln!("cmpsim submit: {detail}; reattaching to run {run_id}");
+                reader = reattach(addr, &run_id, max_rseq)?;
+            }
+        }
+    }
+
+    let jobs = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(seq, j)| j.ok_or_else(|| format!("run ended without a result for seq {seq}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SubmitOutcome {
+        report: RunReport {
+            jobs,
+            workers,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            interrupted: false,
+            run_id: Some(run_id.clone()),
+            recovered,
+        },
+        run_id,
+    })
+}
+
+/// How one streaming stint over a connection ended.
+enum StreamEnd {
+    /// The coordinator sent `run_end`.
+    Ended,
+    /// The connection died (EOF, deadline, reset); reattach may resume.
+    Lost(String),
+}
+
+/// Applies `job_done` records from the current connection until
+/// `run_end` or the connection dies. Records the client has already
+/// applied (a replay overlapping a live record) are skipped, and
+/// `max_rseq` tracks the reattach watermark.
+///
+/// `Err` means the *stream content* was malformed — reattaching cannot
+/// fix that; a dead connection is `Ok(StreamEnd::Lost)`.
+fn stream_records(
+    reader: &mut MsgReader<TcpStream>,
+    sub: &Submission,
+    jobs: &mut [Option<JobReport>],
+    max_rseq: &mut u64,
+) -> Result<StreamEnd, String> {
+    loop {
+        let msg = match next_msg(reader) {
+            Ok(msg) => msg,
+            Err(detail) => return Ok(StreamEnd::Lost(detail)),
+        };
         match msg.get("kind").and_then(JsonValue::as_str) {
             Some("job_done") => {
                 let seq = msg
                     .get("seq")
                     .and_then(JsonValue::as_u64)
                     .ok_or("job_done message lacks a seq")? as usize;
+                if let Some(rseq) = msg.get("rseq").and_then(JsonValue::as_u64) {
+                    *max_rseq = (*max_rseq).max(rseq);
+                }
                 let slot = jobs
                     .get_mut(seq)
                     .ok_or_else(|| format!("job_done for unknown seq {seq}"))?;
+                if slot.is_some() {
+                    // Already applied before the connection dropped;
+                    // the replay is allowed to overlap.
+                    continue;
+                }
                 let outcome = msg
                     .get("outcome")
                     .and_then(JobOutcome::from_json)
@@ -150,27 +226,84 @@ pub fn submit(addr: &str, sub: &Submission) -> Result<SubmitOutcome, String> {
                     backoff_ms: 0.0,
                 });
             }
-            Some("run_end") => break,
+            Some("run_end") => return Ok(StreamEnd::Ended),
             other => return Err(format!("unexpected message kind {other:?} mid-run")),
         }
     }
+}
 
-    let jobs = jobs
-        .into_iter()
-        .enumerate()
-        .map(|(seq, j)| j.ok_or_else(|| format!("run ended without a result for seq {seq}")))
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(SubmitOutcome {
-        report: RunReport {
-            jobs,
-            workers,
-            wall_ms: start.elapsed().as_secs_f64() * 1e3,
-            interrupted: false,
-            run_id: Some(run_id.clone()),
-            recovered,
-        },
-        run_id,
-    })
+/// Why one attach attempt did not stick.
+enum AttachErr {
+    /// The coordinator answered and said no (unknown or degraded run).
+    Fatal(String),
+    /// Plumbing — connect refused, EOF, deadline; the daemon may still
+    /// be restarting.
+    Retry(String),
+}
+
+/// One attach round-trip: connect, send `attach`, wait for `attached`.
+fn try_attach(addr: &str, run_id: &str, after_seq: u64) -> Result<MsgReader<TcpStream>, AttachErr> {
+    let (mut stream, mut reader) = connect(addr).map_err(AttachErr::Retry)?;
+    let attach = Attach {
+        run_id: run_id.to_owned(),
+        after_seq,
+    };
+    proto::write_msg(&mut stream, &attach.to_msg())
+        .map_err(|e| AttachErr::Retry(fail("cannot send the attach request", e)))?;
+    loop {
+        match reader.next() {
+            Ok(Some(msg)) => match msg.get("kind").and_then(JsonValue::as_str) {
+                Some("ping") => continue,
+                Some("attached") => return Ok(reader),
+                Some("error") => {
+                    let detail = msg
+                        .get("message")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("unspecified");
+                    return Err(AttachErr::Fatal(fail(
+                        "coordinator refused the reattach",
+                        detail,
+                    )));
+                }
+                other => {
+                    return Err(AttachErr::Fatal(format!(
+                        "unexpected attach reply kind {other:?}"
+                    )));
+                }
+            },
+            Ok(None) => {
+                return Err(AttachErr::Retry(
+                    "connection closed during reattach".to_owned(),
+                ));
+            }
+            Err(e) => return Err(AttachErr::Retry(fail("reattach read failed", e))),
+        }
+    }
+}
+
+/// Reattaches to a run with capped-backoff retries inside
+/// [`REATTACH_BUDGET`], returning the reader positioned after the
+/// `attached` reply (the missed-record replay follows on it).
+fn reattach(addr: &str, run_id: &str, after_seq: u64) -> Result<MsgReader<TcpStream>, String> {
+    let deadline = Instant::now() + REATTACH_BUDGET;
+    let mut delay = Duration::from_millis(250);
+    loop {
+        match try_attach(addr, run_id, after_seq) {
+            Ok(reader) => return Ok(reader),
+            Err(AttachErr::Fatal(detail)) => return Err(detail),
+            Err(AttachErr::Retry(detail)) => {
+                if Instant::now() + delay > deadline {
+                    return Err(format!(
+                        "cannot reattach to run {run_id} within {}s: {detail} \
+                         (the run continues server-side; `--resume` collects it)",
+                        REATTACH_BUDGET.as_secs()
+                    ));
+                }
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_secs(2));
+            }
+        }
+    }
 }
 
 /// Asks a coordinator for its lifetime counters and fleet listing (the

@@ -39,19 +39,40 @@
 //! quarantined as `poisoned` when the budget runs out — the cell
 //! re-shards transparently; the client just sees one `job_done`. A
 //! client that disconnects mid-sweep stops receiving records, but the
-//! run finishes and journals server-side, so `--resume` replays it. A
-//! coordinator crash leaves the journal; resubmitting with `resume`
-//! replays completed cells and re-executes in-flight ones.
+//! run finishes and journals server-side, so `--resume` (or `attach`)
+//! replays it.
+//!
+//! **Restart recovery**: a coordinator that dies mid-sweep leaves each
+//! run's write-ahead journal behind. On the next `cmpsim serve`
+//! startup, [`recover_runs`] scans the journal directory and rebuilds
+//! every unfinished run from its journalled `submission` record:
+//! completed cells are tallied from their `job_done` records, dangling
+//! in-flight and never-started cells re-enter the scheduler under the
+//! ordinary backoff/poison budget, and the run executes to completion
+//! with no client action. Every `job_done` carries a per-run monotone
+//! record sequence (`rseq`, minted by the journal under the run's emit
+//! lock so journal order == wire order); a client that lost its
+//! coordinator reattaches with `attach {run_id, after_seq}` and the
+//! coordinator replays the records it missed straight from the journal
+//! before splicing it into the live stream. The listener binds with
+//! `SO_REUSEADDR`, so the restarted daemon can take the same address
+//! while the old incarnation's sockets drain in `TIME_WAIT`.
+//!
+//! **Degradation**: if journal appends start failing (disk full, dir
+//! deleted), the run keeps executing but is marked *degraded* — it
+//! finishes, warns, bumps `runs_degraded`, and its journal file is
+//! removed so a later boot will not recover from a lying journal;
+//! reattach and `--resume` are refused for it.
 //!
 //! Every socket carries read/write deadlines, so a hung or half-open
 //! peer can never wedge the accept loop, a worker, or an agent session
 //! indefinitely.
 
-use crate::proto::{self, AgentHello, CellSpec, Dispatch, Submission, PROTOCOL_VERSION};
+use crate::proto::{self, AgentHello, Attach, CellSpec, Dispatch, Submission, PROTOCOL_VERSION};
 use cmpsim_runner::{
-    file_fingerprint, fresh_run_id, run_program, run_program_sabotaged, BackoffPolicy,
-    ChildAttempt, FailureClass, JobKey, JobOutcome, JournalConfig, ResultCache, RunJournal,
-    ShutdownFlag,
+    file_fingerprint, fresh_run_id, process_nonce, record, run_program, run_program_sabotaged,
+    BackoffPolicy, ChildAttempt, FailureClass, JobKey, JobOutcome, JournalConfig, ResultCache,
+    RunJournal, ShutdownFlag,
 };
 use cmpsim_telemetry::trace::{self as ftrace, FlightRecorder, Lane};
 use cmpsim_telemetry::JsonValue;
@@ -101,6 +122,11 @@ pub struct ServeConfig {
     /// this label (once per daemon lifetime), so tests and CI exercise
     /// the genuine crash/re-shard path.
     pub chaos_kill_label: Option<String>,
+    /// Chaos hook: abort the *whole daemon* the first time a cell with
+    /// this label is claimed — after its `job_start` is journalled, so
+    /// the restart-recovery path sees a genuine mid-sweep coordinator
+    /// loss (tests and the CI kill-and-restart smoke).
+    pub chaos_crash_label: Option<String>,
     /// Heartbeat interval agents must beat at; a lease is reclaimed
     /// after [`LEASE_TTL_BEATS`] silent intervals.
     pub heartbeat: Duration,
@@ -120,6 +146,7 @@ impl Default for ServeConfig {
             job_timeout: None,
             backoff: BackoffPolicy::default(),
             chaos_kill_label: None,
+            chaos_crash_label: None,
             heartbeat: Duration::from_secs(2),
             shutdown: None,
         }
@@ -142,6 +169,10 @@ struct Counters {
     agents_lost: AtomicU64,
     cells_reclaimed: AtomicU64,
     stale_results: AtomicU64,
+    runs_recovered: AtomicU64,
+    cells_requeued: AtomicU64,
+    jobs_replayed_to_client: AtomicU64,
+    runs_degraded: AtomicU64,
 }
 
 impl Counters {
@@ -162,6 +193,13 @@ impl Counters {
             ("agents_lost", get(&self.agents_lost)),
             ("cells_reclaimed", get(&self.cells_reclaimed)),
             ("stale_results", get(&self.stale_results)),
+            ("runs_recovered", get(&self.runs_recovered)),
+            ("cells_requeued", get(&self.cells_requeued)),
+            (
+                "jobs_replayed_to_client",
+                get(&self.jobs_replayed_to_client),
+            ),
+            ("runs_degraded", get(&self.runs_degraded)),
         ])
     }
 }
@@ -173,8 +211,14 @@ struct Run {
     exe: PathBuf,
     cells: Vec<CellSpec>,
     journal: RunJournal,
+    /// Serializes journal-append + client-send for `job_done` records,
+    /// so rseq order, journal order, and wire order always agree —
+    /// `attach` relies on "everything after rseq N" being exact. Also
+    /// the gate an attach takes to splice into the stream without
+    /// missing or duplicating a record.
+    emit: Mutex<()>,
     /// The client's write side; `None` once the client is gone (the
-    /// run still completes — `--resume` replays it).
+    /// run still completes — `attach`/`--resume` replays it).
     client: Mutex<Option<TcpStream>>,
     /// Pending (non-replayed) cells left; the run ends at zero.
     remaining: AtomicUsize,
@@ -209,9 +253,17 @@ impl Run {
         }
     }
 
-    fn send_job_done(&self, cell: &CellSpec, outcome: &JobOutcome, attempts: u32, replayed: bool) {
+    fn send_job_done(
+        &self,
+        cell: &CellSpec,
+        outcome: &JobOutcome,
+        attempts: u32,
+        rseq: u64,
+        replayed: bool,
+    ) {
         let mut fields = vec![
             ("kind".to_owned(), JsonValue::from("job_done")),
+            ("rseq".to_owned(), JsonValue::from(rseq)),
             ("seq".to_owned(), JsonValue::from(cell.seq)),
             ("key".to_owned(), JsonValue::from(cell.key.as_str())),
             ("label".to_owned(), JsonValue::from(cell.label.as_str())),
@@ -266,6 +318,8 @@ struct Agent {
     /// Set exactly once, by whichever path declares the agent dead
     /// (or drained) first.
     gone: AtomicBool,
+    /// Monotonic ([`Instant`], never wall clock): an NTP step or a
+    /// suspend/resume must not make a healthy agent look silent.
     last_beat: Mutex<Instant>,
     /// The canonical write path — dispatches and heartbeat acks are
     /// serialized through it.
@@ -279,6 +333,9 @@ struct Lease {
     /// Attempts consumed *before* this dispatch.
     attempt: u32,
     agent: u64,
+    /// TTL deadline on the monotonic clock ([`Instant`], never wall
+    /// clock), so an NTP step or suspend/resume cannot mass-expire the
+    /// fleet's leases.
     expires: Instant,
 }
 
@@ -291,12 +348,19 @@ struct Shared {
     work: Condvar,
     counters: Counters,
     chaos_armed: AtomicBool,
+    /// Arms the daemon-abort chaos hook ([`ServeConfig::chaos_crash_label`])
+    /// separately from the child-SIGKILL one.
+    chaos_crash_armed: AtomicBool,
     /// Connected agents by id.
     agents: Mutex<HashMap<u64, Arc<Agent>>>,
     /// Outstanding leases by lease id — the single finishing
     /// authority for agent-dispatched cells.
     leases: Mutex<HashMap<u64, Lease>>,
     next_agent_id: AtomicU64,
+    /// Seeded from [`process_nonce`] at bind, so lease ids from a
+    /// previous daemon incarnation (re-reported by a reconnecting agent
+    /// after a restart) can never collide with live ones — they fall
+    /// through to the `stale_results` path instead.
     next_lease_id: AtomicU64,
     /// Live runs, for the keepalive pinger.
     runs: Mutex<Vec<Weak<Run>>>,
@@ -379,6 +443,87 @@ fn enqueue(shared: &Shared, run: &Arc<Run>, pending: Pending) {
     shared.work.notify_all();
 }
 
+/// Binds a listener with `SO_REUSEADDR`, so a restarted daemon can
+/// re-bind its port while its predecessor's accepted connections are
+/// still draining through `TIME_WAIT` — without it, the restart that
+/// recovery exists for would fail with "address in use" for minutes.
+///
+/// `std::net::TcpListener` offers no socket-option hook before `bind`,
+/// so on Linux this goes through raw libc calls (the same
+/// zero-dependency FFI idiom as the shutdown handler); IPv6 addresses
+/// and other platforms fall back to the plain bind.
+fn bind_reuseaddr(addr: &str) -> std::io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    {
+        use std::net::ToSocketAddrs;
+        if let Some(SocketAddr::V4(v4)) = addr.to_socket_addrs()?.find(SocketAddr::is_ipv4) {
+            return bind_reuseaddr_v4(&v4);
+        }
+    }
+    TcpListener::bind(addr)
+}
+
+#[cfg(target_os = "linux")]
+fn bind_reuseaddr_v4(addr: &std::net::SocketAddrV4) -> std::io::Result<TcpListener> {
+    use std::os::fd::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0x8_0000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        /// Network byte order.
+        sin_port: u16,
+        /// Network byte order.
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    // SAFETY: plain libc calls with checked return values; the fd is
+    // either handed to `TcpListener::from_raw_fd` (which then owns it)
+    // or closed on the error path.
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let on: i32 = 1;
+        let sa = SockaddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: addr.port().to_be(),
+            sin_addr: u32::from(*addr.ip()).to_be(),
+            sin_zero: [0; 8],
+        };
+        if setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            &on,
+            std::mem::size_of::<i32>() as u32,
+        ) < 0
+            || bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) < 0
+            || listen(fd, 128) < 0
+        {
+            let err = std::io::Error::last_os_error();
+            let _ = close(fd);
+            return Err(err);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
 /// The daemon: bind, then [`run`](Coordinator::run) until shut down.
 pub struct Coordinator {
     listener: TcpListener,
@@ -386,35 +531,39 @@ pub struct Coordinator {
 }
 
 impl Coordinator {
-    /// Binds the listen socket (port `0` picks a free port).
+    /// Binds the listen socket (port `0` picks a free port), then scans
+    /// the journal directory and rebuilds every run a previous daemon
+    /// incarnation left unfinished — completed cells tallied from their
+    /// journal, dangling in-flight ones re-enqueued — so a restarted
+    /// `cmpsim serve` resumes scheduling without any client action.
     ///
     /// # Errors
     ///
     /// Propagates bind failures (address in use, permission).
     pub fn bind(cfg: ServeConfig) -> std::io::Result<Coordinator> {
-        let listener = TcpListener::bind(&cfg.listen)?;
+        let listener = bind_reuseaddr(&cfg.listen)?;
         listener.set_nonblocking(true)?;
         let cache = cfg.cache_dir.clone().map(ResultCache::new);
         let binary = std::env::current_exe()
             .ok()
             .and_then(|p| file_fingerprint(&p).ok());
-        Ok(Coordinator {
-            listener,
-            shared: Arc::new(Shared {
-                cfg,
-                cache,
-                sched: Mutex::new(Sched::default()),
-                work: Condvar::new(),
-                counters: Counters::default(),
-                chaos_armed: AtomicBool::new(true),
-                agents: Mutex::new(HashMap::new()),
-                leases: Mutex::new(HashMap::new()),
-                next_agent_id: AtomicU64::new(0),
-                next_lease_id: AtomicU64::new(0),
-                runs: Mutex::new(Vec::new()),
-                binary,
-            }),
-        })
+        let shared = Arc::new(Shared {
+            cfg,
+            cache,
+            sched: Mutex::new(Sched::default()),
+            work: Condvar::new(),
+            counters: Counters::default(),
+            chaos_armed: AtomicBool::new(true),
+            chaos_crash_armed: AtomicBool::new(true),
+            agents: Mutex::new(HashMap::new()),
+            leases: Mutex::new(HashMap::new()),
+            next_agent_id: AtomicU64::new(0),
+            next_lease_id: AtomicU64::new(process_nonce() << 16),
+            runs: Mutex::new(Vec::new()),
+            binary,
+        });
+        recover_runs(&shared);
+        Ok(Coordinator { listener, shared })
     }
 
     /// The bound address — what clients `--connect` to.
@@ -516,6 +665,10 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
             }
             None => send_error(&mut write_half, "malformed submit message"),
         },
+        Some("attach") => match Attach::from_msg(&msg) {
+            Some(attach) => handle_attach(shared, write_half, &attach),
+            None => send_error(&mut write_half, "malformed attach message"),
+        },
         Some("agent_hello") => match AgentHello::from_msg(&msg) {
             Some(hello) => run_agent_session(shared, reader, write_half, hello),
             None => send_error(&mut write_half, "malformed agent_hello message"),
@@ -577,6 +730,24 @@ fn status_snapshot(shared: &Shared) -> JsonValue {
     snap
 }
 
+/// The journal record capturing a submission verbatim — everything a
+/// restarted daemon needs to rebuild the run ([`recover_runs`]).
+fn submission_record(run_id: &str, sub: &Submission) -> JsonValue {
+    JsonValue::object([
+        ("kind", JsonValue::from("submission")),
+        ("run_id", JsonValue::from(run_id)),
+        (
+            "exe",
+            JsonValue::from(sub.exe.to_string_lossy().into_owned()),
+        ),
+        ("experiment", JsonValue::from(sub.experiment.as_str())),
+        (
+            "cells",
+            JsonValue::Array(sub.cells.iter().map(CellSpec::to_json).collect()),
+        ),
+    ])
+}
+
 /// Registers one submission: opens (and on resume, replays) its
 /// journal, streams replayed cells, and enqueues the rest.
 fn register_submission(
@@ -620,6 +791,10 @@ fn register_submission(
     }
     let total = sub.cells.len();
     journal.run_start(&run_id, total, replayed.len());
+    // Journal the submission itself (exe, experiment, cell list): the
+    // journal then holds everything a *restarted* daemon needs to
+    // rebuild and finish this run with no client involved.
+    journal.append_record(submission_record(&run_id, &sub));
     shared
         .counters
         .cells_total
@@ -659,6 +834,7 @@ fn register_submission(
         exe: sub.exe,
         cells: sub.cells,
         journal,
+        emit: Mutex::new(()),
         client: Mutex::new(Some(stream)),
         remaining: AtomicUsize::new(pending.len()),
         ok: AtomicUsize::new(0),
@@ -676,10 +852,19 @@ fn register_submission(
         runs.push(Arc::downgrade(&run));
     }
 
+    // Stream replays in rseq order, so the client's "highest rseq
+    // received" watermark is gapless if it has to reattach mid-replay.
+    replayed.sort_by_key(|(_, done)| done.rseq);
     for (seq, done) in replayed {
         shared.counters.replayed.fetch_add(1, Ordering::Relaxed);
         run.tally(&done.outcome);
-        run.send_job_done(&run.cells[seq], &done.outcome, done.attempts, true);
+        run.send_job_done(
+            &run.cells[seq],
+            &done.outcome,
+            done.attempts,
+            done.rseq,
+            true,
+        );
     }
 
     if run.remaining.load(Ordering::Acquire) == 0 {
@@ -736,6 +921,19 @@ enum Claim {
 fn claim(shared: &Shared, run: &Arc<Run>, seq: usize) -> Claim {
     let cell = &run.cells[seq];
     run.journal.job_start(seq, &cell.key, &cell.label);
+
+    // Chaos hook: die *after* the write-ahead `job_start` — exactly the
+    // window a real coordinator loss leaves a dangling in-flight cell
+    // for restart recovery to re-enqueue.
+    if shared.cfg.chaos_crash_label.as_deref() == Some(cell.label.as_str())
+        && shared.chaos_crash_armed.swap(false, Ordering::SeqCst)
+    {
+        eprintln!(
+            "cmpsim serve: chaos hook aborting the daemon on cell {}",
+            cell.label
+        );
+        std::process::abort();
+    }
 
     // Layer 1: the shared result cache (a finished cell from any
     // client, this boot or an earlier one).
@@ -931,10 +1129,17 @@ fn execute_cell(
 /// last cell closes out the run.
 fn finish_cell(shared: &Shared, run: &Arc<Run>, seq: usize, outcome: &JobOutcome, attempts: u32) {
     let cell = &run.cells[seq];
-    run.journal
-        .job_done(seq, &cell.key, &cell.label, outcome, attempts);
-    run.tally(outcome);
-    run.send_job_done(cell, outcome, attempts, false);
+    {
+        // The emit lock makes rseq assignment, the journal append, and
+        // the client send one atomic step — an `attach` splicing into
+        // the stream sees either all of a record or none of it.
+        let _emit = run.emit.lock().unwrap_or_else(|e| e.into_inner());
+        let rseq = run
+            .journal
+            .job_done_tracked(seq, &cell.key, &cell.label, outcome, attempts);
+        run.tally(outcome);
+        run.send_job_done(cell, outcome, attempts, rseq, false);
+    }
     if run.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
         finish_run(shared, run);
     }
@@ -972,17 +1177,352 @@ fn finish_run(shared: &Shared, run: &Arc<Run>) {
             run.trace_path.display()
         );
     }
-    run.send(&JsonValue::object([
-        ("kind", JsonValue::from("run_end")),
-        ("ok", JsonValue::from(ok)),
-        ("cached", JsonValue::from(cached)),
-        ("failed", JsonValue::from(failed)),
-    ]));
+    // Graceful degradation: if any journal append failed (disk full),
+    // the journal is an incomplete record — resuming or re-attaching
+    // from it would silently drop cells. Downgrade the run to
+    // non-resumable (remove the journal), count it, and keep serving;
+    // the client still received every record over the live stream.
+    let degraded = run.journal.degraded();
+    if degraded {
+        shared
+            .counters
+            .runs_degraded
+            .fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "cmpsim serve: run {} degraded to non-resumable: {} journal append(s) failed \
+             (disk full?); removing its incomplete journal",
+            run.id,
+            run.journal.append_failures()
+        );
+        if let Err(e) = std::fs::remove_file(run.journal.path()) {
+            eprintln!(
+                "cmpsim serve: cannot remove degraded journal {}: {e}",
+                run.journal.path().display()
+            );
+        }
+    }
+    let mut end = vec![
+        ("kind".to_owned(), JsonValue::from("run_end")),
+        ("ok".to_owned(), JsonValue::from(ok)),
+        ("cached".to_owned(), JsonValue::from(cached)),
+        ("failed".to_owned(), JsonValue::from(failed)),
+    ];
+    if degraded {
+        end.push(("journal_degraded".to_owned(), JsonValue::Bool(true)));
+    }
+    run.send(&JsonValue::Object(end));
     *run.client.lock().unwrap_or_else(|e| e.into_inner()) = None;
     shared
         .counters
         .runs_completed
         .fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Restart recovery & client reattach
+// ---------------------------------------------------------------------
+
+/// Reads a journal's verified records, stopping at the first torn line
+/// — the same trust boundary as [`RunJournal::open`]'s replay.
+fn read_journal_records(path: &std::path::Path) -> Vec<JsonValue> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map_while(|l| {
+            cmpsim_telemetry::parse(l.trim())
+                .ok()
+                .and_then(|doc| record::verify(&doc, "record"))
+        })
+        .collect()
+}
+
+/// The journalled `job_done` records with `rseq` strictly greater than
+/// `after`, in rseq order. The journal record shape *is* the wire
+/// `job_done` shape, so these forward to a client verbatim.
+fn journal_job_dones_after(path: &std::path::Path, after: u64) -> Vec<JsonValue> {
+    let mut recs: Vec<(u64, JsonValue)> = read_journal_records(path)
+        .into_iter()
+        .filter(|r| r.get("kind").and_then(JsonValue::as_str) == Some("job_done"))
+        .map(|r| (r.get("rseq").and_then(JsonValue::as_u64).unwrap_or(0), r))
+        .filter(|(rseq, _)| *rseq > after)
+        .collect();
+    recs.sort_by_key(|(rseq, _)| *rseq);
+    recs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Startup recovery: scan the journal directory and rebuild every run
+/// a previous daemon incarnation left unfinished. Completed cells are
+/// tallied straight from the journal; dangling in-flight and never-
+/// started cells re-enter the scheduler under the ordinary
+/// backoff/poison budget. Clients reattach (or `--resume`) whenever
+/// they like — the runs execute either way.
+fn recover_runs(shared: &Arc<Shared>) {
+    let Ok(entries) = std::fs::read_dir(&shared.cfg.journal_dir) else {
+        return; // no journal directory yet: a first boot
+    };
+    let mut names: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".jsonl") && !n.ends_with(".trace.jsonl"))
+        .collect();
+    names.sort(); // deterministic recovery order
+    for name in names {
+        let run_id = name.trim_end_matches(".jsonl").to_owned();
+        recover_run(shared, &run_id);
+    }
+}
+
+/// Rebuilds one journalled run, if it is unfinished and carries a
+/// `submission` record (pre-submission-record journals and plain batch
+/// journals are left alone — `--resume` still works on them).
+fn recover_run(shared: &Arc<Shared>, run_id: &str) {
+    let jc = JournalConfig::new(shared.cfg.journal_dir.clone(), run_id.to_owned()).resuming();
+    let peek = read_journal_records(&jc.path());
+    let ended = peek
+        .iter()
+        .any(|r| r.get("kind").and_then(JsonValue::as_str) == Some("run_end"));
+    let has_submission = peek
+        .iter()
+        .any(|r| r.get("kind").and_then(JsonValue::as_str) == Some("submission"));
+    if ended || !has_submission {
+        return;
+    }
+    let (journal, replay) = match RunJournal::open(&jc) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("cmpsim serve: cannot reopen journal for run {run_id}: {e}");
+            return;
+        }
+    };
+    let Some((exe, experiment, cells)) = replay.submission.as_ref().and_then(|rec| {
+        Some((
+            PathBuf::from(rec.get("exe")?.as_str()?),
+            rec.get("experiment")?.as_str()?.to_owned(),
+            rec.get("cells")?
+                .as_array()?
+                .iter()
+                .map(CellSpec::from_json)
+                .collect::<Option<Vec<CellSpec>>>()?,
+        ))
+    }) else {
+        eprintln!("cmpsim serve: run {run_id} has a malformed submission record; not recovered");
+        return;
+    };
+
+    let mut pending: VecDeque<Pending> = VecDeque::new();
+    let (mut ok, mut cached, mut failed) = (0usize, 0usize, 0usize);
+    let mut requeued_in_flight = 0usize;
+    for (i, cell) in cells.iter().enumerate() {
+        match replay.completed.get(&cell.key) {
+            Some(done) => match done.outcome {
+                JobOutcome::Ok(_) => ok += 1,
+                JobOutcome::Cached(_) => cached += 1,
+                _ => failed += 1,
+            },
+            None => {
+                if replay.in_flight.contains(&cell.key) {
+                    requeued_in_flight += 1;
+                }
+                pending.push_back(Pending::fresh(i));
+            }
+        }
+    }
+    let total = cells.len();
+    let done = total - pending.len();
+    journal.run_start(run_id, total, done);
+
+    let workers = shared.cfg.workers;
+    let recorder = FlightRecorder::new();
+    let service_lane = recorder.lane("service");
+    let worker_lanes = (0..workers)
+        .map(|i| recorder.lane(&format!("worker-{i}")))
+        .collect();
+    let trace_path = shared.cfg.journal_dir.join(format!("{run_id}.trace.jsonl"));
+    service_lane.instant(
+        "recovered",
+        "",
+        0,
+        vec![
+            ("run_id".to_owned(), JsonValue::from(run_id)),
+            ("cells".to_owned(), JsonValue::from(total)),
+            ("done".to_owned(), JsonValue::from(done)),
+            ("requeued".to_owned(), JsonValue::from(pending.len())),
+            ("in_flight".to_owned(), JsonValue::from(requeued_in_flight)),
+        ],
+    );
+    let run = Arc::new(Run {
+        id: run_id.to_owned(),
+        experiment,
+        exe,
+        cells,
+        journal,
+        emit: Mutex::new(()),
+        client: Mutex::new(None),
+        remaining: AtomicUsize::new(pending.len()),
+        ok: AtomicUsize::new(ok),
+        cached: AtomicUsize::new(cached),
+        failed: AtomicUsize::new(failed),
+        recorder,
+        service_lane,
+        worker_lanes,
+        trace_path,
+        workers,
+    });
+    {
+        let mut runs = shared.runs.lock().unwrap_or_else(|e| e.into_inner());
+        runs.retain(|w| w.strong_count() > 0);
+        runs.push(Arc::downgrade(&run));
+    }
+    shared
+        .counters
+        .runs_recovered
+        .fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .cells_requeued
+        .fetch_add(pending.len() as u64, Ordering::Relaxed);
+    shared
+        .counters
+        .cells_total
+        .fetch_add(total as u64, Ordering::Relaxed);
+    eprintln!(
+        "cmpsim serve: recovered run {run_id}: {done}/{total} cells already journalled, \
+         {} re-enqueued",
+        pending.len()
+    );
+    if pending.is_empty() {
+        // Every cell finished but the `run_end` never landed: close out.
+        finish_run(shared, &run);
+    } else {
+        let mut sched = shared.sched.lock().unwrap_or_else(|e| e.into_inner());
+        sched.queue.push_back((run, pending));
+        drop(sched);
+        shared.work.notify_all();
+    }
+}
+
+/// A client re-joining a run's record stream: replay what it missed
+/// from the journal (by `rseq`), then splice it into the live stream —
+/// or, for a finished run, close with `run_end`.
+fn handle_attach(shared: &Arc<Shared>, mut stream: TcpStream, attach: &Attach) {
+    let live = {
+        let runs = shared.runs.lock().unwrap_or_else(|e| e.into_inner());
+        runs.iter()
+            .filter_map(Weak::upgrade)
+            .find(|r| r.id == attach.run_id)
+    };
+    match live {
+        Some(run) => attach_live(shared, stream, &run, attach.after_seq),
+        None => {
+            // Not live: either it finished (this boot or an earlier
+            // one) and its journal closes the story, or we know nothing
+            // about it.
+            let path = shared
+                .cfg
+                .journal_dir
+                .join(format!("{}.jsonl", attach.run_id));
+            let records = read_journal_records(&path);
+            let end = records
+                .iter()
+                .find(|r| r.get("kind").and_then(JsonValue::as_str) == Some("run_end"));
+            let Some(end) = end else {
+                send_error(
+                    &mut stream,
+                    &format!(
+                        "unknown run {} (no journal, or unrecoverable)",
+                        attach.run_id
+                    ),
+                );
+                return;
+            };
+            let missed = journal_job_dones_after(&path, attach.after_seq);
+            let attached = JsonValue::object([
+                ("kind", JsonValue::from("attached")),
+                ("run_id", JsonValue::from(attach.run_id.as_str())),
+                ("replay", JsonValue::from(missed.len())),
+            ]);
+            if proto::write_msg(&mut stream, &attached).is_err() {
+                return;
+            }
+            shared
+                .counters
+                .jobs_replayed_to_client
+                .fetch_add(missed.len() as u64, Ordering::Relaxed);
+            for rec in &missed {
+                if proto::write_msg(&mut stream, rec).is_err() {
+                    return;
+                }
+            }
+            let _ = proto::write_msg(&mut stream, end);
+        }
+    }
+}
+
+/// Attaches to a live run: under the emit lock (so no record can land
+/// between the journal read and the stream splice), replay the missed
+/// records and install this socket as the run's client.
+fn attach_live(shared: &Arc<Shared>, mut stream: TcpStream, run: &Arc<Run>, after_seq: u64) {
+    let _emit = run.emit.lock().unwrap_or_else(|e| e.into_inner());
+    if run.journal.degraded() {
+        send_error(
+            &mut stream,
+            &format!(
+                "run {} is degraded (journal append failures); reattach cannot replay it",
+                run.id
+            ),
+        );
+        return;
+    }
+    let missed = journal_job_dones_after(run.journal.path(), after_seq);
+    let attached = JsonValue::object([
+        ("kind", JsonValue::from("attached")),
+        ("run_id", JsonValue::from(run.id.as_str())),
+        ("replay", JsonValue::from(missed.len())),
+    ]);
+    if proto::write_msg(&mut stream, &attached).is_err() {
+        return;
+    }
+    shared
+        .counters
+        .jobs_replayed_to_client
+        .fetch_add(missed.len() as u64, Ordering::Relaxed);
+    for rec in &missed {
+        if proto::write_msg(&mut stream, rec).is_err() {
+            return;
+        }
+    }
+    run.service_lane.instant(
+        "client_attach",
+        "",
+        0,
+        vec![
+            ("after_rseq".to_owned(), JsonValue::from(after_seq)),
+            ("replayed".to_owned(), JsonValue::from(missed.len())),
+        ],
+    );
+    if run.remaining.load(Ordering::Acquire) == 0 {
+        // The run finished while the client was away; the replay above
+        // already delivered every record.
+        let _ = proto::write_msg(
+            &mut stream,
+            &JsonValue::object([
+                ("kind", JsonValue::from("run_end")),
+                ("ok", JsonValue::from(run.ok.load(Ordering::Relaxed))),
+                (
+                    "cached",
+                    JsonValue::from(run.cached.load(Ordering::Relaxed)),
+                ),
+                (
+                    "failed",
+                    JsonValue::from(run.failed.load(Ordering::Relaxed)),
+                ),
+            ]),
+        );
+    } else {
+        *run.client.lock().unwrap_or_else(|e| e.into_inner()) = Some(stream);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1258,8 +1798,6 @@ fn handle_cell_result(shared: &Arc<Shared>, agent: &Arc<Agent>, msg: &JsonValue)
         );
         return;
     };
-    agent.free.fetch_add(1, Ordering::AcqRel);
-    agent.done.fetch_add(1, Ordering::Relaxed);
     let lease = shared
         .leases
         .lock()
@@ -1275,6 +1813,11 @@ fn handle_cell_result(shared: &Arc<Shared>, agent: &Arc<Agent>, msg: &JsonValue)
         shared.work.notify_all();
         return;
     };
+    // Only a live lease returns the slot: a reconnected agent re-
+    // reporting work from a previous session never claimed it on this
+    // session's budget, so counting it here would inflate capacity.
+    agent.free.fetch_add(1, Ordering::AcqRel);
+    agent.done.fetch_add(1, Ordering::Relaxed);
     let run = lease.run;
     let seq = lease.seq;
     let attempt = lease.attempt + 1;
@@ -1835,6 +2378,220 @@ mod tests {
                 Some(1)
             );
             let _ = done_tx.send(());
+            shutdown.request();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Sends an `attach` and returns the reader positioned after the
+    /// `attached` reply, plus that reply.
+    fn raw_attach(
+        addr: SocketAddr,
+        run_id: &str,
+        after_seq: u64,
+    ) -> (proto::MsgReader<TcpStream>, JsonValue) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let attach = Attach {
+            run_id: run_id.to_owned(),
+            after_seq,
+        };
+        proto::write_msg(&mut stream, &attach.to_msg()).unwrap();
+        let mut reader = proto::MsgReader::new(stream);
+        let reply = reader.next().unwrap().expect("an attach reply");
+        (reader, reply)
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn restart_closes_out_a_fully_executed_journal_and_serves_attach() {
+        let dir = temp_dir("recover_done");
+        let sub = echo_submission(Some("run-reco".to_owned()), false, &["a", "b"]);
+        {
+            // The journal a dead daemon left behind: every cell done,
+            // but it never lived to write the run_end.
+            let (journal, _) = RunJournal::open(&JournalConfig::new(
+                dir.join("journal"),
+                "run-reco".to_owned(),
+            ))
+            .unwrap();
+            journal.run_start("run-reco", 2, 0);
+            journal.append_record(submission_record("run-reco", &sub));
+            for (i, cell) in sub.cells.iter().enumerate() {
+                journal.job_start(i, &cell.key, &cell.label);
+                journal.job_done_tracked(
+                    i,
+                    &cell.key,
+                    &cell.label,
+                    &JobOutcome::Ok(JsonValue::object([(
+                        "cell",
+                        JsonValue::from(cell.label.as_str()),
+                    )])),
+                    1,
+                );
+            }
+        }
+        let shutdown = ShutdownFlag::default();
+        let coord = Coordinator::bind(ServeConfig {
+            workers: 1,
+            journal_dir: dir.join("journal"),
+            shutdown: Some(shutdown.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| coord.run());
+
+            let counters = client::status(&addr.to_string()).unwrap();
+            assert_eq!(
+                counters.get("runs_recovered").and_then(JsonValue::as_u64),
+                Some(1)
+            );
+            assert_eq!(
+                counters.get("cells_requeued").and_then(JsonValue::as_u64),
+                Some(0),
+                "nothing was left to execute"
+            );
+
+            // Recovery closed the run out: the journal now ends.
+            let recs = read_journal_records(&dir.join("journal").join("run-reco.jsonl"));
+            assert!(
+                recs.iter()
+                    .any(|r| r.get("kind").and_then(JsonValue::as_str) == Some("run_end")),
+                "recovery wrote the missing run_end"
+            );
+
+            // A reattaching client gets the whole record stream back.
+            let (mut reader, attached) = raw_attach(addr, "run-reco", 0);
+            assert_eq!(
+                attached.get("kind").and_then(JsonValue::as_str),
+                Some("attached"),
+                "{}",
+                attached.to_json()
+            );
+            assert_eq!(attached.get("replay").and_then(JsonValue::as_u64), Some(2));
+            let d1 = reader.next().unwrap().unwrap();
+            assert_eq!(d1.get("kind").and_then(JsonValue::as_str), Some("job_done"));
+            assert_eq!(d1.get("rseq").and_then(JsonValue::as_u64), Some(1));
+            let d2 = reader.next().unwrap().unwrap();
+            assert_eq!(d2.get("rseq").and_then(JsonValue::as_u64), Some(2));
+            let end = reader.next().unwrap().unwrap();
+            assert_eq!(end.get("kind").and_then(JsonValue::as_str), Some("run_end"));
+            assert_eq!(end.get("ok").and_then(JsonValue::as_u64), Some(2));
+
+            // Attaching to a run nobody journalled is a structured
+            // error, not a hang.
+            let (_r, reply) = raw_attach(addr, "no-such-run", 0);
+            assert_eq!(reply.get("kind").and_then(JsonValue::as_str), Some("error"));
+
+            shutdown.request();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn restart_reexecutes_dangling_in_flight_cells() {
+        let dir = temp_dir("recover_dangling");
+        let sub = echo_submission(Some("run-dangle".to_owned()), false, &["a", "b"]);
+        {
+            let (journal, _) = RunJournal::open(&JournalConfig::new(
+                dir.join("journal"),
+                "run-dangle".to_owned(),
+            ))
+            .unwrap();
+            journal.run_start("run-dangle", 2, 0);
+            journal.append_record(submission_record("run-dangle", &sub));
+            journal.job_start(0, &sub.cells[0].key, "a");
+            journal.job_done_tracked(
+                0,
+                &sub.cells[0].key,
+                "a",
+                &JobOutcome::Ok(JsonValue::object([("cell", JsonValue::from("a"))])),
+                1,
+            );
+            // Cell b was mid-flight when the daemon died: a job_start
+            // with no matching job_done.
+            journal.job_start(1, &sub.cells[1].key, "b");
+        }
+        let shutdown = ShutdownFlag::default();
+        let coord = Coordinator::bind(ServeConfig {
+            workers: 1,
+            journal_dir: dir.join("journal"),
+            shutdown: Some(shutdown.clone()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = coord.local_addr().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| coord.run());
+
+            let counters = client::status(&addr.to_string()).unwrap();
+            assert_eq!(
+                counters.get("runs_recovered").and_then(JsonValue::as_u64),
+                Some(1)
+            );
+            assert_eq!(
+                counters.get("cells_requeued").and_then(JsonValue::as_u64),
+                Some(1),
+                "the dangling cell re-entered the queue"
+            );
+
+            // The recovered run re-executes cell b with no client
+            // attached and closes out.
+            let path = dir.join("journal").join("run-dangle.jsonl");
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while Instant::now() < deadline {
+                let recs = read_journal_records(&path);
+                if recs
+                    .iter()
+                    .any(|r| r.get("kind").and_then(JsonValue::as_str) == Some("run_end"))
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            let recs = read_journal_records(&path);
+            let dones: Vec<&JsonValue> = recs
+                .iter()
+                .filter(|r| r.get("kind").and_then(JsonValue::as_str) == Some("job_done"))
+                .collect();
+            assert_eq!(
+                dones.len(),
+                2,
+                "exactly one job_done per cell across both incarnations"
+            );
+            assert_eq!(
+                dones[1].get("rseq").and_then(JsonValue::as_u64),
+                Some(2),
+                "rseq numbering resumed where the old incarnation stopped"
+            );
+            assert_eq!(dones[1].get("label").and_then(JsonValue::as_str), Some("b"));
+
+            // A client that already saw rseq 1 asks only for the rest.
+            let (mut reader, attached) = raw_attach(addr, "run-dangle", 1);
+            assert_eq!(
+                attached.get("kind").and_then(JsonValue::as_str),
+                Some("attached"),
+                "{}",
+                attached.to_json()
+            );
+            assert_eq!(attached.get("replay").and_then(JsonValue::as_u64), Some(1));
+            let d = reader.next().unwrap().unwrap();
+            assert_eq!(d.get("label").and_then(JsonValue::as_str), Some("b"));
+            let end = reader.next().unwrap().unwrap();
+            assert_eq!(end.get("kind").and_then(JsonValue::as_str), Some("run_end"));
+
+            let counters = client::status(&addr.to_string()).unwrap();
+            assert_eq!(
+                counters
+                    .get("jobs_replayed_to_client")
+                    .and_then(JsonValue::as_u64),
+                Some(1)
+            );
             shutdown.request();
         });
         let _ = std::fs::remove_dir_all(&dir);

@@ -50,4 +50,4 @@ pub mod proto;
 pub use agent::{run_agent, AgentConfig, AgentReport};
 pub use client::{status, submit, SubmitOutcome};
 pub use coordinator::{Coordinator, ServeConfig};
-pub use proto::{CellSpec, Submission};
+pub use proto::{Attach, CellSpec, Submission};

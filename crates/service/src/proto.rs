@@ -15,15 +15,23 @@
 //!
 //! * `submit` — an executable path, experiment name, run identity
 //!   (fresh or `--resume`), and the cell list ([`Submission`]),
+//! * `attach` — re-join a live (or just-finished) run's record stream
+//!   after a disconnect ([`Attach`]): the run id plus the highest
+//!   record-stream sequence (`rseq`) already received; the coordinator
+//!   replays every `job_done` past it from the journal, then streams
+//!   live,
 //! * `status` — ask for the coordinator's lifetime counters.
 //!
 //! Coordinator → client:
 //!
 //! * `accepted` — the run id (what `--resume` takes), cell total,
 //!   worker-fleet size, and recovered in-flight count,
+//! * `attached` — the `attach` reply: run id and how many records the
+//!   journal replay is about to deliver,
 //! * `job_done` — one cell's terminal outcome, streamed as it lands
-//!   (the journal record, payload included; order is arbitrary — the
-//!   client reassembles by `seq`),
+//!   (the journal record, payload included; completion order is
+//!   arbitrary — the client reassembles by `seq` — but the stream is
+//!   totally ordered by `rseq`, which is what makes `attach` exact),
 //! * `run_end` — the sweep finished,
 //! * `counters` — the `status` reply,
 //! * `ping` — idle keepalive while cells compute (clients skip it),
@@ -64,8 +72,9 @@ pub const MSG_FIELD: &str = "msg";
 /// The wire protocol version. Bumped whenever a message shape changes
 /// incompatibly; both the submit path and the agent handshake carry it
 /// so a mixed-version fleet fails fast with a structured error instead
-/// of a decode failure mid-sweep.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// of a decode failure mid-sweep. v3 added `attach`/`attached` and the
+/// `rseq` field on streamed `job_done` records.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 /// Upper bound on one framed line. A frame that grows past this without
 /// a newline is a peer speaking something else (or garbage), not a
@@ -459,6 +468,43 @@ impl Submission {
     }
 }
 
+/// A client's request to re-join a run's record stream after a
+/// disconnect (its own, or a coordinator restart).
+///
+/// `after_seq` is the highest `rseq` the client has already received
+/// (`0` for none): the coordinator replays every journalled `job_done`
+/// with a higher `rseq` — in rseq order — and then, if the run is still
+/// live, streams new records as they land. The reply is `attached`,
+/// followed by the replay, followed by the live stream and `run_end`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attach {
+    /// The run to re-join — the id `accepted` handed out.
+    pub run_id: String,
+    /// Highest record-stream sequence already received; the replay
+    /// starts strictly after it.
+    pub after_seq: u64,
+}
+
+impl Attach {
+    /// The full `attach` message.
+    pub fn to_msg(&self) -> JsonValue {
+        JsonValue::object([
+            ("kind", JsonValue::from("attach")),
+            ("protocol", JsonValue::from(PROTOCOL_VERSION)),
+            ("run_id", JsonValue::from(self.run_id.as_str())),
+            ("after_seq", JsonValue::from(self.after_seq)),
+        ])
+    }
+
+    /// Parses an `attach` message body back.
+    pub fn from_msg(doc: &JsonValue) -> Option<Attach> {
+        Some(Attach {
+            run_id: doc.get("run_id")?.as_str()?.to_owned(),
+            after_seq: doc.get("after_seq")?.as_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -572,6 +618,29 @@ mod tests {
             .unwrap()
         };
         assert_eq!(untimed.timeout_ms, None);
+    }
+
+    #[test]
+    fn attach_round_trips_and_carries_the_protocol_version() {
+        let attach = Attach {
+            run_id: "echo-1-2-deadbeef-0".to_owned(),
+            after_seq: 17,
+        };
+        let mut wire = Vec::new();
+        write_msg(&mut wire, &attach.to_msg()).unwrap();
+        let mut reader = BufReader::new(wire.as_slice());
+        let msg = read_msg(&mut reader).unwrap().expect("one message");
+        assert_eq!(msg.get("kind").and_then(JsonValue::as_str), Some("attach"));
+        assert_eq!(
+            msg.get("protocol").and_then(JsonValue::as_u64),
+            Some(PROTOCOL_VERSION)
+        );
+        assert_eq!(Attach::from_msg(&msg), Some(attach));
+        // Missing fields parse to None, never panic.
+        assert_eq!(
+            Attach::from_msg(&JsonValue::object([("kind", JsonValue::from("attach"))])),
+            None
+        );
     }
 
     #[test]

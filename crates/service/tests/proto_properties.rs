@@ -6,7 +6,7 @@
 //! deterministic PCG32 drives the corruption, so every failure
 //! reproduces from its seed.
 
-use cmpsim_service::proto::{self, MsgReader};
+use cmpsim_service::proto::{self, Attach, MsgReader};
 use cmpsim_telemetry::JsonValue;
 use cmpsim_trace::Pcg32;
 
@@ -16,10 +16,12 @@ const ROUNDS: u64 = 300;
 fn random_msg(rng: &mut Pcg32) -> JsonValue {
     let mut fields = vec![(
         "kind".to_owned(),
-        JsonValue::from(match rng.next_u32() % 4 {
+        JsonValue::from(match rng.next_u32() % 6 {
             0 => "dispatch",
             1 => "cell_result",
             2 => "heartbeat",
+            3 => "attach",
+            4 => "attached",
             _ => "job_done",
         }),
     )];
@@ -157,6 +159,39 @@ fn bit_flips_are_rejected_never_misread() {
                 panic!("round {round}: flip at {pos} lost a frame with no error")
             });
             assert_eq!(e.kind(), std::io::ErrorKind::InvalidData, "round {round}");
+        }
+    }
+}
+
+#[test]
+fn corrupted_attach_frames_never_yield_a_different_watermark() {
+    // The `attach` watermark decides which records the coordinator
+    // replays: a bit flip must never surface as a *different* valid
+    // attach — that would silently skip (or duplicate) results.
+    let mut rng = Pcg32::seed(0xA77AC4);
+    for round in 0..ROUNDS {
+        let attach = Attach {
+            run_id: random_text(&mut rng),
+            after_seq: rng.next_u64(),
+        };
+        let mut wire = frame(&[attach.to_msg()]);
+        let pos = rng.next_u64() as usize % wire.len();
+        wire[pos] ^= 1u8 << (rng.next_u32() % 8);
+        let (read, err) = drain(&wire);
+        match read.first().and_then(Attach::from_msg) {
+            Some(got) => assert!(
+                got.run_id == attach.run_id && got.after_seq == attach.after_seq,
+                "round {round}: flip at {pos} produced a different attach \
+                 ({} after {} vs {} after {})",
+                got.run_id,
+                got.after_seq,
+                attach.run_id,
+                attach.after_seq
+            ),
+            None => assert!(
+                read.is_empty() && err.is_some(),
+                "round {round}: flip at {pos} lost the attach without an error"
+            ),
         }
     }
 }

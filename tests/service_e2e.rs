@@ -9,6 +9,14 @@
 //! mid-sweep must reclaim its leased cells onto the survivor with
 //! byte-identical output and exactly one `job_done` per cell in the
 //! journal.
+//!
+//! The harshest case: the *coordinator itself* dies mid-sweep (the
+//! `--chaos-crash-label` hook aborts it after journalling a
+//! `job_start`) and is restarted on the same address. The restarted
+//! daemon must rebuild the run from its journal, the agent must redial
+//! on its own, the client must reattach on its own — and the bytes the
+//! client renders must still be identical to an uninterrupted local
+//! run.
 
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -354,6 +362,129 @@ fn multi_agent_sweep_survives_sigkill_of_one_agent() {
     let _ = agent_b.wait();
     daemon.kill().expect("stop daemon");
     let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_survives_coordinator_sigkill_and_restart() {
+    let dir = temp_dir("service-coord-loss");
+    const WORKLOADS: &str = "SNP,SVM-RFE,RSEARCH,FIMI,PLSA,MDS,SHOT,VIEWTYPE";
+    let baseline = local_grid(WORKLOADS, &dir.join("base.json"));
+
+    // Daemon #1 aborts itself the moment it claims PLSA — after the
+    // `job_start` hits the journal, so the cell dangles in-flight
+    // exactly as a real mid-dispatch crash would leave it.
+    let chaos = &[
+        "--agents-only",
+        "--heartbeat-ms",
+        "300",
+        "--retries",
+        "2",
+        "--chaos-crash-label",
+        "PLSA",
+    ];
+    let (mut daemon, addr) = start_daemon(&dir, chaos);
+    let mut agent = start_agent(&addr, &["--slots", "2"]);
+    wait_for("the agent to register", || {
+        (status_doc(&addr)
+            .get("agents")
+            .and_then(|a| a.as_array())
+            .map_or(0, <[cmpsim_telemetry::JsonValue]>::len)
+            == 1)
+            .then_some(())
+    });
+
+    let submit = submit_cmd(
+        &addr,
+        WORKLOADS,
+        &dir.join("sub.json"),
+        &["--run-id", "svcloss"],
+    )
+    .stdout(Stdio::piped())
+    .stderr(Stdio::piped())
+    .spawn()
+    .expect("spawn background submit");
+
+    // The chaos hook fires mid-sweep and takes the whole daemon down.
+    let status = daemon.wait().expect("wait for the crashed daemon");
+    assert!(!status.success(), "the chaos crash did not happen");
+
+    // Restart on the *same* address (SO_REUSEADDR makes the rebind
+    // immediate). The stale port file must go first so start_daemon
+    // waits for the new incarnation's write.
+    std::fs::remove_file(dir.join("port")).expect("remove stale port file");
+    let (mut daemon2, addr2) = start_daemon(
+        &dir,
+        &[
+            "--agents-only",
+            "--heartbeat-ms",
+            "300",
+            "--retries",
+            "2",
+            "--listen",
+            &addr,
+        ],
+    );
+    assert_eq!(addr2, addr, "the restart must reuse the address");
+
+    // No operator action from here: the agent redials, the client
+    // reattaches, the recovered run executes its remaining cells — and
+    // the client still renders exactly the local-run bytes.
+    let submitted = submit.wait_with_output().expect("wait for submit");
+    assert!(
+        submitted.status.success(),
+        "submit did not survive the coordinator restart:\n{}",
+        String::from_utf8_lossy(&submitted.stderr)
+    );
+    assert_eq!(
+        baseline.stdout, submitted.stdout,
+        "post-restart stdout differs from the local grid run"
+    );
+    assert_eq!(
+        read_doc(&dir.join("base.json")).get("results"),
+        read_doc(&dir.join("sub.json")).get("results"),
+        "post-restart results JSON differs from the local grid run"
+    );
+
+    // The recovery counters tell the story on the new incarnation.
+    let counters = status_doc(&addr);
+    assert_eq!(status_counter(&counters, "runs_recovered"), 1);
+    assert!(
+        status_counter(&counters, "cells_requeued") >= 1,
+        "the dangling cell was not re-enqueued: {}",
+        counters.to_json()
+    );
+    // Present (and countable) even when the TCP race delivered
+    // everything before the crash reached the client.
+    let _ = status_counter(&counters, "jobs_replayed_to_client");
+    assert_eq!(status_counter(&counters, "runs_degraded"), 0);
+
+    // Across both incarnations the journal converged on exactly one
+    // job_done per cell: recovery re-ran the dangling work, and the
+    // agent's re-reported results were settled as stale, not doubled.
+    let journal = std::fs::read_to_string(dir.join("journal").join("svcloss.jsonl"))
+        .expect("read the run journal");
+    let mut done_keys = std::collections::HashMap::<String, usize>::new();
+    for line in journal.lines() {
+        let rec = cmpsim_telemetry::parse(line).expect("parse journal line");
+        if rec.get_path(&["record", "kind"]).and_then(|k| k.as_str()) == Some("job_done") {
+            let key = rec
+                .get_path(&["record", "key"])
+                .and_then(|k| k.as_str())
+                .expect("job_done has a key")
+                .to_owned();
+            *done_keys.entry(key).or_default() += 1;
+        }
+    }
+    assert_eq!(done_keys.len(), 8, "one journal entry per distinct cell");
+    for (key, count) in &done_keys {
+        assert_eq!(*count, 1, "cell {key} journalled {count} job_done records");
+    }
+
+    let _ = agent.kill();
+    let _ = agent.wait();
+    daemon2.kill().expect("stop daemon");
+    let _ = daemon2.wait();
     let _ = std::fs::remove_dir_all(&dir);
 }
 
