@@ -13,7 +13,10 @@
 //! served from the content-addressed result cache when unchanged. Each
 //! cell captures its FSB stream once and replays it into every LLC size
 //! (`--trace-dir DIR` persists the streams content-addressed for later
-//! runs; `--no-replay` restores execute-per-configuration).
+//! runs; `--no-replay` restores execute-per-configuration). Within each
+//! cell, `--replay-shards N` (default: follow `--jobs`, `0` = one per
+//! CPU) spreads the sweep's boards over N worker threads — output bytes
+//! are identical at any shard count.
 //!
 //! `record`/`replay` capture the FSB transaction stream once and emulate
 //! it against any number of cache configurations afterwards — the same
@@ -73,8 +76,8 @@ fn main() {
                         [--cache-dir DIR] [--no-cache] [--json] [--metrics-out FILE]\n\
                         [--journal-dir DIR] [--run-id ID] [--resume ID]\n\
                         [--isolate inline|process] [--retries N]\n\
-                        [--trace-dir DIR] [--no-replay] [--trace-out FILE] [--quiet]\n\
-                        [--connect ADDR]\n\
+                        [--trace-dir DIR] [--no-replay] [--replay-shards N] [--trace-out FILE]\n\
+                        [--quiet] [--connect ADDR]\n\
                  record --workload NAME --cores N --out FILE [--scale S]\n\
                  replay --trace FILE [--llc SIZE] [--line N] [--json] [--metrics-out FILE]\n\
                  report <RUN-ID> [--journal-dir DIR] [--top K]\n\
@@ -116,6 +119,7 @@ struct Cli {
     retries: Option<u32>,
     trace_dir: Option<PathBuf>,
     no_replay: bool,
+    replay_shards: Option<usize>,
     trace_out: Option<PathBuf>,
     quiet: bool,
     connect: Option<String>,
@@ -130,6 +134,16 @@ impl Cli {
             Some(p) => Some(p.clone()),
             None if self.json => Some(Path::new("results").join(format!("{name}.json"))),
             None => None,
+        }
+    }
+
+    /// The replay shard count the grid flags describe: an explicit
+    /// `--replay-shards` wins, otherwise the sweep replay follows
+    /// `--jobs`; `0` for either means one shard per CPU.
+    fn effective_replay_shards(&self) -> usize {
+        match self.replay_shards.unwrap_or(self.jobs) {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
         }
     }
 }
@@ -184,6 +198,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--retries" => cli.retries = Some(val()?.parse().map_err(|_| "bad --retries")?),
             "--trace-dir" => cli.trace_dir = Some(PathBuf::from(val()?)),
             "--no-replay" => cli.no_replay = true,
+            "--replay-shards" => {
+                cli.replay_shards = Some(val()?.parse().map_err(|_| "bad --replay-shards")?);
+            }
             "--trace-out" => cli.trace_out = Some(PathBuf::from(val()?)),
             "--quiet" => cli.quiet = true,
             "--connect" => cli.connect = Some(val()?),
@@ -299,6 +316,9 @@ fn cmd_grid(args: &[String]) -> i32 {
     let Some(cmp) = CmpClass::all().into_iter().find(|c| c.cores() == cli.cores) else {
         return fail("grid requires --cores 8, 16, or 32 (SCMP/MCMP/LCMP)");
     };
+    // Publish the shard count ambiently: the study builds its replay
+    // boards far from here, inside each grid cell.
+    cmpsim_core::set_replay_shards(cli.effective_replay_shards());
     let study = CacheSizeStudy::new(cli.scale, cmp, cli.seed);
     println!(
         "Grid: LLC MPKI vs size on {cmp} ({} cores), 64B lines, scale {}\n",
@@ -344,6 +364,12 @@ fn cmd_grid(args: &[String]) -> i32 {
         let child_base: Vec<String> = std::iter::once("grid".to_owned())
             .chain(strip_parent_flags(args))
             .chain(std::iter::once("--no-cache".to_owned()))
+            .chain([
+                // Resolved here: the default follows --jobs, which the
+                // child never sees (a child must not recurse).
+                "--replay-shards".to_owned(),
+                cli.effective_replay_shards().to_string(),
+            ])
             .collect();
         let base = (cli.isolate == IsolateMode::Process).then_some(child_base.as_slice());
         broker = capture_broker(&cli);
@@ -516,7 +542,7 @@ fn strip_parent_flags(args: &[String]) -> Vec<String> {
         match a.as_str() {
             "--jobs" | "--cache-dir" | "--metrics-out" | "--journal-dir" | "--run-id"
             | "--resume" | "--isolate" | "--retries" | "--workloads" | "--trace-out"
-            | "--connect" => {
+            | "--connect" | "--replay-shards" => {
                 it.next();
             }
             "--json" | "--no-cache" | "--quiet" => {}
@@ -543,6 +569,10 @@ fn service_submit(
     let base: Vec<String> = std::iter::once("grid".to_owned())
         .chain(strip_parent_flags(args))
         .chain(std::iter::once("--no-cache".to_owned()))
+        .chain([
+            "--replay-shards".to_owned(),
+            cli.effective_replay_shards().to_string(),
+        ])
         .collect();
     let cells = spec
         .workloads
@@ -755,6 +785,7 @@ fn cmd_child(args: &[String]) -> i32 {
     let Some(cmp) = CmpClass::all().into_iter().find(|c| c.cores() == cli.cores) else {
         return fail("grid requires --cores 8, 16, or 32 (SCMP/MCMP/LCMP)");
     };
+    cmpsim_core::set_replay_shards(cli.effective_replay_shards());
     let study = CacheSizeStudy::new(cli.scale, cmp, cli.seed);
     let compute = || {
         Ok(results_json::cache_size_curve(

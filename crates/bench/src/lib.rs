@@ -106,6 +106,10 @@ pub struct Options {
     /// Disable capture-once/replay-many: execute the co-simulation for
     /// every grid cell (the pre-replay behavior).
     pub no_replay: bool,
+    /// Worker threads sharding each cell's sweep replay across boards
+    /// (`0` = one per CPU). `None` follows `--jobs`. Sharding never
+    /// changes output bytes — see `CoSimulation::replay_sweep_sharded`.
+    pub replay_shards: Option<usize>,
     /// Chrome trace-event JSON output path (Perfetto-loadable); also
     /// enables the flight recorder for this run.
     pub trace_out: Option<PathBuf>,
@@ -146,6 +150,7 @@ impl Default for Options {
             retries: None,
             trace_dir: None,
             no_replay: false,
+            replay_shards: None,
             trace_out: None,
             quiet: false,
             connect: None,
@@ -159,10 +164,28 @@ impl Default for Options {
 
 impl Options {
     /// Parses `std::env::args`, exiting with a usage message on errors.
+    ///
+    /// Also publishes the resolved replay shard count to
+    /// [`cmpsim_core::set_replay_shards`], so every sweep replay in the
+    /// process — including ones built deep inside a study, far from any
+    /// CLI plumbing — picks it up ambiently.
     pub fn from_args() -> Self {
         match Options::parse(std::env::args().skip(1)) {
-            Ok(opts) => opts,
+            Ok(opts) => {
+                cmpsim_core::set_replay_shards(opts.effective_replay_shards());
+                opts
+            }
             Err(e) => usage(&e),
+        }
+    }
+
+    /// The replay shard count these options describe: an explicit
+    /// `--replay-shards` wins, otherwise the sweep replay follows
+    /// `--jobs`; `0` for either means one shard per CPU.
+    pub fn effective_replay_shards(&self) -> usize {
+        match self.replay_shards.unwrap_or(self.jobs) {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
         }
     }
 
@@ -226,6 +249,10 @@ impl Options {
                 }
                 "--trace-dir" => opts.trace_dir = Some(PathBuf::from(val()?)),
                 "--no-replay" => opts.no_replay = true,
+                "--replay-shards" => {
+                    opts.replay_shards =
+                        Some(val()?.parse().map_err(|_| "bad --replay-shards value")?);
+                }
                 "--trace-out" => opts.trace_out = Some(PathBuf::from(val()?)),
                 "--quiet" => opts.quiet = true,
                 "--connect" => opts.connect = Some(val()?),
@@ -340,7 +367,7 @@ impl Options {
             match arg.as_str() {
                 "--jobs" | "--cache-dir" | "--metrics-out" | "--journal-dir" | "--run-id"
                 | "--resume" | "--isolate" | "--job-timeout" | "--retries" | "--workloads"
-                | "--trace-out" | "--connect" => {
+                | "--trace-out" | "--connect" | "--replay-shards" => {
                     args.next();
                 }
                 "--json" | "--no-cache" | "--quiet" => {}
@@ -348,6 +375,11 @@ impl Options {
             }
         }
         out.push("--no-cache".to_owned());
+        // The child re-resolves nothing: it gets the parent's effective
+        // shard count (shards default to `--jobs`, which is stripped
+        // above — a child must never recurse into a worker pool).
+        out.push("--replay-shards".to_owned());
+        out.push(self.effective_replay_shards().to_string());
         out
     }
 
@@ -721,7 +753,7 @@ fn usage(err: &str) -> ! {
          \x20      [--json] [--metrics-out FILE] [--jobs N] [--cache-dir DIR] [--no-cache]\n\
          \x20      [--job-timeout SECONDS] [--journal-dir DIR] [--run-id ID] [--resume ID]\n\
          \x20      [--isolate inline|process] [--retries N] [--trace-dir DIR] [--no-replay]\n\
-         \x20      [--trace-out FILE] [--quiet] [--connect ADDR]\n\
+         \x20      [--replay-shards N] [--trace-out FILE] [--quiet] [--connect ADDR]\n\
          workloads: SNP, SVM-RFE, MDS, SHOT, FIMI, VIEWTYPE, PLSA, RSEARCH"
     );
     std::process::exit(2);
@@ -814,6 +846,39 @@ mod tests {
         let child = o.child_args();
         assert!(!child.iter().any(|a| a == "--connect"));
         assert!(parse(&["--connect"]).unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn replay_shards_resolution() {
+        // Default: the sweep replay follows --jobs.
+        let o = parse(&["--jobs", "3"]).unwrap();
+        assert_eq!(o.replay_shards, None);
+        assert_eq!(o.effective_replay_shards(), 3);
+        // Explicit --replay-shards wins over --jobs.
+        let o = parse(&["--jobs", "3", "--replay-shards", "5"]).unwrap();
+        assert_eq!(o.effective_replay_shards(), 5);
+        // 0 means one shard per CPU, same convention as --jobs 0.
+        let o = parse(&["--replay-shards", "0"]).unwrap();
+        assert!(o.effective_replay_shards() >= 1);
+        assert!(parse(&["--replay-shards", "many"]).is_err());
+        assert!(parse(&["--replay-shards"]).unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn replay_shards_flow_to_children_resolved() {
+        // The child's argv pins the parent's *effective* shard count:
+        // the default follows --jobs, which child_args strips.
+        let o = parse(&["--jobs", "4"]).unwrap();
+        let child = o.child_args();
+        assert!(child.windows(2).any(|w| w == ["--replay-shards", "4"]));
+        assert!(!child.iter().any(|a| a == "--jobs"));
+        // An explicit flag is stripped and re-appended resolved, not
+        // duplicated.
+        let o = parse(&["--replay-shards", "2", "--jobs", "8"]).unwrap();
+        let child = o.child_args();
+        let n = child.iter().filter(|a| *a == "--replay-shards").count();
+        assert_eq!(n, 1);
+        assert!(child.windows(2).any(|w| w == ["--replay-shards", "2"]));
     }
 
     #[test]

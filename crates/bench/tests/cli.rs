@@ -122,10 +122,20 @@ fn child_args_strip_every_parent_only_concern() {
     ])
     .unwrap();
     // Only the cell identity survives, and the child never caches —
-    // the parent stores what the child reports.
+    // the parent stores what the child reports. The replay shard count
+    // rides along resolved (here following `--jobs 4`) so the child
+    // shards its sweep replay like the parent would.
     assert_eq!(
         o.child_args(),
-        ["--scale", "tiny", "--seed", "7", "--no-cache"]
+        [
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--no-cache",
+            "--replay-shards",
+            "4"
+        ]
     );
 }
 

@@ -7,6 +7,23 @@ use crate::stats::CacheStats;
 /// Sentinel tag meaning "way is empty".
 const EMPTY: u64 = u64::MAX;
 
+/// Hints the host CPU to pull the cache line holding `p` into its own
+/// cache. A pure performance hint: no simulated state is read or
+/// written, so callers stay byte-identical with and without it.
+#[inline]
+pub(crate) fn host_prefetch<T>(p: &T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `prefetch` never dereferences architecturally; any
+    // address is allowed, and `p` is a valid reference besides.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+            std::ptr::from_ref(p).cast::<i8>(),
+        );
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
 const FLAG_DIRTY: u8 = 1 << 0;
 /// The owning core may write this line silently (MESI E or M).
 const FLAG_WRITABLE: u8 = 1 << 1;
@@ -69,6 +86,10 @@ impl AccessOutcome {
 pub struct SetAssocCache {
     cfg: CacheConfig,
     ways: usize,
+    /// `num_sets - 1`, cached so the per-access set index is a single
+    /// AND instead of re-deriving the set count (two integer divisions)
+    /// from the geometry on every lookup.
+    set_mask: u64,
     tags: Vec<u64>,
     flags: Vec<u8>,
     repl: ReplacementState,
@@ -77,13 +98,15 @@ pub struct SetAssocCache {
 
 impl SetAssocCache {
     /// Builds an empty cache for `cfg`. Allocates tag and metadata arrays
-    /// eagerly: a 256 MB, 64 B-line cache allocates ~36 MB of host memory.
+    /// eagerly: a 256 MB, 64 B-line LRU cache allocates ~68 MB of host
+    /// memory (8 B tag + 1 B flags + 8 B replacement timestamp per way).
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.num_sets() as usize;
         let ways = cfg.associativity() as usize;
         SetAssocCache {
             cfg,
             ways,
+            set_mask: cfg.num_sets() - 1,
             tags: vec![EMPTY; sets * ways],
             flags: vec![0; sets * ways],
             repl: ReplacementState::new(cfg.replacement(), sets, ways, 0xD5A6_0000 ^ sets as u64),
@@ -120,10 +143,31 @@ impl SetAssocCache {
             .position(|&t| t == line)
     }
 
+    /// Hints the host CPU to pull `line`'s set metadata (tags, flags,
+    /// replacement state) into its own cache ahead of a future
+    /// [`access`](Self::access). The simulated caches are far larger
+    /// than the host's, so a demand access to a random set otherwise
+    /// stalls on host DRAM; replay loops issue this a few transactions
+    /// ahead to hide that latency. Touches no simulated state — results
+    /// are byte-identical with or without priming.
+    #[inline]
+    pub fn prime_host_cache(&self, line: u64) {
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.ways;
+        host_prefetch(&self.tags[base]);
+        if self.ways > 8 {
+            // Tags are 8 bytes; sets wider than 8 ways span a second
+            // 64-byte host line.
+            host_prefetch(&self.tags[base + 8]);
+        }
+        host_prefetch(&self.flags[base]);
+        self.repl.prime_host_cache(set, self.ways);
+    }
+
     /// Performs a demand access (read if `write` is false, write
     /// otherwise), allocating on miss according to the write policy.
     pub fn access(&mut self, line: u64, write: bool) -> AccessOutcome {
-        let set = self.cfg.set_of(line) as usize;
+        let set = (line & self.set_mask) as usize;
         self.stats.accesses += 1;
         if write {
             self.stats.write_accesses += 1;
@@ -183,11 +227,7 @@ impl SetAssocCache {
     /// Inserts `line` (choosing a victim if the set is full) and marks it
     /// MRU. Returns the evicted line, if any.
     fn fill_line(&mut self, set: usize, line: u64, write: bool) -> Option<EvictedLine> {
-        let base = set * self.ways;
-        let (way, evicted) = match self.tags[base..base + self.ways]
-            .iter()
-            .position(|&t| t == EMPTY)
-        {
+        let (way, evicted) = match self.find(set, EMPTY) {
             Some(w) => (w, None),
             None => {
                 let w = self.repl.victim(set, self.ways);
@@ -219,7 +259,7 @@ impl SetAssocCache {
     /// Fills `line` on behalf of a hardware prefetcher. Does nothing if
     /// the line is already present. Not counted as a demand access.
     pub fn prefetch_fill(&mut self, line: u64) -> Option<EvictedLine> {
-        let set = self.cfg.set_of(line) as usize;
+        let set = (line & self.set_mask) as usize;
         if let Some(way) = self.find(set, line) {
             let _ = way;
             return None;
@@ -238,7 +278,7 @@ impl SetAssocCache {
     /// returned; otherwise `false`, and the caller must send the writeback
     /// further down (ultimately to the bus).
     pub fn receive_writeback(&mut self, line: u64) -> bool {
-        let set = self.cfg.set_of(line) as usize;
+        let set = (line & self.set_mask) as usize;
         match self.find(set, line) {
             Some(way) => {
                 let slot = self.slot(set, way);
@@ -252,13 +292,13 @@ impl SetAssocCache {
 
     /// Whether `line` is present, without disturbing replacement state.
     pub fn contains(&self, line: u64) -> bool {
-        let set = self.cfg.set_of(line) as usize;
+        let set = (line & self.set_mask) as usize;
         self.find(set, line).is_some()
     }
 
     /// Removes `line` if present (snoop invalidation), returning it.
     pub fn invalidate(&mut self, line: u64) -> Option<EvictedLine> {
-        let set = self.cfg.set_of(line) as usize;
+        let set = (line & self.set_mask) as usize;
         let way = self.find(set, line)?;
         let slot = self.slot(set, way);
         let dirty = self.flags[slot] & FLAG_DIRTY != 0;
@@ -271,7 +311,7 @@ impl SetAssocCache {
     /// Downgrades `line` to the shared (non-writable) state if present.
     /// A subsequent write hit will report `upgrade: true`.
     pub fn downgrade(&mut self, line: u64) {
-        let set = self.cfg.set_of(line) as usize;
+        let set = (line & self.set_mask) as usize;
         if let Some(way) = self.find(set, line) {
             let slot = self.slot(set, way);
             self.flags[slot] &= !(FLAG_WRITABLE | FLAG_DIRTY);
@@ -281,7 +321,7 @@ impl SetAssocCache {
     /// Grants `line` write permission without a bus transaction (MESI E
     /// state, given by the directory when no other core holds the line).
     pub fn grant_writable(&mut self, line: u64) {
-        let set = self.cfg.set_of(line) as usize;
+        let set = (line & self.set_mask) as usize;
         if let Some(way) = self.find(set, line) {
             let slot = self.slot(set, way);
             self.flags[slot] |= FLAG_WRITABLE;
@@ -290,14 +330,14 @@ impl SetAssocCache {
 
     /// Whether the core may write `line` without a bus transaction.
     pub fn is_writable(&self, line: u64) -> bool {
-        let set = self.cfg.set_of(line) as usize;
+        let set = (line & self.set_mask) as usize;
         self.find(set, line)
             .is_some_and(|way| self.flags[self.slot(set, way)] & FLAG_WRITABLE != 0)
     }
 
     /// Whether `line` is present and dirty.
     pub fn is_dirty(&self, line: u64) -> bool {
-        let set = self.cfg.set_of(line) as usize;
+        let set = (line & self.set_mask) as usize;
         self.find(set, line)
             .is_some_and(|way| self.flags[self.slot(set, way)] & FLAG_DIRTY != 0)
     }

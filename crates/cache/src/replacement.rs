@@ -35,13 +35,21 @@ impl fmt::Display for ReplacementPolicy {
 
 /// Per-cache replacement state, flattened over all sets.
 ///
-/// The state is intentionally compact — `u8` ranks and `u64` PLRU bit
-/// trees — because a 256 MB LLC has four million ways and this structure is
-/// touched on every access.
+/// The state is touched on every access, so the hot path must be a
+/// handful of instructions: LRU stores one monotone clock value per
+/// touch instead of re-ranking the set, and PLRU packs each set's bit
+/// tree into a `u64`.
 #[derive(Debug, Clone)]
 pub(crate) enum ReplacementState {
-    /// `rank[set*ways + way]`: 0 = most recent, ways-1 = least recent.
-    Lru { rank: Vec<u8> },
+    /// True LRU as last-use timestamps: `last_use[set*ways + way]`
+    /// holds the value of a per-cache monotone clock at that way's most
+    /// recent touch, so recency order within a set is descending
+    /// `last_use` and the victim is the minimum. Equivalent to a
+    /// per-set recency permutation, but a touch is a single store
+    /// instead of a read-modify-write of every way's rank. Values
+    /// within a set are always distinct: initial seeds are, and every
+    /// store uses a fresh clock value.
+    Lru { last_use: Vec<u64>, clock: u64 },
     /// One bit tree per set; bit `i` = internal node i points toward the
     /// *pseudo-LRU* half when set.
     TreePlru { bits: Vec<u64> },
@@ -55,15 +63,20 @@ impl ReplacementState {
     pub(crate) fn new(policy: ReplacementPolicy, sets: usize, ways: usize, seed: u64) -> Self {
         match policy {
             ReplacementPolicy::Lru => {
-                // Initialize ranks to a valid permutation per set so the
-                // invariant holds even before first touch.
-                let mut rank = vec![0u8; sets * ways];
+                // Seed each set with the recency order way 0 (most
+                // recent) … way ways-1 (least recent) — the same initial
+                // permutation the rank encoding used. The clock starts
+                // above every seed so later touches always outrank them.
+                let mut last_use = vec![0u64; sets * ways];
                 for s in 0..sets {
                     for w in 0..ways {
-                        rank[s * ways + w] = w as u8;
+                        last_use[s * ways + w] = (ways - w) as u64;
                     }
                 }
-                ReplacementState::Lru { rank }
+                ReplacementState::Lru {
+                    last_use,
+                    clock: ways as u64,
+                }
             }
             ReplacementPolicy::TreePlru => ReplacementState::TreePlru {
                 bits: vec![0u64; sets],
@@ -77,20 +90,36 @@ impl ReplacementState {
         }
     }
 
+    /// Host-cache prefetch hint for `set`'s replacement metadata; the
+    /// counterpart of [`SetAssocCache::prime_host_cache`]. Touches no
+    /// simulated state.
+    ///
+    /// [`SetAssocCache::prime_host_cache`]: crate::SetAssocCache::prime_host_cache
+    #[inline]
+    pub(crate) fn prime_host_cache(&self, set: usize, ways: usize) {
+        match self {
+            ReplacementState::Lru { last_use, .. } => {
+                let base = set * ways;
+                crate::cache::host_prefetch(&last_use[base]);
+                if ways > 8 {
+                    // 8-byte timestamps: wider sets span a second
+                    // 64-byte host line.
+                    crate::cache::host_prefetch(&last_use[base + 8]);
+                }
+            }
+            ReplacementState::TreePlru { bits } => crate::cache::host_prefetch(&bits[set]),
+            ReplacementState::Fifo { next } => crate::cache::host_prefetch(&next[set]),
+            ReplacementState::Random { .. } => {}
+        }
+    }
+
     /// Registers a hit on `way` in `set`.
     #[inline]
     pub(crate) fn touch(&mut self, set: usize, ways: usize, way: usize) {
         match self {
-            ReplacementState::Lru { rank } => {
-                let base = set * ways;
-                let old = rank[base + way];
-                for w in 0..ways {
-                    let r = &mut rank[base + w];
-                    if *r < old {
-                        *r += 1;
-                    }
-                }
-                rank[base + way] = 0;
+            ReplacementState::Lru { last_use, clock } => {
+                *clock += 1;
+                last_use[set * ways + way] = *clock;
             }
             ReplacementState::TreePlru { bits } => {
                 bits[set] = plru_touch(bits[set], ways, way);
@@ -104,9 +133,13 @@ impl ReplacementState {
     #[inline]
     pub(crate) fn victim(&mut self, set: usize, ways: usize) -> usize {
         match self {
-            ReplacementState::Lru { rank } => {
+            ReplacementState::Lru { last_use, .. } => {
                 let base = set * ways;
-                (0..ways).max_by_key(|&w| rank[base + w]).expect("ways > 0")
+                // Oldest timestamp = least recently used. Timestamps in
+                // a set are distinct, so there is no tie to break.
+                (0..ways)
+                    .min_by_key(|&w| last_use[base + w])
+                    .expect("ways > 0")
             }
             ReplacementState::TreePlru { bits } => plru_victim(bits[set], ways),
             ReplacementState::Fifo { next } => next[set] as usize,
@@ -130,12 +163,16 @@ impl ReplacementState {
         }
     }
 
-    /// LRU rank of `way` in `set` (0 = MRU). Only meaningful for LRU;
-    /// used by tests and the working-set stack-distance probe.
+    /// LRU rank of `way` in `set` (0 = MRU), derived from the timestamp
+    /// order. Only meaningful for LRU; used by tests.
     #[cfg(test)]
     pub(crate) fn lru_rank(&self, set: usize, ways: usize, way: usize) -> Option<u8> {
         match self {
-            ReplacementState::Lru { rank } => Some(rank[set * ways + way]),
+            ReplacementState::Lru { last_use, .. } => {
+                let base = set * ways;
+                let mine = last_use[base + way];
+                Some((0..ways).filter(|&w| last_use[base + w] > mine).count() as u8)
+            }
             _ => None,
         }
     }

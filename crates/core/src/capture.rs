@@ -102,6 +102,71 @@ impl CapturedStream {
             .expect("captured stream has a valid trace header")
             .map(|t| t.expect("captured stream was verified at capture/load time"))
     }
+
+    /// Decodes the stream once into fixed-size transaction chunks of
+    /// `chunk_len` transactions (the last chunk may be shorter).
+    ///
+    /// Sharded sweep replay hands the result to every shard read-only:
+    /// one decode pass feeds any number of board groups, and because
+    /// the chunk boundaries depend only on the stream and `chunk_len`
+    /// — never on the shard count — every board sees identical batch
+    /// edges no matter how the sweep is partitioned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero, or on corrupt encoded bytes (see
+    /// [`iter`](CapturedStream::iter)).
+    pub fn decode_chunks(&self, chunk_len: usize) -> DecodedChunks {
+        assert!(chunk_len > 0, "chunk length must be positive");
+        let mut chunks = Vec::with_capacity(
+            usize::try_from(self.transactions).unwrap_or(usize::MAX) / chunk_len + 1,
+        );
+        let mut cur = Vec::with_capacity(chunk_len);
+        for txn in self.iter() {
+            cur.push(txn);
+            if cur.len() == chunk_len {
+                chunks.push(std::mem::replace(&mut cur, Vec::with_capacity(chunk_len)));
+            }
+        }
+        if !cur.is_empty() {
+            chunks.push(cur);
+        }
+        DecodedChunks {
+            chunks,
+            transactions: self.transactions,
+        }
+    }
+}
+
+/// A captured stream decoded once into fixed-size transaction batches,
+/// shared read-only across replay shards (see
+/// [`CapturedStream::decode_chunks`]).
+#[derive(Debug, Clone)]
+pub struct DecodedChunks {
+    chunks: Vec<Vec<FsbTransaction>>,
+    transactions: u64,
+}
+
+impl DecodedChunks {
+    /// The batches, in stream order.
+    pub fn iter(&self) -> impl Iterator<Item = &[FsbTransaction]> + '_ {
+        self.chunks.iter().map(Vec::as_slice)
+    }
+
+    /// Number of batches.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether the stream decoded to zero transactions.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Total transactions across all batches.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
 }
 
 fn stats_to_json(s: &CacheStats) -> JsonValue {

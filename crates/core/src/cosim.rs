@@ -15,7 +15,29 @@ use cmpsim_telemetry::{Labels, MetricRegistry, SpanProfiler};
 use cmpsim_trace::file::TraceWriter;
 use cmpsim_trace::FsbTransaction;
 use cmpsim_workloads::{Scale, Workload, WorkloadId};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Process-wide sweep-replay shard count, default 1 (serial).
+///
+/// Sweep boards are built inside the experiment types, far from any
+/// CLI, and sharding never changes results (byte-identical at any
+/// count — `tests/replay_equivalence.rs` pins it), so the shard count
+/// is ambient tuning state rather than threaded through every
+/// experiment constructor. Binaries set it once from `--replay-shards`.
+static REPLAY_SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the process-wide shard count used by
+/// [`CoSimulation::replay_sweep`]. Zero and one both mean serial.
+pub fn set_replay_shards(shards: usize) {
+    REPLAY_SHARDS.store(shards.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide sweep-replay shard count (see
+/// [`set_replay_shards`]).
+pub fn replay_shards() -> usize {
+    REPLAY_SHARDS.load(Ordering::Relaxed).max(1)
+}
 
 /// Full co-simulation configuration: the virtual platform plus the
 /// emulated LLC.
@@ -443,7 +465,36 @@ impl CoSimulation {
     /// Replays a captured stream into one board per LLC in `llcs` —
     /// the replay-side twin of [`run_sweep`](CoSimulation::run_sweep),
     /// with the same report per configuration but no re-execution.
+    ///
+    /// Replay is sharded across worker threads per the process-wide
+    /// [`replay_shards`] setting; use
+    /// [`replay_sweep_sharded`](CoSimulation::replay_sweep_sharded) to
+    /// pick the count explicitly. Results are byte-identical at any
+    /// shard count.
     pub fn replay_sweep(&self, stream: &CapturedStream, llcs: &[CacheConfig]) -> Vec<CoSimReport> {
+        self.replay_sweep_sharded(stream, llcs, replay_shards())
+    }
+
+    /// [`replay_sweep`](CoSimulation::replay_sweep) with an explicit
+    /// shard count.
+    ///
+    /// With `shards <= 1` the stream is decoded lazily and every board
+    /// is driven on the calling thread. With more, the stream is
+    /// decoded once into [`BATCH_TRANSACTIONS`]-sized chunks shared
+    /// read-only, the boards are split into `min(shards, boards)`
+    /// contiguous groups, and scoped worker threads drive one group
+    /// each, batch by batch. Either way each board observes the full
+    /// stream in order over fixed batch boundaries, and reports are
+    /// assembled in `llcs` order — so the shard count can never change
+    /// a byte of output (`tests/replay_equivalence.rs` pins this).
+    ///
+    /// [`BATCH_TRANSACTIONS`]: cmpsim_dragonhead::BATCH_TRANSACTIONS
+    pub fn replay_sweep_sharded(
+        &self,
+        stream: &CapturedStream,
+        llcs: &[CacheConfig],
+        shards: usize,
+    ) -> Vec<CoSimReport> {
         let _t = ftrace::span("replay");
         let mut boards: Vec<Dragonhead> = llcs
             .iter()
@@ -455,8 +506,34 @@ impl CoSimulation {
                 Dragonhead::new(d)
             })
             .collect();
-        cmpsim_dragonhead::replay(stream.iter(), &mut boards, stream.run().cycles)
-            .expect("captured platform cycles are monotone");
+        let final_cycle = stream.run().cycles;
+        let shards = shards.clamp(1, boards.len().max(1));
+        if shards <= 1 {
+            cmpsim_dragonhead::replay(stream.iter(), &mut boards, final_cycle)
+                .expect("captured platform cycles are monotone");
+        } else {
+            let chunks = stream.decode_chunks(cmpsim_dragonhead::BATCH_TRANSACTIONS);
+            let ctx = ftrace::snapshot();
+            let group_len = boards.len().div_ceil(shards);
+            cmpsim_runner::scoped_shards(
+                boards.chunks_mut(group_len).collect(),
+                |shard, group: &mut [Dragonhead]| {
+                    // Each shard opens its own `board-replay` span on
+                    // the captured lane (`Lane` clones share one
+                    // buffer), parented under the sweep's `replay`
+                    // span, so `cmpsim report` shows per-shard replay
+                    // utilization.
+                    let _span = ctx.as_ref().map(|(lane, cell, parent)| {
+                        let mut s = lane.begin("board-replay", cell, *parent);
+                        s.arg("shard", shard as u64);
+                        s.arg("boards", group.len() as u64);
+                        s
+                    });
+                    cmpsim_dragonhead::replay_chunks(chunks.iter(), group, final_cycle)
+                        .expect("captured platform cycles are monotone");
+                },
+            );
+        }
         boards
             .iter()
             .map(|dh| Self::report(stream.run().clone(), dh))
@@ -681,6 +758,100 @@ mod tests {
             assert_eq!(r.samples, l.samples);
             assert_eq!(r.per_core_llc, l.per_core_llc);
             assert_eq!(r.mpki.to_bits(), l.mpki.to_bits());
+        }
+    }
+
+    #[test]
+    fn sharded_replay_matches_serial_at_any_shard_count() {
+        let mut cfg = CoSimConfig::new(2, 1 << 20).unwrap();
+        cfg.sample_period = 1000;
+        let sim = CoSimulation::new(cfg);
+        let sizes: Vec<CacheConfig> = [1u64 << 18, 1 << 19, 1 << 20, 1 << 21]
+            .iter()
+            .map(|&s| CacheConfig::lru(s, 64, 16).unwrap())
+            .collect();
+        let stream = sim.capture(WorkloadId::Viewtype, Scale::tiny(), 2);
+        let serial = sim.replay_sweep_sharded(&stream, &sizes, 1);
+        // 2 = even groups, 3 = uneven groups, 4 = one board per shard,
+        // 9 > boards = clamped. All must reproduce the serial reports
+        // exactly.
+        for shards in [2usize, 3, 4, 9] {
+            let sharded = sim.replay_sweep_sharded(&stream, &sizes, shards);
+            assert_eq!(sharded.len(), serial.len());
+            for (s, r) in sharded.iter().zip(&serial) {
+                assert_eq!(s.llc, r.llc, "{shards} shards: llc differs");
+                assert_eq!(s.samples, r.samples, "{shards} shards: samples differ");
+                assert_eq!(s.per_core_llc, r.per_core_llc);
+                assert_eq!(s.mpki.to_bits(), r.mpki.to_bits());
+                assert_eq!(s.llc_resident_lines, r.llc_resident_lines);
+                // The full metric registries — every per-bank and
+                // per-core counter — serialize identically.
+                assert_eq!(s.metrics.to_json(), r.metrics.to_json());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_never_changes_protocol_anomaly_counters() {
+        // A fault-injected stream exercises the board's quarantine and
+        // desync machinery; the shard count must not move a single
+        // anomaly counter (every board still sees the full stream in
+        // order, whatever thread drives it).
+        let mut cfg = CoSimConfig::new(2, 1 << 20).unwrap();
+        cfg.sample_period = 1000;
+        let sim = CoSimulation::new(cfg);
+        let clean = sim.capture(WorkloadId::Fimi, Scale::tiny(), 1);
+        // Drops tear message pairs; corrupted addresses quarantine.
+        // Neither perturbs cycle stamps, so the re-encoded stream stays
+        // monotone and decodes exactly as written.
+        let mut faults = cmpsim_faults::FaultPlan::none(44)
+            .with_drop(0.03)
+            .with_corrupt_addr(0.03)
+            .build();
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        let mut out = Vec::new();
+        for txn in clean.iter() {
+            faults.inject(&txn, &mut out);
+            for t in out.drain(..) {
+                w.write(&t).unwrap();
+            }
+        }
+        faults.finish(&mut out);
+        for t in out.drain(..) {
+            w.write(&t).unwrap();
+        }
+        assert!(faults.faults_injected() > 0, "chaos plan never fired");
+        let n = w.count();
+        let bytes = w.finish().unwrap();
+        let key = JobKey::new("chaos-shards").field("workload", "FIMI");
+        let faulted = CapturedStream::new(&key, bytes, n, clean.run().clone());
+
+        let sizes: Vec<CacheConfig> = [1u64 << 18, 1 << 19, 1 << 20]
+            .iter()
+            .map(|&s| CacheConfig::lru(s, 64, 16).unwrap())
+            .collect();
+        let serial = sim.replay_sweep_sharded(&faulted, &sizes, 1);
+        let anomalies = |r: &CoSimReport| {
+            r.metrics.counter_total("desyncs_detected")
+                + r.metrics.counter_total("transactions_quarantined")
+                + r.metrics.counter_total("cycle_regressions")
+        };
+        assert!(
+            serial.iter().any(|r| anomalies(r) > 0),
+            "fault plan produced no counted anomalies — the test is vacuous"
+        );
+        for shards in [2usize, 3, 7] {
+            let sharded = sim.replay_sweep_sharded(&faulted, &sizes, shards);
+            for (s, r) in sharded.iter().zip(&serial) {
+                assert_eq!(
+                    anomalies(s),
+                    anomalies(r),
+                    "{shards} shards moved anomalies"
+                );
+                assert_eq!(s.llc, r.llc);
+                assert_eq!(s.samples, r.samples);
+                assert_eq!(s.metrics.to_json(), r.metrics.to_json());
+            }
         }
     }
 

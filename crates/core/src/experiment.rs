@@ -1418,6 +1418,129 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "wall-clock benchmark; run manually and record in EXPERIMENTS.md"]
+    fn sharded_replay_stage_benchmark() {
+        use std::time::Instant;
+        let sizes = paper_cache_sizes(Scale::ci());
+        let cfg = CoSimConfig::scaled(CmpClass::Small.cores(), sizes[0], Scale::ci())
+            .expect("paper sizes are valid geometries");
+        let llcs: Vec<CacheConfig> = sizes
+            .iter()
+            .map(|&s| CacheConfig::lru(s, 64, 16).expect("paper sizes are valid"))
+            .collect();
+        let sim = CoSimulation::new(cfg);
+        // Disk-backed store: the first run captures (~2 min), re-runs
+        // replay from disk so benchmark iterations measure only replay.
+        let broker = CaptureBroker::with_store(std::env::temp_dir().join("cmpsim-bench-traces"));
+        let stream = sim.captured(&broker, WorkloadId::Fimi, Scale::ci(), 1);
+
+        // Leg 1 — the PR 5 shape: decode once per sweep, drive every
+        // board one transaction at a time through `observe`. (The
+        // per-access arithmetic it exercises is today's — the recorded
+        // pre-change wall time in EXPERIMENTS.md is the true baseline.)
+        let mut boards: Vec<cmpsim_dragonhead::Dragonhead> = llcs
+            .iter()
+            .map(|&llc| {
+                let mut d = cmpsim_dragonhead::DragonheadConfig::new(llc);
+                d.banks = cfg.banks;
+                d.sample_period = cfg.sample_period;
+                cmpsim_dragonhead::Dragonhead::new(d)
+            })
+            .collect();
+        let t0 = Instant::now();
+        for txn in stream.iter() {
+            for board in &mut boards {
+                board.observe(&txn);
+            }
+        }
+        for board in &mut boards {
+            board.flush(stream.run().cycles).unwrap();
+        }
+        let t_per_txn = t0.elapsed();
+
+        // Leg 2 — batched serial: the sharded path at one shard.
+        let t0 = Instant::now();
+        let serial = sim.replay_sweep_sharded(&stream, &llcs, 1);
+        let t_serial = t0.elapsed();
+
+        // Leg 3 — four shards (one thread per board group).
+        let t0 = Instant::now();
+        let sharded = sim.replay_sweep_sharded(&stream, &llcs, 4);
+        let t_sharded = t0.elapsed();
+
+        // All three legs computed the same sweep.
+        for ((b, s), r) in boards.iter().zip(&serial).zip(&sharded) {
+            assert_eq!(b.stats(), s.llc);
+            assert_eq!(s.llc, r.llc);
+            assert_eq!(s.mpki.to_bits(), r.mpki.to_bits());
+        }
+        println!(
+            "replay stage, {} boards x {} txns: per-txn {t_per_txn:?}, \
+             batched serial {t_serial:?}, 4 shards {t_sharded:?}",
+            serial.len(),
+            stream.transactions(),
+        );
+    }
+
+    #[test]
+    #[ignore = "wall-clock profile; run manually when tuning the replay path"]
+    fn replay_hot_path_profile() {
+        use std::time::Instant;
+        let sizes = paper_cache_sizes(Scale::ci());
+        let cfg = CoSimConfig::scaled(CmpClass::Small.cores(), sizes[0], Scale::ci())
+            .expect("paper sizes are valid geometries");
+        let sim = CoSimulation::new(cfg);
+        let broker = CaptureBroker::with_store(std::env::temp_dir().join("cmpsim-bench-traces"));
+        let stream = sim.captured(&broker, WorkloadId::Fimi, Scale::ci(), 1);
+
+        // Stream mix: how much of the replay cost is message decode vs
+        // cache emulation.
+        let mut messages = 0u64;
+        let mut data = 0u64;
+        let t0 = Instant::now();
+        for txn in stream.iter() {
+            if txn.is_message() {
+                messages += 1;
+            } else {
+                data += 1;
+            }
+        }
+        let t_decode = t0.elapsed();
+
+        // Filter-only pass: AF state machine without any cache behind it.
+        let mut af = cmpsim_dragonhead::af::AddressFilter::new();
+        let mut emulated = 0u64;
+        let t0 = Instant::now();
+        for txn in stream.iter() {
+            if matches!(
+                af.filter(&txn),
+                cmpsim_dragonhead::af::FilterOutcome::Emulate { .. }
+            ) {
+                emulated += 1;
+            }
+        }
+        let t_filter = t0.elapsed();
+
+        // One full board.
+        let mut board = Dragonhead::new(DragonheadConfig::new(
+            CacheConfig::lru(sizes[0], 64, 16).unwrap(),
+        ));
+        let chunks = stream.decode_chunks(cmpsim_dragonhead::BATCH_TRANSACTIONS);
+        let t0 = Instant::now();
+        for chunk in chunks.iter() {
+            board.observe_batch(chunk);
+        }
+        let t_board = t0.elapsed();
+
+        println!(
+            "{} txns ({messages} messages, {data} data, {emulated} emulated): \
+             decode {t_decode:?}, decode+filter {t_filter:?}, \
+             decode_chunks+board {t_board:?}",
+            stream.transactions(),
+        );
+    }
+
+    #[test]
     fn sharing_study_separates_categories() {
         let study = SharingStudy::new(Scale::tiny(), 5);
         let shot = study.run(WorkloadId::Shot);

@@ -56,9 +56,9 @@ pub use cmpsim_telemetry as tel;
 pub use cmpsim_trace as trace;
 pub use cmpsim_workloads as workloads;
 
-pub use capture::{CaptureBroker, CaptureCounters, CapturedStream, TraceStore};
+pub use capture::{CaptureBroker, CaptureCounters, CapturedStream, DecodedChunks, TraceStore};
 pub use cmpsim_workloads::{Scale, WorkloadId};
-pub use cosim::{CoSimConfig, CoSimReport, CoSimulation};
+pub use cosim::{replay_shards, set_replay_shards, CoSimConfig, CoSimReport, CoSimulation};
 pub use error::CoSimError;
 pub use experiment::CmpClass;
 pub use validate::Validator;

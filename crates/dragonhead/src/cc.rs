@@ -14,6 +14,12 @@ use cmpsim_cache::{CacheConfig, CacheStats, ConfigError, SetAssocCache};
 pub struct BankedCache {
     banks: Vec<SetAssocCache>,
     num_banks: u64,
+    /// `num_banks - 1` when the bank count is a power of two (the
+    /// hardware's CC0–CC3 always is), letting [`route`](Self::route)
+    /// use mask/shift instead of two integer divisions per access; the
+    /// sentinel `u64::MAX` selects the general div/mod path.
+    bank_mask: u64,
+    bank_shift: u32,
     line_bytes: u64,
 }
 
@@ -42,9 +48,17 @@ impl BankedCache {
             .replacement(cfg.replacement())
             .write_policy(cfg.write_policy())
             .build()?;
+        let num_banks = u64::from(banks);
+        let (bank_mask, bank_shift) = if num_banks.is_power_of_two() {
+            (num_banks - 1, num_banks.trailing_zeros())
+        } else {
+            (u64::MAX, 0)
+        };
         Ok(BankedCache {
             banks: (0..banks).map(|_| SetAssocCache::new(per_bank)).collect(),
-            num_banks: u64::from(banks),
+            num_banks,
+            bank_mask,
+            bank_shift,
             line_bytes: cfg.line_bytes(),
         })
     }
@@ -61,7 +75,21 @@ impl BankedCache {
 
     #[inline]
     fn route(&self, line: u64) -> (usize, u64) {
-        ((line % self.num_banks) as usize, line / self.num_banks)
+        if self.bank_mask != u64::MAX {
+            ((line & self.bank_mask) as usize, line >> self.bank_shift)
+        } else {
+            ((line % self.num_banks) as usize, line / self.num_banks)
+        }
+    }
+
+    /// Hints the host CPU to pull `line`'s set metadata into its own
+    /// cache ahead of a future [`access_line`](Self::access_line). A
+    /// pure host-side prefetch: no simulated state changes, so replay
+    /// output is byte-identical with or without it.
+    #[inline]
+    pub fn prime_host_cache(&self, line: u64) {
+        let (bank, bank_line) = self.route(line);
+        self.banks[bank].prime_host_cache(bank_line);
     }
 
     /// Demand access to the line containing `addr`.

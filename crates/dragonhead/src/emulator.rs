@@ -121,8 +121,47 @@ impl Dragonhead {
         }
     }
 
+    /// Observes a whole batch of transactions — the replay fast path.
+    ///
+    /// Byte-identical to calling [`observe`](Dragonhead::observe) once
+    /// per transaction; the batch form exists so per-batch constants
+    /// (the line-size shift) are hoisted out of the per-transaction
+    /// loop, and so sweep replay can keep one board's working set hot
+    /// across a whole batch instead of round-robining boards on every
+    /// transaction.
+    pub fn observe_batch(&mut self, batch: &[FsbTransaction]) {
+        let line_shift = self.cfg.cache.line_bytes().trailing_zeros();
+        // Emulated LLCs dwarf the host's caches, so the tag lookup for a
+        // random set is a host-DRAM stall — the dominant cost of replay.
+        // Prime the set metadata a fixed distance ahead so the loads
+        // overlap with emulation of the current transactions. The hint
+        // touches no simulated state (messages prime a meaningless but
+        // in-bounds set), so results stay byte-identical.
+        const PRIME_AHEAD: usize = 16;
+        for (i, txn) in batch.iter().enumerate() {
+            if let Some(ahead) = batch.get(i + PRIME_AHEAD) {
+                self.cc.prime_host_cache(ahead.addr.raw() >> line_shift);
+            }
+            match self.af.filter(txn) {
+                FilterOutcome::Control(_)
+                | FilterOutcome::Malformed(_)
+                | FilterOutcome::Quarantined(_) => {}
+                FilterOutcome::Excluded => {}
+                // Line size is a power of two (enforced at config
+                // build), so the shift equals `addr.line(line_bytes)`.
+                FilterOutcome::Emulate { core } => {
+                    self.emulate_line(core, txn, txn.addr.raw() >> line_shift);
+                }
+            }
+        }
+    }
+
     fn emulate(&mut self, core: u32, txn: &FsbTransaction) {
         let line = txn.addr.line(self.cfg.cache.line_bytes());
+        self.emulate_line(core, txn, line);
+    }
+
+    fn emulate_line(&mut self, core: u32, txn: &FsbTransaction, line: u64) {
         match txn.kind {
             FsbKind::ReadLine | FsbKind::ReadInvalidateLine => {
                 let write = txn.kind == FsbKind::ReadInvalidateLine;
@@ -157,12 +196,14 @@ impl Dragonhead {
                 return;
             }
         }
-        self.sampler.tick(
-            txn.cycle,
-            self.af.instructions(),
-            self.stats().accesses,
-            self.stats().misses,
-        );
+        // Merging per-bank counters for the sampler is the single most
+        // expensive step of a quiet transaction, so it only happens when
+        // the tick would actually record a sample.
+        if self.sampler.due(txn.cycle) {
+            let s = self.stats();
+            self.sampler
+                .tick(txn.cycle, self.af.instructions(), s.accesses, s.misses);
+        }
     }
 
     fn core_mut(&mut self, core: u32) -> &mut CoreCounters {

@@ -90,6 +90,16 @@ impl Sampler {
         }
     }
 
+    /// Whether a [`tick`](Sampler::tick) at `cycle` would record at
+    /// least one sample. Callers on the hot path use this to skip
+    /// gathering the counter arguments (merging per-bank stats) for the
+    /// overwhelming majority of transactions that land inside the
+    /// current sampling interval.
+    #[inline]
+    pub const fn due(&self, cycle: u64) -> bool {
+        cycle >= self.next_at
+    }
+
     /// Offers the current counters at `cycle`; records samples for every
     /// period boundary passed since the last call.
     pub fn tick(&mut self, cycle: u64, instructions: u64, accesses: u64, misses: u64) {

@@ -63,6 +63,7 @@ pub mod hash;
 pub mod journal;
 pub mod pool;
 pub mod record;
+pub mod shard;
 pub mod shutdown;
 pub mod supervisor;
 
@@ -75,6 +76,7 @@ pub use journal::{
 pub use pool::{
     ExperimentJob, IsolateMode, JobError, JobOutcome, JobReport, RunReport, Runner, RunnerConfig,
 };
+pub use shard::scoped_shards;
 pub use shutdown::ShutdownFlag;
 pub use supervisor::{
     child_trace_requested, emit_result, emit_trace, run_program, run_program_sabotaged,

@@ -1,0 +1,87 @@
+//! Scoped fan-out of borrowed work items across OS threads.
+//!
+//! The worker pool in [`pool`](crate::pool) owns its jobs and moves
+//! them (`'static` closures, results shipped back over channels); that
+//! shape cannot drive sweep replay, where each shard needs a *mutable
+//! borrow* of a contiguous group of boards living in the caller's
+//! `Vec`. [`scoped_shards`] covers that case with `std::thread::scope`:
+//! the borrows stay on the caller's stack, every shard joins before the
+//! function returns, and a panicking shard propagates to the caller
+//! instead of being swallowed.
+
+/// Runs `f(index, item)` for every item, each on its own scoped thread,
+/// and joins them all before returning.
+///
+/// Items are claimed in order, so `index` is the position of `item` in
+/// `items` — shard 0 gets the first group, shard 1 the second, and so
+/// on. With a single item no thread is spawned: the closure runs
+/// inline, so the one-shard path has zero threading overhead and
+/// identical thread-local context (tracing, etc.) to a plain call.
+///
+/// # Panics
+///
+/// If any shard panics, the panic is resumed on the calling thread
+/// after all other shards have joined (the behavior of
+/// `std::thread::scope`).
+pub fn scoped_shards<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(usize, T) + Sync,
+{
+    if items.len() == 1 {
+        let item = items.into_iter().next().expect("len checked");
+        f(0, item);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (index, item) in items.into_iter().enumerate() {
+            let f = &f;
+            scope.spawn(move || f(index, item));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn every_item_runs_with_its_index() {
+        let mut groups: Vec<Vec<u64>> = vec![vec![1, 2], vec![3], vec![4, 5, 6]];
+        let total = AtomicU64::new(0);
+        let weighted = AtomicU64::new(0);
+        scoped_shards(groups.iter_mut().collect(), |i, group: &mut Vec<u64>| {
+            for v in group.iter_mut() {
+                total.fetch_add(*v, Ordering::Relaxed);
+                weighted.fetch_add(i as u64, Ordering::Relaxed);
+                *v += 100;
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 21);
+        // Index-weighted element count: 0·2 + 1·1 + 2·3.
+        assert_eq!(weighted.load(Ordering::Relaxed), 7);
+        // Mutations through the borrow are visible after the join.
+        assert_eq!(groups, vec![vec![101, 102], vec![103], vec![104, 105, 106]]);
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let caller = std::thread::current().id();
+        let mut seen = None;
+        scoped_shards(vec![&mut seen], |_, slot| {
+            *slot = Some(std::thread::current().id());
+        });
+        assert_eq!(seen, Some(caller));
+    }
+
+    #[test]
+    fn shard_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            scoped_shards(vec![0u64, 1], |_, item| {
+                assert!(item != 1, "shard failure must not be swallowed");
+            });
+        });
+        assert!(result.is_err());
+    }
+}

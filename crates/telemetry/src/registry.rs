@@ -132,12 +132,21 @@ impl Histogram {
     }
 
     fn to_json(&self) -> JsonValue {
+        // An empty histogram has no mean: serialize `null` (the PR 5
+        // stalled-interval convention) rather than a fabricated 0, so
+        // downstream consumers can tell "no observations" from "all
+        // observations were 0".
+        let mean = if self.count == 0 {
+            JsonValue::Null
+        } else {
+            JsonValue::F64(self.mean())
+        };
         JsonValue::object([
             ("count", JsonValue::U64(self.count)),
             ("sum", JsonValue::U64(self.sum)),
             ("min", JsonValue::U64(self.min)),
             ("max", JsonValue::U64(self.max)),
-            ("mean", JsonValue::F64(self.mean())),
+            ("mean", mean),
             (
                 "pow2_buckets",
                 JsonValue::Array(self.buckets.iter().map(|&b| JsonValue::U64(b)).collect()),
@@ -388,6 +397,24 @@ mod tests {
         assert_eq!(h.buckets()[1], 1);
         assert_eq!(h.buckets()[2], 2);
         assert_eq!(h.buckets()[10], 1);
+    }
+
+    #[test]
+    fn empty_histogram_serializes_mean_as_null() {
+        // Round-trip through the serializer: an empty histogram's mean
+        // must come back as JSON null, not 0 (and never a bare NaN
+        // token, which no parser would accept).
+        let h = Histogram::default();
+        let text = h.to_json().to_json();
+        let doc = crate::value::parse(&text).expect("serializer output must reparse");
+        assert_eq!(doc.get("mean"), Some(&JsonValue::Null), "{text}");
+        assert_eq!(doc.get("count"), Some(&JsonValue::U64(0)));
+        // One observation restores the numeric mean.
+        let mut h = Histogram::default();
+        h.observe(6);
+        let text = h.to_json().to_json();
+        let doc = crate::value::parse(&text).expect("serializer output must reparse");
+        assert_eq!(doc.get("mean"), Some(&JsonValue::F64(6.0)), "{text}");
     }
 
     #[test]

@@ -432,6 +432,28 @@ pub fn active() -> bool {
     CTX.with(|c| c.borrow().is_some())
 }
 
+/// Captures the current thread's tracing context — the lane, the cell
+/// name, and the innermost open span id — so a helper thread can record
+/// under it. Returns `None` when no context is installed.
+///
+/// The returned tuple is exactly the argument list of [`install`]:
+/// spawned workers call `install(lane, &cell, parent)` (or open spans
+/// directly on the cloned [`Lane`], which shares its buffer) and their
+/// events nest under the span that was open at capture time. This is
+/// how sweep-replay shards appear as children of the sweep's `replay`
+/// span.
+pub fn snapshot() -> Option<(Lane, String, u64)> {
+    CTX.with(|c| {
+        c.borrow().as_ref().map(|ctx| {
+            (
+                ctx.lane.clone(),
+                ctx.cell.clone(),
+                ctx.stack.last().copied().unwrap_or(0),
+            )
+        })
+    })
+}
+
 /// Opens a span under the current context; a silent no-op guard when no
 /// context is installed (the tracing-off fast path — no clock read, no
 /// allocation).

@@ -72,9 +72,7 @@ impl Pcg32 {
         if bound <= u64::from(u32::MAX) {
             u64::from(self.below_u32(bound as u32))
         } else {
-            // Simple modulo for the (rare) huge-bound case; bias is
-            // negligible for bounds far below 2^64.
-            self.next_u64() % bound
+            self.below_u64(bound)
         }
     }
 
@@ -87,6 +85,21 @@ impl Pcg32 {
             let m = u64::from(x) * u64::from(bound);
             if (m as u32) >= threshold {
                 return (m >> 32) as u32;
+            }
+        }
+    }
+
+    #[inline]
+    fn below_u64(&mut self, bound: u64) -> u64 {
+        // below_u32's Lemire rejection widened to 64 bits: a plain
+        // `next_u64() % bound` is biased once bound exceeds u32::MAX
+        // (low results become up to 2x as likely near 2^63).
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
             }
         }
     }
@@ -232,6 +245,41 @@ mod tests {
             for _ in 0..200 {
                 assert!(rng.below(bound) < bound);
             }
+        }
+    }
+
+    #[test]
+    fn huge_bounds_use_rejection_not_modulo() {
+        // Above u32::MAX the old code took a `next_u64() % bound`
+        // shortcut, which is biased (for bound near 2^63, results below
+        // 2^64 mod bound are twice as likely). The Lemire multiply-shift
+        // draw must produce a different sequence than the modulo
+        // shortcut while staying in range.
+        let bound = (1u64 << 63) + 12345;
+        let mut lemire = Pcg32::seed(9);
+        let mut modulo = Pcg32::seed(9);
+        let mut diverged = 0;
+        for _ in 0..64 {
+            let l = lemire.below(bound);
+            let m = modulo.next_u64() % bound;
+            assert!(l < bound);
+            if l != m {
+                diverged += 1;
+            }
+        }
+        assert!(
+            diverged > 32,
+            "huge-bound draws still follow the modulo shortcut ({diverged}/64 differ)"
+        );
+        // The <= u32::MAX path is untouched: it must keep matching the
+        // 32-bit Lemire draw exactly so golden files stay valid.
+        let mut a = Pcg32::seed(10);
+        let mut b = Pcg32::seed(10);
+        for _ in 0..64 {
+            assert_eq!(
+                a.below(u64::from(u32::MAX)),
+                u64::from(b.below_u32(u32::MAX))
+            );
         }
     }
 

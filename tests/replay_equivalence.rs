@@ -131,3 +131,58 @@ fn replayed_grid_matches_execute_per_cell() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Sharding a cell's sweep replay across worker threads must never
+/// change a byte of output: every board still observes the full stream
+/// in order over fixed batch boundaries, and reports are assembled in
+/// sweep order. One shard, four shards, and more shards than boards
+/// (the count clamps to the board count) all reproduce the serial
+/// stdout, the serial JSON results, and the serial journal outcomes.
+#[test]
+fn sharded_replay_matches_serial_replay() {
+    let dir = temp_dir("replay-shards");
+    let journal = dir.join("journal");
+    let jflag = journal.to_str().unwrap().to_owned();
+
+    let serial = run_fig4(
+        &[
+            "--journal-dir",
+            &jflag,
+            "--run-id",
+            "s1",
+            "--replay-shards",
+            "1",
+        ],
+        &dir.join("s1.json"),
+    );
+    let sharded = run_fig4(
+        &[
+            "--journal-dir",
+            &jflag,
+            "--run-id",
+            "s4",
+            "--replay-shards",
+            "4",
+        ],
+        &dir.join("s4.json"),
+    );
+    // More shards than the sweep has boards: clamps, still identical.
+    let oversharded = run_fig4(&["--replay-shards", "64"], &dir.join("s64.json"));
+
+    assert_eq!(serial.stdout, sharded.stdout, "4-shard stdout differs");
+    assert_eq!(serial.stdout, oversharded.stdout, "64-shard stdout differs");
+
+    let serial_doc = read_doc(&dir.join("s1.json"));
+    let results = serial_doc.get("results").expect("results key");
+    for name in ["s4", "s64"] {
+        let doc = read_doc(&dir.join(format!("{name}.json")));
+        assert_eq!(Some(results), doc.get("results"), "{name} results differ");
+    }
+
+    let serial_journal = job_done_lines(&journal, "s1");
+    let sharded_journal = job_done_lines(&journal, "s4");
+    assert_eq!(serial_journal.len(), 2);
+    assert_eq!(serial_journal, sharded_journal, "journal outcomes differ");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -245,12 +245,19 @@ fn trace_shape_is_identical_across_jobs_and_cache_state() {
     let serial = dir.join("serial.json");
     let parallel = dir.join("parallel.json");
     let warm = dir.join("warm.json");
+    // The replay shard count is pinned across all three runs: it
+    // defaults to `--jobs`, and each shard records its own
+    // `board-replay` span (that per-shard visibility is the point), so
+    // letting it float would change the span multiset. The CI
+    // sharded-replay smoke step covers the shards-vs-trace interplay.
     fig4(
         &dir,
         "MDS,SHOT",
         &[
             "--jobs",
             "1",
+            "--replay-shards",
+            "2",
             "--cache-dir",
             "cache-serial",
             "--trace-out",
@@ -262,6 +269,8 @@ fn trace_shape_is_identical_across_jobs_and_cache_state() {
         "MDS,SHOT",
         &[
             "--jobs",
+            "2",
+            "--replay-shards",
             "2",
             "--cache-dir",
             "cache-parallel",
@@ -277,6 +286,8 @@ fn trace_shape_is_identical_across_jobs_and_cache_state() {
         &[
             "--jobs",
             "1",
+            "--replay-shards",
+            "2",
             "--cache-dir",
             "cache-serial",
             "--trace-out",
